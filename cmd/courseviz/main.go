@@ -1,0 +1,164 @@
+// Command courseviz regenerates the paper's figures and tables from the
+// embedded course data — the Go reimplementation of the artifact scripts
+// SW-2 (make_plots.py) and SW-3 (make_tables.py).
+//
+// Usage:
+//
+//	courseviz -artifact all
+//	courseviz -artifact figure1
+//	courseviz -artifact table2a -markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfeng/internal/course"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "all",
+			"figure1 | table1 | table2a | table2b | figure2 | grades | data | lessons | all")
+		markdown = flag.Bool("markdown", false, "render tables as markdown")
+	)
+	flag.Parse()
+
+	emit := map[string]func(bool) error{
+		"figure1": figure1,
+		"table1":  table1,
+		"table2a": table2a,
+		"table2b": table2b,
+		"figure2": figure2,
+		"grades":  grades,
+		"data":    dataCSV,
+		"lessons": lessons,
+	}
+	if *artifact == "all" {
+		for _, name := range []string{"figure1", "table1", "table2a", "table2b", "figure2", "grades", "lessons"} {
+			if err := emit[name](*markdown); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := emit[*artifact]
+	if !ok {
+		fatal(fmt.Errorf("unknown artifact %q", *artifact))
+	}
+	if err := f(*markdown); err != nil {
+		fatal(err)
+	}
+}
+
+func figure1(bool) error {
+	fmt.Print(course.Figure1(64, 16))
+	return nil
+}
+
+func table1(md bool) error {
+	t := course.Table1()
+	if md {
+		fmt.Print(t.Markdown())
+	} else {
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+func table2a(md bool) error {
+	t := course.Table2aReport()
+	if md {
+		fmt.Print(t.Markdown())
+	} else {
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+func table2b(md bool) error {
+	t := course.Table2bReport()
+	if md {
+		fmt.Print(t.Markdown())
+	} else {
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+func figure2(bool) error {
+	s, err := course.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+// grades demonstrates Equations 1-3 on representative student profiles,
+// reproducing the paper's observations: average ~8, slack between exam and
+// assignments, clamp at 10.
+func grades(bool) error {
+	fmt.Println("Grading scheme (Equations 1-3):")
+	fmt.Println("  G  = max(1, min(10, 0.5*Gp + 0.3*Ga + 0.3*(Ge + Sq/70)))")
+	fmt.Println("  Gp = 0.4*Gproject + 0.3*Greport + 0.3*avg(talks)")
+	fmt.Println("  Ga = 10 * sum(assignment points) / N,  N = 32/36/40 for 1/2/3-4 students")
+	fmt.Println()
+
+	profiles := []struct {
+		name string
+		rec  course.StudentRecord
+	}{
+		{"typical passing student (paper average ~8)", course.StudentRecord{
+			TeamSize: 2, Assignment: [4]float64{7, 6, 8, 8},
+			Project: 7.5, Report: 7, MidtermTalk: 7.5, FinalTalk: 8,
+			Exam: 7, QuizScore: 15}},
+		{"top student (hits the clamp)", course.StudentRecord{
+			TeamSize: 1, Assignment: [4]float64{10, 9, 11, 12},
+			Project: 10, Report: 10, MidtermTalk: 10, FinalTalk: 10,
+			Exam: 10, QuizScore: 70}},
+		{"struggling student", course.StudentRecord{
+			TeamSize: 4, Assignment: [4]float64{5, 4, 5, 6},
+			Project: 6, Report: 5, MidtermTalk: 6, FinalTalk: 6,
+			Exam: 4, QuizScore: 5}},
+	}
+	for _, p := range profiles {
+		g, err := p.rec.Grade()
+		if err != nil {
+			return err
+		}
+		verdict := "fail"
+		if course.Passed(g) {
+			verdict = "pass"
+		}
+		fmt.Printf("  %-45s G = %.2f (%s)\n", p.name, g, verdict)
+	}
+	return nil
+}
+
+// dataCSV emits the raw data artifacts (DATA-1 then DATA-2) as CSV, the
+// shape of the course repository's data/students.csv and data/metrics.csv.
+func dataCSV(bool) error {
+	fmt.Println("# DATA-1: data/students.csv")
+	if err := course.WriteStudentsCSV(os.Stdout, course.Students()); err != nil {
+		return err
+	}
+	fmt.Println("# DATA-2: data/metrics.csv")
+	return course.WriteMetricsCSV(os.Stdout)
+}
+
+// lessons prints Section 6 of the paper.
+func lessons(bool) error {
+	fmt.Println("Lessons learned (Section 6):")
+	for _, l := range course.Lessons() {
+		fmt.Printf("  %d. %s\n     %s\n", l.Number, l.Title, l.Essence)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "courseviz:", err)
+	os.Exit(1)
+}

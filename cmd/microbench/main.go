@@ -1,0 +1,52 @@
+// Command microbench runs the calibration microbenchmark battery (STREAM,
+// pointer-chase latency, peak-FLOPS ILP sweep) and prints the calibration
+// table plus the fitted machine model — the Assignment 2 calibration
+// workflow as a tool.
+//
+// Usage:
+//
+//	microbench            # full battery
+//	microbench -quick     # shrunk probes
+//	microbench -ilp       # also print the accumulator-count sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfeng/internal/machine"
+	"perfeng/internal/microbench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink every probe")
+		ilp   = flag.Bool("ilp", false, "print the ILP (accumulator) sweep")
+	)
+	flag.Parse()
+
+	cal, err := microbench.Calibrate(microbench.CalibrationConfig{Quick: *quick})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(cal.String())
+
+	if *ilp {
+		iters := 1 << 24
+		if *quick {
+			iters = 1 << 18
+		}
+		fmt.Println("\nILP sweep (independent multiply-add chains):")
+		for _, r := range microbench.ILPSweep(iters) {
+			fmt.Printf("  %d chains: %7.2f GFLOP/s\n", r.Accumulators, r.GFLOPS)
+		}
+	}
+
+	fitted := cal.FitCPU(machine.GenericLaptop())
+	fmt.Printf("\nfitted model: %s\n", fitted.Name)
+	fmt.Printf("  peak %.1f GFLOP/s (%.1f scalar), %.1f GB/s, ridge %.2f FLOP/B\n",
+		fitted.PeakGFLOPS(), fitted.ScalarPeakGFLOPS(),
+		fitted.MemBandwidthGBs(), fitted.RidgeAI())
+}

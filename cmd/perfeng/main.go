@@ -1,0 +1,112 @@
+// Command perfeng runs the full seven-stage performance-engineering
+// process on one of the built-in course kernels and prints the stage-7
+// report.
+//
+// Usage:
+//
+//	perfeng -app matmul -n 256 -workers 4 -machine laptop -speedup 2
+//	perfeng -app spmv -n 4000 -runtime 0.01
+//	perfeng -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfeng"
+	"perfeng/internal/metrics"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "matmul", "application kernel (see -list)")
+		n        = flag.Int("n", 256, "problem size")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		machine  = flag.String("machine", "laptop", "machine model: laptop | das5 | calibrate")
+		speedup  = flag.Float64("speedup", 0, "require speedup >= this over the baseline")
+		runtime_ = flag.Float64("runtime", 0, "require best runtime <= this many seconds")
+		fraction = flag.Float64("fraction", 0, "require achieved/attainable >= this fraction")
+		quick    = flag.Bool("quick", false, "fast measurement protocol")
+		list     = flag.Bool("list", false, "list built-in applications and exit")
+		csvPath  = flag.String("csv", "", "write per-variant measurement summaries to this CSV file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(perfeng.BuiltinApplications(), "\n"))
+		return
+	}
+
+	app, err := perfeng.BuiltinApplication(*appName, *n, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	cpu, err := pickMachine(*machine, *quick)
+	if err != nil {
+		fatal(err)
+	}
+
+	req := perfeng.Requirement{Kind: perfeng.SpeedupAtLeast, Target: 2}
+	switch {
+	case *speedup > 0:
+		req = perfeng.Requirement{Kind: perfeng.SpeedupAtLeast, Target: *speedup}
+	case *runtime_ > 0:
+		req = perfeng.Requirement{Kind: perfeng.RuntimeBelow, Target: *runtime_}
+	case *fraction > 0:
+		req = perfeng.Requirement{Kind: perfeng.FractionOfRoofline, Target: *fraction}
+	}
+
+	var e *perfeng.Engagement
+	if *quick {
+		e = perfeng.QuickEngagement(app, cpu, req)
+	} else {
+		e = perfeng.NewEngagement(app, cpu, req)
+	}
+	out, err := e.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out.Report.String())
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		ms := make([]*metrics.Measurement, 0, len(out.Variants))
+		for _, v := range out.Variants {
+			ms = append(ms, v.Measurement)
+		}
+		if err := metrics.WriteCSV(f, ms); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	if !out.Satisfied {
+		os.Exit(2)
+	}
+}
+
+func pickMachine(name string, quick bool) (perfeng.CPU, error) {
+	switch name {
+	case "laptop":
+		return perfeng.GenericLaptop(), nil
+	case "das5":
+		return perfeng.DAS5CPU(), nil
+	case "calibrate":
+		fmt.Fprintln(os.Stderr, "calibrating machine model from microbenchmarks...")
+		return perfeng.CalibrateMachine(perfeng.GenericLaptop(), quick)
+	default:
+		return perfeng.CPU{}, fmt.Errorf("unknown machine %q (laptop | das5 | calibrate)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfeng:", err)
+	os.Exit(1)
+}

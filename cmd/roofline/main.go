@@ -1,0 +1,83 @@
+// Command roofline prints the Roofline model of a machine, optionally
+// cache-aware, optionally with a built-in kernel's variants measured and
+// placed on it, and optionally written out as SVG — the Assignment 1
+// workflow as a tool.
+//
+// Usage:
+//
+//	roofline -machine das5
+//	roofline -machine laptop -cache-aware
+//	roofline -app matmul -n 256 -svg roofline.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfeng"
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+	"perfeng/internal/roofline"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "laptop", "machine model: laptop | das5 | das5gpu")
+		cacheAware  = flag.Bool("cache-aware", false, "add per-cache-level bandwidth ceilings")
+		appName     = flag.String("app", "", "optional: measure this built-in app's variants and place them")
+		n           = flag.Int("n", 256, "problem size for -app")
+		workers     = flag.Int("workers", 0, "workers for -app parallel variants")
+		svgPath     = flag.String("svg", "", "write an SVG plot to this path")
+	)
+	flag.Parse()
+
+	var model *roofline.Model
+	switch *machineName {
+	case "laptop":
+		model = pick(*cacheAware, machine.GenericLaptop())
+	case "das5":
+		model = pick(*cacheAware, machine.DAS5CPU())
+	case "das5gpu":
+		model = roofline.FromGPU(machine.DAS5TitanX())
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machineName))
+	}
+
+	var points []roofline.Point
+	if *appName != "" {
+		app, err := perfeng.BuiltinApplication(*appName, *n, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		runner := metrics.NewRunner(metrics.QuickConfig())
+		all := append([]perfeng.Variant{app.Baseline}, app.Candidates...)
+		for _, v := range all {
+			m := runner.Measure(v.Name, app.FLOPs, app.Bytes, v.Run)
+			points = append(points, roofline.PointFromMeasurement(m))
+		}
+	}
+
+	fmt.Print(model.Report(points))
+	fmt.Println()
+	fmt.Print(model.ASCIIPlot(points, 72, 20))
+
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(model.SVGPlot(points, 640, 420)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+}
+
+func pick(cacheAware bool, c machine.CPU) *roofline.Model {
+	if cacheAware {
+		return roofline.CacheAwareFromCPU(c)
+	}
+	return roofline.FromCPU(c)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "roofline:", err)
+	os.Exit(1)
+}

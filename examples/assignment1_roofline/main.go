@@ -1,0 +1,73 @@
+// Assignment 1: the Roofline model. Build the model for the machine,
+// measure sequential matmul, optimize it (loop reordering, tiling),
+// re-apply the model after each step, then add parallelism and watch both
+// the application point and the relevant ceiling move — "the goal is to
+// demonstrate how the model of both the system and the application change
+// when parallelism is added".
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"perfeng/internal/kernels"
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+	"perfeng/internal/roofline"
+)
+
+func main() {
+	cpu := machine.GenericLaptop()
+	model := roofline.FromCPU(cpu)
+	fmt.Printf("machine: %s\n", cpu.Name)
+	fmt.Printf("ridge point: %.2f FLOP/byte — kernels left of this are memory-bound\n\n",
+		model.Ridge())
+
+	n := 256
+	a := kernels.RandomDense(n, 1)
+	b := kernels.RandomDense(n, 2)
+	c := kernels.NewDense(n)
+	flops := kernels.MatMulFLOPs(n)
+	bytes := kernels.MatMulCompulsoryBytes(n)
+	runner := metrics.NewRunner(metrics.QuickConfig())
+
+	measure := func(name string, run func()) roofline.Point {
+		m := runner.Measure(name, flops, bytes, run)
+		p := roofline.PointFromMeasurement(m)
+		an := model.Analyze(p)
+		fmt.Printf("%-16s %10s  %7.2f GFLOP/s  %5.1f%% of attainable [%s]\n",
+			name, metrics.FormatSeconds(m.MedianSeconds()), p.GFLOPS,
+			an.Fraction*100, an.Bound)
+		fmt.Printf("  -> %s\n", an.Advice)
+		return p
+	}
+
+	fmt.Println("== sequential ladder ==")
+	points := []roofline.Point{
+		measure("naive-ijk", func() { kernels.MatMulNaive(a, b, c) }),
+		measure("reordered-ikj", func() { kernels.MatMulIKJ(a, b, c) }),
+		measure("tiled-64", func() { kernels.MatMulTiled(a, b, c, 64) }),
+	}
+
+	fmt.Println("\n== parallel version ==")
+	workers := runtime.GOMAXPROCS(0)
+	points = append(points,
+		measure(fmt.Sprintf("parallel-%dw", workers),
+			func() { kernels.MatMulParallel(a, b, c, workers) }))
+
+	// The "no SIMD" and "single core" ceilings explain where each version
+	// sits: sequential code is bounded by the single-core ceiling, the
+	// parallel version escapes it.
+	single, err := model.AttainableUnder(points[0].AI, "single core", "DRAM")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsingle-core ceiling at this AI: %.1f GFLOP/s "+
+		"(sequential versions cannot pass it; the parallel one can)\n", single)
+
+	fmt.Println()
+	fmt.Print(model.ASCIIPlot(points, 72, 18))
+	fmt.Println("\nfull report:")
+	fmt.Print(model.Report(points))
+}

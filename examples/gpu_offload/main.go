@@ -1,0 +1,97 @@
+// GPU offload example: the heterogeneous-systems story of Section 2.1 —
+// the GPU as "the accelerator device to the CPU host". Run a kernel on
+// the SIMT executor, compute its occupancy and coalescing-derated roofline
+// estimate, and answer the engineering question the lectures pose: is this
+// kernel worth offloading once PCIe transfers are counted?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfeng/internal/gpu"
+	"perfeng/internal/machine"
+)
+
+func main() {
+	host := machine.DAS5CPU()
+	devModel := machine.DAS5TitanX()
+	dev, err := gpu.NewDevice(devModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host: %s (%.0f GFLOP/s peak)\n", host.Name, host.PeakGFLOPS())
+	fmt.Printf("device: %s (%.0f GFLOP/s peak, %.0f GB/s)\n\n",
+		devModel.Name, devModel.PeakGFLOPS(), devModel.MemBandwidthGBs())
+
+	// Functional check on the SIMT executor: a block-shared reduction.
+	n := 1 << 18
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1
+	}
+	const block = 256
+	blocks := n / block
+	partial := make([]float64, blocks)
+	err = dev.Launch(gpu.Dim3{X: blocks, Y: 1, Z: 1}, gpu.Dim3{X: block, Y: 1, Z: 1}, 1,
+		func(b, tid gpu.Dim3, shared []float64) {
+			shared[0] += data[b.X*block+tid.X]
+			if tid.X == block-1 {
+				partial[b.X] = shared[0]
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	fmt.Printf("SIMT reduction over %d elements = %.0f (expected %d)\n\n", n, sum, n)
+
+	// Occupancy analysis for three launch configurations.
+	fmt.Println("occupancy (the CUDA-calculator logic):")
+	for _, cfg := range []struct {
+		threads, regs, shared int
+	}{
+		{256, 32, 0},
+		{256, 32, 48 << 10},
+		{1024, 64, 0},
+	} {
+		occ, err := gpu.ComputeOccupancy(devModel, cfg.threads, cfg.regs, cfg.shared)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d thr, %3d regs, %5d B shared: %3.0f%% occupancy (limited by %s)\n",
+			cfg.threads, cfg.regs, cfg.shared, occ.Fraction*100, occ.LimitedBy)
+	}
+
+	// Coalescing: the stride sweep.
+	fmt.Println("\ncoalescing efficiency (8-byte elements):")
+	for _, stride := range []int{1, 2, 4, 8, 16} {
+		fmt.Printf("  stride %2d: %5.1f%%\n", stride,
+			gpu.CoalescingEfficiency(devModel, stride, 8)*100)
+	}
+
+	// Offload break-even: SAXPY-class kernel (memory-bound, 2 FLOPs and
+	// 24 B per element).
+	fmt.Println("\noffload analysis (SAXPY-class kernel, counting PCIe):")
+	for _, elems := range []float64{1e5, 1e6, 1e7, 1e8} {
+		est, err := gpu.EstimateKernel(devModel, 2*elems, 24*elems, 256, 32, 0, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpuTime := 24 * elems / host.MemBandwidthBytesPerSec // host is memory-bound too
+		off := gpu.EstimateOffload(devModel, est, 16*elems, 8*elems, cpuTime)
+		verdict := "stay on host"
+		if off.Speedup > 1 {
+			verdict = "offload"
+		}
+		fmt.Printf("  n=%8.0g: host %8.2gs, offload %8.2gs (h2d %6.2gs kernel %6.2gs) -> %s\n",
+			elems, cpuTime, off.Total, off.H2D, off.Kernel, verdict)
+	}
+	be := gpu.BreakEvenFLOPs(devModel, host, 1e8)
+	fmt.Printf("\ncompute-bound break-even for 100 MB of transfers: %.2g FLOPs\n", be)
+	fmt.Println("lesson: memory-bound kernels rarely amortize PCIe — the device wins")
+	fmt.Println("on arithmetic intensity, not on raw bandwidth.")
+}

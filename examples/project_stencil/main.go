@@ -1,0 +1,70 @@
+// Project example: 2D stencil optimization — the most popular student
+// project in the course's history — run as a full seven-stage engagement,
+// the way the project milestones prescribe: define the application and a
+// performance problem, measure, model, optimize, assess, document.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"perfeng"
+	"perfeng/internal/kernels"
+)
+
+func main() {
+	// Milestone 1: application and performance problem. We iterate a
+	// 5-point Jacobi stencil on a 512^2 grid and require a 1.5x speedup
+	// over the sequential reference.
+	n, sweeps := 512, 10
+	workers := runtime.GOMAXPROCS(0)
+	grid := kernels.HotBoundaryGrid(n)
+
+	app := &perfeng.Application{
+		Name:  fmt.Sprintf("stencil-%dx%d", n, n),
+		FLOPs: kernels.StencilFLOPs(n, sweeps),
+		Bytes: kernels.StencilBytes(n) * float64(sweeps),
+		Baseline: perfeng.Variant{Name: "sequential", Run: func() {
+			kernels.StencilRun(grid, sweeps, 1)
+		}},
+		Candidates: []perfeng.Variant{
+			{Name: fmt.Sprintf("parallel-%dw", workers), Procs: workers,
+				Run: func() { kernels.StencilRun(grid, sweeps, workers) }},
+			{Name: "parallel-2w", Procs: 2,
+				Run: func() { kernels.StencilRun(grid, sweeps, 2) }},
+		},
+	}
+
+	// Milestone 2: the plan is the engagement itself — benchmarking,
+	// requirements, modeling, optimization, reflection are stages 1-7.
+	req := perfeng.Requirement{Kind: perfeng.SpeedupAtLeast, Target: 1.5}
+	out, err := perfeng.QuickEngagement(app, perfeng.GenericLaptop(), req).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Milestone 3: document the process.
+	fmt.Print(out.Report.String())
+
+	// Reflection (the part the graders actually care about): the stencil
+	// is memory-bound at AI ~0.3, so the model predicts thread scaling
+	// saturates at the bandwidth roof; check what we observed.
+	fmt.Println("reflection:")
+	fmt.Printf("  arithmetic intensity %.3f vs ridge %.2f -> %s\n",
+		out.Baseline.Analysis.Point.AI, out.Model.Ridge(), out.Baseline.Analysis.Bound)
+	for _, v := range out.Variants[1:] {
+		eff := v.Speedup / float64(max(1, v.Variant.Procs))
+		fmt.Printf("  %-14s speedup %.2fx with %d workers (parallel efficiency %.0f%%)\n",
+			v.Variant.Name, v.Speedup, v.Variant.Procs, eff*100)
+	}
+	fmt.Println("  a memory-bound kernel stops scaling once the bandwidth roof is hit —")
+	fmt.Println("  exactly what the roofline placement predicted before we parallelized.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+// Quickstart: measure a kernel, place it on the Roofline, run the full
+// seven-stage process — the one-page introduction to the toolbox.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfeng"
+)
+
+func main() {
+	// 1. Pick an application: the classic Assignment 1 matrix multiply
+	//    with its optimization ladder (naive -> reordered -> tiled ->
+	//    parallel).
+	app, err := perfeng.BuiltinApplication("matmul", 192, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pick a machine model and a requirement. GenericLaptop keeps the
+	//    printed model identical everywhere; swap in DAS5CPU() or
+	//    CalibrateMachine() for real engagements.
+	cpu := perfeng.GenericLaptop()
+	req := perfeng.Requirement{Kind: perfeng.SpeedupAtLeast, Target: 2}
+
+	// 3. Run the seven-stage performance-engineering process.
+	out, err := perfeng.QuickEngagement(app, cpu, req).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The stage-7 report carries everything: requirement, baseline,
+	//    feasibility verdict, advice, the variant table, and the roofline.
+	fmt.Print(out.Report.String())
+
+	fmt.Printf("\nbest variant: %s (%.2fx); requirement met: %v\n",
+		out.Best.Variant.Name, out.Best.Speedup, out.Satisfied)
+}

@@ -1,0 +1,3 @@
+module perfeng
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package analytic implements the analytical performance models of
+// Assignment 2 at the three granularities students explore — function
+// level (asymptotic work times a calibrated cost), loop level (the
+// compute/bandwidth bound model and a simplified ECM), and instruction
+// level (port/latency analysis via simulator/ports) — together with the
+// calibration and validation machinery ("calibrate these models using
+// microbenchmarking, and evaluate the models against measured performance
+// data").
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"perfeng/internal/linalg"
+	"perfeng/internal/machine"
+)
+
+// Model predicts the runtime in seconds of a kernel configuration
+// identified by a size parameter n (problem size; the meaning is
+// model-specific).
+type Model interface {
+	Name() string
+	// PredictSeconds returns the predicted runtime for problem size n.
+	PredictSeconds(n float64) (float64, error)
+}
+
+// FunctionModel is the coarsest granularity: T(n) = overhead + cost * W(n),
+// with W the asymptotic work function (e.g. n^3 for matmul) and the two
+// constants calibrated from measurements.
+type FunctionModel struct {
+	ModelName string
+	// Work maps problem size to abstract work units.
+	Work func(n float64) float64
+	// Overhead and CostPerUnit are the calibrated constants (seconds and
+	// seconds/unit).
+	Overhead    float64
+	CostPerUnit float64
+}
+
+// Name implements Model.
+func (m *FunctionModel) Name() string { return m.ModelName }
+
+// PredictSeconds implements Model.
+func (m *FunctionModel) PredictSeconds(n float64) (float64, error) {
+	if m.Work == nil {
+		return 0, errors.New("analytic: FunctionModel without work function")
+	}
+	return m.Overhead + m.CostPerUnit*m.Work(n), nil
+}
+
+// CalibrationPoint is one (size, measured seconds) observation.
+type CalibrationPoint struct {
+	N       float64
+	Seconds float64
+}
+
+// Calibrate fits Overhead and CostPerUnit by least squares over the given
+// observations. At least two points with distinct work values are needed.
+func (m *FunctionModel) Calibrate(points []CalibrationPoint) error {
+	if m.Work == nil {
+		return errors.New("analytic: FunctionModel without work function")
+	}
+	if len(points) < 2 {
+		return errors.New("analytic: calibration needs at least two points")
+	}
+	a := linalg.NewMatrix(len(points), 2)
+	b := make([]float64, len(points))
+	for i, p := range points {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, m.Work(p.N))
+		b[i] = p.Seconds
+	}
+	x, err := linalg.SolveLeastSquares(a, b)
+	if err != nil {
+		return fmt.Errorf("analytic: calibration failed: %w", err)
+	}
+	m.Overhead, m.CostPerUnit = x[0], x[1]
+	if m.CostPerUnit < 0 {
+		// A negative marginal cost means the work function does not
+		// describe the data; report rather than silently extrapolate.
+		return fmt.Errorf("analytic: calibration produced negative cost %g (wrong work function?)", m.CostPerUnit)
+	}
+	return nil
+}
+
+// BoundModel is the loop-level granularity: the kernel is characterized by
+// FLOPs(n) and Bytes(n); the prediction is the roofline bound
+// T = max(FLOPs/peak, Bytes/bandwidth) with an optional efficiency factor
+// for how close real code gets to the roofs.
+type BoundModel struct {
+	ModelName string
+	FLOPs     func(n float64) float64
+	Bytes     func(n float64) float64
+	// PeakFLOPS and BandwidthBytes are absolute rates (FLOP/s, B/s),
+	// typically from a calibrated machine model.
+	PeakFLOPS      float64
+	BandwidthBytes float64
+	// Efficiency in (0, 1] derates both roofs (1 = ideal). Zero means 1.
+	Efficiency float64
+}
+
+// FromCPU fills the machine rates from a CPU model.
+func (m *BoundModel) FromCPU(c machine.CPU) *BoundModel {
+	m.PeakFLOPS = c.PeakGFLOPS() * 1e9
+	m.BandwidthBytes = c.MemBandwidthBytesPerSec
+	return m
+}
+
+// Name implements Model.
+func (m *BoundModel) Name() string { return m.ModelName }
+
+// PredictSeconds implements Model.
+func (m *BoundModel) PredictSeconds(n float64) (float64, error) {
+	if m.FLOPs == nil || m.Bytes == nil {
+		return 0, errors.New("analytic: BoundModel without characterization")
+	}
+	if m.PeakFLOPS <= 0 || m.BandwidthBytes <= 0 {
+		return 0, errors.New("analytic: BoundModel without machine rates")
+	}
+	eff := m.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	tc := m.FLOPs(n) / (m.PeakFLOPS * eff)
+	tm := m.Bytes(n) / (m.BandwidthBytes * eff)
+	return math.Max(tc, tm), nil
+}
+
+// CalibrateEfficiency fits the single Efficiency scalar from measured
+// points by least squares on log-time (the multiplicative-error fit):
+// eff = exp(mean(log(T_ideal/T_measured))). Points whose ideal prediction
+// is non-positive are rejected.
+func (m *BoundModel) CalibrateEfficiency(points []CalibrationPoint) error {
+	if len(points) == 0 {
+		return errors.New("analytic: no calibration points")
+	}
+	saved := m.Efficiency
+	m.Efficiency = 1
+	var logSum float64
+	for _, p := range points {
+		ideal, err := m.PredictSeconds(p.N)
+		if err != nil {
+			m.Efficiency = saved
+			return err
+		}
+		if ideal <= 0 || p.Seconds <= 0 {
+			m.Efficiency = saved
+			return errors.New("analytic: non-positive time in calibration")
+		}
+		logSum += math.Log(ideal / p.Seconds)
+	}
+	eff := math.Exp(logSum / float64(len(points)))
+	if eff > 1 {
+		// Measurements faster than the ideal bound indicate a wrong
+		// characterization; clamp and keep the model honest at 1.
+		eff = 1
+	}
+	m.Efficiency = eff
+	return nil
+}
+
+// BoundOf reports which resource limits the prediction at size n.
+func (m *BoundModel) BoundOf(n float64) string {
+	tc := m.FLOPs(n) / m.PeakFLOPS
+	tm := m.Bytes(n) / m.BandwidthBytes
+	if tm > tc {
+		return "memory"
+	}
+	return "compute"
+}
+
+// Validation quantifies prediction error against measurements.
+type Validation struct {
+	Model string
+	// Points holds (n, predicted, measured, relative error).
+	Points []ValidationPoint
+	// MAPE is the mean absolute percentage error.
+	MAPE float64
+	// MaxAPE is the worst absolute percentage error.
+	MaxAPE float64
+}
+
+// ValidationPoint is one prediction/measurement pair.
+type ValidationPoint struct {
+	N         float64
+	Predicted float64
+	Measured  float64
+	APE       float64 // |pred-meas|/meas
+}
+
+// Validate evaluates the model at every measured point.
+func Validate(m Model, points []CalibrationPoint) (*Validation, error) {
+	if len(points) == 0 {
+		return nil, errors.New("analytic: no validation points")
+	}
+	v := &Validation{Model: m.Name()}
+	var sum float64
+	for _, p := range points {
+		pred, err := m.PredictSeconds(p.N)
+		if err != nil {
+			return nil, err
+		}
+		ape := math.Abs(pred-p.Seconds) / p.Seconds
+		v.Points = append(v.Points, ValidationPoint{
+			N: p.N, Predicted: pred, Measured: p.Seconds, APE: ape})
+		sum += ape
+		if ape > v.MaxAPE {
+			v.MaxAPE = ape
+		}
+	}
+	v.MAPE = sum / float64(len(points))
+	return v, nil
+}
+
+// String renders the validation table.
+func (v *Validation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "model %s: MAPE %.1f%%, max APE %.1f%%\n", v.Model, v.MAPE*100, v.MaxAPE*100)
+	for _, p := range v.Points {
+		fmt.Fprintf(&sb, "  n=%-10g predicted %-12.4g measured %-12.4g err %5.1f%%\n",
+			p.N, p.Predicted, p.Measured, p.APE*100)
+	}
+	return sb.String()
+}
+
+// Compare validates several models on the same data and returns them
+// ordered by MAPE (best first) — the model shoot-out of Assignments 2/3.
+func Compare(models []Model, points []CalibrationPoint) ([]*Validation, error) {
+	out := make([]*Validation, 0, len(models))
+	for _, m := range models {
+		v, err := Validate(m, points)
+		if err != nil {
+			return nil, fmt.Errorf("analytic: validating %s: %w", m.Name(), err)
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAPE < out[j].MAPE })
+	return out, nil
+}

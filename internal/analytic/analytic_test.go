@@ -1,0 +1,418 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfeng/internal/isa"
+	"perfeng/internal/machine"
+)
+
+func cube(n float64) float64 { return n * n * n }
+
+func TestFunctionModelCalibrateExact(t *testing.T) {
+	// Synthetic data from T = 1e-3 + 2e-9 * n^3 must be recovered exactly.
+	m := &FunctionModel{ModelName: "matmul-fn", Work: cube}
+	var pts []CalibrationPoint
+	for _, n := range []float64{64, 128, 256, 512} {
+		pts = append(pts, CalibrationPoint{N: n, Seconds: 1e-3 + 2e-9*cube(n)})
+	}
+	if err := m.Calibrate(pts); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Overhead-1e-3) > 1e-9 || math.Abs(m.CostPerUnit-2e-9) > 1e-15 {
+		t.Fatalf("calibrated %v + %v*W", m.Overhead, m.CostPerUnit)
+	}
+	pred, err := m.PredictSeconds(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + 2e-9*cube(1024)
+	if math.Abs(pred-want) > 1e-9*want {
+		t.Fatalf("prediction %v, want %v", pred, want)
+	}
+}
+
+func TestFunctionModelCalibrationErrors(t *testing.T) {
+	m := &FunctionModel{ModelName: "x", Work: cube}
+	if err := m.Calibrate([]CalibrationPoint{{1, 1}}); err == nil {
+		t.Fatal("one point must fail")
+	}
+	noWork := &FunctionModel{ModelName: "y"}
+	if err := noWork.Calibrate([]CalibrationPoint{{1, 1}, {2, 2}}); err == nil {
+		t.Fatal("missing work fn must fail")
+	}
+	if _, err := noWork.PredictSeconds(4); err == nil {
+		t.Fatal("predict without work fn must fail")
+	}
+	// Decreasing time with increasing work -> negative cost -> error.
+	bad := &FunctionModel{ModelName: "z", Work: cube}
+	if err := bad.Calibrate([]CalibrationPoint{{10, 5}, {20, 1}}); err == nil {
+		t.Fatal("negative cost must be reported")
+	}
+}
+
+func TestBoundModel(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	m := (&BoundModel{
+		ModelName: "matmul-bound",
+		FLOPs:     func(n float64) float64 { return 2 * n * n * n },
+		Bytes:     func(n float64) float64 { return 3 * n * n * 8 },
+	}).FromCPU(cpu)
+	// Large n: compute-bound (AI grows with n).
+	if m.BoundOf(1024) != "compute" {
+		t.Fatal("large matmul should be compute-bound")
+	}
+	// Tiny n with this characterization: memory-bound.
+	if m.BoundOf(2) != "memory" {
+		t.Fatal("tiny matmul should be memory-bound")
+	}
+	pred, err := m.PredictSeconds(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompute := 2 * 512.0 * 512 * 512 / (cpu.PeakGFLOPS() * 1e9)
+	if math.Abs(pred-wantCompute) > 1e-12 {
+		t.Fatalf("prediction %v, want %v", pred, wantCompute)
+	}
+	// Efficiency derating raises the prediction.
+	m.Efficiency = 0.5
+	pred2, _ := m.PredictSeconds(512)
+	if math.Abs(pred2-2*pred) > 1e-12 {
+		t.Fatalf("derated prediction %v, want %v", pred2, 2*pred)
+	}
+}
+
+func TestBoundModelErrors(t *testing.T) {
+	m := &BoundModel{ModelName: "x"}
+	if _, err := m.PredictSeconds(4); err == nil {
+		t.Fatal("missing characterization must fail")
+	}
+	m.FLOPs = func(n float64) float64 { return n }
+	m.Bytes = func(n float64) float64 { return n }
+	if _, err := m.PredictSeconds(4); err == nil {
+		t.Fatal("missing machine rates must fail")
+	}
+}
+
+func TestValidateAndCompare(t *testing.T) {
+	m := &FunctionModel{ModelName: "exact", Work: cube, CostPerUnit: 1e-9}
+	pts := []CalibrationPoint{
+		{N: 10, Seconds: 1e-6},
+		{N: 100, Seconds: 1e-3},
+	}
+	v, err := Validate(m, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MAPE > 1e-12 || v.MaxAPE > 1e-12 {
+		t.Fatalf("exact model should have ~zero error: %+v", v)
+	}
+	if !strings.Contains(v.String(), "MAPE") {
+		t.Fatal("String incomplete")
+	}
+
+	worse := &FunctionModel{ModelName: "biased", Work: cube, CostPerUnit: 2e-9}
+	ranked, err := Compare([]Model{worse, m}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Model != "exact" {
+		t.Fatalf("ranking wrong: %v first", ranked[0].Model)
+	}
+	if _, err := Validate(m, nil); err == nil {
+		t.Fatal("empty points must fail")
+	}
+}
+
+func TestECMFromStreamsTriad(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	// Triad: 3 streams + write-allocate = 4 effective; core 4 cy/line.
+	e, err := ECMFromStreams("triad-ecm", cpu, 3, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IterationsPerLine != 8 {
+		t.Fatalf("iters/line = %v", e.IterationsPerLine)
+	}
+	if len(e.TransferCyclesPerLine) != 3 {
+		t.Fatalf("transfer terms = %d", len(e.TransferCyclesPerLine))
+	}
+	// Transfers must dominate the 4-cycle core time: memory-bound kernel.
+	if e.CyclesPerLine() <= e.CoreCyclesPerLine {
+		t.Fatal("triad should be data-dominated")
+	}
+	// Saturation well below the 8 cores of the DAS-5 socket.
+	if s := e.SaturationCores(); s <= 0 || s >= 8 {
+		t.Fatalf("saturation cores = %v, want in (0, 8)", s)
+	}
+	if !strings.Contains(e.String(), "cy/line") {
+		t.Fatal("String incomplete")
+	}
+}
+
+func TestECMScaling(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	e, err := ECMFromStreams("triad-ecm", cpu, 3, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := e.SecondsForIterations(1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := e.SecondsForIterations(1<<20, 2)
+	t8, _ := e.SecondsForIterations(1<<20, 8)
+	if t2 >= t1 {
+		t.Fatal("2 cores should be faster than 1")
+	}
+	// Past saturation, more cores stop helping: t8 should be well above
+	// the linear extrapolation t1/8.
+	if t8 < t1/8*1.5 {
+		t.Fatalf("t8 = %v suggests linear scaling past saturation (t1=%v)", t8, t1)
+	}
+	// PredictSeconds is the single-core path.
+	p, err := e.PredictSeconds(1 << 20)
+	if err != nil || p != t1 {
+		t.Fatalf("PredictSeconds = %v, want %v", p, t1)
+	}
+}
+
+func TestECMComputeBoundKernelNeverSaturates(t *testing.T) {
+	e := &ECM{ModelName: "compute", CoreCyclesPerLine: 100,
+		FreqHz: 2e9, IterationsPerLine: 8}
+	if !math.IsInf(e.SaturationCores(), 1) {
+		t.Fatal("kernel without memory traffic never saturates")
+	}
+	t1, err := e.SecondsForIterations(1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, _ := e.SecondsForIterations(1e6, 4)
+	if math.Abs(t4-t1/4) > 1e-12*t1 {
+		t.Fatal("compute-bound kernel should scale linearly")
+	}
+}
+
+func TestECMErrors(t *testing.T) {
+	e := &ECM{ModelName: "bad"}
+	if _, err := e.SecondsForIterations(100, 1); err == nil {
+		t.Fatal("missing geometry must fail")
+	}
+	if _, err := ECMFromStreams("x", machine.CPU{}, 3, false, 1); err == nil {
+		t.Fatal("cacheless CPU must fail")
+	}
+}
+
+func TestInstrModel(t *testing.T) {
+	m := &InstrModel{
+		ModelName: "dot-instr",
+		Kernel:    isa.DotProductKernel(),
+		Table:     isa.Haswell(),
+		FreqHz:    2.4e9,
+	}
+	// Dot product: 5 cycles/iter latency bound; 1e6 iterations.
+	pred, err := m.PredictSeconds(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e6 * 5 / 2.4e9
+	if math.Abs(pred-want) > 0.02*want {
+		t.Fatalf("prediction %v, want ~%v", pred, want)
+	}
+	// Second call reuses the cached analysis.
+	if _, err := m.PredictSeconds(10); err != nil {
+		t.Fatal(err)
+	}
+	// IterationsOf mapping.
+	m2 := &InstrModel{ModelName: "x", Kernel: isa.DotProductKernel(),
+		Table: isa.Haswell(), FreqHz: 1e9,
+		IterationsOf: func(n float64) float64 { return n * n }}
+	p4, _ := m2.PredictSeconds(2)
+	p1, _ := m2.PredictSeconds(1)
+	if math.Abs(p4-4*p1) > 1e-12 {
+		t.Fatal("IterationsOf not applied")
+	}
+}
+
+func TestInstrModelErrors(t *testing.T) {
+	if _, err := (&InstrModel{ModelName: "x", FreqHz: 1e9}).PredictSeconds(1); err == nil {
+		t.Fatal("missing kernel must fail")
+	}
+	if _, err := (&InstrModel{ModelName: "x", Kernel: isa.DotProductKernel(),
+		Table: isa.Haswell()}).PredictSeconds(1); err == nil {
+		t.Fatal("missing frequency must fail")
+	}
+}
+
+// Property: FunctionModel calibration recovers planted coefficients from
+// noise-free data for random positive constants.
+func TestQuickCalibrationRecovery(t *testing.T) {
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 10)) + 0.01
+		b := math.Abs(math.Mod(bRaw, 1e-6)) + 1e-12
+		m := &FunctionModel{ModelName: "q", Work: cube}
+		var pts []CalibrationPoint
+		for _, n := range []float64{8, 16, 32, 64} {
+			pts = append(pts, CalibrationPoint{N: n, Seconds: a + b*cube(n)})
+		}
+		if err := m.Calibrate(pts); err != nil {
+			return false
+		}
+		return math.Abs(m.Overhead-a) < 1e-6*a+1e-12 &&
+			math.Abs(m.CostPerUnit-b) < 1e-6*b+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateEfficiency(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	m := (&BoundModel{
+		ModelName: "mm",
+		FLOPs:     func(n float64) float64 { return 2 * n * n * n },
+		Bytes:     func(n float64) float64 { return 3 * n * n * 8 },
+	}).FromCPU(cpu)
+	// Synthetic measurements at exactly 25% of the ideal bound.
+	var pts []CalibrationPoint
+	for _, n := range []float64{128, 256, 512} {
+		ideal, err := m.PredictSeconds(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, CalibrationPoint{N: n, Seconds: ideal * 4})
+	}
+	if err := m.CalibrateEfficiency(pts); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Efficiency-0.25) > 1e-9 {
+		t.Fatalf("efficiency = %v, want 0.25", m.Efficiency)
+	}
+	// The calibrated model now predicts the measurements exactly.
+	v, err := Validate(m, pts)
+	if err != nil || v.MAPE > 1e-9 {
+		t.Fatalf("calibrated MAPE = %v, %v", v, err)
+	}
+	// Faster-than-ideal measurements clamp to 1.
+	fast := []CalibrationPoint{{N: 128, Seconds: 1e-12}}
+	if err := m.CalibrateEfficiency(fast); err != nil {
+		t.Fatal(err)
+	}
+	if m.Efficiency != 1 {
+		t.Fatalf("efficiency should clamp to 1, got %v", m.Efficiency)
+	}
+	if err := m.CalibrateEfficiency(nil); err == nil {
+		t.Fatal("empty calibration must fail")
+	}
+	if err := m.CalibrateEfficiency([]CalibrationPoint{{N: 1, Seconds: -1}}); err == nil {
+		t.Fatal("negative time must fail")
+	}
+}
+
+func TestZen2VsHaswellOnDotProduct(t *testing.T) {
+	// Cross-table comparison: the dot product is latency-bound on both
+	// (5-cycle FMA), so the tables agree — the port structure only
+	// matters for throughput-bound bodies.
+	hw := &InstrModel{ModelName: "hw", Kernel: isa.DotProductKernel(),
+		Table: isa.Haswell(), FreqHz: 1e9}
+	zen := &InstrModel{ModelName: "zen", Kernel: isa.DotProductKernel(),
+		Table: isa.Zen2(), FreqHz: 1e9}
+	ph, err := hw.PredictSeconds(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz, err := zen.PredictSeconds(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ph-pz) > 0.02*ph {
+		t.Fatalf("latency-bound kernel should time equally: %v vs %v", ph, pz)
+	}
+}
+
+func TestWorkSpanBasics(t *testing.T) {
+	w := WorkSpan{Name: "x", Work: 100, Span: 10}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Parallelism() != 10 {
+		t.Fatalf("parallelism = %v", w.Parallelism())
+	}
+	// Brent: p=1 gives W; p=inf approaches S.
+	b1, err := w.BrentBound(1)
+	if err != nil || b1 != 100 {
+		t.Fatalf("BrentBound(1) = %v, %v", b1, err)
+	}
+	bBig, _ := w.BrentBound(1 << 20)
+	if math.Abs(bBig-10) > 0.01 {
+		t.Fatalf("BrentBound(inf) = %v, want ~10", bBig)
+	}
+	// Speedup bound is monotone in p and capped by parallelism.
+	prev := 0.0
+	for _, p := range []int{1, 2, 4, 8, 1024} {
+		s, err := w.SpeedupBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev || s > w.Parallelism()+1e-9 {
+			t.Fatalf("speedup bound %v at p=%d (prev %v)", s, p, prev)
+		}
+		prev = s
+	}
+	if !strings.Contains(w.String(), "parallelism") {
+		t.Fatal("String incomplete")
+	}
+}
+
+func TestWorkSpanErrors(t *testing.T) {
+	bad := WorkSpan{Work: 1, Span: 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("W < S must fail")
+	}
+	if _, err := bad.BrentBound(2); err == nil {
+		t.Fatal("invalid work-span must fail")
+	}
+	good := WorkSpan{Work: 10, Span: 1}
+	if _, err := good.BrentBound(0); err == nil {
+		t.Fatal("p=0 must fail")
+	}
+	if _, err := good.PredictSeconds(2); err == nil {
+		t.Fatal("missing OpSeconds must fail")
+	}
+	good.OpSeconds = 1e-9
+	sec, err := good.PredictSeconds(2)
+	if err != nil || math.Abs(sec-(1+9.0/2)*1e-9) > 1e-18 {
+		t.Fatalf("PredictSeconds = %v, %v", sec, err)
+	}
+}
+
+func TestCanonicalWorkSpans(t *testing.T) {
+	mm := MatMulWorkSpan(512)
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Matmul parallelism n^2: enormous — compute scales to any machine.
+	if mm.Parallelism() != 512*512 {
+		t.Fatalf("matmul parallelism = %v", mm.Parallelism())
+	}
+	red := ReduceWorkSpan(1024)
+	if red.Span != 10 {
+		t.Fatalf("reduce span = %v, want log2(1024)=10", red.Span)
+	}
+	if ReduceWorkSpan(1).Work != 1 {
+		t.Fatal("degenerate reduce wrong")
+	}
+	st := StencilSweepWorkSpan(100)
+	if st.Span != 5 || st.Work != 5*100*100 {
+		t.Fatalf("stencil workspan = %+v", st)
+	}
+	// Brent's bound at p = parallelism gives ~2x the span (the classic
+	// "within a factor of two of optimal" statement).
+	b, _ := red.BrentBound(int(red.Parallelism()))
+	if b > 2*red.Span+1 {
+		t.Fatalf("Brent at p=parallelism = %v, want <= ~2*span", b)
+	}
+}

@@ -1,0 +1,155 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"perfeng/internal/machine"
+)
+
+// Simplified Execution-Cache-Memory (ECM) model (Hager/Wellein school; the
+// course cites its application to ODE methods [Seiferth et al. 2018]). The
+// unit of work is one cache line of loop iterations (8 doubles). The model
+// composes:
+//
+//	T_core  — in-core execution cycles per line (from the port model or a
+//	          hand count),
+//	T_data  — data-transfer cycles per line through each memory level,
+//	          summed non-overlapping (the conservative ECM variant),
+//	T_line  = max(T_core, T_data)    per line, single core,
+//	T(p)    = min-scaling: p cores scale until the memory roof saturates.
+type ECM struct {
+	ModelName string
+	// CoreCyclesPerLine is the in-core execution time per cache line of
+	// iterations.
+	CoreCyclesPerLine float64
+	// TransferCyclesPerLine holds the per-level transfer contributions
+	// (L1<-L2, L2<-L3, L3<-Mem ...), in cycles per line, in hierarchy
+	// order.
+	TransferCyclesPerLine []float64
+	// FreqHz converts cycles to seconds.
+	FreqHz float64
+	// IterationsPerLine is the loop iterations covered by one line
+	// (8 for unit-stride double streams).
+	IterationsPerLine float64
+	// MemBandwidthBytesPerSec caps multi-core scaling.
+	MemBandwidthBytesPerSec float64
+	// BytesPerLine is the memory traffic per line (for the saturation
+	// point).
+	BytesPerLine float64
+}
+
+// Name implements Model (per-size predictions use SecondsForIterations).
+func (e *ECM) Name() string { return e.ModelName }
+
+// CyclesPerLine returns the single-core ECM prediction per cache line.
+func (e *ECM) CyclesPerLine() float64 {
+	var data float64
+	for _, t := range e.TransferCyclesPerLine {
+		data += t
+	}
+	return math.Max(e.CoreCyclesPerLine, data)
+}
+
+// PredictSeconds implements Model: n is the iteration count.
+func (e *ECM) PredictSeconds(n float64) (float64, error) {
+	return e.SecondsForIterations(n, 1)
+}
+
+// SecondsForIterations predicts the runtime of iters loop iterations on
+// cores cores.
+func (e *ECM) SecondsForIterations(iters float64, cores int) (float64, error) {
+	if e.FreqHz <= 0 || e.IterationsPerLine <= 0 {
+		return 0, errors.New("analytic: ECM missing frequency or line geometry")
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	lines := iters / e.IterationsPerLine
+	cyc := e.CyclesPerLine()
+	singleCoreSec := lines * cyc / e.FreqHz
+
+	// Multi-core: performance scales linearly until the aggregate memory
+	// bandwidth saturates (the ECM scaling law).
+	perf := float64(cores)
+	if e.MemBandwidthBytesPerSec > 0 && e.BytesPerLine > 0 {
+		// Single-core memory demand in B/s.
+		singleDemand := e.BytesPerLine / (cyc / e.FreqHz)
+		maxCores := e.MemBandwidthBytesPerSec / singleDemand
+		perf = math.Min(perf, math.Max(1, maxCores))
+	}
+	return singleCoreSec / perf, nil
+}
+
+// SaturationCores returns the core count at which the kernel saturates
+// memory bandwidth (the "ns" of the ECM papers); +Inf when the kernel never
+// saturates (no memory traffic declared).
+func (e *ECM) SaturationCores() float64 {
+	if e.MemBandwidthBytesPerSec <= 0 || e.BytesPerLine <= 0 || e.FreqHz <= 0 {
+		return math.Inf(1)
+	}
+	cyc := e.CyclesPerLine()
+	singleDemand := e.BytesPerLine / (cyc / e.FreqHz)
+	return e.MemBandwidthBytesPerSec / singleDemand
+}
+
+// String renders the ECM contribution breakdown in the customary
+// "{Tcore | T_L1L2 | T_L2L3 | T_L3Mem}" notation.
+func (e *ECM) String() string {
+	parts := make([]string, 0, len(e.TransferCyclesPerLine)+1)
+	parts = append(parts, fmt.Sprintf("%.1f", e.CoreCyclesPerLine))
+	for _, t := range e.TransferCyclesPerLine {
+		parts = append(parts, fmt.Sprintf("%.1f", t))
+	}
+	return fmt.Sprintf("%s = {%s} cy/line -> %.1f cy/line, saturates at %.1f cores",
+		e.ModelName, strings.Join(parts, " | "), e.CyclesPerLine(), e.SaturationCores())
+}
+
+// ECMFromStreams builds the ECM transfer terms for a streaming kernel on
+// the given CPU model: for each memory level crossed, the cycles to move
+// the streams' lines at that level's bandwidth.
+//
+// streams is the number of 8-byte streams the loop touches per iteration
+// (e.g. triad: 3 — two loads + one store counted once each; write-allocate
+// adds one extra read stream for the stored array when writeAllocate is
+// true). coreCycles is the in-core execution per line (from ports.Analyze:
+// cycles/iter * IterationsPerLine).
+func ECMFromStreams(name string, c machine.CPU, streams int, writeAllocate bool, coreCyclesPerLine float64) (*ECM, error) {
+	if len(c.Caches) == 0 {
+		return nil, errors.New("analytic: CPU model has no caches")
+	}
+	line := float64(c.Caches[0].LineBytes)
+	eff := float64(streams)
+	if writeAllocate {
+		eff++ // the store stream is read once more for the allocate
+	}
+	bytesPerLineOfWork := eff * line
+
+	e := &ECM{
+		ModelName:               name,
+		CoreCyclesPerLine:       coreCyclesPerLine,
+		FreqHz:                  c.FreqHz,
+		IterationsPerLine:       line / 8,
+		MemBandwidthBytesPerSec: c.MemBandwidthBytesPerSec,
+		BytesPerLine:            bytesPerLineOfWork,
+	}
+	// Transfers between adjacent levels: each stream's line moves through
+	// every level once (fully cache-cold streaming).
+	for i := range c.Caches {
+		var bwBytesPerCycle float64
+		if i+1 < len(c.Caches) {
+			bwBytesPerCycle = c.Caches[i+1].BandwidthBytesPerCycle
+		} else {
+			// Last level <- memory at DRAM bandwidth.
+			bwBytesPerCycle = c.MemBandwidthBytesPerSec / c.FreqHz
+		}
+		if bwBytesPerCycle <= 0 {
+			return nil, fmt.Errorf("analytic: level %d has no bandwidth", i)
+		}
+		e.TransferCyclesPerLine = append(e.TransferCyclesPerLine,
+			bytesPerLineOfWork/bwBytesPerCycle)
+	}
+	return e, nil
+}

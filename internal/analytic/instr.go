@@ -1,0 +1,58 @@
+package analytic
+
+import (
+	"errors"
+
+	"perfeng/internal/isa"
+	"perfeng/internal/simulator/ports"
+)
+
+// InstrModel is the finest granularity of Assignment 2: runtime predicted
+// from the loop body's port/latency analysis (the OSACA/IACA level). n is
+// interpreted as the loop trip count.
+type InstrModel struct {
+	ModelName string
+	Kernel    *isa.Kernel
+	Table     *isa.Table
+	FreqHz    float64
+	// IterationsOf maps problem size n to loop iterations (identity when
+	// nil).
+	IterationsOf func(n float64) float64
+
+	result *ports.Result
+}
+
+// Name implements Model.
+func (m *InstrModel) Name() string { return m.ModelName }
+
+// Analyze runs the port analysis once; PredictSeconds calls it lazily.
+func (m *InstrModel) Analyze() (*ports.Result, error) {
+	if m.result != nil {
+		return m.result, nil
+	}
+	if m.Kernel == nil || m.Table == nil {
+		return nil, errors.New("analytic: InstrModel missing kernel or table")
+	}
+	r, err := ports.Analyze(m.Kernel, m.Table, 0)
+	if err != nil {
+		return nil, err
+	}
+	m.result = r
+	return r, nil
+}
+
+// PredictSeconds implements Model.
+func (m *InstrModel) PredictSeconds(n float64) (float64, error) {
+	if m.FreqHz <= 0 {
+		return 0, errors.New("analytic: InstrModel missing frequency")
+	}
+	r, err := m.Analyze()
+	if err != nil {
+		return 0, err
+	}
+	iters := n
+	if m.IterationsOf != nil {
+		iters = m.IterationsOf(n)
+	}
+	return iters * r.Predicted / m.FreqHz, nil
+}

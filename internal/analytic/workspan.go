@@ -1,0 +1,105 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Work-span analysis (Brent's theorem): the DAG model of parallel
+// computation taught alongside Amdahl in the parallel-algorithms
+// prerequisite. Work W is the total operation count, span S the critical
+// path; parallelism W/S bounds achievable speedup and Brent's bound
+// T_p <= S + (W-S)/p predicts runtime on p processors.
+
+// WorkSpan characterizes a parallel computation.
+type WorkSpan struct {
+	Name string
+	// Work is the total operations (T_1).
+	Work float64
+	// Span is the critical-path operations (T_inf).
+	Span float64
+	// OpSeconds converts operations to seconds (calibrated cost per op);
+	// zero means results are reported in abstract operations.
+	OpSeconds float64
+}
+
+// Validate checks W >= S > 0.
+func (w WorkSpan) Validate() error {
+	if w.Span <= 0 || w.Work <= 0 {
+		return errors.New("analytic: work and span must be positive")
+	}
+	if w.Work < w.Span {
+		return errors.New("analytic: work cannot be below span")
+	}
+	return nil
+}
+
+// Parallelism returns W/S, the maximum useful processor count.
+func (w WorkSpan) Parallelism() float64 { return w.Work / w.Span }
+
+// BrentBound returns the operations executed on the critical schedule for
+// p processors: S + (W-S)/p.
+func (w WorkSpan) BrentBound(p int) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if p < 1 {
+		return 0, errors.New("analytic: need p >= 1")
+	}
+	return w.Span + (w.Work-w.Span)/float64(p), nil
+}
+
+// SpeedupBound returns the Brent speedup prediction T_1/T_p for p
+// processors; it approaches Parallelism() as p grows.
+func (w WorkSpan) SpeedupBound(p int) (float64, error) {
+	tp, err := w.BrentBound(p)
+	if err != nil {
+		return 0, err
+	}
+	return w.Work / tp, nil
+}
+
+// PredictSeconds returns the Brent runtime in seconds for p processors
+// (requires OpSeconds > 0).
+func (w WorkSpan) PredictSeconds(p int) (float64, error) {
+	if w.OpSeconds <= 0 {
+		return 0, errors.New("analytic: WorkSpan needs OpSeconds for time predictions")
+	}
+	tp, err := w.BrentBound(p)
+	if err != nil {
+		return 0, err
+	}
+	return tp * w.OpSeconds, nil
+}
+
+// String renders the summary line.
+func (w WorkSpan) String() string {
+	return fmt.Sprintf("%s: W=%.3g, S=%.3g, parallelism %.1f",
+		w.Name, w.Work, w.Span, w.Parallelism())
+}
+
+// MatMulWorkSpan returns the work-span of the classic parallel n x n
+// matmul with a parallel-for over i and j and a sequential k loop:
+// W = 2n^3, S = O(n) (the k reduction chain; 2n ops).
+func MatMulWorkSpan(n int) WorkSpan {
+	f := float64(n)
+	return WorkSpan{Name: fmt.Sprintf("matmul-n%d", n), Work: 2 * f * f * f, Span: 2 * f}
+}
+
+// ReduceWorkSpan returns the work-span of a tree reduction over n
+// elements: W = n-1, S = ceil(log2 n).
+func ReduceWorkSpan(n int) WorkSpan {
+	if n < 2 {
+		return WorkSpan{Name: "reduce", Work: 1, Span: 1}
+	}
+	return WorkSpan{Name: fmt.Sprintf("reduce-n%d", n),
+		Work: float64(n - 1), Span: math.Ceil(math.Log2(float64(n)))}
+}
+
+// StencilSweepWorkSpan returns the work-span of one fully parallel Jacobi
+// sweep on an n x n interior: W = 5n^2, S = 5 (every point independent).
+func StencilSweepWorkSpan(n int) WorkSpan {
+	f := float64(n)
+	return WorkSpan{Name: fmt.Sprintf("stencil-sweep-n%d", n), Work: 5 * f * f, Span: 5}
+}

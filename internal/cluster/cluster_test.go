@@ -1,0 +1,577 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0, 0); err == nil {
+		t.Fatal("empty world must fail")
+	}
+	w, err := NewWorld(3, 0)
+	if err != nil || w.Size() != 3 {
+		t.Fatalf("world = %v, %v", w, err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []float64{1, 2, 3})
+		}
+		got, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 || got[2] != 3 {
+			return fmt.Errorf("payload = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 0 // must not corrupt the in-flight message
+			return nil
+		}
+		got, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 42 {
+			return fmt.Errorf("payload corrupted: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagFiltering(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []float64{1}); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []float64{2})
+		}
+		// Receive tag 2 first even though tag 1 arrived first.
+		got2, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		got1, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if got2[0] != 2 || got1[0] != 1 {
+			return fmt.Errorf("tag filtering broken: %v %v", got1, got2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidRankErrors(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(9, 0, nil); err == nil {
+				return errors.New("send to invalid rank must fail")
+			}
+			if _, err := c.Recv(-1, 0); err == nil {
+				return errors.New("recv from invalid rank must fail")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorAbortsWorld(t *testing.T) {
+	w, _ := NewWorld(4, 0)
+	boom := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom
+		}
+		// Everyone else blocks on a message that never comes; the abort
+		// must release them.
+		_, err := c.Recv((c.Rank()+1)%4, 99)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPanicIsCaptured(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaboom")
+		}
+		_, err := c.Recv(1, 0)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKillFailureInjection(t *testing.T) {
+	w, _ := NewWorld(3, 0)
+	w.Kill(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(2, 0, nil); !errors.Is(err, ErrDeadRank) {
+				return fmt.Errorf("send to dead rank: %v", err)
+			}
+			if _, err := c.Recv(2, 0); !errors.Is(err, ErrDeadRank) {
+				return fmt.Errorf("recv from dead rank: %v", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		w, _ := NewWorld(p, 0)
+		var after time.Time
+		var mu = make(chan struct{}, p)
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				time.Sleep(20 * time.Millisecond)
+				after = time.Now()
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// All ranks pass the barrier only after rank 0's sleep.
+			if c.Rank() != 0 && time.Now().Before(after) {
+				return errors.New("barrier leaked")
+			}
+			mu <- struct{}{}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(mu) != p {
+			t.Fatalf("p=%d: %d ranks finished", p, len(mu))
+		}
+	}
+}
+
+func TestBcastVariants(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		for root := 0; root < p; root++ {
+			w, _ := NewWorld(p, 0)
+			err := w.Run(func(c *Comm) error {
+				var data []float64
+				if c.Rank() == root {
+					data = []float64{3.14, float64(root)}
+				}
+				got, err := c.Bcast(root, data)
+				if err != nil {
+					return err
+				}
+				if got[0] != 3.14 || got[1] != float64(root) {
+					return fmt.Errorf("bcast payload = %v", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("tree p=%d root=%d: %v", p, root, err)
+			}
+			w2, _ := NewWorld(p, 0)
+			err = w2.Run(func(c *Comm) error {
+				var data []float64
+				if c.Rank() == root {
+					data = []float64{2.71}
+				}
+				got, err := c.BcastLinear(root, data)
+				if err != nil {
+					return err
+				}
+				if got[0] != 2.71 {
+					return fmt.Errorf("linear bcast payload = %v", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("linear p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		w, _ := NewWorld(p, 0)
+		err := w.Run(func(c *Comm) error {
+			data := []float64{float64(c.Rank() + 1), 1}
+			got, err := c.Reduce(0, data, SumOp)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				wantSum := float64(p*(p+1)) / 2
+				if got[0] != wantSum || got[1] != float64(p) {
+					return fmt.Errorf("reduce = %v, want [%v %v]", got, wantSum, p)
+				}
+			} else if got != nil {
+				return errors.New("non-root should get nil")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceTreeAndRing(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		w, _ := NewWorld(p, 0)
+		err := w.Run(func(c *Comm) error {
+			data := make([]float64, 2*p) // divisible by p for the ring
+			for i := range data {
+				data[i] = float64(c.Rank())
+			}
+			wantEach := float64(p*(p-1)) / 2
+			tree, err := c.Allreduce(data, SumOp)
+			if err != nil {
+				return err
+			}
+			ring, err := c.AllreduceRing(data, SumOp)
+			if err != nil {
+				return err
+			}
+			for i := range tree {
+				if tree[i] != wantEach || math.Abs(ring[i]-wantEach) > 1e-12 {
+					return fmt.Errorf("allreduce tree %v ring %v want %v", tree[i], ring[i], wantEach)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceRingRejectsBadLength(t *testing.T) {
+	w, _ := NewWorld(3, 0)
+	err := w.Run(func(c *Comm) error {
+		_, err := c.AllreduceRing(make([]float64, 4), SumOp) // 4 % 3 != 0
+		if err == nil {
+			return errors.New("expected length error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	p := 4
+	w, _ := NewWorld(p, 0)
+	err := w.Run(func(c *Comm) error {
+		// Scatter 0..7 from root 0, two elements per rank.
+		var data []float64
+		if c.Rank() == 0 {
+			data = []float64{0, 1, 2, 3, 4, 5, 6, 7}
+		}
+		chunk, err := c.Scatter(0, data)
+		if err != nil {
+			return err
+		}
+		if chunk[0] != float64(2*c.Rank()) {
+			return fmt.Errorf("scatter chunk = %v", chunk)
+		}
+		// Gather them back.
+		all, err := c.Gather(0, chunk)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := 0; i < 8; i++ {
+				if all[i] != float64(i) {
+					return fmt.Errorf("gather = %v", all)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceScalarAndSendRecv(t *testing.T) {
+	w, _ := NewWorld(3, 0)
+	err := w.Run(func(c *Comm) error {
+		v, err := c.AllreduceScalar(1, SumOp)
+		if err != nil {
+			return err
+		}
+		if v != 3 {
+			return fmt.Errorf("scalar allreduce = %v", v)
+		}
+		if c.Size() >= 2 && c.Rank() < 2 {
+			peer := 1 - c.Rank()
+			got, err := c.SendRecv(peer, 5, []float64{float64(c.Rank())})
+			if err != nil {
+				return err
+			}
+			if got[0] != float64(peer) {
+				return fmt.Errorf("sendrecv = %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxOp(t *testing.T) {
+	dst := []float64{1, 5}
+	MaxOp(dst, []float64{3, 2})
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Fatalf("MaxOp = %v", dst)
+	}
+}
+
+func TestTracingAndWaitStates(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	tr := w.EnableTracing()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Late sender: rank 1 waits ~20ms for this message.
+			time.Sleep(20 * time.Millisecond)
+			return c.Send(1, 0, []float64{1})
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := tr.AnalyzeWaitStates()
+	if ws.LateSenderTime[1] < 10*time.Millisecond {
+		t.Fatalf("late-sender time = %v, want >= 10ms", ws.LateSenderTime[1])
+	}
+	if ws.LateSenderTime[0] != 0 {
+		t.Fatalf("rank 0 should have no late-sender time")
+	}
+	prof := tr.Profile()
+	if prof[0].MessagesSent != 1 || prof[0].BytesSent != 8 {
+		t.Fatalf("profile = %+v", prof[0])
+	}
+	if prof[1].RecvTime < 10*time.Millisecond {
+		t.Fatalf("recv time = %v", prof[1].RecvTime)
+	}
+	rep := tr.Report()
+	if !strings.Contains(rep, "late-sender") || !strings.Contains(rep, "imbalance") {
+		t.Fatalf("report incomplete:\n%s", rep)
+	}
+	if len(tr.Events(1)) == 0 {
+		t.Fatal("rank 1 events missing")
+	}
+}
+
+func TestRecordCompute(t *testing.T) {
+	tr := NewTracer(1)
+	start := time.Now()
+	tr.RecordCompute(0, start, start.Add(5*time.Millisecond))
+	p := tr.Profile()
+	if p[0].ComputeTime != 5*time.Millisecond {
+		t.Fatalf("compute time = %v", p[0].ComputeTime)
+	}
+}
+
+func TestLogGPModel(t *testing.T) {
+	m := LogGP{L: 1e-6, O: 0.5e-6, G: 1e-9, P: 8}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// PtToPt(1) = L + 2o.
+	if got := m.PointToPoint(1); math.Abs(got-2e-6) > 1e-12 {
+		t.Fatalf("PointToPoint(1) = %v", got)
+	}
+	// Monotone in size.
+	if m.PointToPoint(1000) <= m.PointToPoint(1) {
+		t.Fatal("model not monotone in bytes")
+	}
+	if m.RoundTrip(1) != 2*m.PointToPoint(1) {
+		t.Fatal("roundtrip wrong")
+	}
+	// Tree bcast beats linear for large payloads (root serialization
+	// dominates: (P-1)kG vs log2(P)kG)...
+	if m.BcastTree(1<<20) >= m.BcastLinear(1<<20) {
+		t.Fatalf("tree %v should beat linear %v for 1MB at p=8",
+			m.BcastTree(1<<20), m.BcastLinear(1<<20))
+	}
+	// ...and for many ranks even with small payloads ((P-1)o vs log2(P)L).
+	wide := LogGP{L: 1e-6, O: 0.5e-6, G: 1e-9, P: 64}
+	if wide.BcastTree(8) >= wide.BcastLinear(8) {
+		t.Fatalf("tree %v should beat linear %v at p=64",
+			wide.BcastTree(8), wide.BcastLinear(8))
+	}
+	// Ring allreduce beats tree for large payloads.
+	big := 1 << 20
+	if m.AllreduceRing(big) >= m.AllreduceTree(big) {
+		t.Fatalf("ring %v should beat tree %v for 1MB", m.AllreduceRing(big), m.AllreduceTree(big))
+	}
+	// Degenerate world sizes.
+	one := LogGP{L: 1e-6, O: 0, G: 1e-9, P: 1}
+	if one.BcastTree(8) != 0 || one.Barrier() != 0 || one.AllreduceRing(8) != 0 {
+		t.Fatal("p=1 collectives should be free")
+	}
+	bad := LogGP{L: -1, P: 2}
+	if bad.Validate() == nil {
+		t.Fatal("negative L must fail validation")
+	}
+}
+
+func TestCalibrateLogGP(t *testing.T) {
+	w, _ := NewWorld(4, 0)
+	m, err := CalibrateLogGP(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 4 {
+		t.Fatalf("P = %d", m.P)
+	}
+	if m.L < 0 || m.G < 0 {
+		t.Fatalf("calibrated params negative: %+v", m)
+	}
+	// An in-process channel hop costs well under a millisecond.
+	if m.PointToPoint(1) > 1e-3 {
+		t.Fatalf("implausible latency %v", m.PointToPoint(1))
+	}
+	w1, _ := NewWorld(1, 0)
+	if _, err := CalibrateLogGP(w1, 5); err == nil {
+		t.Fatal("calibration on 1 rank must fail")
+	}
+}
+
+// Property: allreduce(sum) equals p * mean over any payload, for both
+// algorithms and several world sizes.
+func TestQuickAllreduceAgreement(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw%5) + 1
+		w, err := NewWorld(p, 0)
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(c *Comm) error {
+			data := make([]float64, p) // divisible by p
+			for i := range data {
+				data[i] = float64((seed+int64(c.Rank())*31+int64(i))%100) / 10
+			}
+			tree, err := c.Allreduce(data, SumOp)
+			if err != nil {
+				return err
+			}
+			ring, err := c.AllreduceRing(data, SumOp)
+			if err != nil {
+				return err
+			}
+			for i := range tree {
+				if math.Abs(tree[i]-ring[i]) > 1e-9 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceExport(t *testing.T) {
+	w, _ := NewWorld(2, 0)
+	tr := w.EnableTracing()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, []float64{1, 2})
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Export()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// Chronological order with non-negative relative timestamps.
+	for i, e := range events {
+		if e.StartUs < 0 || e.EndUs < e.StartUs {
+			t.Fatalf("event %d has bad interval: %+v", i, e)
+		}
+		if i > 0 && e.StartUs < events[i-1].StartUs {
+			t.Fatal("events not sorted")
+		}
+	}
+	var js bytes.Buffer
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []ExportedEvent
+	if err := json.Unmarshal(js.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || parsed[0].Bytes != 16 {
+		t.Fatalf("json round trip = %+v", parsed)
+	}
+	var cs bytes.Buffer
+	if err := tr.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cs).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "rank" {
+		t.Fatalf("csv rows = %v", rows)
+	}
+}

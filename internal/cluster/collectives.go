@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Collective operations. Each collective exists in the algorithmic variants
+// the scale-out lectures compare (linear vs binomial-tree broadcast,
+// tree vs ring allreduce); the ablation benches measure the crossovers.
+
+// Internal tag space for collectives, kept away from user tags.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 1<<20 + 1
+	tagReduce  = 1<<20 + 2
+	tagGather  = 1<<20 + 3
+	tagScatter = 1<<20 + 4
+	tagRing    = 1<<20 + 5
+)
+
+// ReduceOp combines two equal-length vectors elementwise.
+type ReduceOp func(dst, src []float64)
+
+// SumOp adds src into dst.
+func SumOp(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// MaxOp keeps the elementwise maximum in dst.
+func MaxOp(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Barrier synchronizes all ranks (dissemination barrier: log2(p) rounds).
+func (c *Comm) Barrier() error {
+	start := time.Now()
+	p := c.Size()
+	for round := 1; round < p; round <<= 1 {
+		dst := (c.rank + round) % p
+		src := (c.rank - round + p) % p
+		if err := c.Send(dst, tagBarrier+round, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(src, tagBarrier+round); err != nil {
+			return err
+		}
+	}
+	c.trace(EvBarrier, -1, 0, start)
+	return nil
+}
+
+// Bcast distributes root's data to all ranks using a binomial tree and
+// returns each rank's copy.
+func (c *Comm) Bcast(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: bcast invalid root %d", root)
+	}
+	start := time.Now()
+	p := c.Size()
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.rank - root + p) % p
+	var buf []float64
+	if vrank == 0 {
+		buf = append([]float64(nil), data...)
+	} else {
+		// Receive from the parent: clear the lowest set bit.
+		parent := (vrank&(vrank-1) + root) % p
+		got, err := c.Recv(parent, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		buf = got
+	}
+	// Forward to children: set bits above the lowest set bit.
+	for bit := 1; bit < p; bit <<= 1 {
+		if vrank&(bit-1) == 0 && vrank&bit == 0 {
+			child := vrank | bit
+			if child < p {
+				if err := c.Send((child+root)%p, tagBcast, buf); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	c.trace(EvBcast, root, 8*len(buf), start)
+	return buf, nil
+}
+
+// BcastLinear is the naive root-sends-to-everyone broadcast, kept as the
+// ablation baseline for the tree algorithm.
+func (c *Comm) BcastLinear(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: bcast invalid root %d", root)
+	}
+	if c.rank == root {
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.Send(dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return append([]float64(nil), data...), nil
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// Reduce combines every rank's data on root with op (binomial tree).
+// Non-root ranks return nil.
+func (c *Comm) Reduce(root int, data []float64, op ReduceOp) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: reduce invalid root %d", root)
+	}
+	start := time.Now()
+	p := c.Size()
+	vrank := (c.rank - root + p) % p
+	acc := append([]float64(nil), data...)
+	for bit := 1; bit < p; bit <<= 1 {
+		if vrank&bit != 0 {
+			// Send accumulated value to the partner and exit.
+			parent := vrank &^ bit
+			if err := c.Send((parent+root)%p, tagReduce, acc); err != nil {
+				return nil, err
+			}
+			c.trace(EvReduce, root, 8*len(acc), start)
+			return nil, nil
+		}
+		partner := vrank | bit
+		if partner < p {
+			got, err := c.Recv((partner+root)%p, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			if len(got) != len(acc) {
+				return nil, errors.New("cluster: reduce length mismatch")
+			}
+			op(acc, got)
+		}
+	}
+	c.trace(EvReduce, root, 8*len(acc), start)
+	return acc, nil
+}
+
+// Allreduce combines every rank's data everywhere (reduce to 0 + bcast).
+func (c *Comm) Allreduce(data []float64, op ReduceOp) ([]float64, error) {
+	red, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, red)
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce (reduce-scatter +
+// allgather), the algorithm of choice for large payloads; ablation partner
+// of the tree version. The payload length must be divisible by the world
+// size.
+func (c *Comm) AllreduceRing(data []float64, op ReduceOp) ([]float64, error) {
+	p := c.Size()
+	if p == 1 {
+		return append([]float64(nil), data...), nil
+	}
+	if len(data)%p != 0 {
+		return nil, fmt.Errorf("cluster: ring allreduce needs len %% p == 0 (len %d, p %d)", len(data), p)
+	}
+	chunk := len(data) / p
+	buf := append([]float64(nil), data...)
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	seg := func(i int) []float64 {
+		i = ((i % p) + p) % p
+		return buf[i*chunk : (i+1)*chunk]
+	}
+	// Reduce-scatter: after p-1 steps, segment (rank+1)%p is fully
+	// reduced on this rank.
+	for step := 0; step < p-1; step++ {
+		sendIdx := c.rank - step
+		recvIdx := c.rank - step - 1
+		if err := c.Send(next, tagRing+step, seg(sendIdx)); err != nil {
+			return nil, err
+		}
+		got, err := c.Recv(prev, tagRing+step)
+		if err != nil {
+			return nil, err
+		}
+		op(seg(recvIdx), got)
+	}
+	// Allgather: circulate the reduced segments.
+	for step := 0; step < p-1; step++ {
+		sendIdx := c.rank - step + 1
+		recvIdx := c.rank - step
+		if err := c.Send(next, tagRing+p+step, seg(sendIdx)); err != nil {
+			return nil, err
+		}
+		got, err := c.Recv(prev, tagRing+p+step)
+		if err != nil {
+			return nil, err
+		}
+		copy(seg(recvIdx), got)
+	}
+	return buf, nil
+}
+
+// Gather collects every rank's equal-length data on root (concatenated in
+// rank order). Non-root ranks return nil.
+func (c *Comm) Gather(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: gather invalid root %d", root)
+	}
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([]float64, len(data)*c.Size())
+	copy(out[c.rank*len(data):], data)
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			continue
+		}
+		got, err := c.Recv(src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != len(data) {
+			return nil, errors.New("cluster: gather length mismatch")
+		}
+		copy(out[src*len(data):], got)
+	}
+	return out, nil
+}
+
+// Scatter splits root's data into Size equal chunks and returns each
+// rank's chunk.
+func (c *Comm) Scatter(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("cluster: scatter invalid root %d", root)
+	}
+	p := c.Size()
+	if c.rank == root {
+		if len(data)%p != 0 {
+			return nil, fmt.Errorf("cluster: scatter needs len %% p == 0 (len %d, p %d)", len(data), p)
+		}
+		chunk := len(data) / p
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.Send(dst, tagScatter, data[dst*chunk:(dst+1)*chunk]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]float64(nil), data[root*chunk:(root+1)*chunk]...), nil
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// AllreduceScalar is a convenience wrapper for single-value reductions.
+func (c *Comm) AllreduceScalar(v float64, op ReduceOp) (float64, error) {
+	out, err := c.Allreduce([]float64{v}, op)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return out[0], nil
+}

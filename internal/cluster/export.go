@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Trace export in the spirit of Score-P/OTF: the merged event timeline as
+// JSON (for programmatic consumers) or CSV (for the spreadsheet-driven
+// analysis the course's Lesson 3 automation advice targets). Timestamps
+// are microseconds relative to the tracer's epoch, so traces from one run
+// are directly comparable across ranks.
+
+// ExportedEvent is the serialization of one traced interval.
+type ExportedEvent struct {
+	Rank    int     `json:"rank"`
+	Kind    string  `json:"kind"`
+	Peer    int     `json:"peer"`
+	Bytes   int     `json:"bytes"`
+	StartUs float64 `json:"start_us"`
+	EndUs   float64 `json:"end_us"`
+}
+
+// Export returns all events of all ranks in global chronological order.
+func (t *Tracer) Export() []ExportedEvent {
+	t.mu.Lock()
+	epoch := t.epoch
+	var out []ExportedEvent
+	for rank, evs := range t.events {
+		for _, e := range evs {
+			out = append(out, ExportedEvent{
+				Rank:    rank,
+				Kind:    e.Kind.String(),
+				Peer:    e.Peer,
+				Bytes:   e.Bytes,
+				StartUs: float64(e.Start.Sub(epoch)) / float64(time.Microsecond),
+				EndUs:   float64(e.End.Sub(epoch)) / float64(time.Microsecond),
+			})
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUs != out[j].StartUs {
+			return out[i].StartUs < out[j].StartUs
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// WriteJSON writes the trace as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Export())
+}
+
+// WriteCSV writes the trace as CSV with a header row.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "kind", "peer", "bytes", "start_us", "end_us"}); err != nil {
+		return err
+	}
+	for _, e := range t.Export() {
+		rec := []string{
+			fmt.Sprint(e.Rank), e.Kind, fmt.Sprint(e.Peer), fmt.Sprint(e.Bytes),
+			fmt.Sprintf("%.3f", e.StartUs), fmt.Sprintf("%.3f", e.EndUs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"perfeng/internal/kernels"
+)
+
+// Halo exchange: the canonical distributed-memory stencil decomposition
+// (each rank owns a band of rows and trades boundary rows with its
+// neighbours every sweep). This is the pattern the course's
+// distributed-modeling lectures analyze with LogGP: per sweep, two
+// neighbour messages of one row each, then local compute.
+
+const (
+	tagHaloUp   = 1<<21 + 0
+	tagHaloDown = 1<<21 + 1
+	tagHaloOut  = 1<<21 + 2
+)
+
+// DistributedStencil runs sweeps Jacobi sweeps of the 5-point stencil on
+// grid, decomposed row-wise over the world, and returns the full final
+// grid (identical on rank 0's return; the world's Run result carries any
+// error). The result must equal kernels.StencilRun(grid, sweeps, 1).
+func DistributedStencil(w *World, grid *kernels.Grid2D, sweeps int) (*kernels.Grid2D, error) {
+	n := grid.N
+	p := w.Size()
+	if p > n {
+		return nil, fmt.Errorf("cluster: %d ranks for %d rows", p, n)
+	}
+	if sweeps < 0 {
+		return nil, errors.New("cluster: negative sweep count")
+	}
+	width := n + 2
+	result := kernels.NewGrid2D(n)
+	copy(result.Data, grid.Data)
+
+	err := w.Run(func(c *Comm) error {
+		rank := c.Rank()
+		// Row band [lo, hi) of interior rows (1-based rows lo..hi-1).
+		chunk := (n + p - 1) / p
+		lo := 1 + rank*chunk
+		hi := lo + chunk
+		if hi > n+1 {
+			hi = n + 1
+		}
+		if lo >= hi {
+			return nil // idle rank (p does not divide n)
+		}
+		// Local copy: band rows plus one halo row above and below.
+		src := make([]float64, (hi-lo+2)*width)
+		dst := make([]float64, (hi-lo+2)*width)
+		copy(src, grid.Data[(lo-1)*width:(hi+1)*width])
+		copy(dst, src)
+
+		rowOf := func(buf []float64, globalRow int) []float64 {
+			local := globalRow - (lo - 1)
+			return buf[local*width : (local+1)*width]
+		}
+
+		for s := 0; s < sweeps; s++ {
+			// Exchange halo rows with neighbours. Ranks owning the top
+			// band keep the fixed boundary row instead.
+			if lo > 1 {
+				if err := c.Send(rank-1, tagHaloUp, rowOf(src, lo)); err != nil {
+					return err
+				}
+				got, err := c.Recv(rank-1, tagHaloDown)
+				if err != nil {
+					return err
+				}
+				copy(rowOf(src, lo-1), got)
+			}
+			if hi <= n {
+				if err := c.Send(rank+1, tagHaloDown, rowOf(src, hi-1)); err != nil {
+					return err
+				}
+				got, err := c.Recv(rank+1, tagHaloUp)
+				if err != nil {
+					return err
+				}
+				copy(rowOf(src, hi), got)
+			}
+			// Local sweep over the owned band.
+			for i := lo; i < hi; i++ {
+				up := rowOf(src, i-1)
+				mid := rowOf(src, i)
+				down := rowOf(src, i+1)
+				out := rowOf(dst, i)
+				for j := 1; j <= n; j++ {
+					out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
+				}
+			}
+			src, dst = dst, src
+		}
+		// Gather bands on rank 0.
+		if rank == 0 {
+			copy(result.Data[lo*width:hi*width], src[width:width*(hi-lo+1)])
+			for r := 1; r < p; r++ {
+				rlo := 1 + r*chunk
+				rhi := rlo + chunk
+				if rhi > n+1 {
+					rhi = n + 1
+				}
+				if rlo >= rhi {
+					continue
+				}
+				got, err := c.Recv(r, tagHaloOut)
+				if err != nil {
+					return err
+				}
+				copy(result.Data[rlo*width:rhi*width], got)
+			}
+			return nil
+		}
+		return c.Send(0, tagHaloOut, src[width:width*(hi-lo+1)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// HaloExchangeModel returns the LogGP-modeled communication time of one
+// sweep: each interior rank exchanges two rows (up+down) of (n+2) doubles;
+// exchanges proceed concurrently, so the per-sweep cost is one
+// send+recv pair per direction.
+func HaloExchangeModel(m LogGP, n int) float64 {
+	row := (n + 2) * 8
+	return 2 * m.PointToPoint(row)
+}

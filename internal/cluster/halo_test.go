@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+
+	"perfeng/internal/kernels"
+)
+
+func TestDistributedStencilMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		for _, sweeps := range []int{0, 1, 5, 12} {
+			grid := kernels.HotBoundaryGrid(24)
+			want := kernels.StencilRun(grid, sweeps, 1)
+			w, err := NewWorld(p, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DistributedStencil(w, grid, sweeps)
+			if err != nil {
+				t.Fatalf("p=%d sweeps=%d: %v", p, sweeps, err)
+			}
+			if d := got.MaxAbsDiff(want); d > 1e-12 {
+				t.Fatalf("p=%d sweeps=%d: differs from sequential by %v", p, sweeps, d)
+			}
+		}
+	}
+}
+
+func TestDistributedStencilUnevenDecomposition(t *testing.T) {
+	// n=10 over p=4: chunk 3,3,3,1 — uneven bands and an idle-free but
+	// short last rank.
+	grid := kernels.HotBoundaryGrid(10)
+	want := kernels.StencilRun(grid, 6, 1)
+	w, _ := NewWorld(4, 0)
+	got, err := DistributedStencil(w, grid, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("uneven decomposition differs by %v", d)
+	}
+}
+
+func TestDistributedStencilErrors(t *testing.T) {
+	grid := kernels.HotBoundaryGrid(4)
+	w, _ := NewWorld(8, 0)
+	if _, err := DistributedStencil(w, grid, 1); err == nil {
+		t.Fatal("more ranks than rows must fail")
+	}
+	w2, _ := NewWorld(2, 0)
+	if _, err := DistributedStencil(w2, grid, -1); err == nil {
+		t.Fatal("negative sweeps must fail")
+	}
+}
+
+func TestHaloExchangeModel(t *testing.T) {
+	m := LogGP{L: 1e-6, O: 0.5e-6, G: 1e-9, P: 4}
+	c := HaloExchangeModel(m, 100)
+	if c <= 0 {
+		t.Fatal("halo cost must be positive")
+	}
+	// Larger grids cost more per sweep.
+	if HaloExchangeModel(m, 1000) <= c {
+		t.Fatal("halo cost must grow with n")
+	}
+}
+
+func TestDistributedStencilRankDeathAborts(t *testing.T) {
+	// Failure injection: killing a middle rank must abort the whole
+	// computation with an error, not deadlock.
+	grid := kernels.HotBoundaryGrid(16)
+	w, _ := NewWorld(4, 0)
+	w.Kill(2)
+	if _, err := DistributedStencil(w, grid, 4); err == nil {
+		t.Fatal("dead rank must abort the stencil")
+	}
+}

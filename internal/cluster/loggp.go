@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// LogGP cost model (Alexandrov et al.), the analytical model the
+// distributed-modeling lectures teach: a point-to-point message of k bytes
+// costs L + 2o + (k-1)G seconds; long messages are bandwidth-dominated
+// through G, short ones latency-dominated through L and o.
+
+// LogGP holds the model parameters, all in seconds (G per byte).
+type LogGP struct {
+	L float64 // network latency
+	O float64 // per-message CPU overhead (send or recv side)
+	G float64 // gap per byte (1/bandwidth)
+	P int     // number of processors
+}
+
+// Validate checks the parameters.
+func (m LogGP) Validate() error {
+	if m.L < 0 || m.O < 0 || m.G < 0 || m.P < 1 {
+		return errors.New("cluster: invalid LogGP parameters")
+	}
+	return nil
+}
+
+// PointToPoint returns the modeled one-way time of a k-byte message.
+func (m LogGP) PointToPoint(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return m.L + 2*m.O + float64(k-1)*m.G
+}
+
+// RoundTrip returns the modeled ping-pong time of a k-byte message.
+func (m LogGP) RoundTrip(k int) float64 { return 2 * m.PointToPoint(k) }
+
+// BcastTree returns the modeled binomial-tree broadcast time of a k-byte
+// payload: ceil(log2 P) sequential rounds of point-to-point messages.
+func (m LogGP) BcastTree(k int) float64 {
+	if m.P <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(m.P)))
+	return rounds * m.PointToPoint(k)
+}
+
+// BcastLinear returns the modeled linear broadcast time: the root serializes
+// P-1 sends separated by the per-message gap, then the last message flies.
+func (m LogGP) BcastLinear(k int) float64 {
+	if m.P <= 1 {
+		return 0
+	}
+	return float64(m.P-1)*(m.O+float64(k-1)*m.G) + m.L + m.O
+}
+
+// AllreduceTree returns the modeled tree allreduce time (reduce + bcast).
+func (m LogGP) AllreduceTree(k int) float64 { return 2 * m.BcastTree(k) }
+
+// AllreduceRing returns the modeled ring allreduce time: 2(P-1) steps, each
+// moving k/P bytes.
+func (m LogGP) AllreduceRing(k int) float64 {
+	if m.P <= 1 {
+		return 0
+	}
+	chunk := k / m.P
+	if chunk < 1 {
+		chunk = 1
+	}
+	return 2 * float64(m.P-1) * m.PointToPoint(chunk)
+}
+
+// Barrier returns the modeled dissemination-barrier time.
+func (m LogGP) Barrier() float64 {
+	if m.P <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(m.P)))
+	return rounds * m.PointToPoint(1)
+}
+
+// CalibrateLogGP measures ping-pong times on the live world between ranks
+// 0 and 1 for a small and a large payload and fits L+2o (combined) and G.
+// The split between L and o is not observable from ping-pong alone, so o
+// is reported as 0 and the combined constant lands in L — adequate for
+// collective predictions, and honest about identifiability (a point the
+// lectures stress).
+func CalibrateLogGP(w *World, reps int) (LogGP, error) {
+	if w.Size() < 2 {
+		return LogGP{}, errors.New("cluster: calibration needs at least 2 ranks")
+	}
+	if reps < 1 {
+		reps = 10
+	}
+	const smallN, largeN = 1, 64 * 1024 // elements (8B each)
+	var tSmall, tLarge time.Duration
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() > 1 {
+			return nil
+		}
+		small := make([]float64, smallN)
+		large := make([]float64, largeN)
+		// Warm-up.
+		if err := pingPong(c, small, 1); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			start := time.Now()
+			if err := pingPong(c, small, reps); err != nil {
+				return err
+			}
+			tSmall = time.Since(start) / time.Duration(reps)
+			start = time.Now()
+			if err := pingPong(c, large, reps); err != nil {
+				return err
+			}
+			tLarge = time.Since(start) / time.Duration(reps)
+		} else {
+			if err := pingPong(c, small, reps); err != nil {
+				return err
+			}
+			if err := pingPong(c, large, reps); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return LogGP{}, err
+	}
+	// Round trip = 2(L + 2o + (k-1)G). Solve the 2x2 system with o := 0.
+	sSmall := tSmall.Seconds() / 2
+	sLarge := tLarge.Seconds() / 2
+	g := (sLarge - sSmall) / float64(8*largeN-8*smallN)
+	if g < 0 {
+		g = 0
+	}
+	l := sSmall - float64(8*smallN-1)*g
+	if l < 0 {
+		l = 0
+	}
+	return LogGP{L: l, O: 0, G: g, P: w.Size()}, nil
+}
+
+// pingPong runs reps ping-pong exchanges between ranks 0 and 1.
+func pingPong(c *Comm, buf []float64, reps int) error {
+	const tag = 1 << 19
+	for i := 0; i < reps; i++ {
+		if c.Rank() == 0 {
+			if err := c.Send(1, tag, buf); err != nil {
+				return err
+			}
+			if _, err := c.Recv(1, tag); err != nil {
+				return err
+			}
+		} else {
+			got, err := c.Recv(0, tag)
+			if err != nil {
+				return err
+			}
+			if err := c.Send(0, tag, got); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"perfeng/internal/kernels"
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+)
+
+// matmulApp builds the Assignment 1 application: naive baseline, ikj and
+// parallel candidates, on an n x n problem.
+func matmulApp(n int) *Application {
+	a := kernels.RandomDense(n, 1)
+	b := kernels.RandomDense(n, 2)
+	c := kernels.NewDense(n)
+	return &Application{
+		Name:  "matmul",
+		FLOPs: kernels.MatMulFLOPs(n),
+		Bytes: kernels.MatMulCompulsoryBytes(n),
+		Baseline: Variant{Name: "naive-ijk", Run: func() {
+			kernels.MatMulNaive(a, b, c)
+		}},
+		Candidates: []Variant{
+			{Name: "reordered-ikj", Run: func() { kernels.MatMulIKJ(a, b, c) }},
+			{Name: "parallel", Procs: 4, Run: func() { kernels.MatMulParallel(a, b, c, 4) }},
+		},
+	}
+}
+
+func quickEngagement(app *Application, req Requirement) *Engagement {
+	return &Engagement{
+		App:         app,
+		CPU:         machine.GenericLaptop(),
+		Requirement: req,
+		Runner:      metrics.QuickConfig(),
+	}
+}
+
+func TestEngagementEndToEnd(t *testing.T) {
+	e := quickEngagement(matmulApp(96), Requirement{Kind: SpeedupAtLeast, Target: 1.2})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Baseline == nil || out.Baseline.Speedup != 1 {
+		t.Fatal("baseline missing or speedup != 1")
+	}
+	if len(out.Variants) != 3 {
+		t.Fatalf("variants = %d, want 3", len(out.Variants))
+	}
+	// ikj or parallel must beat naive at this size.
+	if out.Best == out.Baseline {
+		t.Fatal("an optimized variant should win")
+	}
+	if out.Best.Speedup <= 1.2 {
+		t.Fatalf("best speedup = %v, expected > 1.2", out.Best.Speedup)
+	}
+	if !out.Satisfied {
+		t.Fatal("requirement should be met")
+	}
+	if out.Iterations < 1 {
+		t.Fatal("stage 6 never ran")
+	}
+	// Stage 7 report includes all stages.
+	txt := out.Report.String()
+	for _, want := range []string{"Stage 1", "Stage 2", "Stage 3", "Stage 4",
+		"Stage 5/6", "Stage 6", "Stage 7", "MET", "matmul"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("report missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestEngagementImpossibleRequirement(t *testing.T) {
+	// A speedup target far beyond the roofline headroom must be flagged
+	// infeasible in stage 3 and unmet in stage 6.
+	e := quickEngagement(matmulApp(64), Requirement{Kind: SpeedupAtLeast, Target: 1e9})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Feasible {
+		t.Fatal("1e9x speedup should be infeasible")
+	}
+	if out.Satisfied {
+		t.Fatal("requirement cannot be satisfied")
+	}
+	if !strings.Contains(out.Report.String(), "NOT MET") {
+		t.Fatal("report must state the requirement was not met")
+	}
+	if !strings.Contains(out.Report.String(), "INFEASIBLE") {
+		t.Fatal("report must carry the stage-3 verdict")
+	}
+}
+
+func TestEngagementRuntimeRequirement(t *testing.T) {
+	e := quickEngagement(matmulApp(48), Requirement{Kind: RuntimeBelow, Target: 10})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 seconds for a 48x48 matmul: trivially satisfied.
+	if !out.Satisfied || !out.Feasible {
+		t.Fatal("10s budget must be met")
+	}
+}
+
+func TestEngagementFractionRequirement(t *testing.T) {
+	e := quickEngagement(matmulApp(48), Requirement{Kind: FractionOfRoofline, Target: 1e-9})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Satisfied {
+		t.Fatalf("any code achieves 1e-9 of roofline; fraction = %v",
+			out.Best.Analysis.Fraction)
+	}
+	over := quickEngagement(matmulApp(48), Requirement{Kind: FractionOfRoofline, Target: 1.5})
+	out2, err := over.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Feasible {
+		t.Fatal(">100% of roofline is infeasible by definition")
+	}
+}
+
+func TestEngagementNoCandidates(t *testing.T) {
+	app := matmulApp(32)
+	app.Candidates = nil
+	e := quickEngagement(app, Requirement{Kind: RuntimeBelow, Target: 10})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best != out.Baseline {
+		t.Fatal("baseline must be best without candidates")
+	}
+	if !out.Satisfied {
+		t.Fatal("10s budget must still be judged")
+	}
+}
+
+func TestEngagementValidation(t *testing.T) {
+	good := matmulApp(16)
+	cases := []struct {
+		name string
+		e    *Engagement
+	}{
+		{"nil baseline", quickEngagement(&Application{Name: "x"}, Requirement{Kind: SpeedupAtLeast, Target: 2})},
+		{"no name", quickEngagement(&Application{Baseline: good.Baseline}, Requirement{Kind: SpeedupAtLeast, Target: 2})},
+		{"bad requirement", quickEngagement(good, Requirement{Kind: SpeedupAtLeast, Target: 0})},
+		{"nil candidate", quickEngagement(&Application{Name: "x", Baseline: good.Baseline,
+			Candidates: []Variant{{Name: "broken"}}}, Requirement{Kind: SpeedupAtLeast, Target: 2})},
+	}
+	for _, tc := range cases {
+		if _, err := tc.e.Run(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Invalid machine model.
+	bad := quickEngagement(good, Requirement{Kind: SpeedupAtLeast, Target: 2})
+	bad.CPU = machine.CPU{}
+	if _, err := bad.Run(); err == nil {
+		t.Error("invalid CPU must fail")
+	}
+}
+
+func TestRequirementStrings(t *testing.T) {
+	r := Requirement{Kind: SpeedupAtLeast, Target: 2}
+	if !strings.Contains(r.String(), "speedup") {
+		t.Fatalf("String = %q", r.String())
+	}
+	rt := Requirement{Kind: RuntimeBelow, Target: 0.5}
+	if !strings.Contains(rt.String(), "500") {
+		t.Fatalf("String = %q", rt.String())
+	}
+}
+
+func TestVariantAnalysisCarriesBound(t *testing.T) {
+	e := quickEngagement(matmulApp(64), Requirement{Kind: SpeedupAtLeast, Target: 1.1})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Variants {
+		if v.Analysis.Attainable <= 0 {
+			t.Fatalf("variant %s has no attainable bound", v.Variant.Name)
+		}
+	}
+}
+
+func TestSignificanceInOutcome(t *testing.T) {
+	e := quickEngagement(matmulApp(96), Requirement{Kind: SpeedupAtLeast, Target: 1.2})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best == out.Baseline {
+		t.Skip("baseline won; nothing to compare")
+	}
+	if out.Significance == nil {
+		t.Fatal("significance missing for a real win")
+	}
+	// A ~3x ikj win over naive must be statistically significant even
+	// with the quick protocol.
+	if !out.Significance.Significant {
+		t.Fatalf("clear win not significant: %+v", out.Significance)
+	}
+	if !strings.Contains(out.Report.String(), "p=") {
+		t.Fatal("report must carry the p-value")
+	}
+}
+
+func TestEngagementProfile(t *testing.T) {
+	e := quickEngagement(matmulApp(32), Requirement{Kind: RuntimeBelow, Target: 10})
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Profile == nil || out.Profile.Depth() != 0 {
+		t.Fatal("profile missing or left open")
+	}
+	// One region per measured variant.
+	if got := len(out.Profile.Regions()); got != len(out.Variants) {
+		t.Fatalf("profile regions = %d, variants = %d", got, len(out.Variants))
+	}
+	if !strings.Contains(out.Report.String(), "flat profile") {
+		t.Fatal("report missing the engineering-time profile")
+	}
+}

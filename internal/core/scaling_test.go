@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfeng/internal/metrics"
+)
+
+// amdahlSeries generates exact Amdahl runtimes for a serial fraction f.
+func amdahlSeries(f float64, workers []int) []float64 {
+	out := make([]float64, len(workers))
+	for i, w := range workers {
+		out[i] = 1 * (f + (1-f)/float64(w))
+	}
+	return out
+}
+
+func TestFitScalingRecoversSerialFraction(t *testing.T) {
+	workers := []int{1, 2, 4, 8, 16}
+	for _, f := range []float64{0, 0.05, 0.25, 0.5, 1} {
+		res, err := FitScaling("synthetic", workers, amdahlSeries(f, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.SerialFraction-f) > 1e-9 {
+			t.Fatalf("f=%v: fitted %v", f, res.SerialFraction)
+		}
+		if f > 0 && math.Abs(res.AmdahlLimit-1/f) > 1e-6/f {
+			t.Fatalf("f=%v: limit %v", f, res.AmdahlLimit)
+		}
+	}
+	// f=0 gives an infinite limit.
+	res, _ := FitScaling("ideal", workers, amdahlSeries(0, workers))
+	if !math.IsInf(res.AmdahlLimit, 1) {
+		t.Fatalf("ideal limit = %v", res.AmdahlLimit)
+	}
+}
+
+func TestFitScalingPointMetrics(t *testing.T) {
+	workers := []int{1, 4}
+	res, err := FitScaling("x", workers, []float64{8, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[1]
+	if p.Speedup != 4 || p.Efficiency != 1 {
+		t.Fatalf("point = %+v", p)
+	}
+	if math.Abs(p.KarpFlatt) > 1e-12 {
+		t.Fatalf("perfect scaling KarpFlatt = %v", p.KarpFlatt)
+	}
+	if !strings.Contains(res.String(), "Amdahl fit") {
+		t.Fatal("String incomplete")
+	}
+}
+
+func TestFitScalingErrors(t *testing.T) {
+	if _, err := FitScaling("x", []int{1}, []float64{1}); err == nil {
+		t.Fatal("single point must fail")
+	}
+	if _, err := FitScaling("x", []int{2, 4}, []float64{1, 1}); err == nil {
+		t.Fatal("missing baseline must fail")
+	}
+	if _, err := FitScaling("x", []int{1, 2}, []float64{0, 1}); err == nil {
+		t.Fatal("zero baseline must fail")
+	}
+	if _, err := FitScaling("x", []int{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative runtime must fail")
+	}
+	if _, err := FitScaling("x", []int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestRunScalingStudySmoke(t *testing.T) {
+	res, err := RunScalingStudy("busy", []int{1, 2}, metrics.QuickConfig(),
+		func(workers int) {
+			// A trivially parallel-agnostic busy loop; on any host the
+			// study must at least produce a valid structure.
+			s := 0.0
+			for i := 0; i < 100_000; i++ {
+				s += float64(i)
+			}
+			_ = s
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Workers != 1 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	if _, err := RunScalingStudy("bad", []int{2, 4}, metrics.QuickConfig(),
+		func(int) {}); err == nil {
+		t.Fatal("missing baseline must fail")
+	}
+	if _, err := RunScalingStudy("bad", []int{1, 0}, metrics.QuickConfig(),
+		func(int) {}); err == nil {
+		t.Fatal("invalid count must fail")
+	}
+}
+
+// Property: the fitted serial fraction is clamped to [0, 1] even on noisy
+// or adversarial series.
+func TestQuickFitClamped(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		workers := []int{1, 2, 4}
+		secs := []float64{
+			1,
+			0.1 + float64(a)/64,
+			0.1 + float64(b)/64 + float64(c)/256,
+		}
+		res, err := FitScaling("q", workers, secs)
+		if err != nil {
+			return false
+		}
+		return res.SerialFraction >= 0 && res.SerialFraction <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gustafsonSeries generates weak-scaling runtimes for serial fraction f:
+// per-worker work constant, runtime tp = t1*(f + (1-f)) serialized part
+// grows... Exact inverse of the fit: S(p) = p - f*(p-1), eff = S/p,
+// tp = t1/eff.
+func gustafsonSeries(f float64, workers []int) []float64 {
+	out := make([]float64, len(workers))
+	for i, w := range workers {
+		s := float64(w) - f*float64(w-1)
+		out[i] = float64(w) / s
+	}
+	return out
+}
+
+func TestFitWeakScalingRecoversSerialFraction(t *testing.T) {
+	workers := []int{1, 2, 4, 8}
+	for _, f := range []float64{0, 0.1, 0.4, 1} {
+		res, err := FitWeakScaling("w", workers, gustafsonSeries(f, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.SerialFraction-f) > 1e-9 {
+			t.Fatalf("f=%v: fitted %v", f, res.SerialFraction)
+		}
+	}
+	// Perfect weak scaling: constant runtime, efficiency 1 everywhere.
+	res, _ := FitWeakScaling("ideal", workers, []float64{1, 1, 1, 1})
+	for _, p := range res.Points {
+		if p.Efficiency != 1 || p.ScaledSpeedup != float64(p.Workers) {
+			t.Fatalf("ideal point wrong: %+v", p)
+		}
+	}
+	if !strings.Contains(res.String(), "Gustafson fit") {
+		t.Fatal("String incomplete")
+	}
+}
+
+func TestFitWeakScalingErrors(t *testing.T) {
+	if _, err := FitWeakScaling("x", []int{1}, []float64{1}); err == nil {
+		t.Fatal("single point must fail")
+	}
+	if _, err := FitWeakScaling("x", []int{2, 4}, []float64{1, 1}); err == nil {
+		t.Fatal("missing baseline must fail")
+	}
+	if _, err := FitWeakScaling("x", []int{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative runtime must fail")
+	}
+}

@@ -1,0 +1,70 @@
+package counters
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Derived metrics: the quantities performance engineers actually reason
+// about, computed from raw event deltas the way LIKWID's performance groups
+// do.
+
+// Derived is a set of derived metrics computed from one stopped EventSet.
+type Derived struct {
+	// L1MissRatio, L2MissRatio, L3MissRatio are misses/accesses per level
+	// (NaN-free: 0 when idle).
+	L1MissRatio float64
+	L2MissRatio float64
+	L3MissRatio float64
+	// MemBytes is the DRAM traffic in bytes (lines x line size).
+	MemBytes float64
+	// BytesPerAccess is DRAM bytes per L1 access — near 0 for
+	// cache-resident code, rising toward line-size for streaming misses.
+	BytesPerAccess float64
+	// PrefetchAccuracy is prefetch hits / prefetches issued.
+	PrefetchAccuracy float64
+}
+
+// DeriveFromSim computes the derived metrics from a simulator-backed set.
+// lineSize is the cache line size in bytes.
+func DeriveFromSim(s *EventSet, lineSize int) (Derived, error) {
+	var d Derived
+	ratio := func(acc, miss Event) float64 {
+		a, errA := s.Value(acc)
+		m, errM := s.Value(miss)
+		if errA != nil || errM != nil || a == 0 {
+			return 0
+		}
+		return float64(m) / float64(a)
+	}
+	if s.values == nil {
+		return d, fmt.Errorf("counters: set has not been stopped")
+	}
+	d.L1MissRatio = ratio(L1DCA, L1DCM)
+	d.L2MissRatio = ratio(L2DCA, L2DCM)
+	d.L3MissRatio = ratio(L3DCA, L3DCM)
+	if r, err := s.Value(MemRd); err == nil {
+		if w, err2 := s.Value(MemWr); err2 == nil {
+			d.MemBytes = float64(r+w) * float64(lineSize)
+		}
+	}
+	if a, err := s.Value(L1DCA); err == nil && a > 0 {
+		d.BytesPerAccess = d.MemBytes / float64(a)
+	}
+	if is, err := s.Value(PrfIs); err == nil && is > 0 {
+		if ht, err2 := s.Value(PrfHt); err2 == nil {
+			d.PrefetchAccuracy = float64(ht) / float64(is)
+		}
+	}
+	return d, nil
+}
+
+// String renders the derived metrics.
+func (d Derived) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "L1 miss %6.2f%%  L2 miss %6.2f%%  L3 miss %6.2f%%\n",
+		d.L1MissRatio*100, d.L2MissRatio*100, d.L3MissRatio*100)
+	fmt.Fprintf(&sb, "DRAM traffic %.1f KiB (%.3f B per L1 access)  prefetch accuracy %.0f%%\n",
+		d.MemBytes/1024, d.BytesPerAccess, d.PrefetchAccuracy*100)
+	return sb.String()
+}

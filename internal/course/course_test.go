@@ -1,0 +1,334 @@
+package course
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStudentsTotalsMatchPaper(t *testing.T) {
+	recs := Students()
+	if len(recs) != 7 {
+		t.Fatalf("years = %d, want 7 (2017-2023)", len(recs))
+	}
+	var enrolled, passed, resp int
+	for _, r := range recs {
+		enrolled += r.Enrolled
+		passed += r.Passed
+		resp += r.Respondents
+		if !r.EvaluationAvailable && r.Respondents != 0 {
+			t.Fatalf("year %d: respondents despite unavailable evaluation", r.Year)
+		}
+	}
+	if enrolled != 146 {
+		t.Fatalf("total enrolled = %d, paper says 146", enrolled)
+	}
+	if passed != 93 {
+		t.Fatalf("total passed = %d, paper says 93", passed)
+	}
+	if resp != 41 {
+		t.Fatalf("total respondents = %d, paper says 41", resp)
+	}
+	// 2019 and 2022 evaluations unavailable.
+	for _, r := range recs {
+		wantAvail := r.Year != 2019 && r.Year != 2022
+		if r.EvaluationAvailable != wantAvail {
+			t.Fatalf("year %d availability = %v", r.Year, r.EvaluationAvailable)
+		}
+	}
+	// Dropout within the published 15-50% band every year.
+	for _, r := range recs {
+		drop := 1 - float64(r.Passed)/float64(r.Enrolled)
+		if drop < 0.15 || drop > 0.50 {
+			t.Fatalf("year %d dropout %.2f outside the paper's 15-50%% band", r.Year, drop)
+		}
+	}
+}
+
+func TestTable2aMatchesPaperMeans(t *testing.T) {
+	want := map[string]float64{
+		"Taught me a lot":                4.5,
+		"Was clearly structured":         4.2,
+		"Was intellectually challenging": 4.6,
+		"Factual knowledge":              4.4,
+		"Fundamental principles":         4.2,
+		"Current scientific theories":    3.9,
+		"To apply subject matter":        4.8,
+		"Professional skills":            4.4,
+		"Technical skills":               4.1,
+		"Assignment 1":                   4.4,
+		"Assignment 2":                   4.5,
+		"Assignment 3":                   4.1,
+		"Assignment 4":                   4.4,
+	}
+	qs := Table2a()
+	if len(qs) != 13 {
+		t.Fatalf("Table 2a has %d rows, want 13", len(qs))
+	}
+	for _, q := range qs {
+		w, ok := want[q.Statement]
+		if !ok {
+			t.Fatalf("unexpected statement %q", q.Statement)
+		}
+		if math.Abs(q.Mean()-w) > 0.05 {
+			t.Errorf("%s: mean %.2f, paper says %.1f", q.Statement, q.Mean(), w)
+		}
+	}
+}
+
+func TestTable2bMatchesPaperMeans(t *testing.T) {
+	qs := Table2b()
+	if len(qs) != 2 {
+		t.Fatalf("Table 2b has %d rows", len(qs))
+	}
+	if math.Abs(qs[0].Mean()-4.0) > 0.05 {
+		t.Errorf("Workload mean %.2f, paper says 4.0", qs[0].Mean())
+	}
+	if math.Abs(qs[1].Mean()-3.7) > 0.05 {
+		t.Errorf("Level mean %.2f, paper says 3.7", qs[1].Mean())
+	}
+	// "a score between 3 and 4 is considered optimal" — workload at 4.0
+	// is the paper's own evidence that students find it heavy.
+	if qs[0].Mean() < qs[1].Mean() {
+		t.Error("workload should score above level")
+	}
+}
+
+func TestEvalQuestionEdge(t *testing.T) {
+	var empty EvalQuestion
+	if empty.Mean() != 0 || empty.N() != 0 {
+		t.Fatal("empty question should be zero")
+	}
+}
+
+func TestTopicsMatchTable1(t *testing.T) {
+	tp := Topics()
+	if len(tp) != 11 {
+		t.Fatalf("topics = %d, want 11", len(tp))
+	}
+	for _, topic := range tp {
+		if len(topic.Stages) == 0 || len(topic.Objectives) == 0 {
+			t.Fatalf("topic %q missing mappings", topic.Name)
+		}
+		for _, s := range topic.Stages {
+			if s < 1 || s > 7 {
+				t.Fatalf("topic %q stage %d out of range", topic.Name, s)
+			}
+		}
+		for _, o := range topic.Objectives {
+			if o < 1 || o > 8 {
+				t.Fatalf("topic %q objective %d out of range", topic.Name, o)
+			}
+		}
+	}
+}
+
+func TestTeamDivisor(t *testing.T) {
+	cases := map[int]float64{1: 32, 2: 36, 3: 40, 4: 40}
+	for size, want := range cases {
+		got, err := TeamDivisor(size)
+		if err != nil || got != want {
+			t.Fatalf("TeamDivisor(%d) = %v, %v", size, got, err)
+		}
+	}
+	for _, bad := range []int{0, 5, -1} {
+		if _, err := TeamDivisor(bad); err == nil {
+			t.Fatalf("TeamDivisor(%d) should fail", bad)
+		}
+	}
+}
+
+func TestAssignmentsGrade(t *testing.T) {
+	// Full marks, solo student: 10 * 42/32 = 13.125 (pre-clamp).
+	full := [4]float64{10, 9, 11, 12}
+	g, err := AssignmentsGrade(full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-13.125) > 1e-12 {
+		t.Fatalf("solo full assignments = %v", g)
+	}
+	// Same points in a team of 4 are worth less per head.
+	g4, _ := AssignmentsGrade(full, 4)
+	if g4 >= g {
+		t.Fatal("larger team should divide by more")
+	}
+	if _, err := AssignmentsGrade([4]float64{11, 0, 0, 0}, 1); err == nil {
+		t.Fatal("points above budget must fail")
+	}
+	if _, err := AssignmentsGrade([4]float64{-1, 0, 0, 0}, 1); err == nil {
+		t.Fatal("negative points must fail")
+	}
+}
+
+func TestProjectGrade(t *testing.T) {
+	g, err := ProjectGrade(8, 7, 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.4*8 + 0.3*7 + 0.3*8
+	if math.Abs(g-want) > 1e-12 {
+		t.Fatalf("project grade = %v, want %v", g, want)
+	}
+	if _, err := ProjectGrade(0, 7, 7, 7); err == nil {
+		t.Fatal("grade below 1 must fail")
+	}
+	if _, err := ProjectGrade(8, 7, 7, 11); err == nil {
+		t.Fatal("grade above 10 must fail")
+	}
+}
+
+func TestFinalGradeEquation1(t *testing.T) {
+	// Mid-range case, no clamping: 0.5*8 + 0.3*8 + 0.3*(7+35/70) = 8.65.
+	g, err := FinalGrade(8, 8, 7, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-8.65) > 1e-12 {
+		t.Fatalf("final grade = %v, want 8.65", g)
+	}
+	// The weights sum to 1.1 deliberately ("allow for slack"): a perfect
+	// student hits the clamp at 10.
+	top, _ := FinalGrade(10, 13.125, 10, 70)
+	if top != 10 {
+		t.Fatalf("top grade = %v, want clamped 10", top)
+	}
+	// Floor clamp at 1.
+	bottom, _ := FinalGrade(0, 0, 0, 0)
+	if bottom != 1 {
+		t.Fatalf("bottom grade = %v, want 1", bottom)
+	}
+	if _, err := FinalGrade(-1, 5, 5, 0); err == nil {
+		t.Fatal("negative component must fail")
+	}
+	if !Passed(5.5) || Passed(5.4) {
+		t.Fatal("pass threshold wrong")
+	}
+}
+
+func TestStudentRecordGrade(t *testing.T) {
+	r := StudentRecord{
+		TeamSize:    2,
+		Assignment:  [4]float64{9, 8, 10, 11},
+		Project:     8.5,
+		Report:      7.5,
+		MidtermTalk: 8,
+		FinalTalk:   9,
+		Exam:        7.5,
+		QuizScore:   40,
+	}
+	g, err := r.Grade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This profile matches the paper's averages (~8 everywhere): the
+	// final grade must land near 8 and pass.
+	if g < 7 || g > 10 {
+		t.Fatalf("grade = %v, want around 8", g)
+	}
+	if !Passed(g) {
+		t.Fatal("typical passing student must pass")
+	}
+	bad := r
+	bad.TeamSize = 9
+	if _, err := bad.Grade(); err == nil {
+		t.Fatal("invalid team must fail")
+	}
+}
+
+// Property: the final grade is monotone in every component and always in
+// [1, 10].
+func TestQuickFinalGradeMonotoneBounded(t *testing.T) {
+	f := func(p, a, e, q uint8) bool {
+		gp := float64(p%100) / 10
+		ga := float64(a%131) / 10
+		ge := float64(e%100) / 10
+		sq := float64(q % 71)
+		g, err := FinalGrade(gp, ga, ge, sq)
+		if err != nil || g < 1 || g > 10 {
+			return false
+		}
+		g2, err := FinalGrade(gp+0.5, ga, ge, sq)
+		return err == nil && g2 >= g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	fig := Figure1(60, 15)
+	for _, want := range []string{"Figure 1", "Total enrolled", "146 enrolled", "93 passed", "41 respondents"} {
+		if !strings.Contains(fig, want) {
+			t.Fatalf("figure missing %q:\n%s", want, fig)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tab := Table1()
+	s := tab.String()
+	if !strings.Contains(s, "Roofline model and extensions") ||
+		!strings.Contains(s, "Queuing theory") {
+		t.Fatalf("table 1 incomplete:\n%s", s)
+	}
+	// Roofline row: stages 2,3 -> ".vv...." pattern.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "Roofline") && !strings.Contains(line, ".vv....") {
+			t.Fatalf("roofline stage marks wrong: %s", line)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	a := Table2aReport().String()
+	if !strings.Contains(a, "Taught me a lot") || !strings.Contains(a, "4.5") {
+		t.Fatalf("table 2a incomplete:\n%s", a)
+	}
+	b := Table2bReport().String()
+	if !strings.Contains(b, "Workload") || !strings.Contains(b, "4.0") {
+		t.Fatalf("table 2b incomplete:\n%s", b)
+	}
+}
+
+func TestFigure2Topology(t *testing.T) {
+	fig, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies must appear before their dependents.
+	idx := func(s string) int { return strings.Index(fig, s+" ") }
+	if idx("DATA-1") > idx("SW-2") || idx("SW-2") > idx("Figure 1") {
+		t.Fatalf("topological order broken:\n%s", fig)
+	}
+	if idx("Figure 1") > idx("Paper") || idx("Table 2") > idx("Paper") {
+		t.Fatalf("paper must come last:\n%s", fig)
+	}
+}
+
+func TestTopoSortRejectsCycles(t *testing.T) {
+	_, err := topoSort([]Artifact{
+		{ID: "a", DependsOn: []string{"b"}},
+		{ID: "b", DependsOn: []string{"a"}},
+	})
+	if err == nil {
+		t.Fatal("cycle must fail")
+	}
+	_, err = topoSort([]Artifact{{ID: "a", DependsOn: []string{"ghost"}}})
+	if err == nil {
+		t.Fatal("dangling dependency must fail")
+	}
+}
+
+func TestLessons(t *testing.T) {
+	ls := Lessons()
+	if len(ls) != 6 {
+		t.Fatalf("lessons = %d, want 6 (Section 6)", len(ls))
+	}
+	for i, l := range ls {
+		if l.Number != i+1 || l.Title == "" || l.Essence == "" {
+			t.Fatalf("lesson %d malformed: %+v", i+1, l)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package course
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV serialization of the paper's data artifacts in the layout of the
+// course repository: DATA-1 as data/students.csv and DATA-2 as
+// data/metrics.csv. Writing and re-reading these files reproduces the
+// artifact pipeline of the appendix (DATA -> SW -> Figure/Table).
+
+// WriteStudentsCSV writes DATA-1.
+func WriteStudentsCSV(w io.Writer, recs []YearRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"year", "enrolled", "passed", "respondents", "evaluation_available"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		rec := []string{
+			strconv.Itoa(r.Year), strconv.Itoa(r.Enrolled),
+			strconv.Itoa(r.Passed), strconv.Itoa(r.Respondents),
+			strconv.FormatBool(r.EvaluationAvailable),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadStudentsCSV parses DATA-1.
+func ReadStudentsCSV(r io.Reader) ([]YearRecord, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("course: students.csv has no data rows")
+	}
+	out := make([]YearRecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("course: students.csv row %d has %d fields", i+2, len(row))
+		}
+		var rec YearRecord
+		var errs [5]error
+		rec.Year, errs[0] = strconv.Atoi(row[0])
+		rec.Enrolled, errs[1] = strconv.Atoi(row[1])
+		rec.Passed, errs[2] = strconv.Atoi(row[2])
+		rec.Respondents, errs[3] = strconv.Atoi(row[3])
+		rec.EvaluationAvailable, errs[4] = strconv.ParseBool(row[4])
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("course: students.csv row %d: %w", i+2, e)
+			}
+		}
+		if rec.Enrolled < rec.Passed || rec.Respondents < 0 {
+			return nil, fmt.Errorf("course: students.csv row %d is inconsistent", i+2)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteMetricsCSV writes DATA-2 (both Table 2a and 2b questions; the
+// scale column distinguishes them).
+func WriteMetricsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scale", "group", "statement", "c1", "c2", "c3", "c4", "c5"}); err != nil {
+		return err
+	}
+	write := func(scale string, qs []EvalQuestion) error {
+		for _, q := range qs {
+			rec := []string{scale, q.Group, q.Statement}
+			for _, c := range q.Counts {
+				rec = append(rec, strconv.Itoa(c))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("agreement", Table2a()); err != nil {
+		return err
+	}
+	if err := write("level", Table2b()); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMetricsCSV parses DATA-2 back into the two question sets.
+func ReadMetricsCSV(r io.Reader) (agreement, level []EvalQuestion, err error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, row := range rows[1:] {
+		if len(row) != 8 {
+			return nil, nil, fmt.Errorf("course: metrics.csv row %d has %d fields", i+2, len(row))
+		}
+		q := EvalQuestion{Group: row[1], Statement: row[2]}
+		for j := 0; j < 5; j++ {
+			v, err := strconv.Atoi(row[3+j])
+			if err != nil || v < 0 {
+				return nil, nil, fmt.Errorf("course: metrics.csv row %d count %d invalid", i+2, j+1)
+			}
+			q.Counts[j] = v
+		}
+		switch row[0] {
+		case "agreement":
+			agreement = append(agreement, q)
+		case "level":
+			level = append(level, q)
+		default:
+			return nil, nil, fmt.Errorf("course: metrics.csv row %d has unknown scale %q", i+2, row[0])
+		}
+	}
+	return agreement, level, nil
+}

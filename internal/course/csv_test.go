@@ -1,0 +1,76 @@
+package course
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStudentsCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStudentsCSV(&buf, Students()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStudentsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Students()
+	if len(back) != len(orig) {
+		t.Fatalf("rows = %d", len(back))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("row %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestReadStudentsCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "year,enrolled,passed,respondents,evaluation_available\n",
+		"short row":    "h1,h2,h3,h4,h5\n2017,12,8\n",
+		"bad int":      "h1,h2,h3,h4,h5\nx,12,8,9,true\n",
+		"bad bool":     "h1,h2,h3,h4,h5\n2017,12,8,9,maybe\n",
+		"inconsistent": "h1,h2,h3,h4,h5\n2017,5,8,9,true\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadStudentsCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMetricsCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	agree, level, err := ReadMetricsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agree) != len(Table2a()) || len(level) != len(Table2b()) {
+		t.Fatalf("rows = %d/%d", len(agree), len(level))
+	}
+	// Means recomputed from the round-tripped data still match the paper.
+	for i, q := range agree {
+		if q.Mean() != Table2a()[i].Mean() {
+			t.Fatalf("agreement row %d mean changed", i)
+		}
+	}
+}
+
+func TestReadMetricsCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short":     "h\nagreement,g\n",
+		"bad count": "h1,h2,h3,h4,h5,h6,h7,h8\nagreement,g,s,x,1,1,1,1\n",
+		"neg count": "h1,h2,h3,h4,h5,h6,h7,h8\nagreement,g,s,-1,1,1,1,1\n",
+		"bad scale": "h1,h2,h3,h4,h5,h6,h7,h8\nbogus,g,s,1,1,1,1,1\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ReadMetricsCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package course reproduces the paper's own evaluation artifacts: the
+// DATA-1/DATA-2 data (student counts and evaluation responses), the
+// grading scheme of Equations 1-3, and the generators for Figure 1,
+// Table 1, Table 2a/2b and Figure 2 (the SW-2/SW-3 scripts of the
+// artifact appendix, reimplemented in Go).
+//
+// The per-year DATA-1 series is reconstructed: the paper publishes the
+// totals (146 enrolled, 93 passed, 41 evaluation respondents over seven
+// editions; evaluations unavailable for 2019 and 2022) and the shape of
+// Figure 1; the reconstruction preserves those totals and the published
+// shape exactly where stated. DATA-2 (Table 2) is transcribed verbatim
+// from the paper.
+package course
+
+// YearRecord is one row of DATA-1 (students.csv).
+type YearRecord struct {
+	Year        int
+	Enrolled    int
+	Passed      int
+	Respondents int
+	// EvaluationAvailable is false for 2019 and 2022 ("the evaluation for
+	// the 2019 and 2022 courses are unavailable").
+	EvaluationAvailable bool
+}
+
+// Students returns the reconstructed DATA-1 series. Totals match the
+// paper: 146 enrolled, 93 passed, 41 respondents.
+func Students() []YearRecord {
+	return []YearRecord{
+		{Year: 2017, Enrolled: 12, Passed: 8, Respondents: 9, EvaluationAvailable: true},
+		{Year: 2018, Enrolled: 15, Passed: 10, Respondents: 8, EvaluationAvailable: true},
+		{Year: 2019, Enrolled: 18, Passed: 11, Respondents: 0, EvaluationAvailable: false},
+		{Year: 2020, Enrolled: 20, Passed: 13, Respondents: 8, EvaluationAvailable: true},
+		{Year: 2021, Enrolled: 22, Passed: 14, Respondents: 7, EvaluationAvailable: true},
+		{Year: 2022, Enrolled: 26, Passed: 17, Respondents: 0, EvaluationAvailable: false},
+		{Year: 2023, Enrolled: 33, Passed: 20, Respondents: 9, EvaluationAvailable: true},
+	}
+}
+
+// EvalQuestion is one row of DATA-2 (metrics.csv): a statement and its
+// 5-point Likert histogram (index 0 = "Firmly Disagree"/"Very Low").
+type EvalQuestion struct {
+	Group     string
+	Statement string
+	Counts    [5]int
+}
+
+// N returns the number of responses.
+func (q EvalQuestion) N() int {
+	n := 0
+	for _, c := range q.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the mean score (the paper's "M" column).
+func (q EvalQuestion) Mean() float64 {
+	n, sum := 0, 0
+	for i, c := range q.Counts {
+		n += c
+		sum += (i + 1) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Table2a returns the agreement-scale questions of Table 2a, transcribed
+// from the paper.
+func Table2a() []EvalQuestion {
+	return []EvalQuestion{
+		{"The course ...", "Taught me a lot", [5]int{0, 0, 1, 17, 18}},
+		{"The course ...", "Was clearly structured", [5]int{0, 2, 3, 19, 13}},
+		{"The course ...", "Was intellectually challenging", [5]int{0, 0, 2, 9, 25}},
+		{"I acquired, learned, or developed ...", "Factual knowledge", [5]int{0, 0, 1, 13, 13}},
+		{"I acquired, learned, or developed ...", "Fundamental principles", [5]int{0, 1, 2, 16, 11}},
+		{"I acquired, learned, or developed ...", "Current scientific theories", [5]int{0, 3, 5, 13, 9}},
+		{"I acquired, learned, or developed ...", "To apply subject matter", [5]int{0, 0, 0, 7, 22}},
+		{"I acquired, learned, or developed ...", "Professional skills", [5]int{0, 0, 3, 13, 15}},
+		{"I acquired, learned, or developed ...", "Technical skills", [5]int{0, 0, 6, 14, 9}},
+		{"... helped me understand the subject", "Assignment 1", [5]int{0, 1, 1, 12, 16}},
+		{"... helped me understand the subject", "Assignment 2", [5]int{0, 0, 1, 11, 16}},
+		{"... helped me understand the subject", "Assignment 3", [5]int{1, 1, 1, 17, 10}},
+		{"... helped me understand the subject", "Assignment 4", [5]int{0, 1, 1, 12, 13}},
+	}
+}
+
+// Table2b returns the low/high-scale questions of Table 2b (a score
+// between 3 and 4 is considered optimal).
+func Table2b() []EvalQuestion {
+	return []EvalQuestion{
+		{"The ... of the course was", "Workload", [5]int{0, 0, 11, 14, 11}},
+		{"The ... of the course was", "Level", [5]int{0, 1, 16, 13, 6}},
+	}
+}
+
+// Topic is one row of Table 1: a lecture topic with the PE-process stages
+// (1-7, Section 2.3) and learning objectives (1-8, Section 3.1) it serves.
+type Topic struct {
+	Name       string
+	Stages     []int
+	Objectives []int
+}
+
+// Topics returns Table 1 as published.
+func Topics() []Topic {
+	return []Topic{
+		{"Basics of performance", []int{2}, []int{1}},
+		{"Code tuning and optimization", []int{5}, []int{6, 8}},
+		{"Roofline model and extensions", []int{2, 3}, []int{2, 4}},
+		{"Analytical modeling", []int{2, 3}, []int{2, 3, 5}},
+		{"(Micro)benchmarking", []int{1, 2}, []int{1, 4, 8}},
+		{"Data-driven and stat. modeling", []int{2, 3}, []int{3, 5, 8}},
+		{"Simulation and simulators", []int{4}, []int{3, 7, 8}},
+		{"Perf. counters and patterns", []int{2}, []int{4, 6, 8}},
+		{"Scale-out to distributed systems", []int{4, 5}, []int{6, 7}},
+		{"Queuing theory", []int{2}, []int{2, 5}},
+		{"Polyhedral model", []int{5}, []int{2, 6, 8}},
+	}
+}
+
+// Lesson is one of the paper's six lessons learned (Section 6).
+type Lesson struct {
+	Number  int
+	Title   string
+	Essence string
+}
+
+// Lessons returns Section 6 as data (the toolbox's executables surface
+// them next to the results they explain).
+func Lessons() []Lesson {
+	return []Lesson{
+		{1, "Treat performance engineering like a puzzle",
+			"appeal to curiosity about why applications behave weirdly on different systems"},
+		{2, "Provide both methods and tools for each part",
+			"theory lands when students can link it to concrete examples"},
+		{3, "Do not underestimate empirical analysis efforts",
+			"missing experimental design and automation is where time disappears"},
+		{4, "Projects stimulate creativity; allow exploration time",
+			"no end-line: try different things and report after critical reflection"},
+		{5, "Stimulate critical reporting of positive and negative results",
+			"grade the process and insights, not the ultimate speedup"},
+		{6, "This is an intensive course for teachers and students",
+			"keeping material current is hard but is what makes it immediately applicable"},
+	}
+}
+
+// Artifact is one node of the Figure 2 dependency graph.
+type Artifact struct {
+	ID   string
+	Kind string // "data", "software", "document", "output"
+	// DependsOn lists artifact IDs this one is produced from.
+	DependsOn []string
+}
+
+// Artifacts returns the Figure 2 graph: the paper and its figures are
+// produced from the data artifacts by the software artifacts.
+func Artifacts() []Artifact {
+	return []Artifact{
+		{ID: "DATA-1", Kind: "data"},
+		{ID: "DATA-2", Kind: "data"},
+		{ID: "SW-1", Kind: "software"},
+		{ID: "SW-2", Kind: "software", DependsOn: []string{"DATA-1"}},
+		{ID: "SW-3", Kind: "software", DependsOn: []string{"DATA-2"}},
+		{ID: "Figure 1", Kind: "output", DependsOn: []string{"SW-2"}},
+		{ID: "Table 2", Kind: "output", DependsOn: []string{"SW-3"}},
+		{ID: "DOC-1", Kind: "document"},
+		{ID: "DOC-2", Kind: "document"},
+		{ID: "Paper", Kind: "output", DependsOn: []string{"Figure 1", "Table 2"}},
+	}
+}

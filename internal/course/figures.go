@@ -1,0 +1,170 @@
+package course
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfeng/internal/report"
+)
+
+// Generators for the paper's figures and tables (the Go reimplementation
+// of the SW-2/SW-3 artifact scripts).
+
+// Figure1 renders the enrollment/passing/respondents plot of Figure 1.
+func Figure1(width, height int) string {
+	recs := Students()
+	var years, enrolled, passed, resp []float64
+	for _, r := range recs {
+		years = append(years, float64(r.Year))
+		enrolled = append(enrolled, float64(r.Enrolled))
+		passed = append(passed, float64(r.Passed))
+		resp = append(resp, float64(r.Respondents))
+	}
+	plot := report.LinePlot("Figure 1: students enrolled, passing, and evaluation respondents per year",
+		[]report.Series{
+			{Name: "Total enrolled", X: years, Y: enrolled, Marker: '*'},
+			{Name: "Passing grades", X: years, Y: passed, Marker: 'o'},
+			{Name: "Evaluation respondents (2019, 2022 unavailable)", X: years, Y: resp, Marker: '+'},
+		}, width, height)
+	var tot YearRecord
+	for _, r := range recs {
+		tot.Enrolled += r.Enrolled
+		tot.Passed += r.Passed
+		tot.Respondents += r.Respondents
+	}
+	return plot + fmt.Sprintf("totals: %d enrolled, %d passed, %d respondents\n",
+		tot.Enrolled, tot.Passed, tot.Respondents)
+}
+
+// Table1 renders the topics x stages x objectives matrix of Table 1.
+func Table1() *report.Table {
+	t := &report.Table{
+		Title:   "Table 1: topics vs PE-process stages and learning objectives",
+		Headers: []string{"Topic", "Stages 1234567", "Objectives 12345678"},
+	}
+	marks := func(set []int, n int) string {
+		row := make([]byte, n)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range set {
+			if s >= 1 && s <= n {
+				row[s-1] = 'v'
+			}
+		}
+		return string(row)
+	}
+	for _, tp := range Topics() {
+		t.AddRow(tp.Name, marks(tp.Stages, 7), marks(tp.Objectives, 8))
+	}
+	return t
+}
+
+// Table2aReport renders Table 2a with per-statement histograms and means.
+func Table2aReport() *report.Table {
+	t := &report.Table{
+		Title:   "Table 2a: evaluation responses (1=Firmly Disagree .. 5=Firmly Agree)",
+		Headers: []string{"Group", "Statement", "1", "2", "3", "4", "5", "N", "M"},
+	}
+	for _, q := range Table2a() {
+		t.AddRow(q.Group, q.Statement,
+			fmt.Sprint(q.Counts[0]), fmt.Sprint(q.Counts[1]), fmt.Sprint(q.Counts[2]),
+			fmt.Sprint(q.Counts[3]), fmt.Sprint(q.Counts[4]),
+			fmt.Sprint(q.N()), fmt.Sprintf("%.1f", q.Mean()))
+	}
+	return t
+}
+
+// Table2bReport renders Table 2b (3-4 considered optimal).
+func Table2bReport() *report.Table {
+	t := &report.Table{
+		Title:   "Table 2b: evaluation responses (1=Very Low .. 5=Very High; 3-4 optimal)",
+		Headers: []string{"Group", "Statement", "1", "2", "3", "4", "5", "N", "M"},
+	}
+	for _, q := range Table2b() {
+		t.AddRow(q.Group, q.Statement,
+			fmt.Sprint(q.Counts[0]), fmt.Sprint(q.Counts[1]), fmt.Sprint(q.Counts[2]),
+			fmt.Sprint(q.Counts[3]), fmt.Sprint(q.Counts[4]),
+			fmt.Sprint(q.N()), fmt.Sprintf("%.1f", q.Mean()))
+	}
+	return t
+}
+
+// Figure2 renders the artifact dependency graph in topological order.
+func Figure2() (string, error) {
+	arts := Artifacts()
+	byID := make(map[string]Artifact, len(arts))
+	for _, a := range arts {
+		byID[a.ID] = a
+	}
+	order, err := topoSort(arts)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2: artifact dependency graph (topological order)\n")
+	for _, id := range order {
+		a := byID[id]
+		if len(a.DependsOn) == 0 {
+			fmt.Fprintf(&sb, "  %-8s [%s]\n", a.ID, a.Kind)
+		} else {
+			fmt.Fprintf(&sb, "  %-8s [%s] <- %s\n", a.ID, a.Kind, strings.Join(a.DependsOn, ", "))
+		}
+	}
+	return sb.String(), nil
+}
+
+// topoSort returns a deterministic topological order of the artifacts,
+// failing on cycles or dangling references.
+func topoSort(arts []Artifact) ([]string, error) {
+	deps := make(map[string][]string, len(arts))
+	for _, a := range arts {
+		deps[a.ID] = a.DependsOn
+	}
+	for id, ds := range deps {
+		for _, d := range ds {
+			if _, ok := deps[d]; !ok {
+				return nil, fmt.Errorf("course: artifact %s depends on unknown %s", id, d)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(deps))
+	var order []string
+	var visit func(id string) error
+	visit = func(id string) error {
+		switch color[id] {
+		case gray:
+			return fmt.Errorf("course: artifact cycle through %s", id)
+		case black:
+			return nil
+		}
+		color[id] = gray
+		ds := append([]string(nil), deps[id]...)
+		sort.Strings(ds)
+		for _, d := range ds {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[id] = black
+		order = append(order, id)
+		return nil
+	}
+	ids := make([]string, 0, len(deps))
+	for id := range deps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := visit(id); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,107 @@
+package course
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The grading scheme of Section 4.4, Equations 1-3. Dutch grades run from
+// 1 (worst) to 10 (best); 5.5 and above passes.
+
+// AssignmentPoints holds the per-assignment point budgets (10, 9, 11, 12
+// for assignments 1-4).
+var AssignmentPoints = [4]float64{10, 9, 11, 12}
+
+// TeamDivisor returns the N of Equation 3 for the given team size:
+// 32 for 1 student, 36 for 2, 40 for 3-4.
+func TeamDivisor(teamSize int) (float64, error) {
+	switch {
+	case teamSize == 1:
+		return 32, nil
+	case teamSize == 2:
+		return 36, nil
+	case teamSize == 3 || teamSize == 4:
+		return 40, nil
+	default:
+		return 0, fmt.Errorf("course: invalid team size %d (teams are 1-4 students)", teamSize)
+	}
+}
+
+// AssignmentsGrade implements Equation 3: Ga = 10 * sum(points) / N.
+// points are the earned points per assignment (bounded by
+// AssignmentPoints); the result is NOT clamped — Equation 1 clamps the
+// final grade.
+func AssignmentsGrade(points [4]float64, teamSize int) (float64, error) {
+	n, err := TeamDivisor(teamSize)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, p := range points {
+		if p < 0 || p > AssignmentPoints[i] {
+			return 0, fmt.Errorf("course: assignment %d points %g outside [0, %g]",
+				i+1, p, AssignmentPoints[i])
+		}
+		sum += p
+	}
+	return 10 * sum / n, nil
+}
+
+// ProjectGrade implements Equation 2: Gp = 0.4*Gproject + 0.3*Greport +
+// 0.3*Gtalks, with Gtalks the average of the midterm and final
+// presentations.
+func ProjectGrade(project, reportGrade, midtermTalk, finalTalk float64) (float64, error) {
+	for _, g := range []float64{project, reportGrade, midtermTalk, finalTalk} {
+		if g < 1 || g > 10 {
+			return 0, errors.New("course: component grades must be in [1, 10]")
+		}
+	}
+	talks := (midtermTalk + finalTalk) / 2
+	return 0.4*project + 0.3*reportGrade + 0.3*talks, nil
+}
+
+// FinalGrade implements Equation 1:
+// G = max(1, min(10, 0.5*Gp + 0.3*Ga + 0.3*(Ge + Sq/70))).
+// quizScore (Sq) is the in-class quiz bonus in raw points.
+func FinalGrade(projectGrade, assignmentsGrade, examGrade, quizScore float64) (float64, error) {
+	if projectGrade < 0 || assignmentsGrade < 0 || examGrade < 0 || quizScore < 0 {
+		return 0, errors.New("course: negative grade component")
+	}
+	g := 0.5*projectGrade + 0.3*assignmentsGrade + 0.3*(examGrade+quizScore/70)
+	if g < 1 {
+		g = 1
+	}
+	if g > 10 {
+		g = 10
+	}
+	return g, nil
+}
+
+// Passed reports whether a final grade passes (>= 5.5 in the Dutch
+// system).
+func Passed(finalGrade float64) bool { return finalGrade >= 5.5 }
+
+// StudentRecord bundles one team's raw scores for end-to-end grading.
+type StudentRecord struct {
+	TeamSize    int
+	Assignment  [4]float64 // earned points per assignment
+	Project     float64    // 1-10
+	Report      float64    // 1-10
+	MidtermTalk float64    // 1-10
+	FinalTalk   float64    // 1-10
+	Exam        float64    // 1-10
+	QuizScore   float64    // raw quiz points
+}
+
+// Grade computes the final grade of a record via Equations 1-3.
+func (r StudentRecord) Grade() (float64, error) {
+	ga, err := AssignmentsGrade(r.Assignment, r.TeamSize)
+	if err != nil {
+		return 0, err
+	}
+	gp, err := ProjectGrade(r.Project, r.Report, r.MidtermTalk, r.FinalTalk)
+	if err != nil {
+		return 0, err
+	}
+	return FinalGrade(gp, ga, r.Exam, r.QuizScore)
+}

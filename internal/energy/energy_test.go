@@ -1,0 +1,140 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+)
+
+func model() PowerModel {
+	return PowerModel{StaticWatts: 20, PerCoreWatts: 8, NominalHz: 2.4e9}
+}
+
+func TestDefaultPowerModel(t *testing.T) {
+	p := DefaultPowerModel(machine.DAS5CPU())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Full load at nominal frequency lands in the TDP class (~80 W for 8
+	// cores).
+	full := p.Power(8, p.NominalHz)
+	if full < 40 || full > 150 {
+		t.Fatalf("full-load power %v implausible", full)
+	}
+	if p.Power(0, p.NominalHz) != p.StaticWatts {
+		t.Fatal("idle power must equal static power")
+	}
+}
+
+func TestPowerCubicScaling(t *testing.T) {
+	p := model()
+	base := p.Power(4, p.NominalHz) - p.StaticWatts
+	half := p.Power(4, p.NominalHz/2) - p.StaticWatts
+	if math.Abs(half-base/8) > 1e-9 {
+		t.Fatalf("dynamic power should scale cubically: %v vs %v/8", half, base)
+	}
+	if p.Power(-3, p.NominalHz) != p.StaticWatts {
+		t.Fatal("negative cores should clamp to idle")
+	}
+}
+
+func TestAccount(t *testing.T) {
+	p := model()
+	m := &metrics.Measurement{Name: "k", FLOPs: 1e9, Seconds: []float64{2}}
+	r, err := p.Account(m, 1, p.NominalHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := 28.0 // 20 static + 8 one core
+	if r.Watts != wantW || r.Joules != 56 || r.EDP != 112 {
+		t.Fatalf("accounting wrong: %+v", r)
+	}
+	// 1e9 FLOPs in 2s = 0.5 GFLOP/s at 28 W.
+	if math.Abs(r.GFLOPSPerWatt-0.5/28) > 1e-12 {
+		t.Fatalf("efficiency = %v", r.GFLOPSPerWatt)
+	}
+	if !strings.Contains(r.String(), "GFLOP/s/W") {
+		t.Fatal("String incomplete")
+	}
+	empty := &metrics.Measurement{}
+	if _, err := p.Account(empty, 1, p.NominalHz); err == nil {
+		t.Fatal("empty measurement must fail")
+	}
+	bad := PowerModel{}
+	if _, err := bad.Account(m, 1, 1e9); err == nil {
+		t.Fatal("invalid model must fail")
+	}
+}
+
+func TestRaceToIdle(t *testing.T) {
+	p := model()
+	freqs := []float64{1.2e9, 1.6e9, 2.0e9, 2.4e9, 2.8e9}
+	choices, bestE, bestEDP, err := RaceToIdle(p, 10, 4, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(freqs) {
+		t.Fatalf("choices = %d", len(choices))
+	}
+	// Runtime shrinks with frequency; energy is non-monotone.
+	for i := 1; i < len(choices); i++ {
+		if choices[i].Seconds >= choices[i-1].Seconds {
+			t.Fatal("runtime must shrink with frequency")
+		}
+	}
+	// The energy optimum sits at or below the EDP optimum in frequency —
+	// the canonical DVFS result.
+	if choices[bestE].Hz > choices[bestEDP].Hz {
+		t.Fatalf("energy optimum %v Hz above EDP optimum %v Hz",
+			choices[bestE].Hz, choices[bestEDP].Hz)
+	}
+	// With substantial static power the highest frequency must not be the
+	// energy optimum... unless static dominates; with these numbers the
+	// optimum is interior or at an extreme — just check consistency:
+	for i, c := range choices {
+		if c.Joules < choices[bestE].Joules || c.EDP < choices[bestEDP].EDP {
+			t.Fatalf("optimum indices wrong at %d", i)
+		}
+	}
+}
+
+func TestRaceToIdleErrors(t *testing.T) {
+	p := model()
+	if _, _, _, err := RaceToIdle(p, 0, 1, []float64{1e9}); err == nil {
+		t.Fatal("zero work must fail")
+	}
+	if _, _, _, err := RaceToIdle(p, 1, 1, nil); err == nil {
+		t.Fatal("no frequencies must fail")
+	}
+	if _, _, _, err := RaceToIdle(p, 1, 1, []float64{-1}); err == nil {
+		t.Fatal("negative frequency must fail")
+	}
+	if _, _, _, err := RaceToIdle(PowerModel{}, 1, 1, []float64{1e9}); err == nil {
+		t.Fatal("invalid model must fail")
+	}
+}
+
+// Property: energy accounting is linear in runtime (twice the runtime at
+// the same power is twice the energy, 4x the EDP).
+func TestQuickEnergyLinearity(t *testing.T) {
+	p := model()
+	f := func(tRaw uint16) bool {
+		tv := float64(tRaw%1000)/100 + 0.01
+		m1 := &metrics.Measurement{Seconds: []float64{tv}}
+		m2 := &metrics.Measurement{Seconds: []float64{2 * tv}}
+		r1, err1 := p.Account(m1, 2, p.NominalHz)
+		r2, err2 := p.Account(m2, 2, p.NominalHz)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r2.Joules-2*r1.Joules) < 1e-9 &&
+			math.Abs(r2.EDP-4*r1.EDP) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

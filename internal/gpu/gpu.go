@@ -1,0 +1,148 @@
+// Package gpu provides the accelerator substrate of the course's
+// heterogeneous-systems story: a SIMT-style device executor (grid/block/
+// thread over a goroutine pool standing in for streaming multiprocessors)
+// plus the occupancy, coalescing and offload performance models students
+// apply to the "GPU as accelerator device to the CPU host" (Section 2.1).
+//
+// The executor is a functional substitute for CUDA, not a timing-accurate
+// GPU simulator: it runs kernels with the CUDA execution geometry
+// (gridDim/blockDim/blockIdx/threadIdx, per-block shared memory) so the
+// course's GPU exercises can execute anywhere, while the analytical models
+// in model.go answer the performance questions (what limits the kernel,
+// is offload worthwhile) that the assignments pose.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"perfeng/internal/machine"
+)
+
+// Dim3 is the CUDA-style 3D geometry index.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// Count returns the number of points in the geometry.
+func (d Dim3) Count() int { return d.X * d.Y * d.Z }
+
+// valid reports whether all components are positive.
+func (d Dim3) valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
+
+// Kernel is the device function: invoked once per thread with its block
+// and thread indices and the block's shared memory.
+type Kernel func(blockIdx, threadIdx Dim3, shared []float64)
+
+// Device executes kernels with the geometry of the modeled GPU.
+type Device struct {
+	Model machine.GPU
+	// Workers is the number of concurrently executing blocks (defaults to
+	// min(SMs, GOMAXPROCS)).
+	Workers int
+}
+
+// NewDevice creates a device for the model.
+func NewDevice(model machine.GPU) (*Device, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	w := model.SMs
+	if p := runtime.GOMAXPROCS(0); p < w {
+		w = p
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &Device{Model: model, Workers: w}, nil
+}
+
+// Launch runs the kernel over grid x block threads. Each block gets a
+// fresh shared-memory slice of sharedLen float64s. Threads within a block
+// run sequentially in (z, y, x) order — the warp-synchronous
+// approximation, which makes shared-memory reductions deterministic;
+// blocks run concurrently, so cross-block communication must use atomics,
+// as on real devices.
+func (d *Device) Launch(grid, block Dim3, sharedLen int, kernel Kernel) error {
+	if kernel == nil {
+		return errors.New("gpu: nil kernel")
+	}
+	if !grid.valid() || !block.valid() {
+		return fmt.Errorf("gpu: invalid geometry grid=%+v block=%+v", grid, block)
+	}
+	if block.Count() > d.Model.MaxThreadsPerSM {
+		return fmt.Errorf("gpu: block of %d threads exceeds device limit %d",
+			block.Count(), d.Model.MaxThreadsPerSM)
+	}
+	if sharedLen*8 > d.Model.SharedMemPerSMBytes {
+		return fmt.Errorf("gpu: shared memory %dB exceeds per-SM limit %dB",
+			sharedLen*8, d.Model.SharedMemPerSMBytes)
+	}
+	nBlocks := grid.Count()
+	blockCh := make(chan Dim3, nBlocks)
+	for bz := 0; bz < grid.Z; bz++ {
+		for by := 0; by < grid.Y; by++ {
+			for bx := 0; bx < grid.X; bx++ {
+				blockCh <- Dim3{X: bx, Y: by, Z: bz}
+			}
+		}
+	}
+	close(blockCh)
+
+	workers := d.Workers
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					select {
+					case panics <- p:
+					default:
+					}
+				}
+			}()
+			for b := range blockCh {
+				var shared []float64
+				if sharedLen > 0 {
+					shared = make([]float64, sharedLen)
+				}
+				for tz := 0; tz < block.Z; tz++ {
+					for ty := 0; ty < block.Y; ty++ {
+						for tx := 0; tx < block.X; tx++ {
+							kernel(b, Dim3{X: tx, Y: ty, Z: tz}, shared)
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		return fmt.Errorf("gpu: kernel panicked: %v", p)
+	default:
+		return nil
+	}
+}
+
+// Launch1D is the common 1D convenience wrapper: n threads in blocks of
+// blockSize; the kernel receives the global thread id and must bounds-check
+// against n itself (ids round up to a whole block, as in CUDA).
+func (d *Device) Launch1D(n, blockSize int, kernel func(globalID int)) error {
+	if n <= 0 || blockSize <= 0 {
+		return errors.New("gpu: Launch1D needs positive sizes")
+	}
+	blocks := (n + blockSize - 1) / blockSize
+	return d.Launch(Dim3{X: blocks, Y: 1, Z: 1}, Dim3{X: blockSize, Y: 1, Z: 1}, 0,
+		func(b, t Dim3, _ []float64) {
+			kernel(b.X*blockSize + t.X)
+		})
+}

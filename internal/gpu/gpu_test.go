@@ -1,0 +1,280 @@
+package gpu
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"perfeng/internal/machine"
+)
+
+func dev(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(machine.DAS5TitanX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceRejectsBadModel(t *testing.T) {
+	if _, err := NewDevice(machine.GPU{}); err == nil {
+		t.Fatal("invalid model must fail")
+	}
+}
+
+func TestLaunch1DVectorAdd(t *testing.T) {
+	d := dev(t)
+	n := 10_000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = 2 * float64(i)
+	}
+	err := d.Launch1D(n, 256, func(id int) {
+		if id < n {
+			c[id] = a[id] + b[id]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if c[i] != 3*float64(i) {
+			t.Fatalf("c[%d] = %v", i, c[i])
+		}
+	}
+}
+
+func TestLaunchGeometry(t *testing.T) {
+	d := dev(t)
+	var count int64
+	err := d.Launch(Dim3{X: 2, Y: 3, Z: 1}, Dim3{X: 4, Y: 2, Z: 1}, 0,
+		func(b, tid Dim3, _ []float64) {
+			atomic.AddInt64(&count, 1)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2*3*4*2 {
+		t.Fatalf("threads run = %d, want 48", count)
+	}
+}
+
+func TestLaunchSharedMemoryReduction(t *testing.T) {
+	d := dev(t)
+	n := 1 << 12
+	block := 128
+	blocks := n / block
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1
+	}
+	partial := make([]float64, blocks)
+	err := d.Launch(Dim3{X: blocks, Y: 1, Z: 1}, Dim3{X: block, Y: 1, Z: 1}, 1,
+		func(b, tid Dim3, shared []float64) {
+			shared[0] += data[b.X*block+tid.X]
+			if tid.X == block-1 { // last thread in the (sequential) block
+				partial[b.X] = shared[0]
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	if total != float64(n) {
+		t.Fatalf("reduction = %v, want %v", total, float64(n))
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	d := dev(t)
+	if err := d.Launch(Dim3{}, Dim3{X: 1, Y: 1, Z: 1}, 0, func(Dim3, Dim3, []float64) {}); err == nil {
+		t.Fatal("invalid grid must fail")
+	}
+	if err := d.Launch(Dim3{X: 1, Y: 1, Z: 1}, Dim3{X: 4096, Y: 1, Z: 1}, 0, func(Dim3, Dim3, []float64) {}); err == nil {
+		t.Fatal("oversized block must fail")
+	}
+	if err := d.Launch(Dim3{X: 1, Y: 1, Z: 1}, Dim3{X: 1, Y: 1, Z: 1}, 1<<20, func(Dim3, Dim3, []float64) {}); err == nil {
+		t.Fatal("oversized shared memory must fail")
+	}
+	if err := d.Launch(Dim3{X: 1, Y: 1, Z: 1}, Dim3{X: 1, Y: 1, Z: 1}, 0, nil); err == nil {
+		t.Fatal("nil kernel must fail")
+	}
+	if err := d.Launch1D(0, 32, func(int) {}); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+}
+
+func TestLaunchKernelPanicCaptured(t *testing.T) {
+	d := dev(t)
+	err := d.Launch1D(128, 32, func(id int) {
+		if id == 77 {
+			panic("device-side assert")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestComputeOccupancyFull(t *testing.T) {
+	g := machine.DAS5TitanX()
+	// 256-thread blocks, tiny resource use: thread-limited, 8 blocks/SM.
+	occ, err := ComputeOccupancy(g, 256, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 8 || occ.Fraction != 1 {
+		t.Fatalf("occ = %+v", occ)
+	}
+	if occ.LimitedBy != "threads" {
+		t.Fatalf("limited by %s", occ.LimitedBy)
+	}
+}
+
+func TestComputeOccupancySharedLimited(t *testing.T) {
+	g := machine.DAS5TitanX()
+	// 48 KiB shared per block on a 96 KiB SM: 2 blocks -> 512 threads.
+	occ, err := ComputeOccupancy(g, 256, 0, 48<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.LimitedBy != "shared-memory" || occ.BlocksPerSM != 2 {
+		t.Fatalf("occ = %+v", occ)
+	}
+	if math.Abs(occ.Fraction-0.25) > 1e-12 {
+		t.Fatalf("fraction = %v", occ.Fraction)
+	}
+}
+
+func TestComputeOccupancyRegisterLimited(t *testing.T) {
+	g := machine.DAS5TitanX()
+	// 64 regs/thread x 1024 threads consumes the whole 64K register file:
+	// one block per SM, register-limited.
+	occ, err := ComputeOccupancy(g, 1024, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.LimitedBy != "registers" {
+		t.Fatalf("occ = %+v", occ)
+	}
+}
+
+func TestComputeOccupancyErrors(t *testing.T) {
+	g := machine.DAS5TitanX()
+	if _, err := ComputeOccupancy(g, 0, 0, 0); err == nil {
+		t.Fatal("zero block must fail")
+	}
+	if _, err := ComputeOccupancy(g, 4096, 0, 0); err == nil {
+		t.Fatal("oversized block must fail")
+	}
+	if _, err := ComputeOccupancy(g, 256, 0, 200<<10); err == nil {
+		t.Fatal("unfittable shared memory must fail")
+	}
+}
+
+func TestCoalescingEfficiency(t *testing.T) {
+	g := machine.DAS5TitanX()
+	// Unit stride, 8B elements: a warp spans 256B = 2 segments, fully
+	// used.
+	if got := CoalescingEfficiency(g, 1, 8); got != 1 {
+		t.Fatalf("unit stride eff = %v", got)
+	}
+	// Stride 2 halves the efficiency.
+	if got := CoalescingEfficiency(g, 2, 8); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("stride-2 eff = %v", got)
+	}
+	// Stride 16 (128B): each lane its own segment -> 1/16.
+	if got := CoalescingEfficiency(g, 16, 8); got > 0.07 {
+		t.Fatalf("stride-16 eff = %v", got)
+	}
+	if CoalescingEfficiency(g, 0, 8) != 0 {
+		t.Fatal("invalid stride must be 0")
+	}
+}
+
+func TestEstimateKernel(t *testing.T) {
+	g := machine.DAS5TitanX()
+	// SAXPY-like: 2 FLOPs and 24 bytes per element — memory-bound.
+	n := 1e7
+	est, err := EstimateKernel(g, 2*n, 24*n, 256, 32, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bound != "memory" {
+		t.Fatalf("bound = %s", est.Bound)
+	}
+	want := 24 * n / (g.MemBandwidthGBs() * 1e9)
+	if math.Abs(est.Seconds-want) > 1e-9 {
+		t.Fatalf("seconds = %v, want %v", est.Seconds, want)
+	}
+	// Heavy-compute kernel: compute-bound.
+	est2, err := EstimateKernel(g, 1e12, 8*n, 256, 32, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Bound != "compute" {
+		t.Fatalf("bound = %s", est2.Bound)
+	}
+	// Low occupancy derates the roofs: 128 regs/thread caps the SM at
+	// 4 blocks of 128 threads = 25% occupancy.
+	est3, err := EstimateKernel(g, 2*n, 24*n, 128, 128, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est3.Seconds <= est.Seconds {
+		t.Fatalf("low-occupancy kernel should be slower: %v vs %v", est3.Seconds, est.Seconds)
+	}
+}
+
+func TestEstimateOffload(t *testing.T) {
+	g := machine.DAS5TitanX()
+	est := KernelEstimate{Seconds: 1e-3}
+	// Tiny transfers, 100ms CPU time: offload clearly wins.
+	o := EstimateOffload(g, est, 1e6, 1e6, 0.1)
+	if o.Speedup < 10 {
+		t.Fatalf("speedup = %v", o.Speedup)
+	}
+	if o.Total != o.H2D+o.Kernel+o.D2H {
+		t.Fatal("total wrong")
+	}
+	// Giant transfers, tiny CPU time: offload loses.
+	o2 := EstimateOffload(g, est, 1e10, 1e10, 1e-3)
+	if o2.Speedup >= 1 {
+		t.Fatalf("offload should lose: %v", o2.Speedup)
+	}
+}
+
+func TestBreakEvenFLOPs(t *testing.T) {
+	g := machine.DAS5TitanX()
+	c := machine.DAS5CPU()
+	be := BreakEvenFLOPs(g, c, 1e8) // 100 MB moved
+	if be <= 0 || math.IsInf(be, 1) {
+		t.Fatalf("break-even = %v", be)
+	}
+	// At 10x the break-even work, offload should win decisively.
+	flops := 10 * be
+	est, err := EstimateKernel(g, flops, 1, 256, 32, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuTime := flops / (c.PeakGFLOPS() * 1e9)
+	o := EstimateOffload(g, est, 1e8, 0, cpuTime)
+	if o.Speedup <= 1 {
+		t.Fatalf("offload should win past break-even: %v", o.Speedup)
+	}
+	// A slower "GPU" than the CPU never breaks even.
+	slow := g
+	slow.SMs = 1
+	slow.CoresPerSM = 1
+	if !math.IsInf(BreakEvenFLOPs(slow, c, 1e8), 1) {
+		t.Fatal("slow GPU should never break even")
+	}
+}

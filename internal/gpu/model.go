@@ -1,0 +1,159 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perfeng/internal/machine"
+)
+
+// Analytical GPU models: occupancy (the CUDA occupancy-calculator logic),
+// memory-coalescing efficiency, roofline-style kernel time, and the
+// host-device offload break-even analysis — the modeling content of the
+// course's GPU lectures.
+
+// Occupancy is the per-SM resource analysis of a kernel launch.
+type Occupancy struct {
+	BlocksPerSM   int
+	ActiveThreads int
+	MaxThreads    int
+	Fraction      float64 // active/max threads
+	LimitedBy     string  // "threads", "blocks", "shared-memory", "registers"
+}
+
+// ComputeOccupancy returns the occupancy of a kernel with the given block
+// size, per-thread register count and per-block shared memory bytes on g.
+func ComputeOccupancy(g machine.GPU, blockThreads, regsPerThread, sharedPerBlockBytes int) (Occupancy, error) {
+	if blockThreads <= 0 {
+		return Occupancy{}, errors.New("gpu: block needs at least one thread")
+	}
+	if blockThreads > g.MaxThreadsPerSM {
+		return Occupancy{}, fmt.Errorf("gpu: block of %d exceeds %d threads/SM",
+			blockThreads, g.MaxThreadsPerSM)
+	}
+	limits := map[string]int{
+		"threads": g.MaxThreadsPerSM / blockThreads,
+		"blocks":  g.MaxBlocksPerSM,
+	}
+	if sharedPerBlockBytes > 0 {
+		limits["shared-memory"] = g.SharedMemPerSMBytes / sharedPerBlockBytes
+	}
+	if regsPerThread > 0 {
+		limits["registers"] = g.RegistersPerSM / (regsPerThread * blockThreads)
+	}
+	best, by := math.MaxInt, "threads"
+	for name, v := range limits {
+		if v < best || (v == best && name < by) {
+			best, by = v, name
+		}
+	}
+	if best < 1 {
+		return Occupancy{LimitedBy: by, MaxThreads: g.MaxThreadsPerSM},
+			fmt.Errorf("gpu: kernel cannot fit one block per SM (limited by %s)", by)
+	}
+	o := Occupancy{
+		BlocksPerSM:   best,
+		ActiveThreads: best * blockThreads,
+		MaxThreads:    g.MaxThreadsPerSM,
+		LimitedBy:     by,
+	}
+	o.Fraction = float64(o.ActiveThreads) / float64(o.MaxThreads)
+	return o, nil
+}
+
+// CoalescingEfficiency returns the fraction of each memory transaction
+// carrying useful data for a warp accessing elemBytes-sized elements with
+// the given element stride: useful bytes / (128-byte segments touched).
+func CoalescingEfficiency(g machine.GPU, strideElems, elemBytes int) float64 {
+	if strideElems < 1 || elemBytes < 1 {
+		return 0
+	}
+	const segment = 128
+	warp := g.WarpSize
+	span := (warp-1)*strideElems*elemBytes + elemBytes
+	segments := (span + segment - 1) / segment
+	useful := warp * elemBytes
+	eff := float64(useful) / float64(segments*segment)
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}
+
+// KernelEstimate is the roofline-style time model for one kernel launch.
+type KernelEstimate struct {
+	Seconds    float64
+	Bound      string // "compute" or "memory"
+	Occupancy  Occupancy
+	EffPeak    float64 // GFLOP/s after occupancy derating
+	EffBandGBs float64 // GB/s after coalescing derating
+}
+
+// EstimateKernel predicts the runtime of a kernel doing flops FLOPs and
+// moving bytes bytes, with the given launch configuration and access
+// stride. Occupancy derates peak linearly below 50% (past ~50% occupancy
+// latency is typically hidden — the heuristic the occupancy lectures
+// teach); coalescing derates bandwidth.
+func EstimateKernel(g machine.GPU, flops, bytes float64, blockThreads, regsPerThread, sharedPerBlockBytes, strideElems int) (KernelEstimate, error) {
+	occ, err := ComputeOccupancy(g, blockThreads, regsPerThread, sharedPerBlockBytes)
+	if err != nil {
+		return KernelEstimate{}, err
+	}
+	latencyFactor := math.Min(1, occ.Fraction/0.5)
+	effPeak := g.PeakGFLOPS() * latencyFactor
+	effBand := g.MemBandwidthGBs() * CoalescingEfficiency(g, strideElems, 8) * latencyFactor
+
+	tc := flops / (effPeak * 1e9)
+	tm := bytes / (effBand * 1e9)
+	est := KernelEstimate{Occupancy: occ, EffPeak: effPeak, EffBandGBs: effBand}
+	if tm >= tc {
+		est.Bound = "memory"
+		est.Seconds = tm
+	} else {
+		est.Bound = "compute"
+		est.Seconds = tc
+	}
+	return est, nil
+}
+
+// Offload models one host->device->host round trip for a kernel.
+type Offload struct {
+	H2D, Kernel, D2H float64 // seconds
+	Total            float64
+	CPUSeconds       float64
+	Speedup          float64 // CPU/offload; > 1 means offload wins
+}
+
+// EstimateOffload compares running on the host (cpuSeconds, measured or
+// modeled) against offloading: transfer bytesIn, run the kernel estimate,
+// transfer bytesOut.
+func EstimateOffload(g machine.GPU, est KernelEstimate, bytesIn, bytesOut, cpuSeconds float64) Offload {
+	lat := g.PCIeLatencyUs * 1e-6
+	o := Offload{
+		H2D:        lat + bytesIn/g.PCIeBandwidthBytesPerSec,
+		Kernel:     est.Seconds,
+		D2H:        lat + bytesOut/g.PCIeBandwidthBytesPerSec,
+		CPUSeconds: cpuSeconds,
+	}
+	o.Total = o.H2D + o.Kernel + o.D2H
+	if o.Total > 0 {
+		o.Speedup = cpuSeconds / o.Total
+	}
+	return o
+}
+
+// BreakEvenFLOPs returns the kernel work (FLOPs) at which offload matches
+// the host for a compute-bound kernel moving the given bytes: below this,
+// the PCIe transfers dominate and the host wins — the classic "is my
+// kernel big enough for the GPU" estimate.
+func BreakEvenFLOPs(g machine.GPU, c machine.CPU, bytesMoved float64) float64 {
+	transfer := 2*g.PCIeLatencyUs*1e-6 + bytesMoved/g.PCIeBandwidthBytesPerSec
+	cpuRate := c.PeakGFLOPS() * 1e9
+	gpuRate := g.PeakGFLOPS() * 1e9
+	if gpuRate <= cpuRate {
+		return math.Inf(1)
+	}
+	// Solve flops/cpu = transfer + flops/gpu.
+	return transfer / (1/cpuRate - 1/gpuRate)
+}

@@ -1,0 +1,290 @@
+// Package isa defines the abstract instruction set and the Agner-Fog-style
+// instruction tables (latency, reciprocal throughput, port bindings) that
+// Assignment 2's instruction-level analytical models and the
+// OSACA/IACA-like port simulator consume.
+//
+// The tables mirror the "Instruction tables: lists of instruction
+// latencies, throughputs and micro-operation breakdowns" students are given
+// [Agner Fog, 2011]: for each operation class they record the issue ports
+// it can execute on, its result latency in cycles, and how many micro-ops
+// it decodes into.
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is an abstract operation class, the granularity at which the course's
+// instruction-level models work.
+type Op int
+
+// Operation classes.
+const (
+	Nop Op = iota
+	IntAdd
+	IntMul
+	FAdd
+	FMul
+	FMA
+	FDiv
+	Load
+	Store
+	Branch
+	VecFAdd // SIMD packed variants (4 lanes in the default tables)
+	VecFMul
+	VecFMA
+	VecLoad
+	VecStore
+	numOps
+)
+
+var opNames = [...]string{
+	"nop", "iadd", "imul", "fadd", "fmul", "fma", "fdiv",
+	"load", "store", "branch",
+	"vfadd", "vfmul", "vfma", "vload", "vstore",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// FLOPs returns the floating-point operations one instance of the op
+// performs (SIMD ops count all lanes; FMA counts 2 per lane).
+func (o Op) FLOPs() float64 {
+	switch o {
+	case FAdd, FMul:
+		return 1
+	case FMA:
+		return 2
+	case FDiv:
+		return 1
+	case VecFAdd, VecFMul:
+		return 4
+	case VecFMA:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Timing is the table entry for one operation class.
+type Timing struct {
+	// LatencyCycles is the dependent-chain (result) latency.
+	LatencyCycles float64
+	// RecipThroughput is the reciprocal throughput in cycles per
+	// instruction when independent instances are issued back to back.
+	RecipThroughput float64
+	// Ports lists the execution ports the op may issue to.
+	Ports []int
+	// UOps is the number of micro-operations the op decodes into.
+	UOps int
+}
+
+// Table is an instruction-timing table for one microarchitecture.
+type Table struct {
+	Name     string
+	NumPorts int
+	Timings  map[Op]Timing
+}
+
+// Lookup returns the timing of op; missing ops fall back to a safe
+// single-cycle ALU estimate and ok=false so callers can warn.
+func (t *Table) Lookup(op Op) (Timing, bool) {
+	tm, ok := t.Timings[op]
+	if !ok {
+		return Timing{LatencyCycles: 1, RecipThroughput: 1, Ports: []int{0}, UOps: 1}, false
+	}
+	return tm, true
+}
+
+// Validate checks the table for internal consistency (ports in range,
+// positive timings).
+func (t *Table) Validate() error {
+	if t.NumPorts <= 0 {
+		return errors.New("isa: table needs at least one port")
+	}
+	for op, tm := range t.Timings {
+		if tm.LatencyCycles <= 0 || tm.RecipThroughput <= 0 {
+			return fmt.Errorf("isa: %v has non-positive timing", op)
+		}
+		if tm.UOps <= 0 {
+			return fmt.Errorf("isa: %v has non-positive uops", op)
+		}
+		if len(tm.Ports) == 0 {
+			return fmt.Errorf("isa: %v has no ports", op)
+		}
+		for _, p := range tm.Ports {
+			if p < 0 || p >= t.NumPorts {
+				return fmt.Errorf("isa: %v port %d out of range", op, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Haswell returns a table modeled on Intel Haswell (the DAS-5
+// microarchitecture): 8 issue ports, FP on ports 0/1, loads on 2/3, store
+// on 4, integer on 0/1/5/6, branch on 6. Latencies follow Agner Fog's
+// published numbers for the common classes.
+func Haswell() *Table {
+	return &Table{
+		Name:     "haswell",
+		NumPorts: 8,
+		Timings: map[Op]Timing{
+			IntAdd:   {LatencyCycles: 1, RecipThroughput: 0.25, Ports: []int{0, 1, 5, 6}, UOps: 1},
+			IntMul:   {LatencyCycles: 3, RecipThroughput: 1, Ports: []int{1}, UOps: 1},
+			FAdd:     {LatencyCycles: 3, RecipThroughput: 1, Ports: []int{1}, UOps: 1},
+			FMul:     {LatencyCycles: 5, RecipThroughput: 0.5, Ports: []int{0, 1}, UOps: 1},
+			FMA:      {LatencyCycles: 5, RecipThroughput: 0.5, Ports: []int{0, 1}, UOps: 1},
+			FDiv:     {LatencyCycles: 20, RecipThroughput: 13, Ports: []int{0}, UOps: 1},
+			Load:     {LatencyCycles: 4, RecipThroughput: 0.5, Ports: []int{2, 3}, UOps: 1},
+			Store:    {LatencyCycles: 4, RecipThroughput: 1, Ports: []int{4}, UOps: 1},
+			Branch:   {LatencyCycles: 1, RecipThroughput: 0.5, Ports: []int{0, 6}, UOps: 1},
+			VecFAdd:  {LatencyCycles: 3, RecipThroughput: 1, Ports: []int{1}, UOps: 1},
+			VecFMul:  {LatencyCycles: 5, RecipThroughput: 0.5, Ports: []int{0, 1}, UOps: 1},
+			VecFMA:   {LatencyCycles: 5, RecipThroughput: 0.5, Ports: []int{0, 1}, UOps: 1},
+			VecLoad:  {LatencyCycles: 4, RecipThroughput: 0.5, Ports: []int{2, 3}, UOps: 1},
+			VecStore: {LatencyCycles: 4, RecipThroughput: 1, Ports: []int{4}, UOps: 1},
+		},
+	}
+}
+
+// Zen2 returns a table modeled on AMD Zen 2 ("We have used both Intel and
+// AMD CPUs" — Appendix A.3): 4 FP pipes (FMA on 0/1, FADD on 2/3, so FMA
+// and FADD streams do not contend), 3-cycle FADD, separate AGU ports.
+func Zen2() *Table {
+	return &Table{
+		Name:     "zen2",
+		NumPorts: 10, // 4 ALU (0-3), 4 FP (4-7), 2 AGU/mem (8-9)
+		Timings: map[Op]Timing{
+			IntAdd:   {LatencyCycles: 1, RecipThroughput: 0.25, Ports: []int{0, 1, 2, 3}, UOps: 1},
+			IntMul:   {LatencyCycles: 3, RecipThroughput: 1, Ports: []int{1}, UOps: 1},
+			FAdd:     {LatencyCycles: 3, RecipThroughput: 0.5, Ports: []int{6, 7}, UOps: 1},
+			FMul:     {LatencyCycles: 3, RecipThroughput: 0.5, Ports: []int{4, 5}, UOps: 1},
+			FMA:      {LatencyCycles: 5, RecipThroughput: 0.5, Ports: []int{4, 5}, UOps: 1},
+			FDiv:     {LatencyCycles: 13, RecipThroughput: 5, Ports: []int{4}, UOps: 1},
+			Load:     {LatencyCycles: 4, RecipThroughput: 0.5, Ports: []int{8, 9}, UOps: 1},
+			Store:    {LatencyCycles: 4, RecipThroughput: 1, Ports: []int{9}, UOps: 1},
+			Branch:   {LatencyCycles: 1, RecipThroughput: 0.5, Ports: []int{0, 3}, UOps: 1},
+			VecFAdd:  {LatencyCycles: 3, RecipThroughput: 0.5, Ports: []int{6, 7}, UOps: 1},
+			VecFMul:  {LatencyCycles: 3, RecipThroughput: 0.5, Ports: []int{4, 5}, UOps: 1},
+			VecFMA:   {LatencyCycles: 5, RecipThroughput: 0.5, Ports: []int{4, 5}, UOps: 1},
+			VecLoad:  {LatencyCycles: 4, RecipThroughput: 0.5, Ports: []int{8, 9}, UOps: 1},
+			VecStore: {LatencyCycles: 4, RecipThroughput: 1, Ports: []int{9}, UOps: 1},
+		},
+	}
+}
+
+// SimpleInOrder returns a table for a scalar in-order core with one ALU
+// port and one memory port — the contrast machine for teaching why port
+// counts matter.
+func SimpleInOrder() *Table {
+	return &Table{
+		Name:     "simple-inorder",
+		NumPorts: 2,
+		Timings: map[Op]Timing{
+			IntAdd: {LatencyCycles: 1, RecipThroughput: 1, Ports: []int{0}, UOps: 1},
+			IntMul: {LatencyCycles: 4, RecipThroughput: 2, Ports: []int{0}, UOps: 1},
+			FAdd:   {LatencyCycles: 4, RecipThroughput: 1, Ports: []int{0}, UOps: 1},
+			FMul:   {LatencyCycles: 6, RecipThroughput: 2, Ports: []int{0}, UOps: 1},
+			FMA:    {LatencyCycles: 8, RecipThroughput: 2, Ports: []int{0}, UOps: 1},
+			FDiv:   {LatencyCycles: 30, RecipThroughput: 30, Ports: []int{0}, UOps: 1},
+			Load:   {LatencyCycles: 3, RecipThroughput: 1, Ports: []int{1}, UOps: 1},
+			Store:  {LatencyCycles: 3, RecipThroughput: 1, Ports: []int{1}, UOps: 1},
+			Branch: {LatencyCycles: 1, RecipThroughput: 1, Ports: []int{0}, UOps: 1},
+		},
+	}
+}
+
+// Instr is one instruction instance in a kernel loop body: an operation
+// with dependency edges to earlier instructions in the same body (by
+// index; -1 or out-of-range entries are ignored). Deps crossing loop
+// iterations are expressed by LoopCarried naming the instruction index in
+// the previous iteration.
+type Instr struct {
+	Op   Op
+	Deps []int
+	// LoopCarried holds indices of instructions in the *previous* loop
+	// iteration whose results this instruction consumes (e.g. the
+	// accumulator in a reduction).
+	LoopCarried []int
+	// Comment is an optional annotation for listings.
+	Comment string
+}
+
+// Kernel is a straight-line loop body to be analyzed or simulated.
+type Kernel struct {
+	Name string
+	Body []Instr
+}
+
+// FLOPsPerIteration sums the floating-point work of one loop body.
+func (k *Kernel) FLOPsPerIteration() float64 {
+	var f float64
+	for _, in := range k.Body {
+		f += in.Op.FLOPs()
+	}
+	return f
+}
+
+// Validate checks that dependency indices reference earlier instructions.
+func (k *Kernel) Validate() error {
+	for i, in := range k.Body {
+		for _, d := range in.Deps {
+			if d >= i {
+				return fmt.Errorf("isa: kernel %q instr %d depends on later instr %d", k.Name, i, d)
+			}
+		}
+		for _, d := range in.LoopCarried {
+			if d < 0 || d >= len(k.Body) {
+				return fmt.Errorf("isa: kernel %q instr %d loop-carried dep %d out of range", k.Name, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// DotProductKernel returns the scalar dot-product loop body:
+// load, load, fma into accumulator (loop-carried).
+func DotProductKernel() *Kernel {
+	return &Kernel{
+		Name: "dot-product",
+		Body: []Instr{
+			{Op: Load, Comment: "x[i]"},
+			{Op: Load, Comment: "y[i]"},
+			{Op: FMA, Deps: []int{0, 1}, LoopCarried: []int{2}, Comment: "acc += x*y"},
+		},
+	}
+}
+
+// TriadKernel returns the STREAM triad loop body a[i] = b[i] + s*c[i].
+func TriadKernel() *Kernel {
+	return &Kernel{
+		Name: "stream-triad",
+		Body: []Instr{
+			{Op: Load, Comment: "b[i]"},
+			{Op: Load, Comment: "c[i]"},
+			{Op: FMA, Deps: []int{0, 1}, Comment: "b + s*c"},
+			{Op: Store, Deps: []int{2}, Comment: "a[i]"},
+		},
+	}
+}
+
+// MatMulInnerKernel returns the ikj matmul inner loop body:
+// c[j] += a_ik * b[j] with the multiplier held in a register.
+func MatMulInnerKernel() *Kernel {
+	return &Kernel{
+		Name: "matmul-inner-ikj",
+		Body: []Instr{
+			{Op: Load, Comment: "b[k*n+j]"},
+			{Op: Load, Comment: "c[i*n+j]"},
+			{Op: FMA, Deps: []int{0, 1}, Comment: "c += a*b"},
+			{Op: Store, Deps: []int{2}, Comment: "c[i*n+j]"},
+		},
+	}
+}

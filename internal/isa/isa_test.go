@@ -1,0 +1,130 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	if FMA.String() != "fma" || Load.String() != "load" {
+		t.Fatal("op names wrong")
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Fatal("unknown op should fall back to numeric")
+	}
+}
+
+func TestOpFLOPs(t *testing.T) {
+	cases := map[Op]float64{
+		FAdd: 1, FMul: 1, FMA: 2, FDiv: 1,
+		VecFAdd: 4, VecFMA: 8,
+		Load: 0, Store: 0, IntAdd: 0, Branch: 0,
+	}
+	for op, want := range cases {
+		if got := op.FLOPs(); got != want {
+			t.Errorf("%v FLOPs = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestTablesValidate(t *testing.T) {
+	for _, tbl := range []*Table{Haswell(), SimpleInOrder()} {
+		if err := tbl.Validate(); err != nil {
+			t.Errorf("%s: %v", tbl.Name, err)
+		}
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	cases := []*Table{
+		{Name: "no ports", NumPorts: 0},
+		{Name: "neg latency", NumPorts: 2,
+			Timings: map[Op]Timing{FAdd: {LatencyCycles: -1, RecipThroughput: 1, Ports: []int{0}, UOps: 1}}},
+		{Name: "no op ports", NumPorts: 2,
+			Timings: map[Op]Timing{FAdd: {LatencyCycles: 1, RecipThroughput: 1, UOps: 1}}},
+		{Name: "port range", NumPorts: 2,
+			Timings: map[Op]Timing{FAdd: {LatencyCycles: 1, RecipThroughput: 1, Ports: []int{5}, UOps: 1}}},
+		{Name: "zero uops", NumPorts: 2,
+			Timings: map[Op]Timing{FAdd: {LatencyCycles: 1, RecipThroughput: 1, Ports: []int{0}}}},
+	}
+	for _, tbl := range cases {
+		if err := tbl.Validate(); err == nil {
+			t.Errorf("%s: expected error", tbl.Name)
+		}
+	}
+}
+
+func TestLookupFallback(t *testing.T) {
+	tbl := SimpleInOrder()
+	if _, ok := tbl.Lookup(FAdd); !ok {
+		t.Fatal("FAdd should be present")
+	}
+	tm, ok := tbl.Lookup(VecFMA) // not in the in-order table
+	if ok {
+		t.Fatal("VecFMA should be missing")
+	}
+	if tm.LatencyCycles <= 0 || tm.RecipThroughput <= 0 {
+		t.Fatal("fallback timing must be usable")
+	}
+}
+
+func TestHaswellNumbers(t *testing.T) {
+	tbl := Haswell()
+	fma, _ := tbl.Lookup(FMA)
+	if fma.LatencyCycles != 5 || fma.RecipThroughput != 0.5 {
+		t.Fatalf("FMA timing = %+v", fma)
+	}
+	ld, _ := tbl.Lookup(Load)
+	if len(ld.Ports) != 2 {
+		t.Fatal("Haswell has two load ports")
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	for _, k := range []*Kernel{DotProductKernel(), TriadKernel(), MatMulInnerKernel()} {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+	bad := &Kernel{Name: "fwd", Body: []Instr{{Op: FAdd, Deps: []int{1}}, {Op: FAdd}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("forward dep must fail")
+	}
+	bad2 := &Kernel{Name: "lc", Body: []Instr{{Op: FAdd, LoopCarried: []int{7}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range loop-carried dep must fail")
+	}
+}
+
+func TestKernelFLOPs(t *testing.T) {
+	if got := DotProductKernel().FLOPsPerIteration(); got != 2 {
+		t.Fatalf("dot FLOPs = %v", got)
+	}
+	if got := TriadKernel().FLOPsPerIteration(); got != 2 {
+		t.Fatalf("triad FLOPs = %v", got)
+	}
+}
+
+func TestZen2Table(t *testing.T) {
+	tbl := Zen2()
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zen 2's signature: FADD and FMA live on disjoint pipe pairs.
+	fadd, _ := tbl.Lookup(FAdd)
+	fma, _ := tbl.Lookup(FMA)
+	for _, pa := range fadd.Ports {
+		for _, pm := range fma.Ports {
+			if pa == pm {
+				t.Fatal("Zen2 FADD and FMA must not share ports")
+			}
+		}
+	}
+	// And its FADD latency (3) beats Haswell's FMA-fused add path (5 on
+	// FMA, 3 on FADD port 1) in throughput: two FADD pipes vs one.
+	hw, _ := Haswell().Lookup(FAdd)
+	if fadd.RecipThroughput >= hw.RecipThroughput {
+		t.Fatalf("Zen2 FADD throughput %v should beat Haswell %v",
+			fadd.RecipThroughput, hw.RecipThroughput)
+	}
+}

@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := RandomComplex(n, int64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := FFT(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxComplexDiff(got, want); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d FFT differs from DFT by %v", n, d)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	x := RandomComplex(12, 1)
+	if err := FFT(x); err != ErrNotPowerOfTwo {
+		t.Fatalf("err = %v, want ErrNotPowerOfTwo", err)
+	}
+	if err := IFFT(x); err != ErrNotPowerOfTwo {
+		t.Fatalf("IFFT err = %v", err)
+	}
+	if err := FFT(nil); err != nil {
+		t.Fatalf("empty input should be a no-op, got %v", err)
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	x := RandomComplex(128, 5)
+	orig := append([]complex128(nil), x...)
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxComplexDiff(x, orig); d > 1e-10 {
+		t.Fatalf("round trip error %v", d)
+	}
+}
+
+func TestFFTImpulseIsFlat(t *testing.T) {
+	// FFT of a unit impulse is all-ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	x := RandomComplex(64, 9)
+	var timeEnergy float64
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= 64
+	if math.Abs(timeEnergy-freqEnergy) > 1e-9*timeEnergy {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTFLOPs(t *testing.T) {
+	if FFTFLOPs(1) != 0 {
+		t.Fatal("n=1 has no work")
+	}
+	if got := FFTFLOPs(8); got != 5*8*3 {
+		t.Fatalf("FFTFLOPs(8) = %v, want 120", got)
+	}
+}
+
+// Property: FFT is linear and IFFT inverts it for random power-of-two
+// lengths.
+func TestQuickFFTRoundTrip(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := 1 << (uint(szRaw%7) + 1) // 2..128
+		x := RandomComplex(n, seed)
+		orig := append([]complex128(nil), x...)
+		if FFT(x) != nil || IFFT(x) != nil {
+			return false
+		}
+		return MaxComplexDiff(x, orig) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

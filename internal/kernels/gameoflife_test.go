@@ -1,0 +1,123 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLifeBlinkerOscillates(t *testing.T) {
+	b := NewLife(5, 5)
+	// Vertical blinker.
+	b.Set(2, 1, 1)
+	b.Set(2, 2, 1)
+	b.Set(2, 3, 1)
+	one := b.Run(1, 1)
+	// After one step: horizontal blinker.
+	if one.At(1, 2) != 1 || one.At(2, 2) != 1 || one.At(3, 2) != 1 {
+		t.Fatalf("blinker step wrong:\n%s", one)
+	}
+	if one.Population() != 3 {
+		t.Fatalf("population = %d", one.Population())
+	}
+	two := b.Run(2, 1)
+	if !two.Equal(b) {
+		t.Fatalf("blinker must have period 2:\n%s", two)
+	}
+}
+
+func TestLifeBlockIsStill(t *testing.T) {
+	b := NewLife(6, 6)
+	b.Set(2, 2, 1)
+	b.Set(3, 2, 1)
+	b.Set(2, 3, 1)
+	b.Set(3, 3, 1)
+	after := b.Run(7, 1)
+	if !after.Equal(b) {
+		t.Fatal("block must be a still life")
+	}
+}
+
+func TestLifeGliderTravels(t *testing.T) {
+	b := NewLife(16, 16)
+	b.Glider(1, 1)
+	// A glider translates by (1,1) every 4 generations.
+	after := b.Run(4, 1)
+	want := NewLife(16, 16)
+	want.Glider(2, 2)
+	if !after.Equal(want) {
+		t.Fatalf("glider did not travel:\n%s\nwant:\n%s", after, want)
+	}
+}
+
+func TestLifeToroidalWraparound(t *testing.T) {
+	b := NewLife(4, 4)
+	if b.At(-1, -1) != b.At(3, 3) {
+		t.Fatal("negative wraparound broken")
+	}
+	if b.At(4, 4) != b.At(0, 0) {
+		t.Fatal("positive wraparound broken")
+	}
+}
+
+func TestLifeParallelMatchesSequential(t *testing.T) {
+	b := RandomLife(40, 31, 0.35, 17)
+	for _, w := range []int{2, 3, 8, 64} {
+		seq := b.Run(8, 1)
+		par := b.Run(8, w)
+		if !seq.Equal(par) {
+			t.Fatalf("workers=%d diverged", w)
+		}
+	}
+}
+
+func TestLifeEdgeCases(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLife(0, 5) must panic")
+		}
+	}()
+	NewLife(0, 5)
+}
+
+func TestLifeString(t *testing.T) {
+	b := NewLife(2, 1)
+	b.Set(1, 0, 1)
+	if got := b.String(); got != ".#\n" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: an empty board stays empty; a full board dies to stable
+// patterns that never exceed the cell count.
+func TestQuickLifeInvariants(t *testing.T) {
+	f := func(seed int64, gens uint8) bool {
+		g := int(gens % 6)
+		empty := NewLife(9, 7)
+		if empty.Run(g, 1).Population() != 0 {
+			return false
+		}
+		b := RandomLife(9, 7, 0.5, seed)
+		pop := b.Run(g, 1).Population()
+		return pop >= 0 && pop <= 9*7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepPaddedMatchesStep(t *testing.T) {
+	for _, dims := range [][2]int{{5, 5}, {16, 9}, {33, 40}, {2, 2}} {
+		b := RandomLife(dims[0], dims[1], 0.4, int64(dims[0]))
+		want := b.Run(6, 1)
+		got := b.RunPadded(6)
+		if !want.Equal(got) {
+			t.Fatalf("%dx%d: padded stepper diverged", dims[0], dims[1])
+		}
+	}
+	// Glider (exercises all four torus edges on a small board).
+	g := NewLife(6, 6)
+	g.Glider(3, 3)
+	if !g.Run(24, 1).Equal(g.RunPadded(24)) {
+		t.Fatal("glider wraparound diverged")
+	}
+}

@@ -1,0 +1,151 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildGraph(t *testing.T) {
+	g := BuildGraph(4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if g.N != 4 || g.M() != 4 {
+		t.Fatalf("graph shape wrong: N=%d M=%d", g.N, g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+}
+
+func TestBFSChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, plus isolated 4.
+	g := BuildGraph(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	dist := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestBFSGridDiameter(t *testing.T) {
+	side := 9
+	g := GridGraph(side)
+	dist := BFS(g, 0)
+	// Farthest corner is at Manhattan distance 2*(side-1).
+	if got := dist[side*side-1]; got != int32(2*(side-1)) {
+		t.Fatalf("corner distance = %d, want %d", got, 2*(side-1))
+	}
+	for _, d := range dist {
+		if d < 0 {
+			t.Fatal("grid graph is connected; no vertex may be unreachable")
+		}
+	}
+}
+
+func TestBFSParallelMatchesSequential(t *testing.T) {
+	g := RandomGraph(500, 3000, 13)
+	want := BFS(g, 0)
+	for _, w := range []int{1, 2, 4, 16} {
+		got := BFSParallel(g, 0, w)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("workers=%d vertex %d: %d != %d", w, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := RandomGraph(200, 1000, 3)
+	rank := PageRank(g, 0.85, 30)
+	var sum float64
+	for _, r := range rank {
+		sum += r
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankStarCenter(t *testing.T) {
+	// Star: all point to vertex 0 -> vertex 0 must have the highest rank.
+	var edges [][2]int32
+	for v := int32(1); v < 10; v++ {
+		edges = append(edges, [2]int32{v, 0})
+	}
+	g := BuildGraph(10, edges)
+	rank := PageRank(g, 0.85, 50)
+	for v := 1; v < 10; v++ {
+		if rank[0] <= rank[v] {
+			t.Fatalf("center rank %v not above leaf %v", rank[0], rank[v])
+		}
+	}
+}
+
+func TestPageRankParallelMatchesSequential(t *testing.T) {
+	g := RandomGraph(300, 2000, 5)
+	want := PageRank(g, 0.85, 20)
+	for _, w := range []int{1, 3, 8} {
+		got := PageRankParallel(g, 0.85, 20, w)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("workers=%d vertex %d: %v != %v", w, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := BuildGraph(3, [][2]int32{{0, 1}, {1, 2}})
+	r := g.Reverse()
+	if r.Degree(1) != 1 || r.Degree(2) != 1 || r.Degree(0) != 0 {
+		t.Fatalf("reverse degrees wrong")
+	}
+	if r.Reverse().M() != g.M() {
+		t.Fatal("double reverse changed edge count")
+	}
+}
+
+// Property: BFS levels increase by at most 1 along any edge (triangle
+// inequality on unweighted graphs).
+func TestQuickBFSTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomGraph(60, 240, seed)
+		dist := BFS(g, 0)
+		for u := 0; u < g.N; u++ {
+			if dist[u] < 0 {
+				continue
+			}
+			for k := g.Offset[u]; k < g.Offset[u+1]; k++ {
+				v := g.Edges[k]
+				if dist[v] < 0 || dist[v] > dist[u]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PageRank mass conservation holds for any random graph.
+func TestQuickPageRankConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomGraph(50, 150, seed)
+		rank := PageRank(g, 0.85, 10)
+		var sum float64
+		for _, r := range rank {
+			sum += r
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

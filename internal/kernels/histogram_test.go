@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sumCounts(c []int64) int64 {
+	var s int64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+func TestHistogramSeqKnown(t *testing.T) {
+	counts := make([]int64, 4)
+	HistogramSeq([]float64{0.1, 0.3, 0.6, 0.9, 0.9}, counts)
+	want := []int64{1, 1, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	counts := make([]int64, 4)
+	HistogramSeq([]float64{-0.5, 1.5, 1.0}, counts)
+	if counts[0] != 1 || counts[3] != 2 {
+		t.Fatalf("clamping wrong: %v", counts)
+	}
+}
+
+func TestParallelHistogramsMatchSequential(t *testing.T) {
+	samples := UniformSamples(50_000, 7)
+	const bins = 64
+	ref := make([]int64, bins)
+	HistogramSeq(samples, ref)
+	strategies := map[string]func([]float64, []int64, int){
+		"atomic":  HistogramAtomic,
+		"private": HistogramPrivate,
+		"mutex":   HistogramMutex,
+	}
+	for name, fn := range strategies {
+		for _, workers := range []int{1, 2, 4, 7} {
+			got := make([]int64, bins)
+			fn(samples, got, workers)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s workers=%d bin %d: %d != %d",
+						name, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSkewedSamplesAreSkewed(t *testing.T) {
+	samples := SkewedSamples(10_000, 4, 3)
+	counts := make([]int64, 10)
+	HistogramSeq(samples, counts)
+	// With x^4 skew, the first bin must dominate.
+	if counts[0] < counts[9]*5 {
+		t.Fatalf("samples not skewed: %v", counts)
+	}
+}
+
+func TestHistogramWorkCharacterization(t *testing.T) {
+	if HistogramFLOPs(100) != 0 {
+		t.Fatal("histogram declares no FLOPs")
+	}
+	if HistogramBytes(100, 10) != 880 {
+		t.Fatalf("HistogramBytes = %v", HistogramBytes(100, 10))
+	}
+}
+
+// Property: every strategy conserves the sample count.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		n := 1000
+		workers := int(wRaw%8) + 1
+		samples := UniformSamples(n, seed)
+		for _, fn := range []func([]float64, []int64, int){
+			HistogramAtomic, HistogramPrivate, HistogramMutex,
+		} {
+			counts := make([]int64, 16)
+			fn(samples, counts, workers)
+			if sumCounts(counts) != int64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumAboveVariantsAgree(t *testing.T) {
+	samples := UniformSamples(10_000, 3)
+	want := SumAbove(samples, 0.5)
+	got := SumAboveBranchless(samples, 0.5)
+	if want != got {
+		t.Fatalf("branchless %v != branchy %v", got, want)
+	}
+	// Sorted input computes the same sum as its unsorted source only if
+	// we sort a copy — SortedSamples must not change the multiset.
+	srt := SortedSamples(10_000, 3)
+	// FP addition is not associative: sorted-order summation may differ
+	// in the last bits, not more.
+	if d := SumAbove(srt, 0.5) - want; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("sorting changed the sum by %v", d)
+	}
+	for i := 1; i < len(srt); i++ {
+		if srt[i-1] > srt[i] {
+			t.Fatal("SortedSamples not sorted")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := RandomSparse(25, 17, 60, 11)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed: %dx%d nnz=%d", back.Rows, back.Cols, back.NNZ())
+	}
+	d1, d2 := denseFromCOO(m), denseFromCOO(back)
+	for i := range d1 {
+		for j := range d1[i] {
+			if d1[i][j] != d2[i][j] {
+				t.Fatalf("value changed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 2
+1 1 5.0
+3 1 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal entry not mirrored; off-diagonal mirrored -> 3 stored.
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	d := denseFromCOO(m)
+	if d[0][0] != 5 || d[2][0] != 2 || d[0][2] != 2 {
+		t.Fatalf("symmetric expansion wrong: %v", d)
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := denseFromCOO(m)
+	if d[1][0] != 3 || d[0][1] != -3 {
+		t.Fatalf("skew expansion wrong: %v", d)
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Vals {
+		if v != 1 {
+			t.Fatalf("pattern value %v, want 1", v)
+		}
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad banner":   "hello\n1 1 1\n1 1 1\n",
+		"dense format": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"no size":      "%%MatrixMarket matrix coordinate real general\n",
+		"bad size":     "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"neg dims":     "%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"truncated":    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"short entry":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"bad row":      "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"bad col":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 1.0\n",
+		"zero col":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketCommentsAndBlanks(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment line
+
+2 2 2
+% mid-data comment
+1 1 1.5
+
+2 2 2.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}

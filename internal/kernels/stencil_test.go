@@ -1,0 +1,153 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid2DBasics(t *testing.T) {
+	g := NewGrid2D(4)
+	g.Set(2, 3, 1.5)
+	if g.At(2, 3) != 1.5 {
+		t.Fatal("At/Set broken")
+	}
+	c := g.Clone()
+	c.Set(1, 1, 9)
+	if g.At(1, 1) != 0 {
+		t.Fatal("Clone not deep")
+	}
+	if math.IsInf(g.MaxAbsDiff(c), 1) || g.MaxAbsDiff(c) != 9 {
+		t.Fatalf("MaxAbsDiff = %v", g.MaxAbsDiff(c))
+	}
+	if !math.IsInf(g.MaxAbsDiff(NewGrid2D(5)), 1) {
+		t.Fatal("size mismatch should be Inf")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid2D(0) must panic")
+		}
+	}()
+	NewGrid2D(0)
+}
+
+func TestStencilSweepAveraging(t *testing.T) {
+	// A uniform field is a fixed point of the 4-point average.
+	g := NewGrid2D(6)
+	for i := range g.Data {
+		g.Data[i] = 3
+	}
+	dst := NewGrid2D(6)
+	StencilSweep(g, dst)
+	for i := 1; i <= 6; i++ {
+		for j := 1; j <= 6; j++ {
+			if dst.At(i, j) != 3 {
+				t.Fatalf("uniform field not fixed point at (%d,%d): %v", i, j, dst.At(i, j))
+			}
+		}
+	}
+}
+
+func TestStencilParallelMatchesSequential(t *testing.T) {
+	g := HotBoundaryGrid(33)
+	for _, w := range []int{1, 2, 5, 16, 64} {
+		seq := StencilRun(g, 10, 1)
+		par := StencilRun(g, 10, w)
+		if d := seq.MaxAbsDiff(par); d > 1e-12 {
+			t.Fatalf("workers=%d differs by %v", w, d)
+		}
+	}
+}
+
+func TestStencilHeatFlowsDown(t *testing.T) {
+	g := HotBoundaryGrid(16)
+	out := StencilRun(g, 50, 1)
+	// Row 1 (next to the hot boundary) must be warmer than row 16.
+	if out.At(1, 8) <= out.At(16, 8) {
+		t.Fatalf("heat did not diffuse: top %v bottom %v", out.At(1, 8), out.At(16, 8))
+	}
+	// All interior values stay in [0, 1] (max principle).
+	for i := 1; i <= 16; i++ {
+		for j := 1; j <= 16; j++ {
+			v := out.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("max principle violated at (%d,%d): %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestStencilResidualShrinks(t *testing.T) {
+	g := HotBoundaryGrid(12)
+	a := StencilRun(g, 5, 1)
+	b := StencilRun(g, 6, 1)
+	early := StencilResidual(a, b)
+	c := StencilRun(g, 50, 1)
+	d := StencilRun(g, 51, 1)
+	late := StencilResidual(c, d)
+	if late >= early {
+		t.Fatalf("Jacobi not converging: early %v late %v", early, late)
+	}
+}
+
+func TestStencilWorkCharacterization(t *testing.T) {
+	if StencilFLOPs(10, 2) != 1000 {
+		t.Fatalf("StencilFLOPs = %v", StencilFLOPs(10, 2))
+	}
+	if StencilBytes(10) <= 0 {
+		t.Fatal("StencilBytes must be positive")
+	}
+}
+
+// Property: one sweep never exceeds the bounds of the source field
+// (discrete maximum principle).
+func TestQuickStencilMaxPrinciple(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewGrid2D(8)
+		rngFill(g, seed)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range g.Data {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		dst := NewGrid2D(8)
+		StencilSweep(g, dst)
+		for i := 1; i <= 8; i++ {
+			for j := 1; j <= 8; j++ {
+				v := dst.At(i, j)
+				if v < lo-1e-12 || v > hi+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rngFill(g *Grid2D, seed int64) {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range g.Data {
+		s = s*2862933555777941757 + 3037000493
+		g.Data[i] = float64(s>>11) / float64(1<<53)
+	}
+}
+
+func TestStencilRunDoesNotMutateInput(t *testing.T) {
+	// Regression: StencilRun used to ping-pong into the caller's grid,
+	// corrupting it for sweeps >= 2.
+	g := HotBoundaryGrid(10)
+	orig := g.Clone()
+	for _, sweeps := range []int{0, 1, 2, 3, 7} {
+		StencilRun(g, sweeps, 1)
+		if d := g.MaxAbsDiff(orig); d != 0 {
+			t.Fatalf("sweeps=%d mutated the input grid by %v", sweeps, d)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Wordle solving — one of the "exotic applications" students brought to
+// the course's project (Section 5.1). The kernel is the solver's inner
+// loop: scoring every candidate guess against every possible answer.
+// It is branch- and table-heavy with zero floating point — a deliberate
+// contrast to the numeric kernels — and its optimization ladder (naive
+// rescoring -> precomputed feedback table -> parallel scoring) mirrors the
+// ladder of the numeric ones.
+
+// WordLen is the word length of the game.
+const WordLen = 5
+
+// feedbackStates is the number of distinct feedback patterns (3^5).
+const feedbackStates = 243
+
+// Feedback computes the Wordle response for guess against answer, encoded
+// in base 3 per position: 0 absent, 1 present (wrong spot), 2 correct.
+// Duplicate letters follow the official rules: correct positions claim
+// their letters first, then "present" marks are given while letter
+// supplies last.
+func Feedback(guess, answer string) (uint8, error) {
+	if len(guess) != WordLen || len(answer) != WordLen {
+		return 0, fmt.Errorf("kernels: words must have %d letters", WordLen)
+	}
+	for i := 0; i < WordLen; i++ {
+		if guess[i] < 'a' || guess[i] > 'z' || answer[i] < 'a' || answer[i] > 'z' {
+			return 0, fmt.Errorf("kernels: words must be lowercase a-z")
+		}
+	}
+	var counts [26]int8
+	var marks [WordLen]uint8
+	// Pass 1: exact matches consume their letters.
+	for i := 0; i < WordLen; i++ {
+		if guess[i] == answer[i] {
+			marks[i] = 2
+		} else {
+			counts[answer[i]-'a']++
+		}
+	}
+	// Pass 2: present marks while supplies last.
+	for i := 0; i < WordLen; i++ {
+		if marks[i] == 2 {
+			continue
+		}
+		c := guess[i] - 'a'
+		if counts[c] > 0 {
+			counts[c]--
+			marks[i] = 1
+		}
+	}
+	var code uint8
+	for i := WordLen - 1; i >= 0; i-- {
+		code = code*3 + marks[i]
+	}
+	return code, nil
+}
+
+// AllCorrect is the feedback code of a solved guess (all positions 2).
+const AllCorrect uint8 = 2 + 2*3 + 2*9 + 2*27 + 2*81
+
+// Wordle is a solver instance over a fixed word list (candidates ==
+// allowed guesses, the "hard mode" simplification).
+type Wordle struct {
+	Words []string
+	// table[g*len+a] caches Feedback(Words[g], Words[a]); nil until
+	// Precompute.
+	table []uint8
+}
+
+// NewWordle validates the list and builds a solver.
+func NewWordle(words []string) (*Wordle, error) {
+	if len(words) == 0 {
+		return nil, errors.New("kernels: empty word list")
+	}
+	seen := make(map[string]bool, len(words))
+	for _, w := range words {
+		if len(w) != WordLen {
+			return nil, fmt.Errorf("kernels: word %q is not %d letters", w, WordLen)
+		}
+		for i := 0; i < WordLen; i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				return nil, fmt.Errorf("kernels: word %q has non a-z letter", w)
+			}
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("kernels: duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	return &Wordle{Words: words}, nil
+}
+
+// Precompute fills the guess x answer feedback table — the
+// memoization optimization (trades O(n^2) bytes for the per-pair scoring
+// work).
+func (w *Wordle) Precompute() {
+	n := len(w.Words)
+	w.table = make([]uint8, n*n)
+	for g := 0; g < n; g++ {
+		for a := 0; a < n; a++ {
+			fb, _ := Feedback(w.Words[g], w.Words[a])
+			w.table[g*n+a] = fb
+		}
+	}
+}
+
+// feedbackOf returns the (possibly cached) feedback between word indices.
+func (w *Wordle) feedbackOf(g, a int) uint8 {
+	if w.table != nil {
+		return w.table[g*len(w.Words)+a]
+	}
+	fb, _ := Feedback(w.Words[g], w.Words[a])
+	return fb
+}
+
+// scoreGuess returns the expected remaining-candidate count of guessing g
+// against the candidate set (lower is better): sum over feedback buckets
+// of (bucket size)^2 / total.
+func (w *Wordle) scoreGuess(g int, candidates []int) float64 {
+	var buckets [feedbackStates]int
+	for _, a := range candidates {
+		buckets[w.feedbackOf(g, a)]++
+	}
+	var ss float64
+	for _, b := range buckets {
+		ss += float64(b) * float64(b)
+	}
+	return ss / float64(len(candidates))
+}
+
+// BestGuess returns the candidate index minimizing expected remaining
+// candidates, scoring sequentially. Ties break to the lower index, so all
+// variants are deterministic and comparable.
+func (w *Wordle) BestGuess(candidates []int) (int, error) {
+	if len(candidates) == 0 {
+		return 0, errors.New("kernels: no candidates")
+	}
+	best, bestScore := candidates[0], w.scoreGuess(candidates[0], candidates)
+	for _, g := range candidates[1:] {
+		if s := w.scoreGuess(g, candidates); s < bestScore {
+			best, bestScore = g, s
+		}
+	}
+	return best, nil
+}
+
+// BestGuessParallel scores candidate guesses across workers.
+func (w *Wordle) BestGuessParallel(candidates []int, workers int) (int, error) {
+	if len(candidates) == 0 {
+		return 0, errors.New("kernels: no candidates")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	type result struct {
+		idx   int
+		score float64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + workers - 1) / workers
+	for t := 0; t < workers; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			results[t] = result{idx: -1}
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			best, bestScore := candidates[lo], w.scoreGuess(candidates[lo], candidates)
+			for _, g := range candidates[lo+1 : hi] {
+				if s := w.scoreGuess(g, candidates); s < bestScore {
+					best, bestScore = g, s
+				}
+			}
+			results[t] = result{idx: best, score: bestScore}
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	best, bestScore := -1, 0.0
+	for _, r := range results {
+		if r.idx < 0 {
+			continue
+		}
+		if best == -1 || r.score < bestScore ||
+			(r.score == bestScore && r.idx < best) {
+			best, bestScore = r.idx, r.score
+		}
+	}
+	return best, nil
+}
+
+// Solve plays a full game against the hidden answer (an index into Words)
+// and returns the number of guesses used. parallel > 0 scores guesses with
+// that many workers.
+func (w *Wordle) Solve(answer int, parallel int) (int, error) {
+	if answer < 0 || answer >= len(w.Words) {
+		return 0, fmt.Errorf("kernels: answer index %d out of range", answer)
+	}
+	candidates := make([]int, len(w.Words))
+	for i := range candidates {
+		candidates[i] = i
+	}
+	for turn := 1; turn <= 32; turn++ {
+		var g int
+		var err error
+		if parallel > 0 {
+			g, err = w.BestGuessParallel(candidates, parallel)
+		} else {
+			g, err = w.BestGuess(candidates)
+		}
+		if err != nil {
+			return 0, err
+		}
+		fb := w.feedbackOf(g, answer)
+		if fb == AllCorrect {
+			return turn, nil
+		}
+		next := candidates[:0]
+		for _, a := range candidates {
+			if a != g && w.feedbackOf(g, a) == fb {
+				next = append(next, a)
+			}
+		}
+		if len(next) == 0 {
+			return 0, errors.New("kernels: candidate set emptied without solving")
+		}
+		candidates = next
+	}
+	return 0, errors.New("kernels: unsolved after 32 turns")
+}
+
+// DefaultWordList returns a 120-word list of common five-letter words.
+func DefaultWordList() []string {
+	return []string{
+		"about", "above", "abuse", "actor", "adapt", "added", "admit",
+		"adopt", "after", "again", "agent", "agree", "ahead", "alarm",
+		"album", "alert", "alike", "alive", "allow", "alone", "along",
+		"alter", "among", "anger", "angle", "angry", "apart", "apple",
+		"apply", "arena", "argue", "arise", "armor", "array", "aside",
+		"asset", "audio", "audit", "avoid", "awake", "award", "aware",
+		"badly", "baker", "bases", "basic", "basis", "beach", "began",
+		"begin", "being", "below", "bench", "billy", "birth", "black",
+		"blame", "blind", "block", "blood", "board", "boost", "booth",
+		"bound", "brain", "brand", "bread", "break", "breed", "brief",
+		"bring", "broad", "broke", "brown", "build", "built", "buyer",
+		"cable", "calif", "carry", "catch", "cause", "chain", "chair",
+		"chart", "chase", "cheap", "check", "chest", "chief", "child",
+		"china", "chose", "civil", "claim", "class", "clean", "clear",
+		"click", "clock", "close", "coach", "coast", "could", "count",
+		"court", "cover", "craft", "crash", "cream", "crime", "cross",
+		"crowd", "crown", "curve", "cycle", "daily", "dance", "dated",
+		"dealt",
+	}
+}

@@ -1,0 +1,231 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fb(t *testing.T, guess, answer string) uint8 {
+	t.Helper()
+	code, err := Feedback(guess, answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// decode turns the base-3 code back into per-position marks.
+func decode(code uint8) [5]uint8 {
+	var m [5]uint8
+	for i := 0; i < 5; i++ {
+		m[i] = code % 3
+		code /= 3
+	}
+	return m
+}
+
+func TestFeedbackExactMatch(t *testing.T) {
+	if fb(t, "apple", "apple") != AllCorrect {
+		t.Fatal("exact match must be all-correct")
+	}
+}
+
+func TestFeedbackNoMatch(t *testing.T) {
+	if fb(t, "about", "jinns") != 0 {
+		t.Fatalf("disjoint words must be 0, got %v", decode(fb(t, "about", "jinns")))
+	}
+}
+
+func TestFeedbackDuplicateRules(t *testing.T) {
+	// Classic duplicate cases from the official rules.
+	// guess "allee" vs answer "apple" (a-p-p-l-e):
+	//   pos0 a==a -> 2
+	//   pos4 e==e -> 2 (consumes the answer's only e)
+	//   pos1 l: answer has one non-exact l (idx3) -> 1
+	//   pos2 l: l supply exhausted -> 0
+	//   pos3 e: e supply consumed by the exact match -> 0
+	got := decode(fb(t, "allee", "apple"))
+	want := [5]uint8{2, 1, 0, 0, 2}
+	if got != want {
+		t.Fatalf("allee/apple = %v, want %v", got, want)
+	}
+	// guess "speed" vs answer "abide": one e present, d present? answer
+	// a-b-i-d-e. s:0 p:0 e: answer has one e (idx4): first e gets 1,
+	// second e 0; d present -> 1.
+	got = decode(fb(t, "speed", "abide"))
+	want = [5]uint8{0, 0, 1, 0, 1}
+	if got != want {
+		t.Fatalf("speed/abide = %v, want %v", got, want)
+	}
+	// Exact match consumes before present: guess "eerie" vs answer
+	// "tenet": e-e-r-i-e vs t-e-n-e-t. pos1 e==e -> 2. Supplies: answer
+	// e at idx3 (1 left). pos0 e -> 1. pos4 e -> 0. r,i -> 0.
+	got = decode(fb(t, "eerie", "tenet"))
+	want = [5]uint8{1, 2, 0, 0, 0}
+	if got != want {
+		t.Fatalf("eerie/tenet = %v, want %v", got, want)
+	}
+}
+
+func TestFeedbackErrors(t *testing.T) {
+	if _, err := Feedback("abc", "apple"); err == nil {
+		t.Fatal("short guess must fail")
+	}
+	if _, err := Feedback("apple", "hi"); err == nil {
+		t.Fatal("short answer must fail")
+	}
+}
+
+func TestNewWordleValidation(t *testing.T) {
+	if _, err := NewWordle(nil); err == nil {
+		t.Fatal("empty list must fail")
+	}
+	if _, err := NewWordle([]string{"toolong"}); err == nil {
+		t.Fatal("wrong length must fail")
+	}
+	if _, err := NewWordle([]string{"ab!de"}); err == nil {
+		t.Fatal("non-letter must fail")
+	}
+	if _, err := NewWordle([]string{"apple", "apple"}); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	if len(DefaultWordList()) < 100 {
+		t.Fatal("default list too small")
+	}
+}
+
+func TestWordleSolvesEveryAnswer(t *testing.T) {
+	w, err := NewWordle(DefaultWordList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Precompute()
+	maxTurns := 0
+	for answer := range w.Words {
+		turns, err := w.Solve(answer, 0)
+		if err != nil {
+			t.Fatalf("answer %q: %v", w.Words[answer], err)
+		}
+		if turns > maxTurns {
+			maxTurns = turns
+		}
+	}
+	// The greedy expected-remaining strategy solves a 120-word list
+	// comfortably within 6 guesses.
+	if maxTurns > 6 {
+		t.Fatalf("worst case %d guesses, want <= 6", maxTurns)
+	}
+}
+
+func TestWordlePrecomputeMatchesDirect(t *testing.T) {
+	words := DefaultWordList()[:40]
+	direct, err := NewWordle(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewWordle(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.Precompute()
+	for answer := 0; answer < len(words); answer += 7 {
+		td, err := direct.Solve(answer, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, err := cached.Solve(answer, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if td != tc {
+			t.Fatalf("answer %d: direct %d turns, cached %d", answer, td, tc)
+		}
+	}
+}
+
+func TestWordleParallelMatchesSequential(t *testing.T) {
+	w, err := NewWordle(DefaultWordList()[:60])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Precompute()
+	candidates := make([]int, len(w.Words))
+	for i := range candidates {
+		candidates[i] = i
+	}
+	seq, err := w.BestGuess(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5, 64} {
+		par, err := w.BestGuessParallel(candidates, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != seq {
+			t.Fatalf("workers=%d chose %d, sequential chose %d", workers, par, seq)
+		}
+	}
+	if _, err := w.BestGuess(nil); err == nil {
+		t.Fatal("no candidates must fail")
+	}
+	if _, err := w.BestGuessParallel(nil, 2); err == nil {
+		t.Fatal("no candidates must fail")
+	}
+}
+
+func TestWordleSolveErrors(t *testing.T) {
+	w, _ := NewWordle(DefaultWordList()[:10])
+	if _, err := w.Solve(-1, 0); err == nil {
+		t.Fatal("bad answer index must fail")
+	}
+	if _, err := w.Solve(99, 0); err == nil {
+		t.Fatal("out-of-range answer must fail")
+	}
+}
+
+// Property: feedback is all-correct iff guess == answer, for words drawn
+// from the default list.
+func TestQuickFeedbackIdentity(t *testing.T) {
+	words := DefaultWordList()
+	f := func(gi, ai uint8) bool {
+		g := words[int(gi)%len(words)]
+		a := words[int(ai)%len(words)]
+		code, err := Feedback(g, a)
+		if err != nil {
+			return false
+		}
+		return (code == AllCorrect) == (g == a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of "correct" marks equals the number of positions
+// where the strings agree.
+func TestQuickFeedbackCorrectCount(t *testing.T) {
+	words := DefaultWordList()
+	f := func(gi, ai uint8) bool {
+		g := words[int(gi)%len(words)]
+		a := words[int(ai)%len(words)]
+		code, _ := Feedback(g, a)
+		marks := decode(code)
+		correct := 0
+		for i := 0; i < 5; i++ {
+			if marks[i] == 2 {
+				correct++
+			}
+		}
+		agree := 0
+		for i := 0; i < 5; i++ {
+			if g[i] == a[i] {
+				agree++
+			}
+		}
+		return correct == agree
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccess(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("wrong elements: %v", m)
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	i3 := Identity(3)
+	out, err := a.Mul(i3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAbsDiff(a) != 0 {
+		t.Fatalf("A*I != A: %v", out)
+	}
+	if _, err := i3.Mul(a.T().T()); err == nil {
+		// I3 (3x3) * A (2x3) must fail.
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	out, _ := a.Mul(b)
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	if out.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	y, err := a.MulVec([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("transpose wrong: %v", at)
+	}
+	if at.T().MaxAbsDiff(a) != 0 {
+		t.Fatal("double transpose should be identity")
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	b, _ := FromRows([][]float64{{3, 4}})
+	s, _ := a.Add(b)
+	if s.At(0, 0) != 4 || s.At(0, 1) != 6 {
+		t.Fatalf("Add = %v", s)
+	}
+	if a.Scale(2).At(0, 1) != 4 {
+		t.Fatal("Scale wrong")
+	}
+	c := NewMatrix(2, 2)
+	if _, err := a.Add(c); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square well-conditioned system.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 -> x=1, y=3
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Fatalf("solve = %v", x)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// Overdetermined system: residual must be orthogonal to column space.
+	rng := rand.New(rand.NewSource(7))
+	a := NewMatrix(20, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	resid := make([]float64, len(b))
+	for i := range b {
+		resid[i] = b[i] - ax[i]
+	}
+	// A^T r must be ~0.
+	atr, _ := a.T().MulVec(resid)
+	for j, v := range atr {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual not orthogonal: A^T r[%d] = %v", j, v)
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); err != ErrRankDeficient {
+		t.Fatalf("want ErrRankDeficient, got %v", err)
+	}
+	qr, _ := NewQR(a)
+	if r := qr.Rank(1e-12); r != 1 {
+		t.Fatalf("Rank = %d, want 1", r)
+	}
+}
+
+func TestQRWideMatrixRejected(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := NewQR(a); err == nil {
+		t.Fatal("wide matrix must be rejected")
+	}
+}
+
+func TestSolveRidge(t *testing.T) {
+	// Ridge with identical columns has a unique minimizer that splits the
+	// coefficient evenly.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	x, err := SolveRidge(a, []float64{2, 4, 6}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-x[1]) > 1e-4 {
+		t.Fatalf("ridge should split evenly: %v", x)
+	}
+	if math.Abs(x[0]+x[1]-2) > 1e-3 {
+		t.Fatalf("ridge solution wrong: %v", x)
+	}
+	if _, err := SolveRidge(a, []float64{1, 2, 3}, -1); err == nil {
+		t.Fatal("negative lambda must error")
+	}
+}
+
+func TestDotNormAxpy(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+	y := []float64{1, 1}
+	Axpy(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 4}})
+	if a.FrobeniusNorm() != 5 {
+		t.Fatal("Frobenius wrong")
+	}
+}
+
+// Property: QR solve reproduces a planted solution for random
+// well-conditioned tall systems.
+func TestQuickQRPlantedSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		m, n := 12, 3
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal boost keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+5)
+		}
+		want := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		b, _ := a.MulVec(want)
+		got, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A*B)^T == B^T * A^T for random shapes.
+func TestQuickTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		ab, _ := a.Mul(b)
+		btat, _ := b.T().Mul(a.T())
+		return ab.T().MaxAbsDiff(btat) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

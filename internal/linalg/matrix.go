@@ -1,0 +1,209 @@
+// Package linalg provides the small dense linear-algebra core used by the
+// statistical-modeling substrate: row-major matrices, basic BLAS-1/2/3
+// operations, and Householder-QR least squares.
+//
+// The package is intentionally minimal — it implements exactly what the
+// toolbox needs (regression and model calibration) rather than a general
+// numerical library, and it is written for clarity with cache-friendly
+// loop orders where it matters.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix of the given shape. It panics on
+// non-positive dimensions, which indicate a programming error.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("linalg: non-positive matrix dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: ragged row %d (%d vs %d cols)", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns m * b. It returns an error on a shape mismatch.
+// The k-loop is innermost over b's rows (ikj order) for cache locality.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("linalg: mul shape mismatch (%dx%d)*(%dx%d)",
+			m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m * x. It returns an error when len(x) != m.Cols.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linalg: mulvec shape mismatch %dx%d * %d",
+			m.Rows, m.Cols, len(x))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns m + b elementwise.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return nil, errors.New("linalg: add shape mismatch")
+	}
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out, nil
+}
+
+// Scale returns s * m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var ss float64
+	for _, v := range m.Data {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between m
+// and b, or +Inf on a shape mismatch.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	var max float64
+	for i, v := range m.Data {
+		d := math.Abs(v - b.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the matrix with aligned columns for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "%10.4g ", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a*x in place. It panics on length mismatch.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrRankDeficient is returned when a least-squares system has (numerically)
+// linearly dependent columns and no unique solution exists.
+var ErrRankDeficient = errors.New("linalg: rank-deficient system")
+
+// QR holds a Householder QR factorization A = Q*R with A of size m x n,
+// m >= n. The factors are stored compactly: the upper triangle of qr holds
+// R, the lower part holds the Householder vectors.
+type QR struct {
+	qr    *Matrix
+	rdiag []float64
+}
+
+// NewQR computes the QR factorization of a (which is not modified).
+// It returns an error when a has more columns than rows.
+func NewQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Set(k, k, qr.At(k, k)+1)
+			// Apply the reflector to the remaining columns.
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				}
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// Rank reports the numerical rank: the number of diagonal entries of R whose
+// magnitude exceeds eps times the largest diagonal magnitude.
+func (q *QR) Rank(eps float64) int {
+	var maxd float64
+	for _, d := range q.rdiag {
+		if a := math.Abs(d); a > maxd {
+			maxd = a
+		}
+	}
+	if maxd == 0 {
+		return 0
+	}
+	rank := 0
+	for _, d := range q.rdiag {
+		if math.Abs(d) > eps*maxd {
+			rank++
+		}
+	}
+	return rank
+}
+
+// Solve returns the least-squares solution x minimizing ||A*x - b||2.
+// It returns ErrRankDeficient when R is numerically singular.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	m, n := q.qr.Rows, q.qr.Cols
+	if len(b) != m {
+		return nil, errors.New("linalg: Solve rhs length mismatch")
+	}
+	if q.Rank(1e-12) < n {
+		return nil, ErrRankDeficient
+	}
+	y := append([]float64(nil), b...)
+	// Compute Q^T * b.
+	for k := 0; k < n; k++ {
+		if q.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / q.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back-substitute R*x = y[:n].
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= q.qr.At(k, j) * x[j]
+		}
+		x[k] = s / q.rdiag[k]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares is a convenience wrapper: it factors a and solves for b
+// in one call.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	qr, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Solve(b)
+}
+
+// SolveRidge solves the Tikhonov-regularized least squares problem
+// min ||A*x - b||^2 + lambda*||x||^2 by augmenting the system with
+// sqrt(lambda)*I rows, which keeps the solve numerically stable even for
+// ill-conditioned design matrices.
+func SolveRidge(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, errors.New("linalg: negative ridge penalty")
+	}
+	if lambda == 0 {
+		return SolveLeastSquares(a, b)
+	}
+	m, n := a.Rows, a.Cols
+	aug := NewMatrix(m+n, n)
+	copy(aug.Data[:m*n], a.Data)
+	sq := math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		aug.Set(m+i, i, sq)
+	}
+	baug := make([]float64, m+n)
+	copy(baug, b)
+	return SolveLeastSquares(aug, baug)
+}

@@ -1,0 +1,244 @@
+// Package machine defines the machine models consumed by the performance
+// models in this toolbox: CPUs (multi-core hosts with a cache hierarchy) and
+// GPUs (many-core accelerator devices), mirroring the heterogeneous systems
+// the course targets (Section 2.1 of the paper).
+//
+// A machine model is a small set of first-order parameters — peak
+// floating-point throughput, memory bandwidths and latencies per memory
+// level — sufficient to drive the Roofline model, the ECM-style analytical
+// models, and the LogGP cluster model. Models can be written down from data
+// sheets (as students do from Agner Fog's tables) or calibrated empirically
+// with package microbench.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// CacheLevel describes one level of the cache hierarchy.
+type CacheLevel struct {
+	Name      string // "L1", "L2", "L3"
+	SizeBytes int64  // capacity per instance
+	LineBytes int    // cache line size
+	Assoc     int    // set associativity (ways)
+	// LatencyCycles is the load-to-use latency of a hit in this level.
+	LatencyCycles float64
+	// BandwidthBytesPerCycle is the sustainable transfer rate between this
+	// level and the core (per core), in bytes per clock cycle.
+	BandwidthBytesPerCycle float64
+	// Shared reports whether the level is shared among all cores (true for
+	// a typical L3) or private per core (typical L1/L2).
+	Shared bool
+}
+
+// Sets returns the number of sets in the cache, or an error when the
+// geometry is inconsistent (size not divisible by line*assoc).
+func (c CacheLevel) Sets() (int, error) {
+	if c.LineBytes <= 0 || c.Assoc <= 0 {
+		return 0, fmt.Errorf("machine: %s has non-positive line or assoc", c.Name)
+	}
+	den := int64(c.LineBytes) * int64(c.Assoc)
+	if c.SizeBytes%den != 0 {
+		return 0, fmt.Errorf("machine: %s size %d not divisible by line*assoc %d",
+			c.Name, c.SizeBytes, den)
+	}
+	return int(c.SizeBytes / den), nil
+}
+
+// CPU is the host processor model.
+type CPU struct {
+	Name  string
+	Cores int
+	// ThreadsPerCore is the SMT degree (1 = no hyper-threading).
+	ThreadsPerCore int
+	FreqHz         float64
+	// FLOPsPerCyclePerCore is the peak double-precision floating-point
+	// operations per cycle per core, folding in SIMD width, FMA, and the
+	// number of FP execution ports (e.g. 16 for Haswell AVX2+FMA).
+	FLOPsPerCyclePerCore float64
+	// ScalarFLOPsPerCycle is the same without SIMD (used for the
+	// "no-vectorization" roofline ceiling).
+	ScalarFLOPsPerCycle float64
+	Caches              []CacheLevel
+	// MemBandwidthBytesPerSec is the sustainable main-memory bandwidth of
+	// the full socket (STREAM triad scale).
+	MemBandwidthBytesPerSec float64
+	// MemLatencyNs is the idle main-memory load latency.
+	MemLatencyNs float64
+}
+
+// PeakGFLOPS returns the peak double-precision throughput of all cores in
+// GFLOP/s.
+func (c CPU) PeakGFLOPS() float64 {
+	return float64(c.Cores) * c.FreqHz * c.FLOPsPerCyclePerCore / 1e9
+}
+
+// PeakGFLOPSPerCore returns the single-core peak in GFLOP/s.
+func (c CPU) PeakGFLOPSPerCore() float64 {
+	return c.FreqHz * c.FLOPsPerCyclePerCore / 1e9
+}
+
+// ScalarPeakGFLOPS returns the all-core peak without SIMD in GFLOP/s.
+func (c CPU) ScalarPeakGFLOPS() float64 {
+	return float64(c.Cores) * c.FreqHz * c.ScalarFLOPsPerCycle / 1e9
+}
+
+// MemBandwidthGBs returns main-memory bandwidth in GB/s.
+func (c CPU) MemBandwidthGBs() float64 { return c.MemBandwidthBytesPerSec / 1e9 }
+
+// MachineBalance returns the machine balance in bytes per FLOP
+// (bandwidth / peak), the quantity the Roofline ridge point is built from.
+func (c CPU) MachineBalance() float64 {
+	p := c.PeakGFLOPS() * 1e9
+	if p == 0 {
+		return 0
+	}
+	return c.MemBandwidthBytesPerSec / p
+}
+
+// RidgeAI returns the roofline ridge point in FLOP/byte: the arithmetic
+// intensity at which the machine transitions from memory- to compute-bound.
+func (c CPU) RidgeAI() float64 {
+	if c.MemBandwidthBytesPerSec == 0 {
+		return 0
+	}
+	return c.PeakGFLOPS() * 1e9 / c.MemBandwidthBytesPerSec
+}
+
+// Cache returns the cache level with the given name, if present.
+func (c CPU) Cache(name string) (CacheLevel, bool) {
+	for _, l := range c.Caches {
+		if strings.EqualFold(l.Name, name) {
+			return l, true
+		}
+	}
+	return CacheLevel{}, false
+}
+
+// LastLevelCache returns the last (largest-index) cache level.
+// ok is false when the hierarchy is empty.
+func (c CPU) LastLevelCache() (CacheLevel, bool) {
+	if len(c.Caches) == 0 {
+		return CacheLevel{}, false
+	}
+	return c.Caches[len(c.Caches)-1], true
+}
+
+// Validate checks the model for internal consistency.
+func (c CPU) Validate() error {
+	if c.Cores <= 0 {
+		return errors.New("machine: CPU needs at least one core")
+	}
+	if c.ThreadsPerCore <= 0 {
+		return errors.New("machine: CPU needs ThreadsPerCore >= 1")
+	}
+	if c.FreqHz <= 0 {
+		return errors.New("machine: CPU needs positive frequency")
+	}
+	if c.FLOPsPerCyclePerCore <= 0 {
+		return errors.New("machine: CPU needs positive FLOPs/cycle")
+	}
+	if c.ScalarFLOPsPerCycle > c.FLOPsPerCyclePerCore {
+		return errors.New("machine: scalar peak exceeds SIMD peak")
+	}
+	if c.MemBandwidthBytesPerSec <= 0 {
+		return errors.New("machine: CPU needs positive memory bandwidth")
+	}
+	var prev int64
+	for i, l := range c.Caches {
+		if _, err := l.Sets(); err != nil {
+			return err
+		}
+		if l.SizeBytes <= prev {
+			return fmt.Errorf("machine: cache %d (%s) not larger than previous level", i, l.Name)
+		}
+		prev = l.SizeBytes
+	}
+	return nil
+}
+
+// GPU is the accelerator device model (the GPU is "the accelerator device to
+// the CPU host" in the paper's terminology).
+type GPU struct {
+	Name       string
+	SMs        int // streaming multiprocessors
+	CoresPerSM int
+	FreqHz     float64
+	// FLOPsPerCyclePerCore is typically 2 (FMA).
+	FLOPsPerCyclePerCore float64
+	// MemBandwidthBytesPerSec is device-memory bandwidth.
+	MemBandwidthBytesPerSec float64
+	WarpSize                int
+	MaxThreadsPerSM         int
+	MaxBlocksPerSM          int
+	SharedMemPerSMBytes     int
+	RegistersPerSM          int
+	// PCIeBandwidthBytesPerSec is the host-device transfer rate, needed to
+	// model offload cost.
+	PCIeBandwidthBytesPerSec float64
+	PCIeLatencyUs            float64
+}
+
+// PeakGFLOPS returns peak device throughput in GFLOP/s.
+func (g GPU) PeakGFLOPS() float64 {
+	return float64(g.SMs*g.CoresPerSM) * g.FreqHz * g.FLOPsPerCyclePerCore / 1e9
+}
+
+// MemBandwidthGBs returns device-memory bandwidth in GB/s.
+func (g GPU) MemBandwidthGBs() float64 { return g.MemBandwidthBytesPerSec / 1e9 }
+
+// RidgeAI returns the device roofline ridge point in FLOP/byte.
+func (g GPU) RidgeAI() float64 {
+	if g.MemBandwidthBytesPerSec == 0 {
+		return 0
+	}
+	return g.PeakGFLOPS() * 1e9 / g.MemBandwidthBytesPerSec
+}
+
+// Validate checks the device model for internal consistency.
+func (g GPU) Validate() error {
+	switch {
+	case g.SMs <= 0 || g.CoresPerSM <= 0:
+		return errors.New("machine: GPU needs positive SM/core counts")
+	case g.FreqHz <= 0:
+		return errors.New("machine: GPU needs positive frequency")
+	case g.WarpSize <= 0:
+		return errors.New("machine: GPU needs positive warp size")
+	case g.MaxThreadsPerSM%g.WarpSize != 0:
+		return errors.New("machine: MaxThreadsPerSM must be a multiple of WarpSize")
+	case g.MemBandwidthBytesPerSec <= 0:
+		return errors.New("machine: GPU needs positive memory bandwidth")
+	}
+	return nil
+}
+
+// Node is a heterogeneous compute node: one host CPU plus zero or more
+// accelerator devices.
+type Node struct {
+	CPU  CPU
+	GPUs []GPU
+}
+
+// PeakGFLOPS returns the combined peak of host and devices.
+func (n Node) PeakGFLOPS() float64 {
+	p := n.CPU.PeakGFLOPS()
+	for _, g := range n.GPUs {
+		p += g.PeakGFLOPS()
+	}
+	return p
+}
+
+// Validate checks every component model.
+func (n Node) Validate() error {
+	if err := n.CPU.Validate(); err != nil {
+		return err
+	}
+	for i, g := range n.GPUs {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("machine: GPU %d: %w", i, err)
+		}
+	}
+	return nil
+}

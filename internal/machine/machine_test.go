@@ -1,0 +1,141 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDAS5CPUPeaks(t *testing.T) {
+	c := DAS5CPU()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 cores * 2.4 GHz * 16 FLOPs/cycle = 307.2 GFLOP/s
+	if got := c.PeakGFLOPS(); math.Abs(got-307.2) > 1e-9 {
+		t.Fatalf("PeakGFLOPS = %v, want 307.2", got)
+	}
+	if got := c.PeakGFLOPSPerCore(); math.Abs(got-38.4) > 1e-9 {
+		t.Fatalf("PeakGFLOPSPerCore = %v, want 38.4", got)
+	}
+	if got := c.ScalarPeakGFLOPS(); math.Abs(got-38.4) > 1e-9 {
+		t.Fatalf("ScalarPeakGFLOPS = %v, want 38.4", got)
+	}
+	// Ridge = 307.2e9 / 59e9 ≈ 5.2 FLOP/byte.
+	if got := c.RidgeAI(); math.Abs(got-307.2/59) > 1e-9 {
+		t.Fatalf("RidgeAI = %v", got)
+	}
+	if got := c.MachineBalance(); math.Abs(got-59.0/307.2) > 1e-9 {
+		t.Fatalf("MachineBalance = %v", got)
+	}
+}
+
+func TestCacheLookups(t *testing.T) {
+	c := DAS5CPU()
+	l2, ok := c.Cache("l2")
+	if !ok || l2.SizeBytes != 256<<10 {
+		t.Fatalf("Cache lookup failed: %v %v", l2, ok)
+	}
+	if _, ok := c.Cache("L9"); ok {
+		t.Fatal("nonexistent cache found")
+	}
+	llc, ok := c.LastLevelCache()
+	if !ok || llc.Name != "L3" || !llc.Shared {
+		t.Fatalf("LLC = %v", llc)
+	}
+	if _, ok := (CPU{}).LastLevelCache(); ok {
+		t.Fatal("empty hierarchy should report no LLC")
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	l1 := CacheLevel{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8}
+	sets, err := l1.Sets()
+	if err != nil || sets != 64 {
+		t.Fatalf("Sets = %d, %v; want 64", sets, err)
+	}
+	bad := CacheLevel{Name: "X", SizeBytes: 1000, LineBytes: 64, Assoc: 8}
+	if _, err := bad.Sets(); err == nil {
+		t.Fatal("inconsistent geometry must error")
+	}
+}
+
+func TestCPUValidateRejections(t *testing.T) {
+	base := DAS5CPU()
+	cases := []struct {
+		name   string
+		mutate func(*CPU)
+	}{
+		{"no cores", func(c *CPU) { c.Cores = 0 }},
+		{"no threads", func(c *CPU) { c.ThreadsPerCore = 0 }},
+		{"no freq", func(c *CPU) { c.FreqHz = 0 }},
+		{"no flops", func(c *CPU) { c.FLOPsPerCyclePerCore = 0 }},
+		{"scalar > simd", func(c *CPU) { c.ScalarFLOPsPerCycle = 99 }},
+		{"no bandwidth", func(c *CPU) { c.MemBandwidthBytesPerSec = 0 }},
+		{"shrinking caches", func(c *CPU) { c.Caches[1].SizeBytes = 1 << 10 }},
+	}
+	for _, tc := range cases {
+		c := base
+		c.Caches = append([]CacheLevel(nil), base.Caches...)
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestGPUPeaks(t *testing.T) {
+	g := DAS5TitanX()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 24*128 cores * 1 GHz * 2 = 6144 GFLOP/s
+	if got := g.PeakGFLOPS(); math.Abs(got-6144) > 1e-9 {
+		t.Fatalf("GPU PeakGFLOPS = %v, want 6144", got)
+	}
+	if got := g.MemBandwidthGBs(); math.Abs(got-336) > 1e-9 {
+		t.Fatalf("GPU bandwidth = %v", got)
+	}
+	if g.RidgeAI() <= 1 {
+		t.Fatalf("GPU ridge should exceed 1 FLOP/byte, got %v", g.RidgeAI())
+	}
+}
+
+func TestGPUValidateRejections(t *testing.T) {
+	g := DAS5TitanX()
+	g.MaxThreadsPerSM = 100 // not a multiple of warp size
+	if err := g.Validate(); err == nil {
+		t.Fatal("bad MaxThreadsPerSM must fail validation")
+	}
+	g = DAS5TitanX()
+	g.WarpSize = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero warp size must fail validation")
+	}
+}
+
+func TestNode(t *testing.T) {
+	n := DAS5Node()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := n.CPU.PeakGFLOPS() + n.GPUs[0].PeakGFLOPS()
+	if got := n.PeakGFLOPS(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Node peak = %v, want %v", got, want)
+	}
+	n.GPUs[0].SMs = 0
+	if err := n.Validate(); err == nil {
+		t.Fatal("invalid GPU must fail node validation")
+	}
+}
+
+func TestGenericLaptop(t *testing.T) {
+	c := GenericLaptop()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The laptop must be memory-lean: ridge point above 1 FLOP/byte so the
+	// classic matmul-naive-is-memory-bound story holds in examples.
+	if c.RidgeAI() < 1 {
+		t.Fatalf("laptop ridge %v too low", c.RidgeAI())
+	}
+}

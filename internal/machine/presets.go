@@ -1,0 +1,80 @@
+package machine
+
+// Preset machine models. DAS5Node mirrors the standard node of the DAS-5
+// cluster the course gives students access to (dual Xeon E5-2630v3 — here
+// modeled as one 8-core socket — optionally with a GTX TitanX accelerator);
+// the numbers are data-sheet values of the same kind students copy from
+// vendor documentation and Agner Fog's instruction tables. GenericLaptop is
+// a deliberately modest model used by examples so their output is
+// reproducible anywhere.
+
+// DAS5CPU returns a model of one Intel Xeon E5-2630 v3 (Haswell-EP) socket:
+// 8 cores at 2.4 GHz, AVX2+FMA (16 DP FLOPs/cycle/core).
+func DAS5CPU() CPU {
+	return CPU{
+		Name:                 "Intel Xeon E5-2630 v3 (Haswell-EP, 1 socket)",
+		Cores:                8,
+		ThreadsPerCore:       2,
+		FreqHz:               2.4e9,
+		FLOPsPerCyclePerCore: 16, // 2 FMA ports x 4-wide AVX2 DP
+		ScalarFLOPsPerCycle:  2,  // 2 scalar FP ports
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8,
+				LatencyCycles: 4, BandwidthBytesPerCycle: 64},
+			{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8,
+				LatencyCycles: 12, BandwidthBytesPerCycle: 32},
+			{Name: "L3", SizeBytes: 20 << 20, LineBytes: 64, Assoc: 20,
+				LatencyCycles: 34, BandwidthBytesPerCycle: 48, Shared: true},
+		},
+		MemBandwidthBytesPerSec: 59e9, // 4-channel DDR4-1866
+		MemLatencyNs:            90,
+	}
+}
+
+// DAS5TitanX returns a model of the NVIDIA GTX TitanX (Maxwell, compute
+// capability 5.2) accelerator available in DAS-5 GPU nodes.
+func DAS5TitanX() GPU {
+	return GPU{
+		Name:                     "NVIDIA GTX TitanX (Maxwell)",
+		SMs:                      24,
+		CoresPerSM:               128,
+		FreqHz:                   1.0e9,
+		FLOPsPerCyclePerCore:     2, // FMA
+		MemBandwidthBytesPerSec:  336e9,
+		WarpSize:                 32,
+		MaxThreadsPerSM:          2048,
+		MaxBlocksPerSM:           32,
+		SharedMemPerSMBytes:      96 << 10,
+		RegistersPerSM:           64 << 10,
+		PCIeBandwidthBytesPerSec: 12e9, // PCIe 3.0 x16 effective
+		PCIeLatencyUs:            10,
+	}
+}
+
+// DAS5Node returns a heterogeneous DAS-5 GPU node model.
+func DAS5Node() Node {
+	return Node{CPU: DAS5CPU(), GPUs: []GPU{DAS5TitanX()}}
+}
+
+// GenericLaptop returns a modest 4-core mobile CPU model; examples use it so
+// their printed models are identical on every machine.
+func GenericLaptop() CPU {
+	return CPU{
+		Name:                 "Generic 4-core laptop CPU",
+		Cores:                4,
+		ThreadsPerCore:       2,
+		FreqHz:               3.0e9,
+		FLOPsPerCyclePerCore: 8, // AVX without dual FMA
+		ScalarFLOPsPerCycle:  2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8,
+				LatencyCycles: 4, BandwidthBytesPerCycle: 32},
+			{Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 8,
+				LatencyCycles: 14, BandwidthBytesPerCycle: 16},
+			{Name: "L3", SizeBytes: 8 << 20, LineBytes: 64, Assoc: 16,
+				LatencyCycles: 40, BandwidthBytesPerCycle: 8, Shared: true},
+		},
+		MemBandwidthBytesPerSec: 25e9,
+		MemLatencyNs:            100,
+	}
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perfeng/internal/stats"
+)
+
+// Statistically sound A/B comparison of two measurements (the "correct
+// measurement and communication of performance data" lecture): Welch's
+// unequal-variance t-test on the repetition series, so a reported speedup
+// comes with the probability that it is noise.
+
+// Comparison is the verdict of CompareMeasurements.
+type Comparison struct {
+	A, B string
+	// Speedup is medianA / medianB (> 1 means B is faster).
+	Speedup float64
+	// TStat and DF are the Welch statistic and degrees of freedom.
+	TStat float64
+	DF    float64
+	// PValue is the two-sided p-value for "the means differ".
+	PValue float64
+	// Significant is PValue < alpha.
+	Significant bool
+	Alpha       float64
+}
+
+// String renders the verdict.
+func (c Comparison) String() string {
+	rel := "not significant"
+	if c.Significant {
+		rel = "significant"
+	}
+	return fmt.Sprintf("%s vs %s: speedup %.2fx (p=%.4f, %s at alpha=%.2g)",
+		c.A, c.B, c.Speedup, c.PValue, rel, c.Alpha)
+}
+
+// CompareMeasurements runs Welch's t-test on the two runtime series.
+// alpha <= 0 defaults to 0.05. Both series need >= 2 samples.
+func CompareMeasurements(a, b *Measurement, alpha float64) (Comparison, error) {
+	if a.N() < 2 || b.N() < 2 {
+		return Comparison{}, errors.New("metrics: comparison needs >= 2 samples per side")
+	}
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	ma, mb := stats.Mean(a.Seconds), stats.Mean(b.Seconds)
+	va, vb := stats.Variance(a.Seconds), stats.Variance(b.Seconds)
+	na, nb := float64(a.N()), float64(b.N())
+	se2 := va/na + vb/nb
+	c := Comparison{A: a.Name, B: b.Name, Alpha: alpha}
+	if mb > 0 {
+		c.Speedup = a.MedianSeconds() / b.MedianSeconds()
+	}
+	if se2 == 0 {
+		// Identical constant series: no evidence of difference.
+		if ma == mb {
+			c.PValue = 1
+			return c, nil
+		}
+		c.PValue = 0
+		c.Significant = true
+		c.TStat = math.Inf(1)
+		return c, nil
+	}
+	c.TStat = (ma - mb) / math.Sqrt(se2)
+	// Welch-Satterthwaite degrees of freedom.
+	c.DF = se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	// Two-sided p-value from the t CDF.
+	c.PValue = 2 * (1 - stats.TCDF(math.Abs(c.TStat), c.DF))
+	if c.PValue > 1 {
+		c.PValue = 1
+	}
+	c.Significant = c.PValue < alpha
+	return c, nil
+}
+
+// SuiteSummary aggregates per-benchmark speedups the statistically correct
+// way: geometric mean for ratios (Fleming & Wallace), with min and max for
+// the spread.
+type SuiteSummary struct {
+	N              int
+	GeoMeanSpeedup float64
+	MinSpeedup     float64
+	MaxSpeedup     float64
+}
+
+// SummarizeSuite computes the suite-level speedup of optimized runs over
+// baselines, matched by index. Lengths must agree and be non-empty.
+func SummarizeSuite(baselines, optimized []*Measurement) (SuiteSummary, error) {
+	if len(baselines) != len(optimized) || len(baselines) == 0 {
+		return SuiteSummary{}, errors.New("metrics: suite needs matching non-empty series")
+	}
+	speedups := make([]float64, len(baselines))
+	for i := range baselines {
+		sp := Speedup(baselines[i], optimized[i])
+		if math.IsNaN(sp) || sp <= 0 {
+			return SuiteSummary{}, fmt.Errorf("metrics: degenerate speedup at %d", i)
+		}
+		speedups[i] = sp
+	}
+	return SuiteSummary{
+		N:              len(speedups),
+		GeoMeanSpeedup: stats.GeoMean(speedups),
+		MinSpeedup:     stats.Min(speedups),
+		MaxSpeedup:     stats.Max(speedups),
+	}, nil
+}

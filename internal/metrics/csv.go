@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV export of measurement series — the automation step the course's
+// Lesson 3 insists on ("from data collection to plotting"): one summary
+// row per measurement, ready for any plotting pipeline.
+
+// csvHeader is the column set of WriteCSV.
+var csvHeader = []string{
+	"name", "n", "median_s", "mean_s", "min_s", "max_s", "stddev_s", "cv",
+	"ci95_lo_s", "ci95_hi_s", "flops", "bytes", "gflops", "gbs", "procs",
+}
+
+// WriteCSV writes one summary row per measurement.
+func WriteCSV(w io.Writer, ms []*Measurement) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		s := m.Summary()
+		ci := m.MeanCI(0.95)
+		rec := []string{
+			m.Name,
+			fmt.Sprint(s.N),
+			fmt.Sprintf("%.9g", s.Median),
+			fmt.Sprintf("%.9g", s.Mean),
+			fmt.Sprintf("%.9g", s.Min),
+			fmt.Sprintf("%.9g", s.Max),
+			fmt.Sprintf("%.9g", s.Stddev),
+			fmt.Sprintf("%.6g", s.CV),
+			fmt.Sprintf("%.9g", ci.Lo),
+			fmt.Sprintf("%.9g", ci.Hi),
+			fmt.Sprintf("%.9g", m.FLOPs),
+			fmt.Sprintf("%.9g", m.Bytes),
+			fmt.Sprintf("%.6g", m.GFLOPS()),
+			fmt.Sprintf("%.6g", m.GBs()),
+			fmt.Sprint(m.Procs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRawCSV writes every repetition as its own row (name, rep, seconds)
+// for distribution-level analysis.
+func WriteRawCSV(w io.Writer, ms []*Measurement) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "rep", "seconds"}); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		for i, s := range m.Seconds {
+			if err := cw.Write([]string{m.Name, fmt.Sprint(i), fmt.Sprintf("%.9g", s)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Factor is one experimental factor with its levels, e.g. "n" over
+// {128, 256, 512}. Experimental design — choosing factors and levels before
+// measuring — is the discipline the course's Lesson 3 insists on.
+type Factor struct {
+	Name   string
+	Levels []float64
+}
+
+// Design is a full-factorial experimental design.
+type Design struct {
+	Factors []Factor
+}
+
+// Point is one configuration of the design: factor name -> level.
+type Point map[string]float64
+
+// Size returns the number of configurations in the full factorial.
+func (d Design) Size() int {
+	n := 1
+	for _, f := range d.Factors {
+		n *= len(f.Levels)
+	}
+	if len(d.Factors) == 0 {
+		return 0
+	}
+	return n
+}
+
+// Points enumerates the cartesian product of all factor levels in
+// deterministic order (first factor varies slowest).
+func (d Design) Points() []Point {
+	if len(d.Factors) == 0 {
+		return nil
+	}
+	for _, f := range d.Factors {
+		if len(f.Levels) == 0 {
+			return nil
+		}
+	}
+	out := make([]Point, 0, d.Size())
+	idx := make([]int, len(d.Factors))
+	for {
+		p := make(Point, len(d.Factors))
+		for i, f := range d.Factors {
+			p[f.Name] = f.Levels[idx[i]]
+		}
+		out = append(out, p)
+		// Odometer increment, last factor fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(d.Factors[i].Levels) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Key renders the point as a stable "a=1 b=2" string for table rows and map
+// keys.
+func (p Point) Key() string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Sweep runs the measurement function at every point of the design and
+// returns the results keyed by Point.Key(), plus the ordered keys.
+func (d Design) Sweep(run func(Point) *Measurement) (map[string]*Measurement, []string) {
+	results := make(map[string]*Measurement)
+	var order []string
+	for _, p := range d.Points() {
+		k := p.Key()
+		results[k] = run(p)
+		order = append(order, k)
+	}
+	return results, order
+}
+
+// PowersOfTwo returns the levels {2^lo, ..., 2^hi} as float64s, the most
+// common level spacing in performance sweeps.
+func PowersOfTwo(lo, hi int) []float64 {
+	if hi < lo {
+		return nil
+	}
+	out := make([]float64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, float64(int64(1)<<uint(e)))
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced levels from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

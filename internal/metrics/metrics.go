@@ -1,0 +1,165 @@
+// Package metrics implements the measurement layer of the toolbox: timing
+// with a repetition protocol, derived performance metrics (GFLOP/s, GB/s,
+// speedup, efficiency, Karp-Flatt serial fraction), and factorial experiment
+// design ("Basics of performance", learning objective 1).
+//
+// The central type is Measurement: a named series of repeated timings
+// together with the work (FLOPs) and traffic (bytes) of one execution, from
+// which every derived rate is computed. Measurements are collected by a
+// Runner that implements the textbook protocol: warm-up runs, adaptive
+// repetition until the confidence interval is tight, and robust outlier
+// rejection.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"perfeng/internal/stats"
+)
+
+// Measurement is a named series of repeated wall-clock timings of one
+// operation, with its work and traffic characterization.
+type Measurement struct {
+	Name string
+	// Seconds holds one wall-clock duration per repetition.
+	Seconds []float64
+	// FLOPs is the floating-point work of a single execution.
+	FLOPs float64
+	// Bytes is the memory traffic of a single execution (model-level, e.g.
+	// compulsory traffic; the cache simulator can refine it).
+	Bytes float64
+	// Procs is the number of workers used (1 for sequential).
+	Procs int
+}
+
+// Add records one repetition.
+func (m *Measurement) Add(d time.Duration) {
+	m.Seconds = append(m.Seconds, d.Seconds())
+}
+
+// N returns the repetition count.
+func (m *Measurement) N() int { return len(m.Seconds) }
+
+// MedianSeconds returns the median runtime, the robust location estimate the
+// course recommends for reporting.
+func (m *Measurement) MedianSeconds() float64 { return stats.Median(m.Seconds) }
+
+// MinSeconds returns the best observed runtime (the "speed-of-light" run).
+func (m *Measurement) MinSeconds() float64 { return stats.Min(m.Seconds) }
+
+// MeanCI returns the confidence interval of the mean runtime.
+func (m *Measurement) MeanCI(level float64) stats.CI {
+	return stats.MeanCI(m.Seconds, level)
+}
+
+// Summary returns the descriptive statistics of the runtime series.
+func (m *Measurement) Summary() stats.Summary { return stats.Summarize(m.Seconds) }
+
+// GFLOPS returns the achieved GFLOP/s based on the median runtime.
+// It returns 0 when no work is declared or nothing was measured.
+func (m *Measurement) GFLOPS() float64 {
+	t := m.MedianSeconds()
+	if t <= 0 || m.FLOPs <= 0 || math.IsNaN(t) {
+		return 0
+	}
+	return m.FLOPs / t / 1e9
+}
+
+// GBs returns the achieved traffic rate in GB/s based on the median runtime.
+func (m *Measurement) GBs() float64 {
+	t := m.MedianSeconds()
+	if t <= 0 || m.Bytes <= 0 || math.IsNaN(t) {
+		return 0
+	}
+	return m.Bytes / t / 1e9
+}
+
+// ArithmeticIntensity returns FLOPs/byte, the x-axis of the Roofline model.
+// It returns 0 when no traffic is declared.
+func (m *Measurement) ArithmeticIntensity() float64 {
+	if m.Bytes <= 0 {
+		return 0
+	}
+	return m.FLOPs / m.Bytes
+}
+
+// String renders a one-line summary.
+func (m *Measurement) String() string {
+	s := m.Summary()
+	out := fmt.Sprintf("%s: n=%d median=%s cv=%.1f%%",
+		m.Name, s.N, FormatSeconds(s.Median), s.CV*100)
+	if g := m.GFLOPS(); g > 0 {
+		out += fmt.Sprintf(" %.2f GFLOP/s", g)
+	}
+	if b := m.GBs(); b > 0 {
+		out += fmt.Sprintf(" %.2f GB/s", b)
+	}
+	return out
+}
+
+// FormatSeconds renders a duration in engineering units.
+func FormatSeconds(s float64) string {
+	switch {
+	case math.IsNaN(s):
+		return "NaN"
+	case s >= 1:
+		return fmt.Sprintf("%.3fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3fus", s*1e6)
+	default:
+		return fmt.Sprintf("%.1fns", s*1e9)
+	}
+}
+
+// Speedup returns t_base / t_opt, the factor by which opt improves on base
+// (median-based). It returns NaN when the optimized median is non-positive.
+func Speedup(base, opt *Measurement) float64 {
+	tb, to := base.MedianSeconds(), opt.MedianSeconds()
+	if to <= 0 {
+		return math.NaN()
+	}
+	return tb / to
+}
+
+// ParallelEfficiency returns speedup/procs for a parallel measurement
+// against its sequential baseline.
+func ParallelEfficiency(seq, par *Measurement) float64 {
+	if par.Procs <= 0 {
+		return math.NaN()
+	}
+	return Speedup(seq, par) / float64(par.Procs)
+}
+
+// KarpFlatt returns the experimentally determined serial fraction
+// e = (1/s - 1/p) / (1 - 1/p) for speedup s on p processors — the standard
+// diagnostic for whether scaling loss is serial-fraction or overhead driven.
+func KarpFlatt(speedup float64, procs int) float64 {
+	if procs <= 1 || speedup <= 0 {
+		return math.NaN()
+	}
+	p := float64(procs)
+	return (1/speedup - 1/p) / (1 - 1/p)
+}
+
+// AmdahlSpeedup returns the speedup predicted by Amdahl's law for a program
+// with serial fraction f on p processors.
+func AmdahlSpeedup(serialFraction float64, procs int) float64 {
+	if procs < 1 {
+		return math.NaN()
+	}
+	p := float64(procs)
+	return 1 / (serialFraction + (1-serialFraction)/p)
+}
+
+// GustafsonSpeedup returns the scaled speedup predicted by Gustafson's law.
+func GustafsonSpeedup(serialFraction float64, procs int) float64 {
+	if procs < 1 {
+		return math.NaN()
+	}
+	p := float64(procs)
+	return p - serialFraction*(p-1)
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"errors"
+	"time"
+
+	"perfeng/internal/stats"
+)
+
+// RunnerConfig controls the measurement protocol.
+type RunnerConfig struct {
+	// Warmup is the number of untimed executions before measurement starts
+	// (cache warming, JIT-free in Go but still page faults, frequency ramp).
+	Warmup int
+	// MinRuns and MaxRuns bound the repetition count.
+	MinRuns, MaxRuns int
+	// TargetRelCI stops repetition early once the 95% CI half-width is
+	// below this fraction of the mean (0 disables adaptive stopping).
+	TargetRelCI float64
+	// MinSampleTime makes the runner batch very short operations so one
+	// recorded sample is at least this long, dividing by the batch size.
+	MinSampleTime time.Duration
+	// RejectOutliers applies Tukey IQR rejection (k=1.5) to the series
+	// before it is stored.
+	RejectOutliers bool
+}
+
+// DefaultConfig returns the protocol used across the toolbox: 3 warm-ups,
+// 10–30 repetitions, stop at 5% relative CI, IQR outlier rejection.
+func DefaultConfig() RunnerConfig {
+	return RunnerConfig{
+		Warmup:         3,
+		MinRuns:        10,
+		MaxRuns:        30,
+		TargetRelCI:    0.05,
+		MinSampleTime:  time.Millisecond,
+		RejectOutliers: true,
+	}
+}
+
+// QuickConfig returns a fast protocol for tests and smoke runs.
+func QuickConfig() RunnerConfig {
+	return RunnerConfig{Warmup: 1, MinRuns: 3, MaxRuns: 5, MinSampleTime: 0}
+}
+
+// Runner executes operations under a measurement protocol.
+type Runner struct {
+	cfg RunnerConfig
+}
+
+// NewRunner returns a Runner with the given configuration; zero-valued
+// fields fall back to DefaultConfig choices.
+func NewRunner(cfg RunnerConfig) *Runner {
+	def := DefaultConfig()
+	if cfg.MinRuns <= 0 {
+		cfg.MinRuns = def.MinRuns
+	}
+	if cfg.MaxRuns < cfg.MinRuns {
+		cfg.MaxRuns = cfg.MinRuns
+	}
+	return &Runner{cfg: cfg}
+}
+
+// Measure runs f repeatedly under the protocol and returns the Measurement.
+// flops and bytes describe one execution of f.
+func (r *Runner) Measure(name string, flops, bytes float64, f func()) *Measurement {
+	m := &Measurement{Name: name, FLOPs: flops, Bytes: bytes, Procs: 1}
+	for i := 0; i < r.cfg.Warmup; i++ {
+		f()
+	}
+	batch := 1
+	if r.cfg.MinSampleTime > 0 {
+		batch = r.calibrateBatch(f)
+	}
+	for i := 0; i < r.cfg.MaxRuns; i++ {
+		start := time.Now()
+		for j := 0; j < batch; j++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		m.Seconds = append(m.Seconds, elapsed.Seconds()/float64(batch))
+		if i+1 >= r.cfg.MinRuns && r.cfg.TargetRelCI > 0 {
+			ci := stats.MeanCI(m.Seconds, 0.95)
+			if ci.RelativeHalfWidth() <= r.cfg.TargetRelCI {
+				break
+			}
+		}
+	}
+	if r.cfg.RejectOutliers {
+		m.Seconds = stats.RejectIQR(m.Seconds, 1.5)
+	}
+	return m
+}
+
+// calibrateBatch finds a batch size so one sample lasts ~MinSampleTime.
+func (r *Runner) calibrateBatch(f func()) int {
+	batch := 1
+	for batch < 1<<20 {
+		start := time.Now()
+		for j := 0; j < batch; j++ {
+			f()
+		}
+		if time.Since(start) >= r.cfg.MinSampleTime {
+			return batch
+		}
+		batch *= 2
+	}
+	return batch
+}
+
+// MeasureErr runs an operation that may fail; measurement aborts on the
+// first error.
+func (r *Runner) MeasureErr(name string, flops, bytes float64, f func() error) (*Measurement, error) {
+	var err error
+	m := r.Measure(name, flops, bytes, func() {
+		if err != nil {
+			return
+		}
+		err = f()
+	})
+	if err != nil {
+		return nil, err
+	}
+	if m.N() == 0 {
+		return nil, errors.New("metrics: no samples collected")
+	}
+	return m, nil
+}

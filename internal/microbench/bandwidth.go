@@ -1,0 +1,74 @@
+package microbench
+
+import "time"
+
+// Bandwidth staircase: the read-bandwidth counterpart of the latency
+// profile. Sweeping the working-set size exposes the per-level bandwidths
+// the cache-aware roofline needs — each plateau is one memory level.
+
+// BandwidthResult is the measured sequential read bandwidth for one
+// working-set size.
+type BandwidthResult struct {
+	WorkingSetBytes int
+	GBs             float64
+}
+
+// MeasureReadBandwidth streams a working set of the given size repeatedly
+// (passes full passes, minimum 1) and returns the sustained read
+// bandwidth. A sum sink defeats dead-code elimination.
+func MeasureReadBandwidth(workingSetBytes, passes int) BandwidthResult {
+	n := workingSetBytes / 8
+	if n < 1024 {
+		n = 1024
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	// Warm pass.
+	var sum float64
+	for _, v := range data {
+		sum += v
+	}
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		// 4-way unrolled sum keeps the loop throughput-bound rather than
+		// add-latency-bound.
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			s0 += data[i]
+			s1 += data[i+1]
+			s2 += data[i+2]
+			s3 += data[i+3]
+		}
+		for ; i < n; i++ {
+			s0 += data[i]
+		}
+		sum += s0 + s1 + s2 + s3
+	}
+	elapsed := time.Since(start).Seconds()
+	fsink = sum
+	bytes := float64(n) * 8 * float64(passes)
+	return BandwidthResult{WorkingSetBytes: n * 8, GBs: bytes / elapsed / 1e9}
+}
+
+// BandwidthProfile sweeps working-set sizes; passes are scaled so each
+// size touches roughly the same number of bytes.
+func BandwidthProfile(sizes []int, bytesPerPoint int) []BandwidthResult {
+	if bytesPerPoint <= 0 {
+		bytesPerPoint = 1 << 28
+	}
+	out := make([]BandwidthResult, 0, len(sizes))
+	for _, s := range sizes {
+		if s < 8*1024 {
+			s = 8 * 1024
+		}
+		passes := bytesPerPoint / s
+		out = append(out, MeasureReadBandwidth(s, passes))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package microbench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"perfeng/internal/machine"
+)
+
+// Calibration is the bundle of empirically measured machine constants that
+// the analytical models consume instead of data-sheet values — "get
+// familiar with microbenchmarking as a model calibration tool"
+// (Assignment 2, goal 2).
+type Calibration struct {
+	// PeakGFLOPS is the best achieved multiply-add rate, all cores.
+	PeakGFLOPS float64
+	// PeakGFLOPSPerCore is the single-thread best.
+	PeakGFLOPSPerCore float64
+	// SerialGFLOPS is the single-accumulator (latency-bound) rate; the
+	// ratio PeakGFLOPSPerCore/SerialGFLOPS exposes the FP latency.
+	SerialGFLOPS float64
+	// StreamGBs holds the best-of bandwidths of the four STREAM kernels.
+	StreamGBs map[string]float64
+	// LatencyNs holds the dependent-load latency per probed working set.
+	LatencyNs []LatencyResult
+	// Threads is the worker count used for the parallel probes.
+	Threads int
+}
+
+// CalibrationConfig sizes the calibration run.
+type CalibrationConfig struct {
+	// Quick shrinks every probe for tests and smoke runs.
+	Quick bool
+}
+
+// Calibrate runs the full microbenchmark battery and returns the bundle.
+func Calibrate(cfg CalibrationConfig) (*Calibration, error) {
+	iters := 1 << 24
+	streamN := 4 << 20
+	chase := 1 << 20
+	latSizes := []int{16 << 10, 128 << 10, 2 << 20, 32 << 20}
+	if cfg.Quick {
+		iters = 1 << 18
+		streamN = 1 << 16
+		chase = 1 << 14
+		latSizes = []int{16 << 10, 1 << 20}
+	}
+	threads := runtime.GOMAXPROCS(0)
+
+	c := &Calibration{StreamGBs: make(map[string]float64), Threads: threads}
+	c.SerialGFLOPS = MeasurePeakFLOPS(1, iters).GFLOPS
+	c.PeakGFLOPSPerCore = MeasurePeakFLOPS(8, iters).GFLOPS
+	c.PeakGFLOPS = MeasurePeakFLOPSParallel(8, iters, threads).GFLOPS
+
+	stream, err := RunStream(StreamConfig{N: streamN, NTimes: 5, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range stream {
+		c.StreamGBs[r.Kernel.String()] = r.BestGBs
+	}
+	c.LatencyNs = LatencyProfile(latSizes, chase, 1)
+	return c, nil
+}
+
+// FitCPU produces a machine.CPU model from the calibration, using the
+// measured peaks and triad bandwidth. Cache geometry cannot be measured by
+// these probes, so the hierarchy is copied from template (data-sheet
+// shape, measured rates) — precisely the hybrid model students build.
+func (c *Calibration) FitCPU(template machine.CPU) machine.CPU {
+	fitted := template
+	fitted.Name = template.Name + " (calibrated)"
+	cores := template.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	cyclesPerSec := template.FreqHz
+	if cyclesPerSec <= 0 {
+		cyclesPerSec = 1e9
+	}
+	if c.PeakGFLOPSPerCore > 0 {
+		fitted.FLOPsPerCyclePerCore = c.PeakGFLOPSPerCore * 1e9 / cyclesPerSec
+	}
+	if c.SerialGFLOPS > 0 {
+		fitted.ScalarFLOPsPerCycle = c.SerialGFLOPS * 1e9 / cyclesPerSec
+	}
+	if fitted.ScalarFLOPsPerCycle > fitted.FLOPsPerCyclePerCore {
+		fitted.ScalarFLOPsPerCycle = fitted.FLOPsPerCyclePerCore
+	}
+	if triad, ok := c.StreamGBs["triad"]; ok && triad > 0 {
+		fitted.MemBandwidthBytesPerSec = triad * 1e9
+	}
+	if len(c.LatencyNs) > 0 {
+		fitted.MemLatencyNs = c.LatencyNs[len(c.LatencyNs)-1].NsPerLoad
+	}
+	return fitted
+}
+
+// String renders the calibration table.
+func (c *Calibration) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "peak FLOPs: serial %.2f, 1-core ILP %.2f, %d-thread %.2f GFLOP/s\n",
+		c.SerialGFLOPS, c.PeakGFLOPSPerCore, c.Threads, c.PeakGFLOPS)
+	for _, k := range []string{"copy", "scale", "add", "triad"} {
+		if v, ok := c.StreamGBs[k]; ok {
+			fmt.Fprintf(&sb, "stream %-6s %.2f GB/s\n", k, v)
+		}
+	}
+	for _, l := range c.LatencyNs {
+		fmt.Fprintf(&sb, "latency @ %8d KiB: %.2f ns\n", l.WorkingSetBytes/1024, l.NsPerLoad)
+	}
+	return sb.String()
+}

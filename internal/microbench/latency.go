@@ -1,0 +1,98 @@
+package microbench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Pointer-chasing latency probe: a random cyclic permutation defeats both
+// the prefetcher and out-of-order overlap, so each load's address depends
+// on the previous load's value — the classic lmbench/Wong-style
+// microbenchmark (the course cites GPU microbenchmarking by Wong et al.;
+// this is the CPU analogue).
+
+// LatencyResult is the measured load-to-use latency for one working-set
+// size.
+type LatencyResult struct {
+	WorkingSetBytes int
+	NsPerLoad       float64
+}
+
+// MeasureLatency measures the average dependent-load latency for a working
+// set of the given size in bytes (rounded down to whole 8-byte elements;
+// minimum 16 elements). loads is the chase length per timing (default 1<<20
+// when <= 0).
+func MeasureLatency(workingSetBytes int, loads int, seed int64) LatencyResult {
+	n := workingSetBytes / 8
+	if n < 16 {
+		n = 16
+	}
+	if loads <= 0 {
+		loads = 1 << 20
+	}
+	ring := randomCycle(n, seed)
+
+	// Warm the working set.
+	idx := 0
+	for i := 0; i < n; i++ {
+		idx = ring[idx]
+	}
+	start := time.Now()
+	for i := 0; i < loads; i++ {
+		idx = ring[idx]
+	}
+	elapsed := time.Since(start)
+	sink = idx // defeat dead-code elimination
+	return LatencyResult{
+		WorkingSetBytes: n * 8,
+		NsPerLoad:       float64(elapsed.Nanoseconds()) / float64(loads),
+	}
+}
+
+// sink prevents the compiler from eliminating the chase loop.
+var sink int
+
+// randomCycle returns a permutation that is a single cycle over n slots
+// (a random Hamiltonian cycle via Sattolo's algorithm), guaranteeing the
+// chase touches every element before repeating.
+func randomCycle(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Sattolo's algorithm produces a uniform single-cycle permutation.
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// LatencyProfile measures latency across working-set sizes (bytes),
+// producing the staircase curve whose plateaus reveal the cache hierarchy.
+func LatencyProfile(sizes []int, loadsPerSize int, seed int64) []LatencyResult {
+	out := make([]LatencyResult, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, MeasureLatency(s, loadsPerSize, seed))
+	}
+	return out
+}
+
+// DetectCacheBoundaries returns the working-set sizes at which latency
+// jumps by more than jumpFactor relative to the previous size — a simple
+// automated read of the staircase (students do this by eye; the toolbox
+// automates it per Lesson 3 on automation).
+func DetectCacheBoundaries(profile []LatencyResult, jumpFactor float64) []int {
+	if jumpFactor <= 1 {
+		jumpFactor = 1.5
+	}
+	var edges []int
+	for i := 1; i < len(profile); i++ {
+		prev, cur := profile[i-1].NsPerLoad, profile[i].NsPerLoad
+		if prev > 0 && cur/prev >= jumpFactor {
+			edges = append(edges, profile[i-1].WorkingSetBytes)
+		}
+	}
+	return edges
+}

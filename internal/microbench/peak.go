@@ -1,0 +1,150 @@
+package microbench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Peak-FLOPS probe: chains of independent multiply-add accumulators. With
+// one accumulator the loop is latency-bound (one FMA every ~5 cycles); with
+// enough independent accumulators it becomes throughput-bound — the ILP
+// lesson of Assignment 2's instruction-level modeling.
+
+// PeakResult is the achieved FLOP rate for a given accumulator count.
+type PeakResult struct {
+	Accumulators int
+	Threads      int
+	GFLOPS       float64
+}
+
+// fsink defeats dead-code elimination of the FLOPS loops.
+var fsink float64
+
+// MeasurePeakFLOPS runs iters multiply-add iterations over the given number
+// of independent accumulator chains on one goroutine and returns the
+// achieved GFLOP/s (2 FLOPs per iteration per chain: one mul + one add).
+func MeasurePeakFLOPS(accumulators, iters int) PeakResult {
+	if accumulators < 1 {
+		accumulators = 1
+	}
+	if accumulators > 16 {
+		accumulators = 16
+	}
+	if iters <= 0 {
+		iters = 1 << 22
+	}
+	start := time.Now()
+	total := flopsChain(accumulators, iters)
+	elapsed := time.Since(start).Seconds()
+	fsink = total
+	flops := 2 * float64(accumulators) * float64(iters)
+	return PeakResult{
+		Accumulators: accumulators,
+		Threads:      1,
+		GFLOPS:       flops / elapsed / 1e9,
+	}
+}
+
+// flopsChain runs the multiply-add loops; kept separate and
+// accumulator-count-switched so the per-chain registers stay live.
+func flopsChain(acc, iters int) float64 {
+	const m, a = 1.000000001, 0.0000001
+	switch {
+	case acc >= 8:
+		var s0, s1, s2, s3, s4, s5, s6, s7 = 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7
+		for i := 0; i < iters; i++ {
+			s0 = s0*m + a
+			s1 = s1*m + a
+			s2 = s2*m + a
+			s3 = s3*m + a
+			s4 = s4*m + a
+			s5 = s5*m + a
+			s6 = s6*m + a
+			s7 = s7*m + a
+		}
+		return s0 + s1 + s2 + s3 + s4 + s5 + s6 + s7
+	case acc >= 4:
+		var s0, s1, s2, s3 = 1.0, 1.1, 1.2, 1.3
+		for i := 0; i < iters; i++ {
+			s0 = s0*m + a
+			s1 = s1*m + a
+			s2 = s2*m + a
+			s3 = s3*m + a
+		}
+		return s0 + s1 + s2 + s3
+	case acc >= 2:
+		var s0, s1 = 1.0, 1.1
+		for i := 0; i < iters; i++ {
+			s0 = s0*m + a
+			s1 = s1*m + a
+		}
+		return s0 + s1
+	default:
+		s0 := 1.0
+		for i := 0; i < iters; i++ {
+			s0 = s0*m + a
+		}
+		return s0
+	}
+}
+
+// normalizeAccumulators maps a requested chain count onto the implemented
+// ones (1, 2, 4, 8).
+func normalizeAccumulators(acc int) int {
+	switch {
+	case acc >= 8:
+		return 8
+	case acc >= 4:
+		return 4
+	case acc >= 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// MeasurePeakFLOPSParallel runs the chain loop on threads goroutines and
+// returns the aggregate rate.
+func MeasurePeakFLOPSParallel(accumulators, iters, threads int) PeakResult {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if iters <= 0 {
+		iters = 1 << 22
+	}
+	acc := normalizeAccumulators(accumulators)
+	var wg sync.WaitGroup
+	results := make([]float64, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			results[t] = flopsChain(acc, iters)
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var total float64
+	for _, r := range results {
+		total += r
+	}
+	fsink = total
+	flops := 2 * float64(acc) * float64(iters) * float64(threads)
+	return PeakResult{
+		Accumulators: acc,
+		Threads:      threads,
+		GFLOPS:       flops / elapsed / 1e9,
+	}
+}
+
+// ILPSweep measures achieved FLOPS for 1, 2, 4, 8 accumulators — the curve
+// that exposes the latency-to-throughput transition.
+func ILPSweep(iters int) []PeakResult {
+	out := make([]PeakResult, 0, 4)
+	for _, acc := range []int{1, 2, 4, 8} {
+		out = append(out, MeasurePeakFLOPS(acc, iters))
+	}
+	return out
+}

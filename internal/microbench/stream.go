@@ -1,0 +1,230 @@
+// Package microbench implements the microbenchmarks Assignment 2 uses to
+// calibrate analytical models: the STREAM sustainable-bandwidth suite
+// (McCalpin), a pointer-chasing memory-latency probe, and a peak-FLOPS
+// probe with independent accumulator chains. A Calibration bundle fits a
+// machine.CPU model from the measured values, replacing the data-sheet
+// numbers with empirical ones — exactly the model-calibration exercise the
+// assignment teaches.
+package microbench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StreamKernel identifies one of the four STREAM kernels.
+type StreamKernel int
+
+// The four STREAM kernels.
+const (
+	Copy StreamKernel = iota
+	Scale
+	Add
+	Triad
+)
+
+// String implements fmt.Stringer.
+func (k StreamKernel) String() string {
+	return [...]string{"copy", "scale", "add", "triad"}[k]
+}
+
+// bytesPerElement returns the traffic per loop iteration of the kernel
+// (reads+writes, 8-byte doubles), following the official STREAM counting.
+func (k StreamKernel) bytesPerElement() float64 {
+	switch k {
+	case Copy, Scale:
+		return 16 // 1 read + 1 write
+	default:
+		return 24 // 2 reads + 1 write
+	}
+}
+
+// StreamResult is the measured outcome of one STREAM kernel.
+type StreamResult struct {
+	Kernel   StreamKernel
+	N        int     // elements per array
+	NTimes   int     // repetitions
+	BestGBs  float64 // best-of-NTIMES bandwidth, the official STREAM metric
+	AvgGBs   float64
+	WorstGBs float64
+	Threads  int
+}
+
+// String implements fmt.Stringer in the classic STREAM output format.
+func (r StreamResult) String() string {
+	return fmt.Sprintf("%-6s best %8.2f GB/s  avg %8.2f GB/s  (n=%d, %d threads)",
+		r.Kernel, r.BestGBs, r.AvgGBs, r.N, r.Threads)
+}
+
+// StreamConfig controls a STREAM run.
+type StreamConfig struct {
+	// N is the array length; the STREAM rule is each array must be at
+	// least 4x the last-level cache. Defaults to 4M elements (32 MB).
+	N int
+	// NTimes is the repetition count (official default 10).
+	NTimes int
+	// Threads runs the kernels with this many goroutines (1 = sequential).
+	Threads int
+}
+
+// DefaultStreamConfig returns the standard protocol sized for a laptop LLC.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{N: 4 << 20, NTimes: 10, Threads: runtime.GOMAXPROCS(0)}
+}
+
+// RunStream executes the four STREAM kernels under cfg and returns their
+// results in kernel order. The arrays are touched before timing (first
+// -touch/page-fault elimination) and results are checksum-validated; a
+// validation failure returns an error, as data corruption invalidates the
+// bandwidth numbers.
+func RunStream(cfg StreamConfig) ([]StreamResult, error) {
+	if cfg.N <= 0 {
+		cfg.N = 4 << 20
+	}
+	if cfg.NTimes < 2 {
+		cfg.NTimes = 2
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	n := cfg.N
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+		c[i] = 0
+	}
+	const scalar = 3.0
+
+	type kernelFunc func(lo, hi int)
+	kernels := map[StreamKernel]kernelFunc{
+		Copy: func(lo, hi int) {
+			copy(c[lo:hi], a[lo:hi])
+		},
+		Scale: func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b[i] = scalar * c[i]
+			}
+		},
+		Add: func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c[i] = a[i] + b[i]
+			}
+		},
+		Triad: func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a[i] = b[i] + scalar*c[i]
+			}
+		},
+	}
+
+	runPar := func(f kernelFunc) time.Duration {
+		start := time.Now()
+		if cfg.Threads == 1 {
+			f(0, n)
+			return time.Since(start)
+		}
+		var wg sync.WaitGroup
+		chunk := (n + cfg.Threads - 1) / cfg.Threads
+		for t := 0; t < cfg.Threads; t++ {
+			lo := t * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				f(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	order := []StreamKernel{Copy, Scale, Add, Triad}
+	times := make(map[StreamKernel][]float64, 4)
+	for rep := 0; rep < cfg.NTimes; rep++ {
+		for _, k := range order {
+			d := runPar(kernels[k])
+			if rep > 0 { // rep 0 is the untimed warm-up, as in STREAM
+				times[k] = append(times[k], d.Seconds())
+			}
+		}
+	}
+
+	// Checksum validation, following stream.c: after NTimes iterations of
+	// the full cycle the arrays have closed-form expected values.
+	ea, eb, ec := 1.0, 2.0, 0.0
+	for rep := 0; rep < cfg.NTimes; rep++ {
+		ec = ea
+		eb = scalar * ec
+		ec = ea + eb
+		ea = eb + scalar*ec
+	}
+	if err := validate("a", a, ea); err != nil {
+		return nil, err
+	}
+	if err := validate("b", b, eb); err != nil {
+		return nil, err
+	}
+	if err := validate("c", c, ec); err != nil {
+		return nil, err
+	}
+
+	out := make([]StreamResult, 0, 4)
+	for _, k := range order {
+		ts := times[k]
+		best, worst, sum := math.Inf(1), 0.0, 0.0
+		for _, t := range ts {
+			if t < best {
+				best = t
+			}
+			if t > worst {
+				worst = t
+			}
+			sum += t
+		}
+		bytes := k.bytesPerElement() * float64(n)
+		out = append(out, StreamResult{
+			Kernel:   k,
+			N:        n,
+			NTimes:   cfg.NTimes,
+			Threads:  cfg.Threads,
+			BestGBs:  bytes / best / 1e9,
+			AvgGBs:   bytes / (sum / float64(len(ts))) / 1e9,
+			WorstGBs: bytes / worst / 1e9,
+		})
+	}
+	return out, nil
+}
+
+func validate(name string, xs []float64, want float64) error {
+	// Sampled validation keeps the check cheap on large arrays.
+	step := len(xs)/1024 + 1
+	for i := 0; i < len(xs); i += step {
+		if math.Abs(xs[i]-want) > 1e-8*math.Abs(want) {
+			return fmt.Errorf("microbench: STREAM validation failed on %s[%d]: %g != %g",
+				name, i, xs[i], want)
+		}
+	}
+	return nil
+}
+
+// TriadGBs is a convenience helper returning the best-of triad bandwidth,
+// the single number most calibrations need.
+func TriadGBs(cfg StreamConfig) (float64, error) {
+	res, err := RunStream(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res[Triad].BestGBs, nil
+}

@@ -1,0 +1,96 @@
+package patterns
+
+import "fmt"
+
+// False sharing needs more than one cache to exist at all, so the detector
+// above cannot see it; this file adds the minimal two-core MSI-style
+// coherence model that makes the pattern observable: two private caches
+// snooping each other's writes. A write to a line present in the other
+// cache invalidates it there; the invalidation count is the false-sharing
+// counter (the "HITM"/remote-cache events of real PMUs).
+
+// CoherentPair models two single-level private caches with write-invalidate
+// coherence.
+type CoherentPair struct {
+	LineSize int
+	// lines[i] maps line address -> dirty for core i.
+	lines [2]map[uint64]bool
+	// Invalidations counts cross-core invalidations (the false-sharing
+	// signal).
+	Invalidations uint64
+	// Accesses counts total accesses from both cores.
+	Accesses uint64
+}
+
+// NewCoherentPair creates the pair with the given line size (power of two).
+func NewCoherentPair(lineSize int) (*CoherentPair, error) {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("patterns: bad line size %d", lineSize)
+	}
+	return &CoherentPair{
+		LineSize: lineSize,
+		lines:    [2]map[uint64]bool{make(map[uint64]bool), make(map[uint64]bool)},
+	}, nil
+}
+
+// Access performs one access from core (0 or 1).
+func (c *CoherentPair) Access(core int, addr uint64, write bool) {
+	c.Accesses++
+	line := addr / uint64(c.LineSize)
+	other := 1 - core
+	if write {
+		// Write-invalidate: evict the line from the other core.
+		if _, ok := c.lines[other][line]; ok {
+			delete(c.lines[other], line)
+			c.Invalidations++
+		}
+		c.lines[core][line] = true
+	} else {
+		if _, ok := c.lines[core][line]; !ok {
+			c.lines[core][line] = false
+		}
+	}
+}
+
+// InvalidationRate returns invalidations per access.
+func (c *CoherentPair) InvalidationRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Invalidations) / float64(c.Accesses)
+}
+
+// FalseSharingProbe runs the classic two-counter experiment: both cores
+// increment their own counter in a shared array. With padded == false the
+// counters share a cache line and every increment invalidates the peer;
+// with padding they live on separate lines and invalidations vanish.
+// It returns the invalidation rate.
+func FalseSharingProbe(iterations int, padded bool, lineSize int) (float64, error) {
+	c, err := NewCoherentPair(lineSize)
+	if err != nil {
+		return 0, err
+	}
+	stride := uint64(8)
+	if padded {
+		stride = uint64(lineSize)
+	}
+	for i := 0; i < iterations; i++ {
+		for core := 0; core < 2; core++ {
+			addr := uint64(core) * stride
+			c.Access(core, addr, false) // read own counter
+			c.Access(core, addr, true)  // write it back
+		}
+	}
+	return c.InvalidationRate(), nil
+}
+
+// FalseSharingVerdict interprets the probe pair (the before/after of the
+// padding fix) the way a student report should.
+func FalseSharingVerdict(unpaddedRate, paddedRate float64) string {
+	if unpaddedRate > 10*paddedRate && unpaddedRate > 0.05 {
+		return fmt.Sprintf(
+			"false sharing confirmed: %.1f%% invalidations unpadded vs %.1f%% padded — pad per-thread data to cache-line size",
+			unpaddedRate*100, paddedRate*100)
+	}
+	return "no false sharing detected"
+}

@@ -1,0 +1,258 @@
+// Package patterns implements performance patterns in the sense of Treibig,
+// Hager & Wellein ("Performance Patterns and Hardware Metrics on Modern
+// Multicore Processors"), the backbone of Assignment 4: each pattern is a
+// recognizable pathology with a counter signature, a synthetic kernel that
+// exhibits it, and a standard fix. The detector scores counter readings
+// against every known signature, exactly the diagnostic loop students
+// practice ("understand the correlation of performance patterns and
+// observed counters values").
+package patterns
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfeng/internal/counters"
+	"perfeng/internal/machine"
+	"perfeng/internal/simulator"
+)
+
+// Features are the normalized counter-derived quantities signatures match
+// on.
+type Features struct {
+	L1MissRatio float64
+	L2MissRatio float64
+	L3MissRatio float64
+	// FillRatio is L1 lines filled (demand misses + prefetch fills) per
+	// access — the traffic-oriented miss ratio that stays meaningful when
+	// the prefetcher hides demand misses.
+	FillRatio        float64
+	BytesPerAccess   float64 // DRAM bytes per L1 access
+	PrefetchAccuracy float64
+	WritebackRatio   float64 // L1 writebacks per L1 access
+	TLBMissRatio     float64 // dTLB misses per translation (0 without TLB)
+}
+
+// Pattern is one named pathology.
+type Pattern struct {
+	Name        string
+	Description string
+	Fix         string
+	// Score maps features to a match confidence in [0, 1].
+	Score func(Features) float64
+}
+
+// Match is a detector verdict for one pattern.
+type Match struct {
+	Pattern *Pattern
+	Score   float64
+}
+
+// clamp01 bounds a score into [0, 1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ramp returns 0 below lo, 1 above hi, linear in between.
+func ramp(v, lo, hi float64) float64 {
+	if hi == lo {
+		if v >= hi {
+			return 1
+		}
+		return 0
+	}
+	return clamp01((v - lo) / (hi - lo))
+}
+
+// inverseRamp returns 1 below lo, 0 above hi.
+func inverseRamp(v, lo, hi float64) float64 { return 1 - ramp(v, lo, hi) }
+
+// Known returns the pattern catalogue.
+func Known() []*Pattern {
+	return []*Pattern{
+		{
+			Name:        "cache-resident",
+			Description: "working set fits in cache; all miss ratios near zero",
+			Fix:         "nothing to fix at the memory level — optimize in-core (ILP, SIMD)",
+			Score: func(f Features) float64 {
+				return inverseRamp(f.FillRatio, 0.02, 0.10) *
+					inverseRamp(f.BytesPerAccess, 0.5, 4)
+			},
+		},
+		{
+			Name:        "bandwidth-saturation",
+			Description: "streaming access at line granularity; miss ratio ~1/(line/elem), DRAM traffic equals compulsory traffic",
+			Fix:         "raise arithmetic intensity (blocking, kernel fusion, smaller data types)",
+			Score: func(f Features) float64 {
+				// ~0.125 fills/access for 8B elements on 64B lines.
+				center := ramp(f.FillRatio, 0.05, 0.10) *
+					inverseRamp(f.FillRatio, 0.25, 0.5)
+				traffic := ramp(f.BytesPerAccess, 4, 7)
+				return center * traffic
+			},
+		},
+		{
+			Name:        "strided-access",
+			Description: "large stride wastes most of every cache line: miss ratio near 1, prefetcher still effective (sequential lines)",
+			Fix:         "restructure data layout (AoS->SoA, transpose) for unit stride",
+			Score: func(f Features) float64 {
+				return ramp(f.FillRatio, 0.5, 0.9) *
+					ramp(f.PrefetchAccuracy, 0.3, 0.7)
+			},
+		},
+		{
+			Name:        "latency-bound",
+			Description: "dependent irregular accesses defeat the prefetcher: miss ratio near 1 with useless prefetches",
+			Fix:         "improve locality (blocking, sorting, software prefetch) or overlap independent chains",
+			Score: func(f Features) float64 {
+				return ramp(f.FillRatio, 0.5, 0.9) *
+					inverseRamp(f.PrefetchAccuracy, 0.1, 0.4)
+			},
+		},
+		{
+			Name:        "tlb-thrash",
+			Description: "page-granular access pattern: every translation misses the dTLB while cache behaviour alone looks merely strided",
+			Fix:         "huge pages, page-aware blocking, or layout changes that raise per-page reuse",
+			Score: func(f Features) float64 {
+				return ramp(f.TLBMissRatio, 0.2, 0.6)
+			},
+		},
+		{
+			Name:        "write-heavy-eviction",
+			Description: "dirty working set exceeds the cache: high writeback traffic amplifies every miss",
+			Fix:         "blocking to keep the write working set resident, or streaming stores",
+			Score: func(f Features) float64 {
+				// A pure store stream writes back one line per 8 stores
+				// (~0.125 wb/access); the ramp saturates there.
+				return ramp(f.WritebackRatio, 0.02, 0.10) *
+					ramp(f.FillRatio, 0.04, 0.12)
+			},
+		},
+	}
+}
+
+// Detect scores the features against every known pattern and returns
+// matches with score >= threshold, best first.
+func Detect(f Features, threshold float64) []Match {
+	var out []Match
+	for _, p := range Known() {
+		s := p.Score(f)
+		if s >= threshold {
+			out = append(out, Match{Pattern: p, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// FeaturesFromSet derives Features from a stopped simulator-backed event
+// set. The set must contain the L1/L2/L3, memory, prefetch and writeback
+// events (see FullEventSet).
+func FeaturesFromSet(s *counters.EventSet, lineSize int) (Features, error) {
+	d, err := counters.DeriveFromSim(s, lineSize)
+	if err != nil {
+		return Features{}, err
+	}
+	f := Features{
+		L1MissRatio:      d.L1MissRatio,
+		L2MissRatio:      d.L2MissRatio,
+		L3MissRatio:      d.L3MissRatio,
+		BytesPerAccess:   d.BytesPerAccess,
+		PrefetchAccuracy: d.PrefetchAccuracy,
+	}
+	acc, accErr := s.Value(counters.L1DCA)
+	if wb, err := s.Value(counters.L1WBK); err == nil && accErr == nil && acc > 0 {
+		f.WritebackRatio = float64(wb) / float64(acc)
+	}
+	if accErr == nil && acc > 0 {
+		miss, missErr := s.Value(counters.L1DCM)
+		pf, pfErr := s.Value(counters.PrfIs)
+		if missErr == nil {
+			fills := float64(miss)
+			if pfErr == nil {
+				fills += float64(pf)
+			}
+			f.FillRatio = fills / float64(acc)
+		}
+	}
+	if ta, err := s.Value(counters.TLBA); err == nil && ta > 0 {
+		if tm, err2 := s.Value(counters.TLBM); err2 == nil {
+			f.TLBMissRatio = float64(tm) / float64(ta)
+		}
+	}
+	return f, nil
+}
+
+// FullEventSet builds an event set with everything the detector needs over
+// a simulator hierarchy.
+func FullEventSet(h *simulator.Hierarchy) (*counters.EventSet, error) {
+	s := counters.NewEventSet(&counters.SimBackend{H: h})
+	evs := []counters.Event{
+		counters.L1DCA, counters.L1DCM, counters.MemRd, counters.MemWr,
+		counters.PrfIs, counters.PrfHt, counters.L1WBK,
+	}
+	if h.TLB() != nil {
+		evs = append(evs, counters.TLBA, counters.TLBM)
+	}
+	if len(h.Levels) >= 2 {
+		evs = append(evs, counters.L2DCA, counters.L2DCM)
+	}
+	if len(h.Levels) >= 3 {
+		evs = append(evs, counters.L3DCA, counters.L3DCM)
+	}
+	if err := s.Add(evs...); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Diagnose runs a trace function on a fresh prefetch-enabled hierarchy of
+// the given CPU model, collects the counters, and returns the features and
+// pattern matches — the one-call version of the Assignment 4 workflow.
+func Diagnose(cpu machine.CPU, trace func(*simulator.Hierarchy)) (Features, []Match, error) {
+	h, err := simulator.FromCPU(cpu)
+	if err != nil {
+		return Features{}, nil, err
+	}
+	h.Levels[0].NextLinePrefetch = true
+	if tlb, terr := simulator.NewTLB(64, 4096); terr == nil {
+		h.AttachTLB(tlb)
+	}
+	set, err := FullEventSet(h)
+	if err != nil {
+		return Features{}, nil, err
+	}
+	if err := set.Measure(func() { trace(h) }); err != nil {
+		return Features{}, nil, err
+	}
+	line := h.Levels[0].LineSize
+	f, err := FeaturesFromSet(set, line)
+	if err != nil {
+		return Features{}, nil, err
+	}
+	return f, Detect(f, 0.5), nil
+}
+
+// Report renders the matches as the diagnostic table students hand in.
+func Report(f Features, matches []Match) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "features: L1 %.1f%%  fill %.1f%%  L2 %.1f%%  L3 %.1f%%  B/acc %.2f  pf %.0f%%  wb %.1f%%\n",
+		f.L1MissRatio*100, f.FillRatio*100, f.L2MissRatio*100, f.L3MissRatio*100,
+		f.BytesPerAccess, f.PrefetchAccuracy*100, f.WritebackRatio*100)
+	if len(matches) == 0 {
+		sb.WriteString("no pattern above threshold\n")
+		return sb.String()
+	}
+	for _, m := range matches {
+		fmt.Fprintf(&sb, "%-24s %.0f%%  %s\n    fix: %s\n",
+			m.Pattern.Name, m.Score*100, m.Pattern.Description, m.Pattern.Fix)
+	}
+	return sb.String()
+}

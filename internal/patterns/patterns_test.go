@@ -1,0 +1,221 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"perfeng/internal/machine"
+	"perfeng/internal/simulator"
+)
+
+func TestRampHelpers(t *testing.T) {
+	if ramp(0, 1, 2) != 0 || ramp(3, 1, 2) != 1 || ramp(1.5, 1, 2) != 0.5 {
+		t.Fatal("ramp wrong")
+	}
+	if inverseRamp(0, 1, 2) != 1 || inverseRamp(3, 1, 2) != 0 {
+		t.Fatal("inverseRamp wrong")
+	}
+	if ramp(5, 2, 2) != 1 || ramp(1, 2, 2) != 0 {
+		t.Fatal("degenerate ramp wrong")
+	}
+}
+
+// diagnose the four synthetic kernels and check the top pattern.
+func TestDiagnoseSyntheticKernels(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	cases := []struct {
+		name  string
+		trace func(*simulator.Hierarchy)
+		want  string
+	}{
+		{"resident", func(h *simulator.Hierarchy) {
+			for pass := 0; pass < 20; pass++ {
+				simulator.TraceStrided(h, 512, 1) // 4 KiB, L1-resident
+			}
+		}, "cache-resident"},
+		{"streaming", func(h *simulator.Hierarchy) {
+			simulator.TraceStreamTriad(h, 1<<16)
+		}, "bandwidth-saturation"},
+		{"strided", func(h *simulator.Hierarchy) {
+			// Stride 8 doubles = exactly one line: every access misses
+			// but the next-line prefetcher stays accurate.
+			simulator.TraceStrided(h, 1<<15, 8)
+		}, "strided-access"},
+		{"random", func(h *simulator.Hierarchy) {
+			simulator.TraceRandom(h, 1<<15, 1<<22, 7)
+		}, "latency-bound"},
+	}
+	for _, tc := range cases {
+		f, matches, err := Diagnose(cpu, tc.trace)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(matches) == 0 {
+			t.Fatalf("%s: no match (features %+v)", tc.name, f)
+		}
+		if matches[0].Pattern.Name != tc.want {
+			t.Errorf("%s: top pattern %s (%.2f), want %s (features %+v)",
+				tc.name, matches[0].Pattern.Name, matches[0].Score, tc.want, f)
+		}
+	}
+}
+
+func TestDetectThreshold(t *testing.T) {
+	// A perfectly resident profile must not match the saturation pattern.
+	f := Features{L1MissRatio: 0.001, FillRatio: 0.001, BytesPerAccess: 0.01}
+	matches := Detect(f, 0.5)
+	if len(matches) != 1 || matches[0].Pattern.Name != "cache-resident" {
+		t.Fatalf("matches = %+v", matches)
+	}
+	// Threshold 1.01 excludes everything.
+	if got := Detect(f, 1.01); len(got) != 0 {
+		t.Fatal("impossible threshold matched")
+	}
+}
+
+func TestWriteHeavyPattern(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	f, matches, err := Diagnose(cpu, func(h *simulator.Hierarchy) {
+		// Write-stream far beyond L3: every line comes in, gets dirty,
+		// is evicted with a writeback.
+		for i := 0; i < 1<<19; i++ {
+			h.Store(uint64(i)*8, 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.Pattern.Name == "write-heavy-eviction" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("write-heavy pattern not detected (features %+v, matches %+v)", f, matches)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	f := Features{L1MissRatio: 0.9, FillRatio: 0.95, PrefetchAccuracy: 0.9}
+	matches := Detect(f, 0.5)
+	rep := Report(f, matches)
+	if !strings.Contains(rep, "strided-access") || !strings.Contains(rep, "fix:") {
+		t.Fatalf("report incomplete:\n%s", rep)
+	}
+	empty := Report(Features{L1MissRatio: 0.3}, nil)
+	if !strings.Contains(empty, "no pattern") {
+		t.Fatal("empty report wrong")
+	}
+}
+
+func TestCoherentPairBasics(t *testing.T) {
+	c, err := NewCoherentPair(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 writes a line; core 1 writing the same line invalidates it.
+	c.Access(0, 0, true)
+	c.Access(1, 8, true) // same 64B line
+	if c.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", c.Invalidations)
+	}
+	// Reads do not invalidate.
+	c.Access(0, 128, false)
+	c.Access(1, 128, false)
+	if c.Invalidations != 1 {
+		t.Fatal("reads must not invalidate")
+	}
+	if _, err := NewCoherentPair(48); err == nil {
+		t.Fatal("non-power-of-two line must fail")
+	}
+	if (&CoherentPair{}).InvalidationRate() != 0 {
+		t.Fatal("idle rate must be 0")
+	}
+}
+
+func TestFalseSharingProbeAndFix(t *testing.T) {
+	unpadded, err := FalseSharingProbe(1000, false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := FalseSharingProbe(1000, true, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpadded < 0.2 {
+		t.Fatalf("unpadded rate %v too low to demonstrate the pattern", unpadded)
+	}
+	if padded > 0.01 {
+		t.Fatalf("padded rate %v should be ~0", padded)
+	}
+	verdict := FalseSharingVerdict(unpadded, padded)
+	if !strings.Contains(verdict, "false sharing confirmed") {
+		t.Fatalf("verdict = %q", verdict)
+	}
+	if v := FalseSharingVerdict(0.001, 0.001); !strings.Contains(v, "no false sharing") {
+		t.Fatalf("negative verdict = %q", v)
+	}
+}
+
+func TestFullEventSetOnSmallHierarchy(t *testing.T) {
+	l1, err := simulator.NewCache("L1", 8, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := simulator.NewHierarchy(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := FullEventSet(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Measure(func() { simulator.TraceStrided(h, 100, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FeaturesFromSet(set, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.L1MissRatio <= 0 {
+		t.Fatalf("features = %+v", f)
+	}
+}
+
+func TestTLBThrashPattern(t *testing.T) {
+	cpu := machine.DAS5CPU()
+	// Page-stride walk: one access per 4 KiB page.
+	f, matches, err := Diagnose(cpu, func(h *simulator.Hierarchy) {
+		for i := 0; i < 1<<14; i++ {
+			h.Load(uint64(i)*4096, 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TLBMissRatio < 0.5 {
+		t.Fatalf("TLB miss ratio = %v, want high", f.TLBMissRatio)
+	}
+	found := false
+	for _, m := range matches {
+		if m.Pattern.Name == "tlb-thrash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tlb-thrash not detected: %+v (features %+v)", matches, f)
+	}
+	// Unit-stride streaming must NOT trigger it.
+	f2, matches2, err := Diagnose(cpu, func(h *simulator.Hierarchy) {
+		simulator.TraceStreamTriad(h, 1<<15)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches2 {
+		if m.Pattern.Name == "tlb-thrash" {
+			t.Fatalf("triad wrongly flagged tlb-thrash (features %+v)", f2)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package polyhedral
+
+// Canonical nests used across the course material and this package's
+// tests/benches.
+
+// MatMulNest returns the (i, j, k) matrix-multiplication nest
+// C[i][j] += A[i][k] * B[k][j] over n x n matrices.
+func MatMulNest(n int) *Nest {
+	return &Nest{
+		Name:   "matmul",
+		Bounds: []int{n, n, n},
+		Accesses: []Access{
+			{Array: "C", Index: []IndexExpr{{Iter: 0}, {Iter: 1}}, Write: false},
+			{Array: "C", Index: []IndexExpr{{Iter: 0}, {Iter: 1}}, Write: true},
+			{Array: "A", Index: []IndexExpr{{Iter: 0}, {Iter: 2}}},
+			{Array: "B", Index: []IndexExpr{{Iter: 2}, {Iter: 1}}},
+		},
+	}
+}
+
+// SeidelNest returns the in-place Gauss-Seidel-style sweep
+// A[i][j] = f(A[i-1][j], A[i][j-1]) over an n x n interior: dependence
+// distances (1,0) and (0,1) — fully permutable, tilable.
+func SeidelNest(n int) *Nest {
+	return &Nest{
+		Name:   "seidel",
+		Bounds: []int{n, n},
+		Accesses: []Access{
+			{Array: "A", Index: []IndexExpr{{Iter: 0}, {Iter: 1}}, Write: true},
+			{Array: "A", Index: []IndexExpr{{Iter: 0, Const: -1}, {Iter: 1}}},
+			{Array: "A", Index: []IndexExpr{{Iter: 0}, {Iter: 1, Const: -1}}},
+		},
+	}
+}
+
+// AntiDiagonalNest returns the nest A[i][j] = f(A[i+1][j-1]) whose
+// anti-dependence distance (1,-1) makes both interchange and tiling
+// illegal — the canonical counterexample.
+func AntiDiagonalNest(n int) *Nest {
+	return &Nest{
+		Name:   "anti-diagonal",
+		Bounds: []int{n, n},
+		Accesses: []Access{
+			{Array: "A", Index: []IndexExpr{{Iter: 0}, {Iter: 1}}, Write: true},
+			{Array: "A", Index: []IndexExpr{{Iter: 0, Const: 1}, {Iter: 1, Const: -1}}},
+		},
+	}
+}
+
+// JacobiNest returns the two-array Jacobi sweep B[i][j] = f(A[...]) with
+// no loop-carried dependences at all: every schedule is legal.
+func JacobiNest(n int) *Nest {
+	return &Nest{
+		Name:   "jacobi",
+		Bounds: []int{n, n},
+		Accesses: []Access{
+			{Array: "B", Index: []IndexExpr{{Iter: 0}, {Iter: 1}}, Write: true},
+			{Array: "A", Index: []IndexExpr{{Iter: 0, Const: -1}, {Iter: 1}}},
+			{Array: "A", Index: []IndexExpr{{Iter: 0, Const: 1}, {Iter: 1}}},
+			{Array: "A", Index: []IndexExpr{{Iter: 0}, {Iter: 1, Const: -1}}},
+			{Array: "A", Index: []IndexExpr{{Iter: 0}, {Iter: 1, Const: 1}}},
+		},
+	}
+}

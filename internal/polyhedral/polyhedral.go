@@ -1,0 +1,407 @@
+// Package polyhedral implements the polyhedral-model topic of the course
+// (taught from the HiPEAC tutorial): affine loop nests over rectangular
+// iteration domains, dependence analysis producing distance vectors, the
+// classic legality tests for loop interchange and tiling, and an executor
+// that runs a nest under a transformed schedule so legality can be
+// verified empirically (transformed results must equal the original).
+//
+// The model is deliberately the teachable core of the theory: accesses are
+// affine selections (each array subscript is one loop iterator plus a
+// constant), which covers matmul, stencils and Game-of-Life-style kernels
+// — the nests students actually transform in the course.
+package polyhedral
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IndexExpr is one array subscript: iterator Iter (by loop depth) plus
+// Const. Iter == -1 denotes a constant subscript.
+type IndexExpr struct {
+	Iter  int
+	Const int
+}
+
+// Access is one array reference in the loop body.
+type Access struct {
+	Array string
+	Index []IndexExpr
+	Write bool
+}
+
+// Nest is a perfect rectangular loop nest with a single statement.
+type Nest struct {
+	Name string
+	// Bounds[i] is the trip count of loop i (iterators run 0..Bounds[i]).
+	Bounds   []int
+	Accesses []Access
+}
+
+// Depth returns the nest depth.
+func (n *Nest) Depth() int { return len(n.Bounds) }
+
+// Validate checks iterator references and bounds.
+func (n *Nest) Validate() error {
+	if n.Depth() == 0 {
+		return errors.New("polyhedral: empty nest")
+	}
+	for _, b := range n.Bounds {
+		if b <= 0 {
+			return errors.New("polyhedral: non-positive bound")
+		}
+	}
+	for _, a := range n.Accesses {
+		for _, ix := range a.Index {
+			if ix.Iter < -1 || ix.Iter >= n.Depth() {
+				return fmt.Errorf("polyhedral: access %s references iterator %d", a.Array, ix.Iter)
+			}
+		}
+	}
+	return nil
+}
+
+// DepKind classifies a dependence.
+type DepKind int
+
+// Dependence kinds.
+const (
+	Flow   DepKind = iota // write -> read
+	Anti                  // read -> write
+	Output                // write -> write
+)
+
+// String implements fmt.Stringer.
+func (k DepKind) String() string { return [...]string{"flow", "anti", "output"}[k] }
+
+// Entry is one component of a distance vector: either an exact integer or
+// free (unconstrained by the subscripts, taking any value).
+type Entry struct {
+	Free bool
+	Val  int
+}
+
+// String implements fmt.Stringer.
+func (e Entry) String() string {
+	if e.Free {
+		return "*"
+	}
+	return fmt.Sprintf("%d", e.Val)
+}
+
+// Dependence is one dependence class between two accesses, characterized
+// by a (possibly partially free) distance vector in original loop order.
+type Dependence struct {
+	Array    string
+	Kind     DepKind
+	Distance []Entry
+}
+
+// String implements fmt.Stringer.
+func (d Dependence) String() string {
+	parts := make([]string, len(d.Distance))
+	for i, e := range d.Distance {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("%s dep on %s: (%s)", d.Kind, d.Array, strings.Join(parts, ","))
+}
+
+// Dependences computes the dependence classes of the nest: for every pair
+// of accesses to the same array with at least one write, the distance
+// vector implied by equating subscripts. Pairs whose subscripts can never
+// be equal (constant mismatch) produce no dependence.
+func Dependences(n *Nest) ([]Dependence, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Dependence
+	seen := make(map[string]bool)
+	for i, src := range n.Accesses {
+		for j, dst := range n.Accesses {
+			if i == j && !src.Write {
+				continue
+			}
+			if src.Array != dst.Array {
+				continue
+			}
+			if !src.Write && !dst.Write {
+				continue
+			}
+			var kind DepKind
+			switch {
+			case src.Write && dst.Write:
+				kind = Output
+			case src.Write:
+				kind = Flow
+			default:
+				kind = Anti
+			}
+			dist, possible := distance(n.Depth(), src, dst)
+			if !possible {
+				continue
+			}
+			// A vector with no lexicographically positive instance (e.g.
+			// the exact-zero self pair) constrains nothing: same
+			// iteration, not a loop-carried dependence.
+			if len(instantiations(dist)) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%s|%v|%v", src.Array, kind, dist)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Dependence{Array: src.Array, Kind: kind, Distance: dist})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].String() < out[b].String()
+	})
+	return out, nil
+}
+
+// distance equates subscripts of src (source iteration S) and dst (target
+// iteration T) and solves for d = T - S per dimension. Returns ok=false
+// when the subscripts are incompatible (no dependence).
+func distance(depth int, src, dst Access) ([]Entry, bool) {
+	dist := make([]Entry, depth)
+	constrained := make([]bool, depth)
+	// Subscript k: S[src.Iter]+src.Const == T[dst.Iter]+dst.Const.
+	if len(src.Index) != len(dst.Index) {
+		return nil, false
+	}
+	for k := range src.Index {
+		si, di := src.Index[k], dst.Index[k]
+		switch {
+		case si.Iter == -1 && di.Iter == -1:
+			if si.Const != di.Const {
+				return nil, false
+			}
+		case si.Iter == -1 || di.Iter == -1:
+			// One constant subscript, one iterator: the iterator is
+			// pinned to a single value — dependence exists only at that
+			// value; treat the dimension as exact-zero-information,
+			// conservatively free.
+			continue
+		case si.Iter == di.Iter:
+			// d[iter] = S - T? We want T - S: s + cS = t + cT =>
+			// t - s = cS - cT.
+			d := si.Const - di.Const
+			it := si.Iter
+			if constrained[it] && dist[it].Val != d {
+				return nil, false
+			}
+			dist[it] = Entry{Val: d}
+			constrained[it] = true
+		default:
+			// Different iterators in the same subscript (e.g. A[i] vs
+			// A[j]): couples two dimensions; conservatively mark both
+			// free.
+			continue
+		}
+	}
+	for k := range dist {
+		if !constrained[k] {
+			dist[k] = Entry{Free: true}
+		}
+	}
+	return dist, true
+}
+
+// instantiations expands the free entries of a distance vector into
+// representative sign patterns {-1, 0, +1} and returns only the
+// lexicographically positive concrete vectors — the actual dependence
+// instances that constrain scheduling (lex-negative instances belong to
+// the symmetric pair, lex-zero is the same iteration).
+func instantiations(dist []Entry) [][]int {
+	var out [][]int
+	var rec func(i int, cur []int)
+	rec = func(i int, cur []int) {
+		if i == len(dist) {
+			if lexPositive(cur) {
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		if dist[i].Free {
+			for _, v := range []int{-1, 0, 1} {
+				rec(i+1, append(cur, v))
+			}
+			return
+		}
+		rec(i+1, append(cur, dist[i].Val))
+	}
+	rec(0, nil)
+	return out
+}
+
+func lexPositive(v []int) bool {
+	for _, x := range v {
+		if x > 0 {
+			return true
+		}
+		if x < 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// PermutationLegal reports whether executing the nest with loops permuted
+// by perm (perm[k] = original loop at new level k) preserves all
+// dependences: every dependence instance must stay lexicographically
+// positive in the new order.
+func PermutationLegal(deps []Dependence, perm []int) (bool, error) {
+	for _, d := range deps {
+		if len(perm) != len(d.Distance) {
+			return false, fmt.Errorf("polyhedral: perm length %d vs depth %d", len(perm), len(d.Distance))
+		}
+	}
+	if err := checkPerm(perm); err != nil {
+		return false, err
+	}
+	for _, d := range deps {
+		for _, inst := range instantiations(d.Distance) {
+			permuted := make([]int, len(inst))
+			for k, orig := range perm {
+				permuted[k] = inst[orig]
+			}
+			if !lexPositive(permuted) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func checkPerm(perm []int) error {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return fmt.Errorf("polyhedral: invalid permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// TilingLegal reports whether rectangular tiling of all loops is legal:
+// the sufficient classical condition is full permutability — every
+// dependence instance non-negative in every dimension.
+func TilingLegal(deps []Dependence) bool {
+	for _, d := range deps {
+		for _, inst := range instantiations(d.Distance) {
+			for _, x := range inst {
+				if x < 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Schedule is a transformed execution order: a loop permutation plus
+// optional tile sizes (0 = untiled) per (new-order) loop.
+type Schedule struct {
+	Perm []int
+	Tile []int
+}
+
+// Identity returns the identity schedule for the given depth.
+func Identity(depth int) Schedule {
+	p := make([]int, depth)
+	for i := range p {
+		p[i] = i
+	}
+	return Schedule{Perm: p}
+}
+
+// Execute runs body over the rectangular domain in the schedule's order.
+// body receives the iteration vector in ORIGINAL loop indexing.
+func Execute(bounds []int, s Schedule, body func(iv []int)) error {
+	depth := len(bounds)
+	if len(s.Perm) != depth {
+		return fmt.Errorf("polyhedral: schedule depth %d vs %d", len(s.Perm), depth)
+	}
+	if err := checkPerm(s.Perm); err != nil {
+		return err
+	}
+	tile := s.Tile
+	if tile == nil {
+		tile = make([]int, depth)
+	}
+	if len(tile) != depth {
+		return errors.New("polyhedral: tile vector length mismatch")
+	}
+
+	iv := make([]int, depth)
+	// Tiled execution: outer tile loops then inner point loops, both in
+	// permuted order.
+	anyTiled := false
+	for _, t := range tile {
+		if t > 0 {
+			anyTiled = true
+		}
+	}
+	if !anyTiled {
+		var rec func(level int)
+		rec = func(level int) {
+			if level == depth {
+				body(iv)
+				return
+			}
+			orig := s.Perm[level]
+			for v := 0; v < bounds[orig]; v++ {
+				iv[orig] = v
+				rec(level + 1)
+			}
+		}
+		rec(0)
+		return nil
+	}
+
+	lo := make([]int, depth)
+	var tiles func(level int)
+	var points func(level int)
+	points = func(level int) {
+		if level == depth {
+			body(iv)
+			return
+		}
+		orig := s.Perm[level]
+		t := tile[level]
+		if t <= 0 {
+			t = bounds[orig]
+		}
+		hi := lo[orig] + t
+		if hi > bounds[orig] {
+			hi = bounds[orig]
+		}
+		for v := lo[orig]; v < hi; v++ {
+			iv[orig] = v
+			points(level + 1)
+		}
+	}
+	tiles = func(level int) {
+		if level == depth {
+			points(0)
+			return
+		}
+		orig := s.Perm[level]
+		t := tile[level]
+		if t <= 0 {
+			lo[orig] = 0
+			tiles(level + 1)
+			return
+		}
+		for v := 0; v < bounds[orig]; v += t {
+			lo[orig] = v
+			tiles(level + 1)
+		}
+	}
+	tiles(0)
+	return nil
+}

@@ -1,0 +1,272 @@
+package polyhedral
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := MatMulNest(4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Nest{}).Validate(); err == nil {
+		t.Fatal("empty nest must fail")
+	}
+	bad := &Nest{Bounds: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bound must fail")
+	}
+	badIter := &Nest{Bounds: []int{4},
+		Accesses: []Access{{Array: "A", Index: []IndexExpr{{Iter: 7}}}}}
+	if err := badIter.Validate(); err == nil {
+		t.Fatal("bad iterator must fail")
+	}
+}
+
+func TestMatMulDependences(t *testing.T) {
+	deps, err := Dependences(MatMulNest(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) == 0 {
+		t.Fatal("matmul must have C dependences")
+	}
+	for _, d := range deps {
+		if d.Array != "C" {
+			t.Fatalf("unexpected dependence on %s", d.Array)
+		}
+		// i and j distances are exactly 0; k is free.
+		if d.Distance[0].Free || d.Distance[0].Val != 0 ||
+			d.Distance[1].Free || d.Distance[1].Val != 0 ||
+			!d.Distance[2].Free {
+			t.Fatalf("matmul distance wrong: %v", d)
+		}
+	}
+	// All six permutations are legal; tiling is legal.
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		ok, err := PermutationLegal(deps, p)
+		if err != nil || !ok {
+			t.Fatalf("perm %v should be legal (%v)", p, err)
+		}
+	}
+	if !TilingLegal(deps) {
+		t.Fatal("matmul tiling should be legal")
+	}
+}
+
+func TestSeidelDependences(t *testing.T) {
+	deps, err := Dependences(SeidelNest(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must include flow deps with distances (1,0) and (0,1).
+	found10, found01 := false, false
+	for _, d := range deps {
+		if d.Kind != Flow {
+			continue
+		}
+		if !d.Distance[0].Free && !d.Distance[1].Free {
+			if d.Distance[0].Val == 1 && d.Distance[1].Val == 0 {
+				found10 = true
+			}
+			if d.Distance[0].Val == 0 && d.Distance[1].Val == 1 {
+				found01 = true
+			}
+		}
+	}
+	if !found10 || !found01 {
+		t.Fatalf("seidel flow deps missing: %v", deps)
+	}
+	ok, _ := PermutationLegal(deps, []int{1, 0})
+	if !ok {
+		t.Fatal("seidel interchange should be legal")
+	}
+	if !TilingLegal(deps) {
+		t.Fatal("seidel tiling should be legal")
+	}
+}
+
+func TestAntiDiagonalIllegal(t *testing.T) {
+	deps, err := Dependences(AntiDiagonalNest(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := PermutationLegal(deps, []int{1, 0})
+	if ok {
+		t.Fatal("anti-diagonal interchange must be illegal")
+	}
+	if TilingLegal(deps) {
+		t.Fatal("anti-diagonal tiling must be illegal")
+	}
+	// Identity stays legal, of course.
+	ok, _ = PermutationLegal(deps, []int{0, 1})
+	if !ok {
+		t.Fatal("identity must stay legal")
+	}
+}
+
+func TestJacobiNoDeps(t *testing.T) {
+	deps, err := Dependences(JacobiNest(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 0 {
+		t.Fatalf("jacobi should have no loop-carried deps, got %v", deps)
+	}
+	if !TilingLegal(deps) {
+		t.Fatal("jacobi must be tilable")
+	}
+}
+
+func TestPermutationValidation(t *testing.T) {
+	deps, _ := Dependences(SeidelNest(4))
+	if _, err := PermutationLegal(deps, []int{0}); err == nil {
+		t.Fatal("wrong-length perm must fail")
+	}
+	if _, err := PermutationLegal(deps, []int{0, 0}); err == nil {
+		t.Fatal("non-permutation must fail")
+	}
+}
+
+func TestDependenceString(t *testing.T) {
+	deps, _ := Dependences(SeidelNest(4))
+	s := deps[0].String()
+	if !strings.Contains(s, "dep on A") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// seidelRun executes the Seidel computation under a schedule and returns
+// the resulting grid.
+func seidelRun(n int, s Schedule) ([]float64, error) {
+	// Grid with halo of 1 on top/left; iterators map to interior cells.
+	w := n + 1
+	a := make([]float64, w*(n+1))
+	for i := range a {
+		a[i] = float64(i % 7)
+	}
+	err := Execute([]int{n, n}, s, func(iv []int) {
+		i, j := iv[0]+1, iv[1]+1
+		a[i*w+j] = 0.5 * (a[(i-1)*w+j] + a[i*w+j-1])
+	})
+	return a, err
+}
+
+func TestExecuteLegalScheduleEquivalence(t *testing.T) {
+	n := 12
+	base, err := seidelRun(n, Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interchange (legal for Seidel).
+	inter, err := seidelRun(n, Schedule{Perm: []int{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != inter[i] {
+			t.Fatalf("legal interchange changed results at %d", i)
+		}
+	}
+	// Tiled (legal for Seidel).
+	tiled, err := seidelRun(n, Schedule{Perm: []int{0, 1}, Tile: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != tiled[i] {
+			t.Fatalf("legal tiling changed results at %d", i)
+		}
+	}
+}
+
+// antiRun executes the anti-diagonal computation under a schedule.
+func antiRun(n int, s Schedule) ([]float64, error) {
+	w := n + 2
+	a := make([]float64, w*w)
+	for i := range a {
+		a[i] = float64(i%5) + 1
+	}
+	err := Execute([]int{n, n}, s, func(iv []int) {
+		i, j := iv[0], iv[1]+1
+		a[i*w+j] = a[i*w+j] + 2*a[(i+1)*w+j-1]
+	})
+	return a, err
+}
+
+func TestExecuteIllegalScheduleDiverges(t *testing.T) {
+	n := 8
+	base, err := antiRun(n, Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := antiRun(n, Schedule{Perm: []int{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range base {
+		if base[i] != inter[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("illegal interchange should have changed the result")
+	}
+}
+
+func TestExecuteCoversDomainOnce(t *testing.T) {
+	bounds := []int{3, 4, 5}
+	count := make(map[[3]int]int)
+	err := Execute(bounds, Schedule{Perm: []int{2, 0, 1}, Tile: []int{2, 0, 3}},
+		func(iv []int) {
+			count[[3]int{iv[0], iv[1], iv[2]}]++
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(count) != 3*4*5 {
+		t.Fatalf("covered %d points, want 60", len(count))
+	}
+	for k, c := range count {
+		if c != 1 {
+			t.Fatalf("point %v visited %d times", k, c)
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	if err := Execute([]int{2}, Schedule{Perm: []int{0, 1}}, func([]int) {}); err == nil {
+		t.Fatal("depth mismatch must fail")
+	}
+	if err := Execute([]int{2, 2}, Schedule{Perm: []int{0, 0}}, func([]int) {}); err == nil {
+		t.Fatal("bad permutation must fail")
+	}
+	if err := Execute([]int{2, 2}, Schedule{Perm: []int{0, 1}, Tile: []int{2}}, func([]int) {}); err == nil {
+		t.Fatal("tile length mismatch must fail")
+	}
+}
+
+// Property: every schedule (any permutation, any tile sizes) enumerates
+// the full domain exactly once — schedules only reorder.
+func TestQuickScheduleIsBijection(t *testing.T) {
+	f := func(permSeed, tileSeed uint8) bool {
+		perms := [][]int{{0, 1}, {1, 0}}
+		perm := perms[int(permSeed)%2]
+		tiles := [][]int{nil, {2, 3}, {0, 2}, {5, 5}}
+		tile := tiles[int(tileSeed)%4]
+		visits := 0
+		seen := make(map[[2]int]bool)
+		err := Execute([]int{5, 7}, Schedule{Perm: perm, Tile: tile}, func(iv []int) {
+			visits++
+			seen[[2]int{iv[0], iv[1]}] = true
+		})
+		return err == nil && visits == 35 && len(seen) == 35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

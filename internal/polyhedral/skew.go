@@ -1,0 +1,114 @@
+package polyhedral
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Loop skewing: the transformation that turns the anti-diagonal nest's
+// (1,-1) dependence into (1, f-1) >= 0, making wavefront parallelism and
+// tiling legal — the canonical "enabling transformation" of the
+// polyhedral lectures. Skewing is always legal (it is a unimodular change
+// of basis); its value is what it does to the distance vectors.
+
+// SkewDistances returns the dependences transformed by skewing loop
+// `target` by factor f with respect to loop `source`:
+// d'[target] = d[target] + f * d[source]. Free entries stay free; a free
+// source entry makes the target entry free too (its contribution is
+// unbounded).
+func SkewDistances(deps []Dependence, source, target int, f int) ([]Dependence, error) {
+	if source == target {
+		return nil, errors.New("polyhedral: skew source and target must differ")
+	}
+	out := make([]Dependence, len(deps))
+	for i, d := range deps {
+		if source < 0 || source >= len(d.Distance) || target < 0 || target >= len(d.Distance) {
+			return nil, fmt.Errorf("polyhedral: skew loops (%d,%d) out of range for depth %d",
+				source, target, len(d.Distance))
+		}
+		nd := Dependence{Array: d.Array, Kind: d.Kind,
+			Distance: append([]Entry(nil), d.Distance...)}
+		s, t := d.Distance[source], d.Distance[target]
+		switch {
+		case t.Free || s.Free:
+			nd.Distance[target] = Entry{Free: true}
+		default:
+			nd.Distance[target] = Entry{Val: t.Val + f*s.Val}
+		}
+		out[i] = nd
+	}
+	return out, nil
+}
+
+// SkewedSchedule executes a depth-2 nest in skewed coordinates
+// (i, j + f*i), optionally tiled in the skewed space, calling body with
+// ORIGINAL iteration vectors. Skewing preserves semantics for any f when
+// the skewed loops execute in lexicographic order of (i, j+f*i) —
+// what this executor does.
+type SkewedSchedule struct {
+	// F is the skew factor applied to the inner loop w.r.t. the outer.
+	F int
+	// Tile are tile sizes in skewed coordinates (0/nil = untiled).
+	Tile []int
+}
+
+// ExecuteSkewed runs body over the rectangular 2D domain in skewed order.
+func ExecuteSkewed(bounds []int, s SkewedSchedule, body func(iv []int)) error {
+	if len(bounds) != 2 {
+		return errors.New("polyhedral: skewed execution supports depth-2 nests")
+	}
+	ni, nj := bounds[0], bounds[1]
+	f := s.F
+	// Skewed inner coordinate j' = j + f*i ranges over [min, max).
+	minJ, maxJ := 0, nj
+	if f > 0 {
+		maxJ = nj + f*(ni-1)
+	} else if f < 0 {
+		minJ = f * (ni - 1)
+	}
+	tileI, tileJ := 0, 0
+	if len(s.Tile) == 2 {
+		tileI, tileJ = s.Tile[0], s.Tile[1]
+	} else if s.Tile != nil {
+		return errors.New("polyhedral: skewed tile vector must have 2 entries")
+	}
+	if tileI <= 0 {
+		tileI = ni
+	}
+	if tileJ <= 0 {
+		tileJ = maxJ - minJ
+	}
+	iv := make([]int, 2)
+	// Tiles over skewed space; within a tile, lexicographic (i, j').
+	// Lexicographic (tile_jp, tile_i, i, j') order: for the wavefront
+	// property, tiles along j' must advance together — iterate tile rows
+	// of j' outermost is NOT generally legal; legal tiled order is
+	// lexicographic in skewed coordinates: (ti, tj, i, j').
+	for ti := 0; ti < ni; ti += tileI {
+		for tj := minJ; tj < maxJ; tj += tileJ {
+			for i := ti; i < minIntP(ti+tileI, ni); i++ {
+				lo := tj
+				if lo < f*i {
+					lo = f * i
+				}
+				hi := tj + tileJ
+				if hi > f*i+nj {
+					hi = f*i + nj
+				}
+				for jp := lo; jp < hi; jp++ {
+					iv[0] = i
+					iv[1] = jp - f*i
+					body(iv)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func minIntP(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

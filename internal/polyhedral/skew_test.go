@@ -1,0 +1,150 @@
+package polyhedral
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSkewDistancesAntiDiagonal(t *testing.T) {
+	deps, err := Dependences(AntiDiagonalNest(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TilingLegal(deps) {
+		t.Fatal("unskewed anti-diagonal must not be tilable")
+	}
+	// Skew inner (1) by outer (0) with f=1: (1,-1) -> (1,0).
+	skewed, err := SkewDistances(deps, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TilingLegal(skewed) {
+		t.Fatalf("skewed anti-diagonal must be tilable: %v", skewed)
+	}
+	// Insufficient skew keeps it illegal.
+	zero, _ := SkewDistances(deps, 0, 1, 0)
+	if TilingLegal(zero) {
+		t.Fatal("f=0 is the identity; still illegal")
+	}
+}
+
+func TestSkewDistancesFreeEntries(t *testing.T) {
+	deps, _ := Dependences(MatMulNest(4))
+	// Skew j (1) by k (2): k is free, so j becomes free.
+	skewed, err := SkewDistances(deps, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range skewed {
+		if !d.Distance[1].Free {
+			t.Fatalf("target of free-source skew must be free: %v", d)
+		}
+	}
+}
+
+func TestSkewDistancesErrors(t *testing.T) {
+	deps, _ := Dependences(SeidelNest(4))
+	if _, err := SkewDistances(deps, 1, 1, 1); err == nil {
+		t.Fatal("source == target must fail")
+	}
+	if _, err := SkewDistances(deps, 0, 7, 1); err == nil {
+		t.Fatal("out-of-range loop must fail")
+	}
+}
+
+// antiRunSkewed executes the anti-diagonal computation under a skewed
+// schedule.
+func antiRunSkewed(n int, s SkewedSchedule) ([]float64, error) {
+	w := n + 2
+	a := make([]float64, w*w)
+	for i := range a {
+		a[i] = float64(i%5) + 1
+	}
+	err := ExecuteSkewed([]int{n, n}, s, func(iv []int) {
+		i, j := iv[0], iv[1]+1
+		a[i*w+j] = a[i*w+j] + 2*a[(i+1)*w+j-1]
+	})
+	return a, err
+}
+
+func TestSkewEnablesTilingEmpirically(t *testing.T) {
+	n := 12
+	base, err := antiRun(n, Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rectangular tiling in original coordinates is illegal and diverges.
+	tiled, err := antiRun(n, Schedule{Perm: []int{0, 1}, Tile: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range base {
+		if base[i] != tiled[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("unskewed tiling should have diverged (it is illegal)")
+	}
+	// Skewing by f=1 makes tiling legal: skewed-tiled matches identity.
+	for _, tile := range [][]int{nil, {4, 4}, {3, 5}, {12, 100}} {
+		skewed, err := antiRunSkewed(n, SkewedSchedule{F: 1, Tile: tile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if base[i] != skewed[i] {
+				t.Fatalf("skewed tile=%v diverged at %d", tile, i)
+			}
+		}
+	}
+}
+
+func TestExecuteSkewedCoversDomain(t *testing.T) {
+	for _, f := range []int{-2, -1, 0, 1, 3} {
+		count := make(map[[2]int]int)
+		err := ExecuteSkewed([]int{5, 7}, SkewedSchedule{F: f, Tile: []int{2, 3}},
+			func(iv []int) {
+				count[[2]int{iv[0], iv[1]}]++
+			})
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		if len(count) != 35 {
+			t.Fatalf("f=%d covered %d points", f, len(count))
+		}
+		for k, c := range count {
+			if c != 1 {
+				t.Fatalf("f=%d point %v visited %d times", f, k, c)
+			}
+		}
+	}
+}
+
+func TestExecuteSkewedErrors(t *testing.T) {
+	if err := ExecuteSkewed([]int{2, 2, 2}, SkewedSchedule{}, func([]int) {}); err == nil {
+		t.Fatal("depth != 2 must fail")
+	}
+	if err := ExecuteSkewed([]int{2, 2}, SkewedSchedule{Tile: []int{1}}, func([]int) {}); err == nil {
+		t.Fatal("bad tile vector must fail")
+	}
+}
+
+// Property: skewed execution with any factor and tiling visits each point
+// exactly once (it is a bijection on the domain).
+func TestQuickSkewBijection(t *testing.T) {
+	f := func(fRaw int8, tiRaw, tjRaw uint8) bool {
+		factor := int(fRaw % 4)
+		ti := int(tiRaw%5) + 1
+		tj := int(tjRaw%7) + 1
+		visits := 0
+		err := ExecuteSkewed([]int{4, 6}, SkewedSchedule{F: factor, Tile: []int{ti, tj}},
+			func([]int) { visits++ })
+		return err == nil && visits == 24
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances by a fixed step on every call, making the arithmetic
+// exact.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newFake(step time.Duration) *Profiler {
+	p := New()
+	c := &fakeClock{t: time.Unix(0, 0), step: step}
+	p.now = c.now
+	return p
+}
+
+func TestFlatRegions(t *testing.T) {
+	p := newFake(time.Millisecond)
+	// Each now() call advances 1ms: enter(+1ms) ... exit(+1ms) => each
+	// region spans exactly 1ms.
+	p.Enter("a")
+	if err := p.Exit("a"); err != nil {
+		t.Fatal(err)
+	}
+	p.Enter("a")
+	if err := p.Exit("a"); err != nil {
+		t.Fatal(err)
+	}
+	rs := p.Regions()
+	if len(rs) != 1 || rs[0].Calls != 2 {
+		t.Fatalf("regions = %+v", rs)
+	}
+	if rs[0].Inclusive != 2*time.Millisecond || rs[0].Exclusive != 2*time.Millisecond {
+		t.Fatalf("times = %+v", rs[0])
+	}
+}
+
+func TestNestedExclusiveTime(t *testing.T) {
+	p := newFake(time.Millisecond)
+	// Timeline (1ms per tick): enter outer (t=1), enter inner (t=2),
+	// exit inner (t=3, inner incl=1ms), exit outer (t=4, outer incl=3ms,
+	// excl=3-1=2ms).
+	p.Enter("outer")
+	p.Enter("inner")
+	if err := p.Exit("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Exit("outer"); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Region{}
+	for _, r := range p.Regions() {
+		byName[r.Name] = r
+	}
+	if byName["inner"].Inclusive != time.Millisecond {
+		t.Fatalf("inner = %+v", byName["inner"])
+	}
+	if byName["outer"].Inclusive != 3*time.Millisecond {
+		t.Fatalf("outer inclusive = %v", byName["outer"].Inclusive)
+	}
+	if byName["outer"].Exclusive != 2*time.Millisecond {
+		t.Fatalf("outer exclusive = %v", byName["outer"].Exclusive)
+	}
+}
+
+func TestUnbalancedInstrumentation(t *testing.T) {
+	p := New()
+	if err := p.Exit("ghost"); err == nil {
+		t.Fatal("exit on empty stack must fail")
+	}
+	p.Enter("a")
+	if err := p.Exit("b"); err == nil {
+		t.Fatal("mismatched exit must fail")
+	}
+	if p.Depth() != 1 {
+		t.Fatalf("depth = %d after failed exit", p.Depth())
+	}
+	if err := p.Exit("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	p := New()
+	ran := false
+	if err := p.Do("work", func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || p.Depth() != 0 {
+		t.Fatal("Do did not run or left the stack dirty")
+	}
+	if p.Regions()[0].Calls != 1 {
+		t.Fatal("region not recorded")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := newFake(time.Millisecond)
+	a.Enter("x")
+	_ = a.Exit("x")
+	b := newFake(time.Millisecond)
+	b.Enter("x")
+	_ = b.Exit("x")
+	b.Enter("y")
+	_ = b.Exit("y")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Region{}
+	for _, r := range a.Regions() {
+		byName[r.Name] = r
+	}
+	if byName["x"].Calls != 2 || byName["y"].Calls != 1 {
+		t.Fatalf("merged = %+v", byName)
+	}
+	open := New()
+	open.Enter("pending")
+	if err := a.Merge(open); err == nil {
+		t.Fatal("merging an open profiler must fail")
+	}
+}
+
+func TestReportOrdering(t *testing.T) {
+	p := newFake(time.Millisecond)
+	// "hot" called 3 times (3ms exclusive), "cold" once (1ms).
+	for i := 0; i < 3; i++ {
+		p.Enter("hot")
+		_ = p.Exit("hot")
+	}
+	p.Enter("cold")
+	_ = p.Exit("cold")
+	rs := p.Regions()
+	if rs[0].Name != "hot" {
+		t.Fatalf("hottest region should lead: %+v", rs)
+	}
+	rep := p.Report()
+	if !strings.Contains(rep, "hot") || !strings.Contains(rep, "excl%") {
+		t.Fatalf("report incomplete:\n%s", rep)
+	}
+	if strings.Index(rep, "hot") > strings.Index(rep, "cold") {
+		t.Fatal("report not sorted by exclusive time")
+	}
+	if p.TotalExclusive() != 4*time.Millisecond {
+		t.Fatalf("total = %v", p.TotalExclusive())
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	p := New()
+	if err := p.Do("sleep", func() { time.Sleep(2 * time.Millisecond) }); err != nil {
+		t.Fatal(err)
+	}
+	if p.Regions()[0].Inclusive < time.Millisecond {
+		t.Fatal("real clock did not accumulate")
+	}
+}

@@ -1,0 +1,155 @@
+package queuing
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Discrete-event simulation of a G/G/c queue, used to validate the
+// analytical formulas — the empirical half of the queuing-theory topic.
+
+// Sampler draws one random interval (inter-arrival or service time).
+type Sampler func(rng *rand.Rand) float64
+
+// Exponential returns a Sampler with the given rate.
+func Exponential(rate float64) Sampler {
+	return func(rng *rand.Rand) float64 { return rng.ExpFloat64() / rate }
+}
+
+// Deterministic returns a constant-interval Sampler.
+func Deterministic(interval float64) Sampler {
+	return func(*rand.Rand) float64 { return interval }
+}
+
+// Uniform returns a Sampler uniform on [lo, hi).
+func Uniform(lo, hi float64) Sampler {
+	return func(rng *rand.Rand) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+// SimResult summarizes a simulation run.
+type SimResult struct {
+	Customers int
+	MeanW     float64 // mean time in system
+	MeanWq    float64 // mean waiting time
+	MeanL     float64 // time-average number in system
+	Util      float64 // time-average busy servers / servers
+}
+
+type event struct {
+	at   float64
+	kind int // 0 arrival, 1 departure
+	id   int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simulate runs a FIFO G/G/c queue for the given number of customers
+// (after a warm-up of warmup customers excluded from statistics).
+func Simulate(interarrival, service Sampler, servers, customers, warmup int, seed int64) (SimResult, error) {
+	if servers < 1 || customers < 1 {
+		return SimResult{}, errors.New("queuing: need servers >= 1 and customers >= 1")
+	}
+	if warmup < 0 {
+		warmup = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := customers + warmup
+
+	var h eventHeap
+	// Pre-generate arrivals.
+	t := 0.0
+	arrivals := make([]float64, total)
+	for i := 0; i < total; i++ {
+		t += interarrival(rng)
+		arrivals[i] = t
+		heap.Push(&h, event{at: t, kind: 0, id: i})
+	}
+
+	busy := 0
+	var queue []int // waiting customer ids
+	startService := make([]float64, total)
+	departure := make([]float64, total)
+
+	// Time-average accumulators (collected over the full horizon after the
+	// warm-up customer's arrival).
+	var lastT, areaL, areaBusy float64
+	inSystem := 0
+	statsStart := arrivals[0]
+	if warmup > 0 && warmup < total {
+		statsStart = arrivals[warmup]
+	}
+	accumulate := func(now float64) {
+		if now > lastT && lastT >= statsStart {
+			dt := now - lastT
+			areaL += dt * float64(inSystem)
+			areaBusy += dt * float64(busy)
+		}
+		if now > lastT {
+			lastT = now
+		}
+	}
+
+	serve := func(id int, now float64) {
+		busy++
+		startService[id] = now
+		dep := now + service(rng)
+		departure[id] = dep
+		heap.Push(&h, event{at: dep, kind: 1, id: id})
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		accumulate(ev.at)
+		if ev.kind == 0 {
+			inSystem++
+			if busy < servers {
+				serve(ev.id, ev.at)
+			} else {
+				queue = append(queue, ev.id)
+			}
+		} else {
+			inSystem--
+			busy--
+			if len(queue) > 0 {
+				next := queue[0]
+				queue = queue[1:]
+				serve(next, ev.at)
+			}
+		}
+	}
+
+	var sumW, sumWq float64
+	for i := warmup; i < total; i++ {
+		sumW += departure[i] - arrivals[i]
+		sumWq += startService[i] - arrivals[i]
+	}
+	n := float64(customers)
+	horizon := lastT - statsStart
+	res := SimResult{
+		Customers: customers,
+		MeanW:     sumW / n,
+		MeanWq:    sumWq / n,
+	}
+	if horizon > 0 {
+		res.MeanL = areaL / horizon
+		res.Util = areaBusy / horizon / float64(servers)
+	}
+	if math.IsNaN(res.MeanW) {
+		return SimResult{}, errors.New("queuing: simulation produced NaN")
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package queuing
+
+import "errors"
+
+// Exact Mean Value Analysis for closed single-class product-form networks
+// (Reiser & Lavenberg) — the closed-network counterpart of the Jackson
+// analysis, covering the "fixed population of jobs cycling through
+// stations" systems (interactive users against a server farm) the queuing
+// lectures end on.
+
+// MVAStation is one queueing station of the closed network.
+type MVAStation struct {
+	Name string
+	// Demand is the service demand per visit-adjusted job pass
+	// (visit ratio x service time), in seconds.
+	Demand float64
+	// Delay marks a pure delay (infinite-server) station, e.g. user
+	// think time: jobs never queue there.
+	Delay bool
+}
+
+// MVAResult is the steady state for one population size.
+type MVAResult struct {
+	Population int
+	Throughput float64 // jobs/second through the reference point
+	// ResponseTime is the total residence time across all stations.
+	ResponseTime float64
+	// QueueLengths holds the mean number of jobs at each station.
+	QueueLengths []float64
+	// Utilization holds throughput*demand per station (queueing stations
+	// only; delay stations report the mean population there).
+	Utilization []float64
+}
+
+// MVA runs exact mean value analysis for populations 1..n and returns the
+// result for each population size.
+func MVA(stations []MVAStation, n int) ([]MVAResult, error) {
+	if len(stations) == 0 {
+		return nil, errors.New("queuing: MVA needs at least one station")
+	}
+	if n < 1 {
+		return nil, errors.New("queuing: MVA needs population >= 1")
+	}
+	for _, s := range stations {
+		if s.Demand <= 0 {
+			return nil, errors.New("queuing: MVA demands must be positive")
+		}
+	}
+	k := len(stations)
+	q := make([]float64, k) // queue lengths at previous population
+	out := make([]MVAResult, 0, n)
+	for pop := 1; pop <= n; pop++ {
+		res := MVAResult{Population: pop,
+			QueueLengths: make([]float64, k),
+			Utilization:  make([]float64, k)}
+		// Residence times with the arrival theorem: an arriving job sees
+		// the queue of the network with one job fewer.
+		resid := make([]float64, k)
+		var total float64
+		for i, s := range stations {
+			if s.Delay {
+				resid[i] = s.Demand
+			} else {
+				resid[i] = s.Demand * (1 + q[i])
+			}
+			total += resid[i]
+		}
+		res.ResponseTime = total
+		res.Throughput = float64(pop) / total
+		for i, s := range stations {
+			res.QueueLengths[i] = res.Throughput * resid[i]
+			if s.Delay {
+				res.Utilization[i] = res.QueueLengths[i]
+			} else {
+				res.Utilization[i] = res.Throughput * s.Demand
+			}
+		}
+		q = res.QueueLengths
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MVABottleneck returns the index of the queueing station with the largest
+// demand — the station whose saturation caps closed-network throughput at
+// 1/maxDemand.
+func MVABottleneck(stations []MVAStation) int {
+	best := -1
+	for i, s := range stations {
+		if s.Delay {
+			continue
+		}
+		if best == -1 || s.Demand > stations[best].Demand {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,217 @@
+// Package queuing implements the queuing-theory toolbox of the course's
+// "Queuing theory" topic (inspired by MIT's 15.072J): analytical results
+// for M/M/1, M/M/c and M/G/1 queues, Jackson networks of M/M/c stations,
+// Little's law utilities, and a discrete-event simulator used to validate
+// the closed forms — the same analysis-vs-simulation cross-check students
+// perform.
+package queuing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when the offered load reaches or exceeds
+// capacity (rho >= 1), where no steady state exists.
+var ErrUnstable = errors.New("queuing: unstable queue (rho >= 1)")
+
+// MM1 summarizes the steady state of an M/M/1 queue.
+type MM1 struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate
+	Rho    float64 // utilization
+	L      float64 // mean number in system
+	Lq     float64 // mean number in queue
+	W      float64 // mean time in system
+	Wq     float64 // mean waiting time
+}
+
+// AnalyzeMM1 returns the closed-form M/M/1 results.
+func AnalyzeMM1(lambda, mu float64) (MM1, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MM1{}, errors.New("queuing: rates must be positive")
+	}
+	rho := lambda / mu
+	if rho >= 1 {
+		return MM1{}, ErrUnstable
+	}
+	l := rho / (1 - rho)
+	w := 1 / (mu - lambda)
+	return MM1{
+		Lambda: lambda, Mu: mu, Rho: rho,
+		L: l, Lq: l - rho,
+		W: w, Wq: w - 1/mu,
+	}, nil
+}
+
+// MMC summarizes the steady state of an M/M/c queue.
+type MMC struct {
+	Lambda  float64
+	Mu      float64
+	Servers int
+	Rho     float64 // per-server utilization lambda/(c*mu)
+	ErlangC float64 // probability an arrival waits
+	Lq      float64
+	L       float64
+	Wq      float64
+	W       float64
+}
+
+// AnalyzeMMC returns the closed-form M/M/c results (Erlang-C).
+func AnalyzeMMC(lambda, mu float64, servers int) (MMC, error) {
+	if lambda <= 0 || mu <= 0 {
+		return MMC{}, errors.New("queuing: rates must be positive")
+	}
+	if servers < 1 {
+		return MMC{}, errors.New("queuing: need at least one server")
+	}
+	c := float64(servers)
+	a := lambda / mu // offered load in Erlangs
+	rho := a / c
+	if rho >= 1 {
+		return MMC{}, ErrUnstable
+	}
+	// Erlang-C via the numerically stable iterative Erlang-B recursion:
+	// B(0)=1; B(k)=a*B(k-1)/(k+a*B(k-1)); C = B/(1-rho(1-B)).
+	b := 1.0
+	for k := 1; k <= servers; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	erlangC := b / (1 - rho*(1-b))
+	lq := erlangC * rho / (1 - rho)
+	wq := lq / lambda
+	return MMC{
+		Lambda: lambda, Mu: mu, Servers: servers, Rho: rho,
+		ErlangC: erlangC,
+		Lq:      lq, L: lq + a,
+		Wq: wq, W: wq + 1/mu,
+	}, nil
+}
+
+// MG1 summarizes an M/G/1 queue via the Pollaczek-Khinchine formula.
+type MG1 struct {
+	Lambda      float64
+	MeanService float64
+	// SCV is the squared coefficient of variation of service time
+	// (variance/mean^2): 1 for exponential, 0 for deterministic.
+	SCV float64
+	Rho float64
+	Lq  float64
+	L   float64
+	Wq  float64
+	W   float64
+}
+
+// AnalyzeMG1 returns the P-K results for general service times.
+func AnalyzeMG1(lambda, meanService, scv float64) (MG1, error) {
+	if lambda <= 0 || meanService <= 0 || scv < 0 {
+		return MG1{}, errors.New("queuing: invalid M/G/1 parameters")
+	}
+	rho := lambda * meanService
+	if rho >= 1 {
+		return MG1{}, ErrUnstable
+	}
+	wq := rho * meanService * (1 + scv) / (2 * (1 - rho))
+	return MG1{
+		Lambda: lambda, MeanService: meanService, SCV: scv, Rho: rho,
+		Wq: wq, W: wq + meanService,
+		Lq: lambda * wq, L: lambda * (wq + meanService),
+	}, nil
+}
+
+// LittlesLaw returns L = lambda * W.
+func LittlesLaw(lambda, w float64) float64 { return lambda * w }
+
+// Station is one node of a Jackson network.
+type Station struct {
+	Name    string
+	Mu      float64 // service rate per server
+	Servers int
+}
+
+// JacksonNetwork is an open network of M/M/c stations with Markovian
+// routing.
+type JacksonNetwork struct {
+	Stations []Station
+	// External holds exogenous arrival rates per station.
+	External []float64
+	// Routing[i][j] is the probability a job leaving i goes to j; the
+	// remainder 1-sum(Routing[i]) leaves the network.
+	Routing [][]float64
+}
+
+// StationResult is one station's steady state in the network.
+type StationResult struct {
+	Station Station
+	Lambda  float64 // effective arrival rate from the traffic equations
+	MMC
+}
+
+// Solve computes effective arrival rates from the traffic equations
+// (fixed-point iteration) and analyzes each station as M/M/c; by Jackson's
+// theorem the stations behave as independent M/M/c queues.
+func (n *JacksonNetwork) Solve() ([]StationResult, float64, error) {
+	k := len(n.Stations)
+	if k == 0 {
+		return nil, 0, errors.New("queuing: empty network")
+	}
+	if len(n.External) != k || len(n.Routing) != k {
+		return nil, 0, errors.New("queuing: network shape mismatch")
+	}
+	for i, row := range n.Routing {
+		if len(row) != k {
+			return nil, 0, fmt.Errorf("queuing: routing row %d has %d entries", i, len(row))
+		}
+		var sum float64
+		for _, p := range row {
+			if p < 0 {
+				return nil, 0, fmt.Errorf("queuing: negative routing probability at row %d", i)
+			}
+			sum += p
+		}
+		if sum > 1+1e-12 {
+			return nil, 0, fmt.Errorf("queuing: routing row %d sums to %g > 1", i, sum)
+		}
+	}
+	// Traffic equations: lambda_j = ext_j + sum_i lambda_i p_ij.
+	lambda := append([]float64(nil), n.External...)
+	for iter := 0; iter < 10000; iter++ {
+		next := append([]float64(nil), n.External...)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				next[j] += lambda[i] * n.Routing[i][j]
+			}
+		}
+		var maxDelta float64
+		for j := range next {
+			d := math.Abs(next[j] - lambda[j])
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		lambda = next
+		if maxDelta < 1e-12 {
+			break
+		}
+	}
+	out := make([]StationResult, k)
+	var totalL, totalExternal float64
+	for j, st := range n.Stations {
+		res, err := AnalyzeMMC(lambda[j], st.Mu, st.Servers)
+		if err != nil {
+			return nil, 0, fmt.Errorf("queuing: station %s: %w", st.Name, err)
+		}
+		out[j] = StationResult{Station: st, Lambda: lambda[j], MMC: res}
+		totalL += res.L
+	}
+	for _, e := range n.External {
+		totalExternal += e
+	}
+	// Network response time by Little's law on the whole network.
+	var totalW float64
+	if totalExternal > 0 {
+		totalW = totalL / totalExternal
+	}
+	return out, totalW, nil
+}

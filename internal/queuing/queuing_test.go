@@ -1,0 +1,314 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1e-12, math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestAnalyzeMM1Textbook(t *testing.T) {
+	// lambda=2, mu=3: rho=2/3, L=2, W=1.
+	q, err := AnalyzeMM1(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, q.Rho, 2.0/3, 1e-12, "rho")
+	approx(t, q.L, 2, 1e-12, "L")
+	approx(t, q.W, 1, 1e-12, "W")
+	approx(t, q.Wq, 1-1.0/3, 1e-12, "Wq")
+	approx(t, q.Lq, 2-2.0/3, 1e-12, "Lq")
+	// Little's law holds.
+	approx(t, LittlesLaw(q.Lambda, q.W), q.L, 1e-12, "Little")
+}
+
+func TestAnalyzeMM1Errors(t *testing.T) {
+	if _, err := AnalyzeMM1(3, 3); err != ErrUnstable {
+		t.Fatalf("rho=1 err = %v", err)
+	}
+	if _, err := AnalyzeMM1(5, 3); err != ErrUnstable {
+		t.Fatalf("rho>1 err = %v", err)
+	}
+	if _, err := AnalyzeMM1(0, 3); err == nil {
+		t.Fatal("zero lambda must fail")
+	}
+}
+
+func TestAnalyzeMMCReducesToMM1(t *testing.T) {
+	m1, err := AnalyzeMM1(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := AnalyzeMMC(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, mc.L, m1.L, 1e-9, "L")
+	approx(t, mc.W, m1.W, 1e-9, "W")
+	// For M/M/1 the waiting probability equals rho.
+	approx(t, mc.ErlangC, m1.Rho, 1e-9, "ErlangC")
+}
+
+func TestAnalyzeMMCTextbook(t *testing.T) {
+	// Classic example: lambda=3, mu=2, c=2 -> rho=0.75, ErlangC ~ 0.6428.
+	q, err := AnalyzeMMC(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, q.Rho, 0.75, 1e-12, "rho")
+	approx(t, q.ErlangC, 9.0/14, 1e-9, "ErlangC")
+	approx(t, q.Lq, (9.0/14)*0.75/0.25, 1e-9, "Lq")
+	if _, err := AnalyzeMMC(4, 2, 2); err != ErrUnstable {
+		t.Fatal("rho=1 must be unstable")
+	}
+	if _, err := AnalyzeMMC(1, 1, 0); err == nil {
+		t.Fatal("no servers must fail")
+	}
+}
+
+func TestMoreServersNeverHurt(t *testing.T) {
+	prev := math.Inf(1)
+	for c := 1; c <= 6; c++ {
+		q, err := AnalyzeMMC(3.5, 1, c+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Wq > prev+1e-12 {
+			t.Fatalf("Wq increased with servers: %v > %v", q.Wq, prev)
+		}
+		prev = q.Wq
+	}
+}
+
+func TestAnalyzeMG1(t *testing.T) {
+	// Exponential service (SCV=1) must reproduce M/M/1.
+	m1, _ := AnalyzeMM1(2, 3)
+	g1, err := AnalyzeMG1(2, 1.0/3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, g1.Wq, m1.Wq, 1e-9, "Wq")
+	approx(t, g1.L, m1.L, 1e-9, "L")
+	// Deterministic service (SCV=0) halves the waiting time.
+	g0, err := AnalyzeMG1(2, 1.0/3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, g0.Wq, m1.Wq/2, 1e-9, "deterministic Wq")
+	if _, err := AnalyzeMG1(3, 1.0/3, 1); err != ErrUnstable {
+		t.Fatal("rho=1 must be unstable")
+	}
+	if _, err := AnalyzeMG1(1, -1, 1); err == nil {
+		t.Fatal("negative service must fail")
+	}
+}
+
+func TestJacksonTandem(t *testing.T) {
+	// Two-station tandem: all of station 0's output goes to station 1.
+	net := &JacksonNetwork{
+		Stations: []Station{
+			{Name: "cpu", Mu: 5, Servers: 1},
+			{Name: "disk", Mu: 4, Servers: 1},
+		},
+		External: []float64{2, 0},
+		Routing:  [][]float64{{0, 1}, {0, 0}},
+	}
+	res, totalW, err := net.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both stations see lambda=2.
+	approx(t, res[0].Lambda, 2, 1e-9, "lambda0")
+	approx(t, res[1].Lambda, 2, 1e-9, "lambda1")
+	// Each is an independent M/M/1: W = 1/(mu-lambda).
+	w0, w1 := 1.0/3, 1.0/2
+	approx(t, totalW, w0+w1, 1e-9, "network W")
+}
+
+func TestJacksonFeedback(t *testing.T) {
+	// Single station with feedback probability 0.5: effective lambda =
+	// ext / (1 - 0.5) = 2.
+	net := &JacksonNetwork{
+		Stations: []Station{{Name: "s", Mu: 5, Servers: 1}},
+		External: []float64{1},
+		Routing:  [][]float64{{0.5}},
+	}
+	res, _, err := net.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res[0].Lambda, 2, 1e-9, "feedback lambda")
+}
+
+func TestJacksonErrors(t *testing.T) {
+	if _, _, err := (&JacksonNetwork{}).Solve(); err == nil {
+		t.Fatal("empty network must fail")
+	}
+	bad := &JacksonNetwork{
+		Stations: []Station{{Mu: 1, Servers: 1}},
+		External: []float64{0.5},
+		Routing:  [][]float64{{1.5}},
+	}
+	if _, _, err := bad.Solve(); err == nil {
+		t.Fatal("routing sum > 1 must fail")
+	}
+	unstable := &JacksonNetwork{
+		Stations: []Station{{Mu: 1, Servers: 1}},
+		External: []float64{2},
+		Routing:  [][]float64{{0}},
+	}
+	if _, _, err := unstable.Solve(); err == nil {
+		t.Fatal("unstable station must fail")
+	}
+}
+
+func TestSimulateMatchesMM1(t *testing.T) {
+	lambda, mu := 2.0, 3.0
+	want, _ := AnalyzeMM1(lambda, mu)
+	sim, err := Simulate(Exponential(lambda), Exponential(mu), 1, 60000, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% tolerance: stochastic validation.
+	approx(t, sim.MeanW, want.W, 0.10, "sim W")
+	approx(t, sim.MeanWq, want.Wq, 0.15, "sim Wq")
+	approx(t, sim.MeanL, want.L, 0.15, "sim L")
+	approx(t, sim.Util, want.Rho, 0.10, "sim util")
+}
+
+func TestSimulateMatchesMMC(t *testing.T) {
+	lambda, mu, c := 3.0, 2.0, 2
+	want, _ := AnalyzeMMC(lambda, mu, c)
+	sim, err := Simulate(Exponential(lambda), Exponential(mu), c, 60000, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sim.MeanWq, want.Wq, 0.15, "sim Wq")
+	approx(t, sim.Util, want.Rho, 0.10, "sim util")
+}
+
+func TestSimulateMatchesMD1(t *testing.T) {
+	// Deterministic service: M/D/1 (SCV = 0).
+	lambda, mean := 2.0, 1.0/3
+	want, _ := AnalyzeMG1(lambda, mean, 0)
+	sim, err := Simulate(Exponential(lambda), Deterministic(mean), 1, 60000, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sim.MeanWq, want.Wq, 0.15, "sim M/D/1 Wq")
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(Exponential(1), Exponential(2), 0, 10, 0, 1); err == nil {
+		t.Fatal("zero servers must fail")
+	}
+	if _, err := Simulate(Exponential(1), Exponential(2), 1, 0, 0, 1); err == nil {
+		t.Fatal("zero customers must fail")
+	}
+	// Negative warmup clamps rather than fails.
+	if _, err := Simulate(Exponential(1), Exponential(2), 1, 100, -5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformSampler(t *testing.T) {
+	s := Uniform(1, 2)
+	r, err := Simulate(s, Deterministic(0.1), 1, 1000, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic fast service: no queueing, W == service time.
+	approx(t, r.MeanW, 0.1, 0.01, "uniform/deterministic W")
+}
+
+// Property: for any stable M/M/1, the analytical results satisfy Little's
+// law and the simulation's W stays within 25% (loose stochastic bound).
+func TestQuickMM1Consistency(t *testing.T) {
+	f := func(lRaw, mRaw uint8) bool {
+		lambda := float64(lRaw%50)/10 + 0.1
+		mu := lambda/0.8 + float64(mRaw%20)/10 + 0.05 // keep rho < 0.8
+		q, err := AnalyzeMM1(lambda, mu)
+		if err != nil {
+			return false
+		}
+		if math.Abs(LittlesLaw(lambda, q.W)-q.L) > 1e-9 {
+			return false
+		}
+		return math.Abs(LittlesLaw(lambda, q.Wq)-q.Lq) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVASingleStationMatchesTheory(t *testing.T) {
+	// One queueing station, demand D: X(n) = n / (D * n) saturates at
+	// 1/D; for n=1, X = 1/D and R = D.
+	st := []MVAStation{{Name: "cpu", Demand: 0.1}}
+	res, err := MVA(st, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res[0].Throughput, 10, 1e-12, "X(1)")
+	approx(t, res[0].ResponseTime, 0.1, 1e-12, "R(1)")
+	// Saturation: X(20) -> 1/D = 10 and never exceeds it.
+	for _, r := range res {
+		if r.Throughput > 10+1e-9 {
+			t.Fatalf("throughput %v exceeds saturation", r.Throughput)
+		}
+	}
+	approx(t, res[19].Throughput, 10, 0.01, "X(20)")
+}
+
+func TestMVAInteractiveSystem(t *testing.T) {
+	// Classic interactive system: think time 5s (delay), CPU 0.04s,
+	// disk 0.03s. Bottleneck is the CPU; X_max = 1/0.04 = 25 jobs/s.
+	st := []MVAStation{
+		{Name: "think", Demand: 5, Delay: true},
+		{Name: "cpu", Demand: 0.04},
+		{Name: "disk", Demand: 0.03},
+	}
+	if b := MVABottleneck(st); b != 1 {
+		t.Fatalf("bottleneck = %d, want cpu", b)
+	}
+	res, err := MVA(st, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low population: response ~ sum of demands, X ~ n/(Z+D_total).
+	approx(t, res[0].ResponseTime, 5.07, 1e-9, "R(1)")
+	// High population: X saturates near 25/s.
+	x := res[299].Throughput
+	if x > 25+1e-9 || x < 24 {
+		t.Fatalf("X(300) = %v, want ~25", x)
+	}
+	// Little's law at every population: n = X * R.
+	for _, r := range res {
+		approx(t, r.Throughput*r.ResponseTime, float64(r.Population), 1e-9, "Little")
+	}
+	// CPU utilization approaches 1 and never exceeds it.
+	if u := res[299].Utilization[1]; u > 1+1e-9 || u < 0.95 {
+		t.Fatalf("cpu utilization = %v", u)
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	if _, err := MVA(nil, 5); err == nil {
+		t.Fatal("no stations must fail")
+	}
+	if _, err := MVA([]MVAStation{{Demand: 1}}, 0); err == nil {
+		t.Fatal("zero population must fail")
+	}
+	if _, err := MVA([]MVAStation{{Demand: -1}}, 5); err == nil {
+		t.Fatal("negative demand must fail")
+	}
+	if MVABottleneck([]MVAStation{{Demand: 1, Delay: true}}) != -1 {
+		t.Fatal("all-delay network has no bottleneck")
+	}
+}

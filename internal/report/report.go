@@ -1,0 +1,244 @@
+// Package report implements stage 7 of the performance-engineering process
+// ("analyse and document the process and the final result"): aligned text
+// tables, markdown rendering, ASCII line plots, and a sectioned report
+// builder used by the toolbox's executables and by the course-artifact
+// generators.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprintf(strings.Split(format, "|")[i], c)
+	}
+	t.AddRow(parts...)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// String renders the aligned text table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(w) {
+				fmt.Fprintf(&sb, "%-*s  ", w[i], c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Series is one named line of (x, y) points for LinePlot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// LinePlot renders series on a character grid with linear axes.
+func LinePlot(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 15
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return title + "\n(no data)\n"
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// Leave headroom like the paper's figures (y axis from 0).
+	if yMin > 0 {
+		yMin = 0
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(xv, yv float64, c byte) {
+		x := int(float64(width-1) * (xv - xMin) / (xMax - xMin))
+		y := height - 1 - int(float64(height-1)*(yv-yMin)/(yMax-yMin))
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[y][x] = c
+		}
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#'}
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		// Connect consecutive points with interpolated marks.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := width / max(1, len(s.X)-1)
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(max(1, steps))
+				put(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, m)
+			}
+		}
+		if len(s.X) == 1 {
+			put(s.X[0], s.Y[0], m)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%8.3g +%s\n", yMax, "")
+	for _, row := range grid {
+		sb.WriteString("         |")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%8.3g +%s> x: [%g, %g]\n", yMin, strings.Repeat("-", width), xMin, xMax)
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = markers[si%len(markers)]
+		}
+		fmt.Fprintf(&sb, "           %c = %s\n", m, s.Name)
+	}
+	return sb.String()
+}
+
+// Report is a sectioned document (stage-7 deliverable).
+type Report struct {
+	Title    string
+	sections []section
+}
+
+type section struct {
+	heading string
+	body    string
+}
+
+// AddSection appends a section.
+func (r *Report) AddSection(heading, body string) {
+	r.sections = append(r.sections, section{heading, body})
+}
+
+// AddTable appends a table as its own section.
+func (r *Report) AddTable(t *Table) {
+	r.sections = append(r.sections, section{t.Title, t.String()})
+}
+
+// String renders the report as plain text.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.ToUpper(r.Title) + "\n")
+	sb.WriteString(strings.Repeat("=", len(r.Title)) + "\n\n")
+	for _, s := range r.sections {
+		if s.heading != "" {
+			sb.WriteString(s.heading + "\n" + strings.Repeat("-", len(s.heading)) + "\n")
+		}
+		sb.WriteString(s.body)
+		if !strings.HasSuffix(s.body, "\n") {
+			sb.WriteString("\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Markdown renders the report as markdown.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n\n", r.Title)
+	for _, s := range r.sections {
+		if s.heading != "" {
+			fmt.Fprintf(&sb, "## %s\n\n", s.heading)
+		}
+		sb.WriteString("```\n" + s.body)
+		if !strings.HasSuffix(s.body, "\n") {
+			sb.WriteString("\n")
+		}
+		sb.WriteString("```\n\n")
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

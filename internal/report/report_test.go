@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-longer", "22")
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "beta-longer") {
+		t.Fatalf("table incomplete:\n%s", s)
+	}
+	// Columns align: 'value' header starts at the same offset in all rows.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	col := strings.Index(lines[1], "value")
+	if col < 0 {
+		t.Fatalf("header missing: %q", lines[1])
+	}
+	if lines[3][:col] != "alpha"+strings.Repeat(" ", col-5) {
+		t.Fatalf("row not aligned: %q", lines[3])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b", "c"}}
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Fatal("short row not padded")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := &Table{Headers: []string{"n", "t"}}
+	tab.AddRowf("%d|%.2f", 42, 3.14159)
+	if tab.Rows[0][0] != "42" || tab.Rows[0][1] != "3.14" {
+		t.Fatalf("AddRowf = %v", tab.Rows[0])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{Title: "md", Headers: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	md := tab.Markdown()
+	for _, want := range []string{"### md", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}},
+	}
+	out := LinePlot("crossing", s, 40, 12)
+	for _, want := range []string{"crossing", "* = up", "o = down"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the body.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing from plot body")
+	}
+}
+
+func TestLinePlotDegenerate(t *testing.T) {
+	if out := LinePlot("empty", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+	one := []Series{{Name: "pt", X: []float64{3}, Y: []float64{7}}}
+	if out := LinePlot("point", one, 40, 10); !strings.Contains(out, "pt") {
+		t.Fatal("single point plot failed")
+	}
+	// Constant series must not divide by zero.
+	flat := []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}}
+	if out := LinePlot("flat", flat, 1, 1); len(out) == 0 {
+		t.Fatal("flat plot failed")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Title: "stage 7"}
+	r.AddSection("Findings", "the kernel is memory-bound")
+	tab := &Table{Title: "numbers", Headers: []string{"k", "v"}}
+	tab.AddRow("x", "1")
+	r.AddTable(tab)
+	txt := r.String()
+	for _, want := range []string{"STAGE 7", "Findings", "memory-bound", "numbers"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("report missing %q:\n%s", want, txt)
+		}
+	}
+	md := r.Markdown()
+	if !strings.Contains(md, "# stage 7") || !strings.Contains(md, "## Findings") {
+		t.Fatalf("markdown report incomplete:\n%s", md)
+	}
+}

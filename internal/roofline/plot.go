@@ -1,0 +1,174 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plotting: the assignment suggests "tools that can calculate and plot the
+// model automatically" but asks students to reflect on modeling by hand vs
+// by tool. We provide both renderings the toolbox uses in reports: a
+// terminal ASCII plot and an SVG file.
+
+// ASCIIPlot renders the model and points on a log-log grid of the given
+// width and height in characters.
+func (m *Model) ASCIIPlot(points []Point, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	aiMin, aiMax := 1.0/64, math.Max(4*m.Ridge(), 64)
+	pMax := m.Peak() * 2
+	pMin := pMax / 1e5
+	for _, p := range points {
+		if p.AI > 0 {
+			aiMin = math.Min(aiMin, p.AI/2)
+			aiMax = math.Max(aiMax, p.AI*2)
+		}
+		if p.GFLOPS > 0 {
+			pMin = math.Min(pMin, p.GFLOPS/2)
+		}
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xOf := func(ai float64) int {
+		return int(float64(width-1) * math.Log(ai/aiMin) / math.Log(aiMax/aiMin))
+	}
+	yOf := func(gflops float64) int {
+		y := int(float64(height-1) * math.Log(gflops/pMin) / math.Log(pMax/pMin))
+		return height - 1 - y
+	}
+	put := func(x, y int, c byte) {
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[y][x] = c
+		}
+	}
+	// Outer roofs: bandwidth diagonal then compute horizontal.
+	for x := 0; x < width; x++ {
+		ai := aiMin * math.Exp(float64(x)/float64(width-1)*math.Log(aiMax/aiMin))
+		att := m.Attainable(ai)
+		if att > 0 {
+			c := byte('-')
+			if att < m.Peak() {
+				c = '/'
+			}
+			put(x, yOf(att), c)
+		}
+	}
+	// Kernel points.
+	markers := []byte{'1', '2', '3', '4', '5', '6', '7', '8', '9'}
+	for i, p := range points {
+		if p.AI <= 0 || p.GFLOPS <= 0 {
+			continue
+		}
+		mk := byte('*')
+		if i < len(markers) {
+			mk = markers[i]
+		}
+		put(xOf(p.AI), yOf(p.GFLOPS), mk)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (log-log; '-' compute roof %.1f GFLOP/s, '/' bandwidth roof %.1f GB/s)\n",
+		m.Name, m.Peak(), m.Bandwidth())
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +" + strings.Repeat("-", width) + "> AI (FLOP/byte)\n")
+	for i, p := range points {
+		mk := "*"
+		if i < len(markers) {
+			mk = string(markers[i])
+		}
+		fmt.Fprintf(&sb, "   %s = %s (AI %.3g, %.3g GFLOP/s)\n", mk, p.Name, p.AI, p.GFLOPS)
+	}
+	return sb.String()
+}
+
+// SVGPlot renders the model and points as a standalone SVG document.
+func (m *Model) SVGPlot(points []Point, width, height int) string {
+	if width < 100 {
+		width = 480
+	}
+	if height < 100 {
+		height = 320
+	}
+	margin := 50.0
+	w, h := float64(width), float64(height)
+
+	aiMin, aiMax := 1.0/64, math.Max(4*m.Ridge(), 64)
+	pMax := m.Peak() * 2
+	pMin := pMax / 1e5
+	for _, p := range points {
+		if p.AI > 0 {
+			aiMin = math.Min(aiMin, p.AI/2)
+			aiMax = math.Max(aiMax, p.AI*2)
+		}
+		if p.GFLOPS > 0 {
+			pMin = math.Min(pMin, p.GFLOPS/2)
+		}
+	}
+	x := func(ai float64) float64 {
+		return margin + (w-2*margin)*math.Log(ai/aiMin)/math.Log(aiMax/aiMin)
+	}
+	y := func(g float64) float64 {
+		return h - margin - (h-2*margin)*math.Log(g/pMin)/math.Log(pMax/pMin)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%g" y="20" font-size="13" font-family="sans-serif">%s</text>`+"\n",
+		margin, xmlEscape(m.Name))
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		margin, margin, margin, h-margin)
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" font-family="sans-serif">AI (FLOP/byte)</text>`+"\n",
+		w/2-40, h-margin+30)
+	// Roof polyline for every compute/bandwidth combination of outer roofs.
+	for ci, cr := range m.Compute {
+		ridge := cr.GFLOPS / m.Bandwidth()
+		color := []string{"#cc0000", "#e07000", "#888800"}[ci%3]
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%g,%g %g,%g %g,%g"/>`+"\n",
+			color,
+			x(aiMin), y(m.Bandwidth()*aiMin),
+			x(ridge), y(cr.GFLOPS),
+			x(aiMax), y(cr.GFLOPS))
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="10" font-family="sans-serif" fill="%s">%s</text>`+"\n",
+			x(aiMax)-130, y(cr.GFLOPS)-4, color, xmlEscape(cr.Name))
+	}
+	// Extra bandwidth ceilings.
+	for _, br := range m.Bandwidths[1:] {
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#3366cc" stroke-dasharray="4,3"/>`+"\n",
+			x(aiMin), y(br.GBs*aiMin), x(m.Peak()/br.GBs), y(m.Peak()))
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="10" font-family="sans-serif" fill="#3366cc">%s</text>`+"\n",
+			x(aiMin)+4, y(br.GBs*aiMin)-6, xmlEscape(br.Name))
+	}
+	// Points.
+	for _, p := range points {
+		if p.AI <= 0 || p.GFLOPS <= 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, `<circle cx="%g" cy="%g" r="4" fill="#006600"/>`+"\n", x(p.AI), y(p.GFLOPS))
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="10" font-family="sans-serif">%s</text>`+"\n",
+			x(p.AI)+6, y(p.GFLOPS)+4, xmlEscape(p.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,283 @@
+// Package roofline implements the Roofline visual performance model of
+// Williams, Waterman & Patterson (CACM 2009), the tool at the heart of the
+// course's Assignment 1, including the customary ceiling extensions
+// (no-SIMD, single-core) and the cache-aware variant with one bandwidth
+// roof per memory level.
+//
+// A Model is a set of compute roofs (GFLOP/s) and bandwidth roofs (GB/s);
+// the attainable performance of a kernel with arithmetic intensity AI under
+// roof pair (P, B) is min(P, B*AI). Kernels are placed on the model as
+// Points and classified as compute- or memory-bound relative to the ridge
+// point AI_ridge = P/B.
+package roofline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+)
+
+// ComputeRoof is one horizontal roof: a peak-performance ceiling.
+type ComputeRoof struct {
+	Name   string
+	GFLOPS float64
+}
+
+// BandwidthRoof is one diagonal roof: a memory-bandwidth ceiling.
+type BandwidthRoof struct {
+	Name string
+	GBs  float64
+}
+
+// Model is a Roofline model: at least one compute roof and one bandwidth
+// roof. Roofs beyond the first pair are ceilings — tighter bounds reached
+// without specific optimizations (vectorization, multithreading, cache
+// blocking).
+type Model struct {
+	Name       string
+	Compute    []ComputeRoof   // sorted descending; [0] is the outer roof
+	Bandwidths []BandwidthRoof // sorted descending; [0] is the outer roof
+}
+
+// FromCPU builds the standard CPU roofline with three compute ceilings
+// (peak, no-SIMD, single-core) over the DRAM bandwidth roof.
+func FromCPU(c machine.CPU) *Model {
+	m := &Model{
+		Name: c.Name,
+		Compute: []ComputeRoof{
+			{Name: "peak (SIMD, all cores)", GFLOPS: c.PeakGFLOPS()},
+			{Name: "no SIMD", GFLOPS: c.ScalarPeakGFLOPS()},
+			{Name: "single core", GFLOPS: c.PeakGFLOPSPerCore()},
+		},
+		Bandwidths: []BandwidthRoof{
+			{Name: "DRAM", GBs: c.MemBandwidthGBs()},
+		},
+	}
+	m.normalize()
+	return m
+}
+
+// CacheAwareFromCPU builds the cache-aware roofline: one bandwidth roof per
+// cache level (aggregated over cores for private levels) above the DRAM
+// roof.
+func CacheAwareFromCPU(c machine.CPU) *Model {
+	m := FromCPU(c)
+	for _, l := range c.Caches {
+		agg := l.BandwidthBytesPerCycle * c.FreqHz / 1e9
+		if !l.Shared {
+			agg *= float64(c.Cores)
+		}
+		m.Bandwidths = append(m.Bandwidths, BandwidthRoof{Name: l.Name, GBs: agg})
+	}
+	m.normalize()
+	return m
+}
+
+// WithMeasuredBandwidths replaces the model's bandwidth roofs with roofs
+// derived from an empirical bandwidth staircase (working-set size ->
+// sustained GB/s): one roof per plateau, named by the working-set size
+// that produced it. This is the "model by measurement, not data sheet"
+// variant of the cache-aware roofline.
+func (m *Model) WithMeasuredBandwidths(points map[string]float64) *Model {
+	if len(points) == 0 {
+		return m
+	}
+	m.Bandwidths = m.Bandwidths[:0]
+	for name, gbs := range points {
+		if gbs > 0 {
+			m.Bandwidths = append(m.Bandwidths, BandwidthRoof{Name: name, GBs: gbs})
+		}
+	}
+	m.normalize()
+	return m
+}
+
+// FromGPU builds the device roofline of the accelerator.
+func FromGPU(g machine.GPU) *Model {
+	m := &Model{
+		Name: g.Name,
+		Compute: []ComputeRoof{
+			{Name: "peak", GFLOPS: g.PeakGFLOPS()},
+		},
+		Bandwidths: []BandwidthRoof{
+			{Name: "HBM/GDDR", GBs: g.MemBandwidthGBs()},
+			{Name: "PCIe (offload)", GBs: g.PCIeBandwidthBytesPerSec / 1e9},
+		},
+	}
+	m.normalize()
+	return m
+}
+
+func (m *Model) normalize() {
+	sort.Slice(m.Compute, func(i, j int) bool { return m.Compute[i].GFLOPS > m.Compute[j].GFLOPS })
+	sort.Slice(m.Bandwidths, func(i, j int) bool { return m.Bandwidths[i].GBs > m.Bandwidths[j].GBs })
+}
+
+// Validate checks that the model has at least one roof of each kind with
+// positive values.
+func (m *Model) Validate() error {
+	if len(m.Compute) == 0 || len(m.Bandwidths) == 0 {
+		return errors.New("roofline: model needs at least one compute and one bandwidth roof")
+	}
+	for _, r := range m.Compute {
+		if r.GFLOPS <= 0 {
+			return fmt.Errorf("roofline: compute roof %q non-positive", r.Name)
+		}
+	}
+	for _, r := range m.Bandwidths {
+		if r.GBs <= 0 {
+			return fmt.Errorf("roofline: bandwidth roof %q non-positive", r.Name)
+		}
+	}
+	return nil
+}
+
+// Peak returns the outermost compute roof in GFLOP/s.
+func (m *Model) Peak() float64 { return m.Compute[0].GFLOPS }
+
+// Bandwidth returns the outermost bandwidth roof in GB/s.
+func (m *Model) Bandwidth() float64 { return m.Bandwidths[0].GBs }
+
+// Ridge returns the ridge-point arithmetic intensity (FLOP/byte) of the
+// outer roofs.
+func (m *Model) Ridge() float64 { return m.Peak() / m.Bandwidth() }
+
+// Attainable returns the attainable performance (GFLOP/s) at arithmetic
+// intensity ai under the outer roofs: min(peak, bandwidth*ai).
+func (m *Model) Attainable(ai float64) float64 {
+	if ai <= 0 {
+		return 0
+	}
+	return math.Min(m.Peak(), m.Bandwidth()*ai)
+}
+
+// AttainableUnder returns attainable performance under a named pair of
+// ceilings, enabling "what if I don't vectorize" questions.
+func (m *Model) AttainableUnder(ai float64, computeRoof, bandwidthRoof string) (float64, error) {
+	var p, b float64
+	found := false
+	for _, r := range m.Compute {
+		if r.Name == computeRoof {
+			p, found = r.GFLOPS, true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("roofline: unknown compute roof %q", computeRoof)
+	}
+	found = false
+	for _, r := range m.Bandwidths {
+		if r.Name == bandwidthRoof {
+			b, found = r.GBs, true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("roofline: unknown bandwidth roof %q", bandwidthRoof)
+	}
+	if ai <= 0 {
+		return 0, nil
+	}
+	return math.Min(p, b*ai), nil
+}
+
+// Bound labels which resource limits a kernel.
+type Bound int
+
+// Bound values.
+const (
+	MemoryBound Bound = iota
+	ComputeBound
+)
+
+// String implements fmt.Stringer.
+func (b Bound) String() string {
+	if b == MemoryBound {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Point is one kernel (version) placed on the roofline.
+type Point struct {
+	Name   string
+	AI     float64 // arithmetic intensity, FLOP/byte
+	GFLOPS float64 // measured performance
+}
+
+// PointFromMeasurement places a Measurement on the model.
+func PointFromMeasurement(m *metrics.Measurement) Point {
+	return Point{Name: m.Name, AI: m.ArithmeticIntensity(), GFLOPS: m.GFLOPS()}
+}
+
+// Analysis is the verdict of the model for one point.
+type Analysis struct {
+	Point      Point
+	Bound      Bound
+	Attainable float64 // GFLOP/s under the outer roofs at the point's AI
+	// Fraction is achieved/attainable in [0, ~1]; low fractions mean the
+	// kernel is far from its roof (latency, overheads, bad access pattern).
+	Fraction float64
+	// Headroom is the multiplicative speedup still available at this AI.
+	Headroom float64
+	Advice   string
+}
+
+// Analyze classifies a point and derives the standard advice string
+// students must produce in the assignment report.
+func (m *Model) Analyze(p Point) Analysis {
+	att := m.Attainable(p.AI)
+	a := Analysis{Point: p, Attainable: att}
+	if p.AI < m.Ridge() {
+		a.Bound = MemoryBound
+	} else {
+		a.Bound = ComputeBound
+	}
+	if att > 0 {
+		a.Fraction = p.GFLOPS / att
+	}
+	if p.GFLOPS > 0 {
+		a.Headroom = att / p.GFLOPS
+	} else {
+		a.Headroom = math.Inf(1)
+	}
+	switch {
+	case a.Fraction >= 0.8:
+		if a.Bound == MemoryBound {
+			a.Advice = "near the bandwidth roof: raise arithmetic intensity (blocking, fusion) to go faster"
+		} else {
+			a.Advice = "near the compute roof: only algorithmic changes reduce time further"
+		}
+	case a.Bound == MemoryBound:
+		a.Advice = "below the bandwidth roof: improve access pattern (unit stride, tiling, prefetch-friendliness)"
+	default:
+		a.Advice = "below the compute roof: expose ILP/SIMD/parallelism or remove dependency stalls"
+	}
+	return a
+}
+
+// Report renders a textual analysis of a set of points against the model —
+// the deliverable format of Assignment 1.
+func (m *Model) Report(points []Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Roofline model: %s\n", m.Name)
+	fmt.Fprintf(&sb, "  peak %.1f GFLOP/s, bandwidth %.1f GB/s, ridge %.2f FLOP/byte\n",
+		m.Peak(), m.Bandwidth(), m.Ridge())
+	for _, r := range m.Compute[1:] {
+		fmt.Fprintf(&sb, "  ceiling: %-24s %.1f GFLOP/s\n", r.Name, r.GFLOPS)
+	}
+	for _, r := range m.Bandwidths[1:] {
+		fmt.Fprintf(&sb, "  ceiling: %-24s %.1f GB/s\n", r.Name, r.GBs)
+	}
+	for _, p := range points {
+		a := m.Analyze(p)
+		fmt.Fprintf(&sb, "%-24s AI=%6.3f  %8.2f GFLOP/s  %5.1f%% of %8.2f  [%s]\n      %s\n",
+			p.Name, p.AI, p.GFLOPS, a.Fraction*100, a.Attainable, a.Bound, a.Advice)
+	}
+	return sb.String()
+}

@@ -1,0 +1,244 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+)
+
+func das5Model() *Model { return FromCPU(machine.DAS5CPU()) }
+
+func TestFromCPURoofs(t *testing.T) {
+	m := das5Model()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Peak()-307.2) > 1e-9 {
+		t.Fatalf("Peak = %v", m.Peak())
+	}
+	if math.Abs(m.Bandwidth()-59) > 1e-9 {
+		t.Fatalf("Bandwidth = %v", m.Bandwidth())
+	}
+	if math.Abs(m.Ridge()-307.2/59) > 1e-9 {
+		t.Fatalf("Ridge = %v", m.Ridge())
+	}
+	// Three compute ceilings, descending.
+	if len(m.Compute) != 3 || m.Compute[0].GFLOPS < m.Compute[1].GFLOPS {
+		t.Fatalf("ceilings wrong: %+v", m.Compute)
+	}
+}
+
+func TestAttainablePiecewise(t *testing.T) {
+	m := das5Model()
+	// Left of the ridge: bandwidth-limited.
+	if got := m.Attainable(1); math.Abs(got-59) > 1e-9 {
+		t.Fatalf("Attainable(1) = %v, want 59", got)
+	}
+	// Right of the ridge: flat at peak.
+	if got := m.Attainable(100); math.Abs(got-307.2) > 1e-9 {
+		t.Fatalf("Attainable(100) = %v, want 307.2", got)
+	}
+	// At the ridge both agree.
+	r := m.Ridge()
+	if math.Abs(m.Attainable(r)-m.Peak()) > 1e-9 {
+		t.Fatal("ridge point mismatch")
+	}
+	if m.Attainable(0) != 0 || m.Attainable(-3) != 0 {
+		t.Fatal("non-positive AI must yield 0")
+	}
+}
+
+func TestAttainableUnder(t *testing.T) {
+	m := das5Model()
+	got, err := m.AttainableUnder(100, "no SIMD", "DRAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-38.4) > 1e-9 {
+		t.Fatalf("no-SIMD attainable = %v, want 38.4", got)
+	}
+	if _, err := m.AttainableUnder(1, "bogus", "DRAM"); err == nil {
+		t.Fatal("unknown compute roof must error")
+	}
+	if _, err := m.AttainableUnder(1, "no SIMD", "bogus"); err == nil {
+		t.Fatal("unknown bandwidth roof must error")
+	}
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	m := das5Model()
+	memPt := Point{Name: "spmv", AI: 0.25, GFLOPS: 10}
+	a := m.Analyze(memPt)
+	if a.Bound != MemoryBound {
+		t.Fatalf("AI=0.25 should be memory-bound, ridge %v", m.Ridge())
+	}
+	if math.Abs(a.Attainable-0.25*59) > 1e-9 {
+		t.Fatalf("attainable = %v", a.Attainable)
+	}
+	compPt := Point{Name: "matmul-tiled", AI: 20, GFLOPS: 200}
+	a2 := m.Analyze(compPt)
+	if a2.Bound != ComputeBound {
+		t.Fatal("AI=20 should be compute-bound")
+	}
+	if a2.Fraction <= 0 || a2.Fraction > 1 {
+		t.Fatalf("fraction = %v", a2.Fraction)
+	}
+	if a2.Headroom < 1 {
+		t.Fatalf("headroom = %v", a2.Headroom)
+	}
+	zero := m.Analyze(Point{Name: "z", AI: 1, GFLOPS: 0})
+	if !math.IsInf(zero.Headroom, 1) {
+		t.Fatal("zero-GFLOPS headroom should be Inf")
+	}
+}
+
+func TestAnalyzeAdviceBranches(t *testing.T) {
+	m := das5Model()
+	cases := []struct {
+		p    Point
+		want string
+	}{
+		{Point{"near-bw", 0.5, 0.95 * m.Attainable(0.5)}, "raise arithmetic intensity"},
+		{Point{"near-peak", 50, 0.9 * m.Peak()}, "algorithmic"},
+		{Point{"far-mem", 0.5, 0.1 * m.Attainable(0.5)}, "access pattern"},
+		{Point{"far-comp", 50, 0.1 * m.Peak()}, "ILP/SIMD"},
+	}
+	for _, c := range cases {
+		a := m.Analyze(c.p)
+		if !strings.Contains(a.Advice, c.want) {
+			t.Errorf("%s: advice %q missing %q", c.p.Name, a.Advice, c.want)
+		}
+	}
+}
+
+func TestCacheAwareModel(t *testing.T) {
+	m := CacheAwareFromCPU(machine.DAS5CPU())
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 bandwidth roofs: DRAM + 3 cache levels; L1 aggregate must be the
+	// largest.
+	if len(m.Bandwidths) != 4 {
+		t.Fatalf("bandwidth roofs = %d, want 4", len(m.Bandwidths))
+	}
+	// L1: 64 B/cycle * 2.4 GHz * 8 cores = 1228.8 GB/s.
+	if math.Abs(m.Bandwidth()-1228.8) > 1e-6 {
+		t.Fatalf("outer bandwidth = %v, want 1228.8", m.Bandwidth())
+	}
+}
+
+func TestFromGPU(t *testing.T) {
+	m := FromGPU(machine.DAS5TitanX())
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Peak()-6144) > 1e-9 {
+		t.Fatalf("GPU peak = %v", m.Peak())
+	}
+	// PCIe roof must be far below the HBM roof.
+	if m.Bandwidths[1].GBs >= m.Bandwidths[0].GBs {
+		t.Fatal("PCIe roof should be the inner ceiling")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := &Model{Name: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty model must fail")
+	}
+	bad2 := &Model{Compute: []ComputeRoof{{"p", 0}}, Bandwidths: []BandwidthRoof{{"b", 1}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero roof must fail")
+	}
+	bad3 := &Model{Compute: []ComputeRoof{{"p", 1}}, Bandwidths: []BandwidthRoof{{"b", -1}}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("negative roof must fail")
+	}
+}
+
+func TestPointFromMeasurement(t *testing.T) {
+	meas := &metrics.Measurement{Name: "k", FLOPs: 100, Bytes: 50,
+		Seconds: []float64{1e-9}}
+	p := PointFromMeasurement(meas)
+	if p.AI != 2 || p.Name != "k" {
+		t.Fatalf("point = %+v", p)
+	}
+	if math.Abs(p.GFLOPS-100) > 1e-9 {
+		t.Fatalf("GFLOPS = %v", p.GFLOPS)
+	}
+}
+
+func TestReportAndPlots(t *testing.T) {
+	m := das5Model()
+	pts := []Point{
+		{"naive", 0.2, 1.5},
+		{"tiled", 8, 50},
+	}
+	rep := m.Report(pts)
+	for _, want := range []string{"naive", "tiled", "ridge", "memory-bound", "compute-bound"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	ascii := m.ASCIIPlot(pts, 60, 16)
+	if !strings.Contains(ascii, "1 = naive") || !strings.Contains(ascii, "/") {
+		t.Errorf("ascii plot incomplete:\n%s", ascii)
+	}
+	// Degenerate sizes are clamped, not fatal.
+	if s := m.ASCIIPlot(pts, 1, 1); len(s) == 0 {
+		t.Fatal("tiny plot should still render")
+	}
+	svg := m.SVGPlot(pts, 480, 320)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "naive") {
+		t.Error("svg plot incomplete")
+	}
+	if !strings.Contains(m.SVGPlot(pts, 1, 1), "<svg") {
+		t.Fatal("tiny svg should still render")
+	}
+}
+
+// Property: attainable performance is monotonic in AI and never exceeds
+// either outer roof.
+func TestQuickAttainableBounds(t *testing.T) {
+	m := das5Model()
+	f := func(aiRaw float64) bool {
+		ai := math.Abs(math.Mod(aiRaw, 1000))
+		att := m.Attainable(ai)
+		if att > m.Peak()+1e-9 || att > m.Bandwidth()*ai+1e-9 {
+			return false
+		}
+		return m.Attainable(ai*2) >= att-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithMeasuredBandwidths(t *testing.T) {
+	m := das5Model()
+	m.WithMeasuredBandwidths(map[string]float64{
+		"ws=32KiB": 400,
+		"ws=8MiB":  120,
+		"ws=1GiB":  45,
+		"bogus":    0, // dropped
+	})
+	if len(m.Bandwidths) != 3 {
+		t.Fatalf("roofs = %+v", m.Bandwidths)
+	}
+	if m.Bandwidth() != 400 {
+		t.Fatalf("outer roof = %v", m.Bandwidth())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty input is a no-op.
+	before := m.Bandwidth()
+	m.WithMeasuredBandwidths(nil)
+	if m.Bandwidth() != before {
+		t.Fatal("nil input must not change the model")
+	}
+}

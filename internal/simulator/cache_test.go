@@ -1,0 +1,374 @@
+package simulator
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfeng/internal/kernels"
+	"perfeng/internal/machine"
+)
+
+func mustCache(t *testing.T, name string, sets, assoc, line int) *Cache {
+	t.Helper()
+	c, err := NewCache(name, sets, assoc, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	if _, err := NewCache("x", 0, 1, 64); err == nil {
+		t.Fatal("zero sets must fail")
+	}
+	if _, err := NewCache("x", 4, 1, 48); err == nil {
+		t.Fatal("non-power-of-two line must fail")
+	}
+}
+
+func TestCacheHitMissBasics(t *testing.T) {
+	c := mustCache(t, "L1", 4, 2, 64)
+	if c.SizeBytes() != 512 {
+		t.Fatalf("size = %d", c.SizeBytes())
+	}
+	if c.Access(0, false) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0, false) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(63, false) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Access(64, false) {
+		t.Fatal("next line must miss")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MissRatio() != 0.5 {
+		t.Fatalf("miss ratio = %v", s.MissRatio())
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// Direct-mapped-ish: 1 set, 2 ways, 64B lines. Three distinct lines
+	// force an eviction of the least recently used.
+	c := mustCache(t, "L1", 1, 2, 64)
+	c.Access(0, false)   // line 0
+	c.Access(64, false)  // line 1
+	c.Access(0, false)   // touch line 0 (now MRU)
+	c.Access(128, false) // evicts line 1 (LRU)
+	if !c.Access(0, false) {
+		t.Fatal("line 0 should have survived")
+	}
+	if c.Access(64, false) {
+		t.Fatal("line 1 should have been evicted")
+	}
+	if c.Stats().Evictions < 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestCacheWritebacks(t *testing.T) {
+	c := mustCache(t, "L1", 1, 1, 64)
+	c.Access(0, true)   // dirty line 0
+	c.Access(64, false) // evicts dirty line -> writeback
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+	r, w := c.MemTraffic()
+	if r != 2 || w != 1 {
+		t.Fatalf("mem traffic = %d reads, %d writes", r, w)
+	}
+}
+
+func TestCachePrefetcher(t *testing.T) {
+	c := mustCache(t, "L1", 64, 4, 64)
+	c.NextLinePrefetch = true
+	// Sequential walk: after the first miss, the next line is prefetched.
+	for addr := uint64(0); addr < 64*16; addr += 64 {
+		c.Access(addr, false)
+	}
+	s := c.Stats()
+	if s.PrefetchIssued == 0 || s.PrefetchHits == 0 {
+		t.Fatalf("prefetcher idle: %+v", s)
+	}
+	// With next-line prefetch on a sequential stream, only the first
+	// access should truly miss.
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+}
+
+func TestHierarchyInclusionOfTraffic(t *testing.T) {
+	l1 := mustCache(t, "L1", 8, 2, 64)
+	l2 := mustCache(t, "L2", 64, 4, 64)
+	h, err := NewHierarchy(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miss in L1 recurses into L2.
+	h.Load(0, 8)
+	if l2.Stats().Misses != 1 {
+		t.Fatalf("L2 misses = %d", l2.Stats().Misses)
+	}
+	h.Load(0, 8)
+	if l2.Stats().Accesses() != 1 {
+		t.Fatal("L1 hit must not touch L2")
+	}
+	if _, err := NewHierarchy(); err == nil {
+		t.Fatal("empty hierarchy must fail")
+	}
+}
+
+func TestHierarchySplitsUnalignedAccesses(t *testing.T) {
+	l1 := mustCache(t, "L1", 8, 2, 64)
+	h, _ := NewHierarchy(l1)
+	h.Load(60, 8) // crosses the 64-byte boundary
+	if h.Accesses != 2 {
+		t.Fatalf("accesses = %d, want 2 (split)", h.Accesses)
+	}
+	h.Reset()
+	h.Load(0, 0) // size clamp
+	if h.Accesses != 1 {
+		t.Fatal("size<=0 should clamp to one byte")
+	}
+}
+
+func TestFromCPU(t *testing.T) {
+	h, err := FromCPU(machine.DAS5CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 3 || h.Levels[0].Name != "L1" {
+		t.Fatalf("levels = %d", len(h.Levels))
+	}
+	if h.Levels[2].SizeBytes() != 20<<20 {
+		t.Fatalf("L3 size = %d", h.Levels[2].SizeBytes())
+	}
+	if _, err := FromCPU(machine.CPU{}); err == nil {
+		t.Fatal("cacheless CPU must fail")
+	}
+}
+
+func TestAMAT(t *testing.T) {
+	l1 := mustCache(t, "L1", 8, 2, 64)
+	h, _ := NewHierarchy(l1)
+	// One miss then three hits: miss ratio 0.25.
+	h.Load(0, 8)
+	h.Load(0, 8)
+	h.Load(0, 8)
+	h.Load(0, 8)
+	amat, err := h.AMAT([]float64{4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 + 0.25*100.0
+	if amat != want {
+		t.Fatalf("AMAT = %v, want %v", amat, want)
+	}
+	if _, err := h.AMAT([]float64{1, 2}, 100); err == nil {
+		t.Fatal("latency count mismatch must fail")
+	}
+}
+
+func TestAMATIdle(t *testing.T) {
+	l1 := mustCache(t, "L1", 8, 2, 64)
+	h, _ := NewHierarchy(l1)
+	amat, err := h.AMAT([]float64{4}, 100)
+	if err != nil || amat != 0 {
+		t.Fatalf("idle AMAT = %v, %v", amat, err)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	l1 := mustCache(t, "L1", 8, 2, 64)
+	l2 := mustCache(t, "L2", 16, 4, 64)
+	h, _ := NewHierarchy(l1, l2)
+	h.Load(0, 8)
+	h.Store(128, 8)
+	h.Reset()
+	if h.Accesses != 0 || l1.Stats().Accesses() != 0 || l2.Stats().Accesses() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if h.MemTrafficBytes() != 0 {
+		t.Fatal("mem traffic not reset")
+	}
+	// And the lines are cold again.
+	if l1.Access(0, false) {
+		t.Fatal("line survived reset")
+	}
+}
+
+func TestTraceStridedLocality(t *testing.T) {
+	mk := func() *Hierarchy {
+		l1 := mustCache(t, "L1", 64, 8, 64)
+		h, _ := NewHierarchy(l1)
+		return h
+	}
+	unit := mk()
+	TraceStrided(unit, 4096, 1)
+	wide := mk()
+	TraceStrided(wide, 4096, 16) // 128-byte stride: every access a new line
+	um := unit.Levels[0].Stats().MissRatio()
+	wm := wide.Levels[0].Stats().MissRatio()
+	if um >= wm {
+		t.Fatalf("stride-1 miss ratio %v should be below stride-16 %v", um, wm)
+	}
+	// Unit stride: 1 miss per 8 elements.
+	if um > 0.2 {
+		t.Fatalf("unit-stride miss ratio too high: %v", um)
+	}
+	if wm < 0.9 {
+		t.Fatalf("wide-stride miss ratio too low: %v", wm)
+	}
+}
+
+func TestTraceMatMulOrderings(t *testing.T) {
+	// n=48 doubles => 18 KiB per matrix; L1 = 32 KiB so B must thrash for
+	// ijk but stream for ikj.
+	mk := func() *Hierarchy {
+		h, err := FromCPU(machine.DAS5CPU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	naive := mk()
+	TraceMatMulNaive(naive, 48)
+	ikj := mk()
+	TraceMatMulIKJ(ikj, 48)
+	nm := naive.Levels[0].Stats().MissRatio()
+	im := ikj.Levels[0].Stats().MissRatio()
+	if im >= nm {
+		t.Fatalf("ikj miss ratio %v should beat naive %v", im, nm)
+	}
+}
+
+func TestTraceTiledBeatsIKJInL2ForLargeN(t *testing.T) {
+	// n=128 doubles -> 128 KiB per matrix: larger than L1 (32 KiB).
+	// Tiling with 32x32 tiles keeps the working set resident.
+	mk := func() *Hierarchy {
+		h, err := FromCPU(machine.DAS5CPU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	ikj := mk()
+	TraceMatMulIKJ(ikj, 128)
+	tiled := mk()
+	TraceMatMulTiled(tiled, 128, 32)
+	// All three matrices fit in L3, so memory traffic is compulsory for
+	// both; the win shows up as L1 misses (B streams past L1 under ikj
+	// but stays tile-resident under tiling).
+	im := ikj.Levels[0].Stats().Misses
+	tm := tiled.Levels[0].Stats().Misses
+	if tm >= im {
+		t.Fatalf("tiled L1 misses %d should be below ikj %d", tm, im)
+	}
+}
+
+func TestTraceStreamTriadCompulsoryOnly(t *testing.T) {
+	h, err := FromCPU(machine.DAS5CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 14
+	TraceStreamTriad(h, n)
+	// Streaming: ~1 miss per 8 elements per array.
+	mr := h.Levels[0].Stats().MissRatio()
+	want := 1.0 / 8
+	if mr < want/2 || mr > want*1.5 {
+		t.Fatalf("triad L1 miss ratio = %v, want about %v", mr, want)
+	}
+}
+
+func TestTraceRandomThrashes(t *testing.T) {
+	l1 := mustCache(t, "L1", 64, 8, 64) // 32 KiB
+	h, _ := NewHierarchy(l1)
+	TraceRandom(h, 10000, 1<<20, 3) // 8 MB working set
+	if h.Levels[0].Stats().MissRatio() < 0.8 {
+		t.Fatalf("random trace should thrash, got %v", h.Levels[0].Stats().MissRatio())
+	}
+}
+
+func TestTraceHistogramAndSpMV(t *testing.T) {
+	h, err := FromCPU(machine.DAS5CPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	TraceHistogram(h, kernels.UniformSamples(4096, 1), 64)
+	if h.Levels[0].Stats().Accesses() == 0 {
+		t.Fatal("histogram trace produced no accesses")
+	}
+	h.Reset()
+	csr := kernels.RandomSparse(200, 200, 2000, 1).ToCSR()
+	TraceSpMVCSR(h, csr)
+	if h.Levels[0].Stats().Accesses() == 0 {
+		t.Fatal("spmv trace produced no accesses")
+	}
+	h.Reset()
+	TraceFalseSharing(h, 100)
+	if h.Levels[0].Stats().Accesses() != 400 {
+		t.Fatalf("false-sharing accesses = %d", h.Levels[0].Stats().Accesses())
+	}
+}
+
+func TestReport(t *testing.T) {
+	h, _ := FromCPU(machine.DAS5CPU())
+	TraceStreamTriad(h, 1024)
+	rep := h.Report()
+	for _, want := range []string{"L1", "L2", "L3", "mem", "miss"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// Property: hits + misses == accesses at every level, for random access
+// streams.
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		l1, _ := NewCache("L1", 16, 2, 64)
+		l2, _ := NewCache("L2", 64, 4, 64)
+		h, _ := NewHierarchy(l1, l2)
+		TraceRandom(h, 2000, 4096, seed)
+		for _, l := range h.Levels {
+			s := l.Stats()
+			if s.Hits+s.Misses != s.Accesses() {
+				return false
+			}
+		}
+		// L2 demand accesses == L1 misses + L1 writebacks.
+		s1, s2 := l1.Stats(), l2.Stats()
+		return s2.Accesses() == s1.Misses+s1.Writebacks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set that fits in L1 has only compulsory misses on a
+// repeated pass.
+func TestQuickSmallWorkingSetStaysResident(t *testing.T) {
+	f := func(seed int64) bool {
+		l1, _ := NewCache("L1", 64, 8, 64) // 32 KiB
+		h, _ := NewHierarchy(l1)
+		// 2 KiB working set, two passes.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 256; i++ {
+				h.Load(uint64(i)*8, 8)
+			}
+		}
+		s := l1.Stats()
+		// Only the first pass misses, once per line: 256*8/64 = 32.
+		return s.Misses == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

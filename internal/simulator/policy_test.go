@@ -1,0 +1,288 @@
+package simulator
+
+import "testing"
+
+func TestPolicyStrings(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || RandomPolicy.String() != "random" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+// TestLRUvsFIFO uses the classic discriminating pattern on a 1-set,
+// 2-way cache: touch A, B, re-touch A (refreshing it under LRU but not
+// FIFO), then bring in C. LRU evicts B and keeps A; FIFO evicts A.
+func TestLRUvsFIFO(t *testing.T) {
+	const (
+		a     = uint64(0)
+		b     = uint64(64)
+		cAddr = uint64(128)
+	)
+	mk := func(p Policy) *Cache {
+		c, err := NewCache("L1", 1, 2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Policy = p
+		return c
+	}
+	lru := mk(LRU)
+	lru.Access(a, false)
+	lru.Access(b, false)
+	lru.Access(a, false) // refresh A
+	lru.Access(cAddr, false)
+	if !lru.Access(a, false) {
+		t.Fatal("LRU should have kept the re-touched line A")
+	}
+
+	fifo := mk(FIFO)
+	fifo.Access(a, false)
+	fifo.Access(b, false)
+	fifo.Access(a, false) // no refresh under FIFO
+	fifo.Access(cAddr, false)
+	// Check B first: probing A first would fill it back and evict B.
+	if !fifo.Access(b, false) {
+		t.Fatal("FIFO should have kept B")
+	}
+	if fifo.Access(a, false) {
+		t.Fatal("FIFO should have evicted the oldest line A")
+	}
+}
+
+func TestRandomPolicyIsDeterministicAndValid(t *testing.T) {
+	run := func() uint64 {
+		c, err := NewCache("L1", 4, 2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Policy = RandomPolicy
+		for i := uint64(0); i < 1000; i++ {
+			c.Access(i*64*7%4096, i%3 == 0)
+		}
+		return c.Stats().Misses
+	}
+	m1, m2 := run(), run()
+	if m1 != m2 {
+		t.Fatalf("random policy not deterministic: %d vs %d", m1, m2)
+	}
+	if m1 == 0 {
+		t.Fatal("workload should miss")
+	}
+}
+
+// TestPolicyAblationOnLoop: a cyclic loop over assoc+1 lines is the LRU
+// worst case (every access misses); random replacement breaks the cycle
+// and hits sometimes.
+func TestPolicyAblationOnLoop(t *testing.T) {
+	loop := func(p Policy) float64 {
+		c, err := NewCache("L1", 1, 4, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Policy = p
+		// 5 lines cycling through a 4-way set.
+		for rep := 0; rep < 400; rep++ {
+			for l := uint64(0); l < 5; l++ {
+				c.Access(l*64, false)
+			}
+		}
+		return c.Stats().MissRatio()
+	}
+	lru := loop(LRU)
+	rnd := loop(RandomPolicy)
+	if lru < 0.99 {
+		t.Fatalf("LRU on a cyclic overflow should always miss, got %v", lru)
+	}
+	if rnd >= lru {
+		t.Fatalf("random (%v) should beat LRU (%v) on the cyclic pattern", rnd, lru)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb, err := NewTLB(4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !tlb.Access(100) {
+		t.Fatal("same page must hit")
+	}
+	// Fill 4 entries, then a 5th evicts the LRU (page 0).
+	tlb.Access(1 * 4096)
+	tlb.Access(2 * 4096)
+	tlb.Access(3 * 4096)
+	tlb.Access(4 * 4096)
+	if tlb.Access(0) {
+		t.Fatal("page 0 should have been evicted")
+	}
+	if tlb.MissRatio() <= 0 {
+		t.Fatal("miss ratio wrong")
+	}
+	tlb.Reset()
+	if tlb.Hits() != 0 || tlb.Misses() != 0 || tlb.MissRatio() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if _, err := NewTLB(0, 4096); err == nil {
+		t.Fatal("zero entries must fail")
+	}
+	if _, err := NewTLB(4, 1000); err == nil {
+		t.Fatal("bad page size must fail")
+	}
+}
+
+func TestTLBThrashVsCacheFriendly(t *testing.T) {
+	// Page-stride walk: every access a new page -> TLB thrash, while the
+	// caches see a simple strided stream. Unit-stride walk: near-zero TLB
+	// misses. The contrast is what makes dTLB counters worth having.
+	mk := func() *Hierarchy {
+		l1, err := NewCache("L1", 64, 8, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHierarchy(l1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tlb, err := NewTLB(64, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.AttachTLB(tlb)
+		return h
+	}
+	thrash := mk()
+	for i := 0; i < 10000; i++ {
+		thrash.Load(uint64(i)*4096, 8) // one access per page, 10k pages
+	}
+	friendly := mk()
+	for i := 0; i < 10000; i++ {
+		friendly.Load(uint64(i)*8, 8) // unit stride: 512 accesses/page
+	}
+	if thrash.TLB().MissRatio() < 0.9 {
+		t.Fatalf("page-stride TLB miss ratio = %v, want ~1", thrash.TLB().MissRatio())
+	}
+	if friendly.TLB().MissRatio() > 0.01 {
+		t.Fatalf("unit-stride TLB miss ratio = %v, want ~0", friendly.TLB().MissRatio())
+	}
+	// Reset clears the TLB through the hierarchy.
+	thrash.Reset()
+	if thrash.TLB().MissRatio() != 0 {
+		t.Fatal("hierarchy reset must clear the TLB")
+	}
+}
+
+func TestMeasuredAI(t *testing.T) {
+	// A single 32 KiB level: at n=96 (3 x 73 KiB matrices) naive matmul
+	// thrashes it, so the measured DRAM traffic far exceeds the
+	// compulsory estimate and the measured AI collapses.
+	l1, err := NewCache("L1", 64, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchy(l1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeasuredAI(100, h) != 0 {
+		t.Fatal("idle hierarchy must yield 0")
+	}
+	n := 96
+	TraceMatMulNaive(h, n)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	compulsoryAI := flops / (3 * float64(n) * float64(n) * 8)
+	measured := MeasuredAI(flops, h)
+	if measured <= 0 {
+		t.Fatal("measured AI must be positive after a trace")
+	}
+	if measured >= compulsoryAI {
+		t.Fatalf("measured AI %v should be below compulsory %v for naive matmul",
+			measured, compulsoryAI)
+	}
+}
+
+func TestBranchPredictorValidation(t *testing.T) {
+	if _, err := NewBranchPredictor(0, 0); err == nil {
+		t.Fatal("tableBits=0 must fail")
+	}
+	if _, err := NewBranchPredictor(30, 0); err == nil {
+		t.Fatal("tableBits=30 must fail")
+	}
+	if _, err := NewBranchPredictor(10, 64); err == nil {
+		t.Fatal("historyBits=64 must fail")
+	}
+	b, err := NewBranchPredictor(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MispredictRate() != 0 {
+		t.Fatal("idle predictor should report 0")
+	}
+}
+
+func TestBranchPredictorSortedVsRandom(t *testing.T) {
+	// The famous demo: one branch PC, sorted input (two long runs) vs
+	// random input (coin flips).
+	mk := func() *BranchPredictor {
+		b, err := NewBranchPredictor(12, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	n := 1 << 15
+	sorted := mk()
+	srt := make([]float64, n)
+	for i := range srt {
+		srt[i] = float64(i) / float64(n)
+	}
+	TraceBranchySum(sorted, srt, 0.5)
+
+	random := mk()
+	rnd := make([]float64, n)
+	s := uint64(12345)
+	for i := range rnd {
+		s = s*6364136223846793005 + 1442695040888963407
+		rnd[i] = float64(s>>11) / float64(1<<53)
+	}
+	TraceBranchySum(random, rnd, 0.5)
+
+	if sorted.MispredictRate() > 0.01 {
+		t.Fatalf("sorted data mispredict rate = %v, want ~0", sorted.MispredictRate())
+	}
+	if random.MispredictRate() < 0.3 {
+		t.Fatalf("random data mispredict rate = %v, want ~0.5", random.MispredictRate())
+	}
+	if sorted.Predictions() != uint64(n) || random.Predictions() != uint64(n) {
+		t.Fatal("prediction counts wrong")
+	}
+	// Reset restores a clean slate.
+	random.Reset()
+	if random.Predictions() != 0 || random.MispredictRate() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBranchPredictorLearnsPatternWithHistory(t *testing.T) {
+	// A strictly alternating branch defeats a bimodal predictor but is
+	// perfectly learnable with global history — the gshare lesson.
+	bimodal, err := NewBranchPredictor(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gshare, err := NewBranchPredictor(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		taken := i%2 == 0
+		bimodal.Branch(0x400, taken)
+		gshare.Branch(0x400, taken)
+	}
+	if bimodal.MispredictRate() < 0.4 {
+		t.Fatalf("bimodal on alternating = %v, want ~0.5+", bimodal.MispredictRate())
+	}
+	if gshare.MispredictRate() > 0.05 {
+		t.Fatalf("gshare on alternating = %v, want ~0 after warmup", gshare.MispredictRate())
+	}
+}

@@ -1,0 +1,157 @@
+package ports
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"perfeng/internal/isa"
+)
+
+func TestAnalyzeDotProductLatencyBound(t *testing.T) {
+	// The scalar dot product has a loop-carried FMA accumulator: on
+	// Haswell (FMA latency 5) the latency bound is 5 cycles/iter, far
+	// above the throughput bound.
+	r, err := Analyze(isa.DotProductKernel(), isa.Haswell(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.LatencyBound-5) > 1e-9 {
+		t.Fatalf("latency bound = %v, want 5", r.LatencyBound)
+	}
+	if r.Bottleneck != "dependency chain" {
+		t.Fatalf("bottleneck = %q", r.Bottleneck)
+	}
+	if math.Abs(r.Predicted-5) > 1e-9 {
+		t.Fatalf("predicted = %v", r.Predicted)
+	}
+	// Simulation must agree with the analytic bound within 10%.
+	if math.Abs(r.Simulated-r.Predicted) > 0.1*r.Predicted {
+		t.Fatalf("simulated %v vs predicted %v", r.Simulated, r.Predicted)
+	}
+}
+
+func TestAnalyzeTriadThroughputBound(t *testing.T) {
+	// The triad has no loop-carried dependency; it is throughput-bound.
+	r, err := Analyze(isa.TriadKernel(), isa.Haswell(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyBound != 0 {
+		t.Fatalf("latency bound = %v, want 0", r.LatencyBound)
+	}
+	// Store port (p4) carries 1.0 cycles/iter: the bottleneck.
+	if math.Abs(r.ThroughputBound-1) > 1e-9 {
+		t.Fatalf("throughput bound = %v, want 1", r.ThroughputBound)
+	}
+	if !strings.HasPrefix(r.Bottleneck, "port") {
+		t.Fatalf("bottleneck = %q", r.Bottleneck)
+	}
+	if math.Abs(r.Simulated-1) > 0.15 {
+		t.Fatalf("simulated = %v, want ~1", r.Simulated)
+	}
+}
+
+func TestAnalyzeInOrderTableIsSlower(t *testing.T) {
+	hw, _ := Analyze(isa.TriadKernel(), isa.Haswell(), 200)
+	io, _ := Analyze(isa.TriadKernel(), isa.SimpleInOrder(), 200)
+	if io.Predicted <= hw.Predicted {
+		t.Fatalf("in-order %v should be slower than Haswell %v",
+			io.Predicted, hw.Predicted)
+	}
+}
+
+func TestUnrolledAccumulatorsBreakTheChain(t *testing.T) {
+	// Two independent accumulators halve the per-iteration latency cost:
+	// classic Assignment 2 lesson.
+	one := &isa.Kernel{Name: "acc1", Body: []isa.Instr{
+		{Op: isa.FMA, LoopCarried: []int{0}},
+	}}
+	two := &isa.Kernel{Name: "acc2", Body: []isa.Instr{
+		{Op: isa.FMA, LoopCarried: []int{0}},
+		{Op: isa.FMA, LoopCarried: []int{1}},
+	}}
+	r1, err := Analyze(one, isa.Haswell(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(two, isa.Haswell(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same latency bound per iteration, but iteration 2 does twice the
+	// work: cycles per FMA halves.
+	perFMA1 := r1.Simulated / 1
+	perFMA2 := r2.Simulated / 2
+	if perFMA2 >= perFMA1*0.75 {
+		t.Fatalf("two chains should be ~2x faster per FMA: %v vs %v", perFMA2, perFMA1)
+	}
+}
+
+func TestGFLOPSAt(t *testing.T) {
+	r := Result{Predicted: 2}
+	// 2 FLOPs per iter at 1 GHz, 2 cycles/iter -> 1 GFLOP/s.
+	if got := r.GFLOPSAt(1e9, 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("GFLOPSAt = %v", got)
+	}
+	if (Result{}).GFLOPSAt(1e9, 2) != 0 {
+		t.Fatal("zero prediction must yield 0")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(&isa.Kernel{Name: "empty"}, isa.Haswell(), 10); err == nil {
+		t.Fatal("empty body must error")
+	}
+	bad := &isa.Kernel{Name: "bad", Body: []isa.Instr{{Op: isa.FAdd, Deps: []int{3}}}}
+	if _, err := Analyze(bad, isa.Haswell(), 10); err == nil {
+		t.Fatal("invalid kernel must error")
+	}
+	badTbl := &isa.Table{Name: "x", NumPorts: 0}
+	if _, err := Analyze(isa.TriadKernel(), badTbl, 10); err == nil {
+		t.Fatal("invalid table must error")
+	}
+}
+
+func TestMissingOpsReported(t *testing.T) {
+	k := &isa.Kernel{Name: "vec", Body: []isa.Instr{{Op: isa.VecFMA}}}
+	r, err := Analyze(k, isa.SimpleInOrder(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MissingOps) != 1 || r.MissingOps[0] != "vfma" {
+		t.Fatalf("missing ops = %v", r.MissingOps)
+	}
+	if !strings.Contains(r.Report(), "fallback") {
+		t.Fatal("report should warn about fallback timings")
+	}
+}
+
+func TestReportAndString(t *testing.T) {
+	r, _ := Analyze(isa.MatMulInnerKernel(), isa.Haswell(), 100)
+	rep := r.Report()
+	for _, want := range []string{"port pressure", "bottleneck", "predicted"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(r.String(), "cyc/iter") {
+		t.Fatal("String incomplete")
+	}
+}
+
+func TestSimulatedNeverBeatsAnalyticBound(t *testing.T) {
+	for _, k := range []*isa.Kernel{
+		isa.DotProductKernel(), isa.TriadKernel(), isa.MatMulInnerKernel(),
+	} {
+		r, err := Analyze(k, isa.Haswell(), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The greedy schedule cannot beat the analytic lower bound by
+		// more than numerical noise.
+		if r.Simulated < r.Predicted-0.05 {
+			t.Fatalf("%s: simulated %v below bound %v", k.Name, r.Simulated, r.Predicted)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package simulator
+
+import "errors"
+
+// TLB model: a fully-associative LRU translation buffer in front of the
+// hierarchy. Large-stride walks that look merely "strided" to the caches
+// become TLB-thrashing at page granularity — a distinct pathology with its
+// own counter signature (Assignment 4's perf/PMU work includes dTLB
+// events).
+
+// TLB is a fully-associative, LRU translation lookaside buffer.
+type TLB struct {
+	Entries  int
+	PageSize int
+
+	clock  uint64
+	pages  map[uint64]uint64 // page -> last use
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB builds a TLB. entries must be positive; pageSize a positive power
+// of two.
+func NewTLB(entries, pageSize int) (*TLB, error) {
+	if entries <= 0 {
+		return nil, errors.New("simulator: TLB needs positive entry count")
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, errors.New("simulator: TLB page size must be a positive power of two")
+	}
+	return &TLB{Entries: entries, PageSize: pageSize,
+		pages: make(map[uint64]uint64, entries)}, nil
+}
+
+// Access translates addr, returning true on a TLB hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.clock++
+	page := addr / uint64(t.PageSize)
+	if _, ok := t.pages[page]; ok {
+		t.hits++
+		t.pages[page] = t.clock
+		return true
+	}
+	t.misses++
+	if len(t.pages) >= t.Entries {
+		// Evict the LRU page.
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for p, use := range t.pages {
+			if use < oldest {
+				victim, oldest = p, use
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.clock
+	return false
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRatio returns misses/accesses (0 when idle).
+func (t *TLB) MissRatio() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(total)
+}
+
+// Reset clears entries and counters.
+func (t *TLB) Reset() {
+	t.clock, t.hits, t.misses = 0, 0, 0
+	t.pages = make(map[uint64]uint64, t.Entries)
+}
+
+// AttachTLB adds a TLB to the hierarchy: every demand access translates
+// first. Pass nil to detach.
+func (h *Hierarchy) AttachTLB(t *TLB) { h.tlb = t }
+
+// TLB returns the attached TLB, if any.
+func (h *Hierarchy) TLB() *TLB { return h.tlb }
+
+// MeasuredAI returns the arithmetic intensity of a kernel using the
+// hierarchy's measured DRAM traffic instead of the compulsory-traffic
+// estimate: flops / bytes-actually-moved. This is the "cache-aware AI"
+// refinement — a thrashing kernel's measured AI collapses below its
+// compulsory AI, moving its roofline point left.
+func MeasuredAI(flops float64, h *Hierarchy) float64 {
+	b := h.MemTrafficBytes()
+	if b <= 0 {
+		return 0
+	}
+	return flops / b
+}

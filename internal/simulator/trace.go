@@ -1,0 +1,159 @@
+package simulator
+
+import (
+	"math/rand"
+
+	"perfeng/internal/kernels"
+)
+
+// Trace replay: each function walks the logical address stream of a kernel
+// through the hierarchy. Addresses are synthetic (arrays placed at fixed
+// disjoint bases) — the simulator cares about structure, not values, which
+// is exactly what distinguishes the access-pattern behaviour of kernel
+// variants (Assignment 4).
+
+// Array bases, spaced far apart so arrays never alias in the index bits.
+const (
+	baseA uint64 = 0x1000_0000
+	baseB uint64 = 0x2000_0000
+	baseC uint64 = 0x3000_0000
+	baseX uint64 = 0x4000_0000
+	baseY uint64 = 0x5000_0000
+)
+
+const w8 = 8 // sizeof(float64)
+
+// TraceMatMulNaive replays the ijk matmul access stream for n x n matrices.
+func TraceMatMulNaive(h *Hierarchy, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				h.Load(baseA+uint64(i*n+k)*w8, w8)
+				h.Load(baseB+uint64(k*n+j)*w8, w8)
+			}
+			h.Store(baseC+uint64(i*n+j)*w8, w8)
+		}
+	}
+}
+
+// TraceMatMulIKJ replays the ikj (unit-stride) matmul access stream.
+func TraceMatMulIKJ(h *Hierarchy, n int) {
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			h.Load(baseA+uint64(i*n+k)*w8, w8)
+			for j := 0; j < n; j++ {
+				h.Load(baseB+uint64(k*n+j)*w8, w8)
+				h.Load(baseC+uint64(i*n+j)*w8, w8)
+				h.Store(baseC+uint64(i*n+j)*w8, w8)
+			}
+		}
+	}
+}
+
+// TraceMatMulTiled replays the tiled matmul access stream.
+func TraceMatMulTiled(h *Hierarchy, n, tile int) {
+	if tile <= 0 {
+		tile = 32
+	}
+	for ii := 0; ii < n; ii += tile {
+		for kk := 0; kk < n; kk += tile {
+			for jj := 0; jj < n; jj += tile {
+				for i := ii; i < minInt(ii+tile, n); i++ {
+					for k := kk; k < minInt(kk+tile, n); k++ {
+						h.Load(baseA+uint64(i*n+k)*w8, w8)
+						for j := jj; j < minInt(jj+tile, n); j++ {
+							h.Load(baseB+uint64(k*n+j)*w8, w8)
+							h.Load(baseC+uint64(i*n+j)*w8, w8)
+							h.Store(baseC+uint64(i*n+j)*w8, w8)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TraceStreamTriad replays a[i] = b[i] + s*c[i] over n elements.
+func TraceStreamTriad(h *Hierarchy, n int) {
+	for i := 0; i < n; i++ {
+		h.Load(baseB+uint64(i)*w8, w8)
+		h.Load(baseC+uint64(i)*w8, w8)
+		h.Store(baseA+uint64(i)*w8, w8)
+	}
+}
+
+// TraceStrided replays n loads with the given element stride — the knob
+// that demonstrates spatial-locality loss as stride grows past the line
+// size.
+func TraceStrided(h *Hierarchy, n, stride int) {
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < n; i++ {
+		h.Load(baseA+uint64(i*stride)*w8, w8)
+	}
+}
+
+// TraceRandom replays n loads at uniform random element offsets within a
+// working set of wsElems elements — the latency-bound adversary.
+func TraceRandom(h *Hierarchy, n, wsElems int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if wsElems < 1 {
+		wsElems = 1
+	}
+	for i := 0; i < n; i++ {
+		h.Load(baseA+uint64(rng.Intn(wsElems))*w8, w8)
+	}
+}
+
+// TraceHistogram replays the histogram kernel: stream the samples, scatter
+// increments over bins (read-modify-write per sample).
+func TraceHistogram(h *Hierarchy, samples []float64, bins int) {
+	for i, s := range samples {
+		h.Load(baseA+uint64(i)*w8, w8)
+		b := int(s * float64(bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Load(baseB+uint64(b)*w8, w8)
+		h.Store(baseB+uint64(b)*w8, w8)
+	}
+}
+
+// TraceSpMVCSR replays y = A*x for a CSR matrix: unit-stride vals/colidx,
+// gathers on x, streaming stores on y.
+func TraceSpMVCSR(h *Hierarchy, a *kernels.CSR) {
+	for r := 0; r < a.Rows; r++ {
+		h.Load(baseA+uint64(r)*4, 4)   // RowPtr[r] (RowPtr[r+1] hits the same or next line)
+		h.Load(baseA+uint64(r+1)*4, 4) // RowPtr[r+1]
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			h.Load(baseB+uint64(k)*w8, w8) // Vals[k]
+			h.Load(baseC+uint64(k)*4, 4)   // ColIdx[k]
+			h.Load(baseX+uint64(a.ColIdx[k])*w8, w8)
+		}
+		h.Store(baseY+uint64(r)*w8, w8)
+	}
+}
+
+// TraceFalseSharing emulates two workers ping-ponging writes to adjacent
+// elements that share one cache line (the false-sharing pattern). In a
+// single hierarchy this appears as repeated writes to one hot line; the
+// patterns package pairs it with per-thread counters.
+func TraceFalseSharing(h *Hierarchy, iterations int) {
+	for i := 0; i < iterations; i++ {
+		h.Store(baseA+0, w8) // worker 0's counter
+		h.Store(baseA+8, w8) // worker 1's counter, same 64B line
+		h.Load(baseA+0, w8)
+		h.Load(baseA+8, w8)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package statmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Evaluation machinery: error metrics, train/test split, k-fold cross
+// validation, and the model shoot-out table — "evaluate the prediction
+// accuracy of the proposed model" (Assignment 3).
+
+// Metrics summarizes prediction error on one evaluation set.
+type Metrics struct {
+	Model string
+	N     int
+	MAE   float64
+	RMSE  float64
+	MAPE  float64 // only over non-zero targets
+	R2    float64
+}
+
+// String renders a one-line metrics row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-16s n=%-4d MAE %.4g  RMSE %.4g  MAPE %5.1f%%  R2 %6.3f",
+		m.Model, m.N, m.MAE, m.RMSE, m.MAPE*100, m.R2)
+}
+
+// Evaluate computes metrics for predictions vs targets.
+func Evaluate(name string, pred, y []float64) (Metrics, error) {
+	if len(pred) != len(y) || len(y) == 0 {
+		return Metrics{}, errors.New("statmodel: evaluation length mismatch or empty")
+	}
+	m := Metrics{Model: name, N: len(y)}
+	var absSum, sqSum, apeSum float64
+	apeN := 0
+	var yMean float64
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(len(y))
+	var ssTot float64
+	for i := range y {
+		e := pred[i] - y[i]
+		absSum += math.Abs(e)
+		sqSum += e * e
+		if y[i] != 0 {
+			apeSum += math.Abs(e / y[i])
+			apeN++
+		}
+		d := y[i] - yMean
+		ssTot += d * d
+	}
+	m.MAE = absSum / float64(len(y))
+	m.RMSE = math.Sqrt(sqSum / float64(len(y)))
+	if apeN > 0 {
+		m.MAPE = apeSum / float64(apeN)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - sqSum/ssTot
+	}
+	return m, nil
+}
+
+// Split shuffles and splits a dataset into train and test portions;
+// testFrac in (0, 1).
+func Split(x [][]float64, y []float64, testFrac float64, seed int64) (xTr [][]float64, yTr []float64, xTe [][]float64, yTe []float64, err error) {
+	if _, _, err = checkXY(x, y); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, nil, nil, errors.New("statmodel: testFrac must be in (0,1)")
+	}
+	n := len(x)
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nTest := int(math.Round(testFrac * float64(n)))
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	for i, j := range idx {
+		if i < nTest {
+			xTe = append(xTe, x[j])
+			yTe = append(yTe, y[j])
+		} else {
+			xTr = append(xTr, x[j])
+			yTr = append(yTr, y[j])
+		}
+	}
+	return xTr, yTr, xTe, yTe, nil
+}
+
+// FitEvaluate trains the model on the training split and evaluates on the
+// test split.
+func FitEvaluate(m Regressor, xTr [][]float64, yTr []float64, xTe [][]float64, yTe []float64) (Metrics, error) {
+	if err := m.Fit(xTr, yTr); err != nil {
+		return Metrics{}, err
+	}
+	pred := make([]float64, len(xTe))
+	for i, row := range xTe {
+		v, err := m.Predict(row)
+		if err != nil {
+			return Metrics{}, err
+		}
+		pred[i] = v
+	}
+	return Evaluate(m.Name(), pred, yTe)
+}
+
+// KFoldCV runs k-fold cross validation, returning the per-fold metrics and
+// their mean MAPE/R2 as a summary row. The factory must return a fresh
+// model per fold.
+func KFoldCV(factory func() Regressor, x [][]float64, y []float64, k int, seed int64) ([]Metrics, Metrics, error) {
+	if _, _, err := checkXY(x, y); err != nil {
+		return nil, Metrics{}, err
+	}
+	n := len(x)
+	if k < 2 || k > n {
+		return nil, Metrics{}, fmt.Errorf("statmodel: k=%d invalid for n=%d", k, n)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	var folds []Metrics
+	var maeS, rmseS, mapeS, r2S float64
+	name := ""
+	for f := 0; f < k; f++ {
+		lo, hi := f*n/k, (f+1)*n/k
+		var xTr, xTe [][]float64
+		var yTr, yTe []float64
+		for i, j := range idx {
+			if i >= lo && i < hi {
+				xTe = append(xTe, x[j])
+				yTe = append(yTe, y[j])
+			} else {
+				xTr = append(xTr, x[j])
+				yTr = append(yTr, y[j])
+			}
+		}
+		m := factory()
+		name = m.Name()
+		met, err := FitEvaluate(m, xTr, yTr, xTe, yTe)
+		if err != nil {
+			return nil, Metrics{}, err
+		}
+		folds = append(folds, met)
+		maeS += met.MAE
+		rmseS += met.RMSE
+		mapeS += met.MAPE
+		r2S += met.R2
+	}
+	kk := float64(k)
+	summary := Metrics{Model: name + " (cv)", N: n,
+		MAE: maeS / kk, RMSE: rmseS / kk, MAPE: mapeS / kk, R2: r2S / kk}
+	return folds, summary, nil
+}
+
+// ShootOut trains and evaluates several models on the same split and
+// returns their metrics sorted by MAPE (best first) plus a rendered table.
+func ShootOut(models []Regressor, xTr [][]float64, yTr []float64, xTe [][]float64, yTe []float64) ([]Metrics, string, error) {
+	var out []Metrics
+	for _, m := range models {
+		met, err := FitEvaluate(m, xTr, yTr, xTe, yTe)
+		if err != nil {
+			return nil, "", fmt.Errorf("statmodel: %s: %w", m.Name(), err)
+		}
+		out = append(out, met)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MAPE < out[j].MAPE })
+	var sb strings.Builder
+	sb.WriteString("model shoot-out (sorted by MAPE):\n")
+	for _, m := range out {
+		sb.WriteString("  " + m.String() + "\n")
+	}
+	return out, sb.String(), nil
+}

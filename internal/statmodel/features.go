@@ -1,0 +1,30 @@
+package statmodel
+
+import "perfeng/internal/kernels"
+
+// Feature engineering for SpMV (Assignment 3): map the non-zero structure
+// of a matrix to the feature vector the models train on. Choosing these
+// features — and discovering which ones the models actually need — is the
+// assignment's core exercise.
+
+// SpMVFeatureNames lists the features produced by SpMVFeatures, in order.
+var SpMVFeatureNames = []string{
+	"rows", "nnz", "mean_nnz_per_row", "max_nnz_per_row",
+	"row_cv", "density", "mean_col_span", "diag_dominance", "empty_rows",
+}
+
+// SpMVFeatures extracts the feature vector of a CSR matrix.
+func SpMVFeatures(a *kernels.CSR) []float64 {
+	s := a.Stats()
+	return []float64{
+		float64(s.Rows),
+		float64(s.NNZ),
+		s.MeanPerRow,
+		float64(s.MaxPerRow),
+		s.RowCV,
+		s.Density,
+		s.MeanColSpan,
+		s.DiagonalDominance,
+		float64(s.EmptyRows),
+	}
+}

@@ -1,0 +1,86 @@
+package statmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbours regressor with optional inverse-distance
+// weighting — the simplest non-parametric baseline in the Assignment 3
+// shoot-out.
+type KNN struct {
+	K int
+	// Weighted uses 1/d weighting instead of the plain average.
+	Weighted bool
+
+	x [][]float64
+	y []float64
+}
+
+// Name implements Regressor.
+func (m *KNN) Name() string {
+	if m.Weighted {
+		return fmt.Sprintf("knn%d-weighted", m.K)
+	}
+	return fmt.Sprintf("knn%d", m.K)
+}
+
+// Fit implements Regressor (lazy learner: it just stores the data).
+func (m *KNN) Fit(x [][]float64, y []float64) error {
+	if m.K < 1 {
+		return errors.New("statmodel: KNN needs K >= 1")
+	}
+	if _, _, err := checkXY(x, y); err != nil {
+		return err
+	}
+	m.x = x
+	m.y = y
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *KNN) Predict(q []float64) (float64, error) {
+	if m.x == nil {
+		return 0, errors.New("statmodel: model not fitted")
+	}
+	if len(q) != len(m.x[0]) {
+		return 0, fmt.Errorf("statmodel: want %d features, got %d", len(m.x[0]), len(q))
+	}
+	type nb struct {
+		d float64
+		y float64
+	}
+	nbs := make([]nb, len(m.x))
+	for i, row := range m.x {
+		var ss float64
+		for j, v := range row {
+			dlt := v - q[j]
+			ss += dlt * dlt
+		}
+		nbs[i] = nb{d: math.Sqrt(ss), y: m.y[i]}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+	k := m.K
+	if k > len(nbs) {
+		k = len(nbs)
+	}
+	if !m.Weighted {
+		var sum float64
+		for _, n := range nbs[:k] {
+			sum += n.y
+		}
+		return sum / float64(k), nil
+	}
+	var wsum, sum float64
+	for _, n := range nbs[:k] {
+		if n.d == 0 {
+			return n.y, nil // exact match dominates
+		}
+		w := 1 / n.d
+		wsum += w
+		sum += w * n.y
+	}
+	return sum / wsum, nil
+}

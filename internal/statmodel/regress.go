@@ -1,0 +1,206 @@
+// Package statmodel implements the statistical ("black-box") performance
+// models of Assignment 3: linear/ridge regression, polynomial feature
+// expansion, k-nearest-neighbours, CART regression trees and random
+// forests, with the train/test and cross-validation machinery needed to
+// evaluate prediction accuracy — and to contrast these models with the
+// highly-explainable analytical ones ("the highly-explainable analytical
+// model vs. the black-box statistical models").
+package statmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"perfeng/internal/linalg"
+)
+
+// Regressor is a trainable model mapping a feature vector to a scalar
+// target (runtime, GFLOP/s, ...).
+type Regressor interface {
+	Name() string
+	// Fit trains on rows of X (n x d) with targets y (n).
+	Fit(x [][]float64, y []float64) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) (float64, error)
+}
+
+// checkXY validates a design matrix/target pair.
+func checkXY(x [][]float64, y []float64) (rows, cols int, err error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, 0, errors.New("statmodel: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, 0, fmt.Errorf("statmodel: %d rows vs %d targets", len(x), len(y))
+	}
+	cols = len(x[0])
+	if cols == 0 {
+		return 0, 0, errors.New("statmodel: empty feature vectors")
+	}
+	for i, r := range x {
+		if len(r) != cols {
+			return 0, 0, fmt.Errorf("statmodel: ragged row %d", i)
+		}
+	}
+	return len(x), cols, nil
+}
+
+// LinearRegression is ordinary least squares with an intercept, solved by
+// Householder QR. Ridge > 0 adds Tikhonov regularization (the intercept is
+// not penalized in spirit — with standardized features the distinction is
+// negligible, and the course's datasets are standardized by Standardize).
+type LinearRegression struct {
+	ModelName string
+	Ridge     float64
+
+	// Intercept and Coef are available after Fit for interpretation —
+	// the one advantage linear models keep over the forest.
+	Intercept float64
+	Coef      []float64
+}
+
+// Name implements Regressor.
+func (m *LinearRegression) Name() string {
+	if m.ModelName != "" {
+		return m.ModelName
+	}
+	if m.Ridge > 0 {
+		return "ridge"
+	}
+	return "ols"
+}
+
+// Fit implements Regressor.
+func (m *LinearRegression) Fit(x [][]float64, y []float64) error {
+	n, d, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	a := linalg.NewMatrix(n, d+1)
+	for i, row := range x {
+		a.Set(i, 0, 1)
+		for j, v := range row {
+			a.Set(i, j+1, v)
+		}
+	}
+	var sol []float64
+	if m.Ridge > 0 {
+		sol, err = linalg.SolveRidge(a, y, m.Ridge)
+	} else {
+		sol, err = linalg.SolveLeastSquares(a, y)
+	}
+	if err != nil {
+		return fmt.Errorf("statmodel: %s fit: %w", m.Name(), err)
+	}
+	m.Intercept = sol[0]
+	m.Coef = sol[1:]
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *LinearRegression) Predict(x []float64) (float64, error) {
+	if m.Coef == nil {
+		return 0, errors.New("statmodel: model not fitted")
+	}
+	if len(x) != len(m.Coef) {
+		return 0, fmt.Errorf("statmodel: want %d features, got %d", len(m.Coef), len(x))
+	}
+	out := m.Intercept
+	for i, v := range x {
+		out += m.Coef[i] * v
+	}
+	return out, nil
+}
+
+// PolynomialFeatures expands each feature vector with powers up to degree
+// and pairwise products (degree >= 2), the standard trick that lets a
+// linear solver fit the polynomial cost functions of kernels (n^3 matmul
+// time is linear in the feature n^3).
+func PolynomialFeatures(x [][]float64, degree int) ([][]float64, error) {
+	if degree < 1 {
+		return nil, errors.New("statmodel: degree must be >= 1")
+	}
+	if len(x) == 0 {
+		return nil, errors.New("statmodel: empty input")
+	}
+	d := len(x[0])
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("statmodel: ragged row %d", i)
+		}
+		feats := append([]float64(nil), row...)
+		// Pure powers x_j^k for k = 2..degree.
+		for k := 2; k <= degree; k++ {
+			for _, v := range row {
+				feats = append(feats, math.Pow(v, float64(k)))
+			}
+		}
+		// Pairwise interaction terms (degree >= 2).
+		if degree >= 2 {
+			for a := 0; a < d; a++ {
+				for b := a + 1; b < d; b++ {
+					feats = append(feats, row[a]*row[b])
+				}
+			}
+		}
+		out[i] = feats
+	}
+	return out, nil
+}
+
+// Standardizer rescales features to zero mean and unit variance; fitted on
+// the training split and applied to both splits, as proper methodology
+// requires.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer learns the per-feature mean and stddev.
+func FitStandardizer(x [][]float64) (*Standardizer, error) {
+	n, d, err := checkXY(x, make([]float64, len(x)))
+	if err != nil {
+		return nil, err
+	}
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += x[i][j]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			dlt := x[i][j] - mean
+			ss += dlt * dlt
+		}
+		std := math.Sqrt(ss / float64(n))
+		if std == 0 {
+			std = 1 // constant feature: pass through centered
+		}
+		s.Mean[j], s.Std[j] = mean, std
+	}
+	return s, nil
+}
+
+// Transform returns the standardized copy of x.
+func (s *Standardizer) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TransformOne standardizes a single vector.
+func (s *Standardizer) TransformOne(x []float64) []float64 {
+	r := make([]float64, len(x))
+	for j, v := range x {
+		r[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return r
+}

@@ -1,0 +1,471 @@
+package statmodel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perfeng/internal/kernels"
+)
+
+// planted returns a dataset y = 3 + 2*x0 - x1 (+ optional noise).
+func planted(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x[i] = []float64{a, b}
+		y[i] = 3 + 2*a - b + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestLinearRegressionRecoversPlanted(t *testing.T) {
+	x, y := planted(50, 0, 1)
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 1e-8 ||
+		math.Abs(m.Coef[0]-2) > 1e-8 || math.Abs(m.Coef[1]+1) > 1e-8 {
+		t.Fatalf("fit = %v + %v", m.Intercept, m.Coef)
+	}
+	pred, err := m.Predict([]float64{1, 1})
+	if err != nil || math.Abs(pred-4) > 1e-8 {
+		t.Fatalf("predict = %v, %v", pred, err)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	m := &LinearRegression{}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("unfitted predict must fail")
+	}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit must fail")
+	}
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged rows must fail")
+	}
+	x, y := planted(20, 0, 2)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	x, y := planted(30, 0.5, 3)
+	ols := &LinearRegression{}
+	ridge := &LinearRegression{Ridge: 100}
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ridge.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	no := math.Abs(ols.Coef[0]) + math.Abs(ols.Coef[1])
+	nr := math.Abs(ridge.Coef[0]) + math.Abs(ridge.Coef[1])
+	if nr >= no {
+		t.Fatalf("ridge coefficient norm %v not below OLS %v", nr, no)
+	}
+	if ridge.Name() != "ridge" || ols.Name() != "ols" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestPolynomialFeatures(t *testing.T) {
+	x := [][]float64{{2, 3}}
+	out, err := PolynomialFeatures(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [2, 3, 4, 9, 6] : originals, squares, pairwise product.
+	want := []float64{2, 3, 4, 9, 6}
+	if len(out[0]) != len(want) {
+		t.Fatalf("features = %v", out[0])
+	}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("features = %v, want %v", out[0], want)
+		}
+	}
+	if _, err := PolynomialFeatures(x, 0); err == nil {
+		t.Fatal("degree 0 must fail")
+	}
+	if _, err := PolynomialFeatures(nil, 2); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestPolynomialLinearFitsCubic(t *testing.T) {
+	// y = n^3 is nonlinear in n but linear in the degree-3 expansion.
+	var x [][]float64
+	var y []float64
+	for n := 1.0; n <= 20; n++ {
+		x = append(x, []float64{n})
+		y = append(y, n*n*n)
+	}
+	xp, err := PolynomialFeatures(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &LinearRegression{}
+	if err := m.Fit(xp, y); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := PolynomialFeatures([][]float64{{25}}, 3)
+	pred, err := m.Predict(q[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-25*25*25) > 1e-6*25*25*25 {
+		t.Fatalf("cubic extrapolation = %v, want 15625", pred)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	x := [][]float64{{1, 100}, {3, 100}, {5, 100}}
+	s, err := FitStandardizer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(x)
+	// First feature: mean 3, centered; second: constant -> passthrough 0.
+	if math.Abs(out[0][0]+out[2][0]) > 1e-12 || out[1][0] != 0 {
+		t.Fatalf("standardized = %v", out)
+	}
+	if out[0][1] != 0 {
+		t.Fatalf("constant feature should map to 0, got %v", out[0][1])
+	}
+	one := s.TransformOne([]float64{3, 100})
+	if one[0] != 0 || one[1] != 0 {
+		t.Fatalf("TransformOne = %v", one)
+	}
+}
+
+func TestKNN(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {10}}
+	y := []float64{0, 1, 2, 10}
+	m := &KNN{K: 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict([]float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0.5 { // neighbours 0 and 1
+		t.Fatalf("knn predict = %v, want 0.5", pred)
+	}
+	w := &KNN{K: 2, Weighted: true}
+	if err := w.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	wp, _ := w.Predict([]float64{0.4})
+	if wp >= 0.5 { // weighting pulls toward the closer neighbour (0)
+		t.Fatalf("weighted knn = %v, want < 0.5", wp)
+	}
+	exact, _ := w.Predict([]float64{2})
+	if exact != 2 {
+		t.Fatalf("exact-match predict = %v", exact)
+	}
+	if m.Name() != "knn2" || w.Name() != "knn2-weighted" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	m := &KNN{K: 0}
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("K=0 must fail")
+	}
+	m2 := &KNN{K: 1}
+	if _, err := m2.Predict([]float64{1}); err == nil {
+		t.Fatal("unfitted must fail")
+	}
+	if err := m2.Fit([][]float64{{1}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+	// K larger than the dataset clamps.
+	big := &KNN{K: 10}
+	if err := big.Fit([][]float64{{0}, {1}}, []float64{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := big.Predict([]float64{0.5}); v != 1 {
+		t.Fatalf("clamped knn = %v", v)
+	}
+}
+
+func TestRegressionTreeFitsStepFunction(t *testing.T) {
+	// A step function is exactly representable by one split.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		v := float64(i)
+		x = append(x, []float64{v})
+		if v < 20 {
+			y = append(y, 5)
+		} else {
+			y = append(y, 11)
+		}
+	}
+	m := &RegressionTree{MaxDepth: 3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := m.Predict([]float64{3})
+	hi, _ := m.Predict([]float64{33})
+	if lo != 5 || hi != 11 {
+		t.Fatalf("tree = %v / %v, want 5 / 11", lo, hi)
+	}
+	if m.Depth() < 1 {
+		t.Fatal("tree should have split")
+	}
+}
+
+func TestRegressionTreeRespectsLimits(t *testing.T) {
+	x, y := planted(200, 0.1, 5)
+	m := &RegressionTree{MaxDepth: 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() > 2 {
+		t.Fatalf("depth = %d exceeds limit", m.Depth())
+	}
+	if _, err := (&RegressionTree{}).Predict([]float64{1}); err == nil {
+		t.Fatal("unfitted must fail")
+	}
+}
+
+func TestRandomForestBeatsSingleTreeOnNoise(t *testing.T) {
+	x, y := planted(300, 2.0, 7)
+	xTr, yTr, xTe, yTe, err := Split(x, y, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := &RegressionTree{MaxDepth: 10, MinLeafSize: 1}
+	forest := &RandomForest{Trees: 30, MaxDepth: 10, MinLeafSize: 1, Seed: 2}
+	mt, err := FitEvaluate(tree, xTr, yTr, xTe, yTe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := FitEvaluate(forest, xTr, yTr, xTe, yTe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.RMSE >= mt.RMSE {
+		t.Fatalf("forest RMSE %v should beat single tree %v", mf.RMSE, mt.RMSE)
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	m, err := Evaluate("m", []float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAE != 0 || m.RMSE != 0 || m.MAPE != 0 || m.R2 != 1 {
+		t.Fatalf("perfect metrics wrong: %+v", m)
+	}
+	m2, _ := Evaluate("m", []float64{2, 3, 4}, []float64{1, 2, 3})
+	if m2.MAE != 1 || m2.RMSE != 1 {
+		t.Fatalf("off-by-one metrics: %+v", m2)
+	}
+	if _, err := Evaluate("m", []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if !strings.Contains(m2.String(), "MAPE") {
+		t.Fatal("String incomplete")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	x, y := planted(100, 0, 9)
+	xTr, yTr, xTe, yTe, err := Split(x, y, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xTe) != 25 || len(xTr) != 75 || len(yTe) != 25 || len(yTr) != 75 {
+		t.Fatalf("split sizes: %d/%d", len(xTr), len(xTe))
+	}
+	if _, _, _, _, err := Split(x, y, 0, 1); err == nil {
+		t.Fatal("testFrac=0 must fail")
+	}
+	if _, _, _, _, err := Split(x, y, 1, 1); err == nil {
+		t.Fatal("testFrac=1 must fail")
+	}
+}
+
+func TestKFoldCV(t *testing.T) {
+	x, y := planted(60, 0.2, 11)
+	folds, summary, err := KFoldCV(func() Regressor { return &LinearRegression{} }, x, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	if summary.R2 < 0.9 {
+		t.Fatalf("linear model should explain planted data: R2 = %v", summary.R2)
+	}
+	if !strings.Contains(summary.Model, "cv") {
+		t.Fatal("summary name wrong")
+	}
+	if _, _, err := KFoldCV(func() Regressor { return &LinearRegression{} }, x, y, 1, 1); err == nil {
+		t.Fatal("k=1 must fail")
+	}
+}
+
+func TestShootOut(t *testing.T) {
+	x, y := planted(150, 0.3, 13)
+	xTr, yTr, xTe, yTe, _ := Split(x, y, 0.3, 2)
+	models := []Regressor{
+		&LinearRegression{},
+		&KNN{K: 3},
+		&RegressionTree{MaxDepth: 6},
+		&RandomForest{Trees: 20, Seed: 1},
+	}
+	metrics, table, err := ShootOut(models, xTr, yTr, xTe, yTe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 4 {
+		t.Fatalf("metrics = %d", len(metrics))
+	}
+	// Data is linear: OLS must win.
+	if metrics[0].Model != "ols" {
+		t.Fatalf("expected ols to win, got %s", metrics[0].Model)
+	}
+	// Sorted ascending by MAPE.
+	for i := 1; i < len(metrics); i++ {
+		if metrics[i].MAPE < metrics[i-1].MAPE {
+			t.Fatal("shoot-out not sorted")
+		}
+	}
+	if !strings.Contains(table, "shoot-out") {
+		t.Fatal("table missing header")
+	}
+}
+
+func TestSpMVFeatures(t *testing.T) {
+	csr := kernels.BandedSparse(50, 2, 1).ToCSR()
+	f := SpMVFeatures(csr)
+	if len(f) != len(SpMVFeatureNames) {
+		t.Fatalf("features = %d, names = %d", len(f), len(SpMVFeatureNames))
+	}
+	if f[0] != 50 {
+		t.Fatalf("rows feature = %v", f[0])
+	}
+	if f[1] != float64(csr.NNZ()) {
+		t.Fatalf("nnz feature = %v", f[1])
+	}
+}
+
+// Property: OLS predictions are exact on the training set when the model
+// family contains the target (planted linear data, no noise).
+func TestQuickOLSInterpolation(t *testing.T) {
+	f := func(seed int64) bool {
+		x, y := planted(25, 0, seed)
+		m := &LinearRegression{}
+		if err := m.Fit(x, y); err != nil {
+			return false
+		}
+		for i, row := range x {
+			p, err := m.Predict(row)
+			if err != nil || math.Abs(p-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree predictions always lie within the range of training
+// targets (trees cannot extrapolate).
+func TestQuickTreeRangeBound(t *testing.T) {
+	f := func(seed int64, q float64) bool {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return true
+		}
+		x, y := planted(50, 1, seed)
+		m := &RegressionTree{MaxDepth: 6}
+		if err := m.Fit(x, y); err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range y {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		p, err := m.Predict([]float64{q, -q})
+		return err == nil && p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationImportance(t *testing.T) {
+	// y depends strongly on x0, weakly on x1, not at all on x2.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b, c := rng.Float64()*10, rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b, c})
+		y = append(y, 10*a+b)
+	}
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imps, err := PermutationImportance(m, x, y, []string{"strong", "weak", "noise"}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imps[0].Name != "strong" {
+		t.Fatalf("ranking = %+v", imps)
+	}
+	if imps[0].Increase <= imps[1].Increase || imps[1].Increase <= imps[2].Increase {
+		t.Fatalf("importance not ordered: %+v", imps)
+	}
+	// The irrelevant feature contributes ~nothing.
+	if imps[2].Increase > imps[0].Increase*0.05 {
+		t.Fatalf("noise feature too important: %+v", imps)
+	}
+	if !strings.Contains(ImportanceTable(imps), "strong") {
+		t.Fatal("table incomplete")
+	}
+}
+
+func TestPermutationImportanceErrors(t *testing.T) {
+	m := &LinearRegression{}
+	if _, err := PermutationImportance(m, nil, nil, nil, 1, 1); err == nil {
+		t.Fatal("empty data must fail")
+	}
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PermutationImportance(m, x, y, []string{"a", "b"}, 1, 1); err == nil {
+		t.Fatal("names mismatch must fail")
+	}
+	unfitted := &LinearRegression{}
+	if _, err := PermutationImportance(unfitted, x, y, nil, 1, 1); err == nil {
+		t.Fatal("unfitted model must fail")
+	}
+}

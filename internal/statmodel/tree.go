@@ -1,0 +1,249 @@
+package statmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RegressionTree is a CART regression tree: greedy binary splits minimizing
+// the residual sum of squares, depth- and leaf-size-limited.
+type RegressionTree struct {
+	MaxDepth    int // default 8
+	MinLeafSize int // default 2
+	// FeatureSubset > 0 considers only that many random features per
+	// split (used by the forest); 0 considers all.
+	FeatureSubset int
+	// Seed drives the feature subsampling.
+	Seed int64
+
+	root *treeNode
+	dim  int
+}
+
+type treeNode struct {
+	feature int
+	thresh  float64
+	value   float64 // leaf prediction
+	leaf    bool
+	lo, hi  *treeNode
+}
+
+// Name implements Regressor.
+func (m *RegressionTree) Name() string { return "cart" }
+
+// Fit implements Regressor.
+func (m *RegressionTree) Fit(x [][]float64, y []float64) error {
+	if _, d, err := checkXY(x, y); err != nil {
+		return err
+	} else {
+		m.dim = d
+	}
+	if m.MaxDepth <= 0 {
+		m.MaxDepth = 8
+	}
+	if m.MinLeafSize <= 0 {
+		m.MinLeafSize = 2
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.root = m.build(x, y, idx, 0, rng)
+	return nil
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseAt(y []float64, idx []int) float64 {
+	m := meanAt(y, idx)
+	var ss float64
+	for _, i := range idx {
+		d := y[i] - m
+		ss += d * d
+	}
+	return ss
+}
+
+func (m *RegressionTree) build(x [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+	if depth >= m.MaxDepth || len(idx) <= m.MinLeafSize {
+		return &treeNode{leaf: true, value: meanAt(y, idx)}
+	}
+	parentSSE := sseAt(y, idx)
+	if parentSSE == 0 {
+		return &treeNode{leaf: true, value: meanAt(y, idx)}
+	}
+
+	features := make([]int, m.dim)
+	for i := range features {
+		features[i] = i
+	}
+	if m.FeatureSubset > 0 && m.FeatureSubset < m.dim {
+		rng.Shuffle(len(features), func(i, j int) {
+			features[i], features[j] = features[j], features[i]
+		})
+		features = features[:m.FeatureSubset]
+	}
+
+	bestFeature, bestThresh := -1, 0.0
+	bestSSE := parentSSE
+	sorted := make([]int, len(idx))
+	for _, f := range features {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return x[sorted[a]][f] < x[sorted[b]][f] })
+		// Prefix sums enable O(n) split evaluation per feature.
+		var sumLo, sqLo float64
+		var sumHi, sqHi float64
+		for _, i := range sorted {
+			sumHi += y[i]
+			sqHi += y[i] * y[i]
+		}
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			yi := y[sorted[pos]]
+			sumLo += yi
+			sqLo += yi * yi
+			sumHi -= yi
+			sqHi -= yi * yi
+			// Cannot split between equal feature values.
+			if x[sorted[pos]][f] == x[sorted[pos+1]][f] {
+				continue
+			}
+			nLo, nHi := float64(pos+1), float64(len(sorted)-pos-1)
+			if int(nLo) < m.MinLeafSize || int(nHi) < m.MinLeafSize {
+				continue
+			}
+			sse := (sqLo - sumLo*sumLo/nLo) + (sqHi - sumHi*sumHi/nHi)
+			if sse < bestSSE-1e-12 {
+				bestSSE = sse
+				bestFeature = f
+				bestThresh = (x[sorted[pos]][f] + x[sorted[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, value: meanAt(y, idx)}
+	}
+	var loIdx, hiIdx []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThresh {
+			loIdx = append(loIdx, i)
+		} else {
+			hiIdx = append(hiIdx, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeature,
+		thresh:  bestThresh,
+		lo:      m.build(x, y, loIdx, depth+1, rng),
+		hi:      m.build(x, y, hiIdx, depth+1, rng),
+	}
+}
+
+// Predict implements Regressor.
+func (m *RegressionTree) Predict(x []float64) (float64, error) {
+	if m.root == nil {
+		return 0, errors.New("statmodel: model not fitted")
+	}
+	if len(x) != m.dim {
+		return 0, fmt.Errorf("statmodel: want %d features, got %d", m.dim, len(x))
+	}
+	n := m.root
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	return n.value, nil
+}
+
+// Depth returns the height of the fitted tree (0 for a stump).
+func (m *RegressionTree) Depth() int { return depthOf(m.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	lo, hi := depthOf(n.lo), depthOf(n.hi)
+	if lo > hi {
+		return lo + 1
+	}
+	return hi + 1
+}
+
+// RandomForest bags Trees CART trees over bootstrap resamples with feature
+// subsampling (sqrt(d) by default), the strongest black-box model in the
+// Assignment 3 shoot-out.
+type RandomForest struct {
+	Trees       int // default 50
+	MaxDepth    int
+	MinLeafSize int
+	Seed        int64
+
+	forest []*RegressionTree
+	dim    int
+}
+
+// Name implements Regressor.
+func (m *RandomForest) Name() string { return "random-forest" }
+
+// Fit implements Regressor.
+func (m *RandomForest) Fit(x [][]float64, y []float64) error {
+	n, d, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	m.dim = d
+	if m.Trees <= 0 {
+		m.Trees = 50
+	}
+	sub := int(math.Ceil(math.Sqrt(float64(d))))
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.forest = make([]*RegressionTree, m.Trees)
+	for t := 0; t < m.Trees; t++ {
+		// Bootstrap resample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = x[j], y[j]
+		}
+		tree := &RegressionTree{
+			MaxDepth:      m.MaxDepth,
+			MinLeafSize:   m.MinLeafSize,
+			FeatureSubset: sub,
+			Seed:          rng.Int63(),
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		m.forest[t] = tree
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *RandomForest) Predict(x []float64) (float64, error) {
+	if m.forest == nil {
+		return 0, errors.New("statmodel: model not fitted")
+	}
+	var sum float64
+	for _, t := range m.forest {
+		v, err := t.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(m.forest)), nil
+}

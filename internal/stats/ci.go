@@ -1,0 +1,203 @@
+package stats
+
+import "math"
+
+// CI is a two-sided confidence interval for a population mean.
+type CI struct {
+	Level float64 // e.g. 0.95
+	Mean  float64
+	Lo    float64
+	Hi    float64
+	Half  float64 // half-width: Hi-Mean == Mean-Lo
+}
+
+// Contains reports whether v lies inside the interval (inclusive).
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// RelativeHalfWidth returns Half/|Mean|, the common "measurement is stable
+// when the 95% CI is within x% of the mean" criterion. It returns +Inf when
+// the mean is zero and the half-width is not.
+func (c CI) RelativeHalfWidth() float64 {
+	if c.Mean == 0 {
+		if c.Half == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return c.Half / math.Abs(c.Mean)
+}
+
+// MeanCI returns the confidence interval for the mean of xs at the given
+// level (0 < level < 1) using the Student t distribution, the textbook
+// procedure for small benchmark repetition counts.
+func MeanCI(xs []float64, level float64) CI {
+	n := len(xs)
+	m := Mean(xs)
+	if n < 2 {
+		return CI{Level: level, Mean: m, Lo: m, Hi: m}
+	}
+	se := Stddev(xs) / math.Sqrt(float64(n))
+	t := TInv(1-(1-level)/2, float64(n-1))
+	h := t * se
+	return CI{Level: level, Mean: m, Lo: m - h, Hi: m + h, Half: h}
+}
+
+// NormInv returns the quantile function (inverse CDF) of the standard normal
+// distribution, using Acklam's rational approximation (relative error below
+// 1.15e-9 over the full domain).
+func NormInv(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// TInv returns the quantile function of the Student t distribution with df
+// degrees of freedom, via the Cornish-Fisher-style expansion of Abramowitz &
+// Stegun 26.7.5 around the normal quantile. Accuracy is better than 1% for
+// df >= 3 and exact in the limit df -> inf; below df=3 a Newton refinement on
+// the t CDF is applied.
+func TInv(p, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := NormInv(p)
+	g1 := (x*x*x + x) / 4
+	g2 := (5*math.Pow(x, 5) + 16*x*x*x + 3*x) / 96
+	g3 := (3*math.Pow(x, 7) + 19*math.Pow(x, 5) + 17*x*x*x - 15*x) / 384
+	g4 := (79*math.Pow(x, 9) + 776*math.Pow(x, 7) + 1482*math.Pow(x, 5) -
+		1920*x*x*x - 945*x) / 92160
+	t := x + g1/df + g2/(df*df) + g3/(df*df*df) + g4/(df*df*df*df)
+	// Newton refinement against the actual CDF handles very small df.
+	for i := 0; i < 8; i++ {
+		f := TCDF(t, df) - p
+		pdf := tPDF(t, df)
+		if pdf == 0 {
+			break
+		}
+		step := f / pdf
+		t -= step
+		if math.Abs(step) < 1e-12*math.Max(1, math.Abs(t)) {
+			break
+		}
+	}
+	return t
+}
+
+// TCDF returns the CDF of the Student t distribution with df degrees of
+// freedom at t, computed from the regularized incomplete beta function.
+func TCDF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	ib := regIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+func tPDF(t, df float64) float64 {
+	lg1, _ := math.Lgamma((df + 1) / 2)
+	lg2, _ := math.Lgamma(df / 2)
+	return math.Exp(lg1-lg2) / math.Sqrt(df*math.Pi) *
+		math.Pow(1+t*t/df, -(df+1)/2)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a + b)
+	lgb, _ := math.Lgamma(a)
+	lgc, _ := math.Lgamma(b)
+	front := math.Exp(lga - lgb - lgc + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x /
+			((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

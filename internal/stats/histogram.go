@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval. Samples outside
+// [Lo, Hi] are counted in Under/Over rather than silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi].
+// It panics if bins < 1 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x > h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // x == Hi lands in the last bin
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records every sample of xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of in-range samples recorded.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Hi - h.Lo) / float64(len(h.Counts))
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best, bestCount := 0, -1
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return h.Lo + (float64(best)+0.5)*h.BinWidth()
+}
+
+// String renders the histogram as an ASCII bar chart, one bin per line.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const width = 40
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*h.BinWidth()
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(c) / float64(maxCount) * width))
+		}
+		fmt.Fprintf(&sb, "[%10.4g, %10.4g) %6d %s\n",
+			lo, lo+h.BinWidth(), c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RejectIQR returns the samples of xs that fall inside
+// [Q1 - k*IQR, Q3 + k*IQR], Tukey's fence with multiplier k (1.5 is the
+// conventional value). The input is not modified; sample order is preserved.
+func RejectIQR(xs []float64, k float64) []float64 {
+	if len(xs) < 4 {
+		return append([]float64(nil), xs...)
+	}
+	q1 := Percentile(xs, 25)
+	q3 := Percentile(xs, 75)
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MAD returns the median absolute deviation of xs, a robust scale estimator.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// RejectMAD returns the samples whose distance from the median is at most
+// k * 1.4826 * MAD (1.4826 scales MAD to the stddev of a normal
+// distribution). With all-identical samples (MAD == 0) the input is returned
+// unchanged.
+func RejectMAD(xs []float64, k float64) []float64 {
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...)
+	}
+	med := Median(xs)
+	scale := 1.4826 * MAD(xs)
+	if scale == 0 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-med) <= k*scale {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TrimmedMean returns the mean of xs after discarding the frac fraction of
+// samples at each extreme (0 <= frac < 0.5). A 10% trimmed mean is a common
+// robust location estimator for noisy timing data.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if frac <= 0 {
+		return Mean(xs)
+	}
+	if frac >= 0.5 {
+		return Median(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cut := int(frac * float64(len(sorted)))
+	trimmed := sorted[cut : len(sorted)-cut]
+	return Mean(trimmed)
+}

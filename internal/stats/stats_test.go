@@ -1,0 +1,375 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic dataset is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+	if got := Stddev(xs); !almostEq(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("P25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestGeoHarmonicMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with negative should be NaN")
+	}
+	if got := HarmonicMean([]float64{1, 2}); !almostEq(got, 4.0/3.0, 1e-12) {
+		t.Fatalf("HarmonicMean = %v, want 4/3", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Fatalf("Correlation = %v, %v; want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !almostEq(r, -1, 1e-12) {
+		t.Fatalf("Correlation = %v, want -1", r)
+	}
+	if _, err := Correlation(xs, xs[:2]); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("zero variance should error")
+	}
+}
+
+func TestNormInv(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+	}
+	for _, c := range cases {
+		if got := NormInv(c.p); !almostEq(got, c.want, 1e-5) {
+			t.Errorf("NormInv(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormInv(0), -1) || !math.IsInf(NormInv(1), 1) {
+		t.Fatal("NormInv boundary behaviour wrong")
+	}
+}
+
+func TestTInvAgainstTables(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct{ p, df, want float64 }{
+		{0.975, 1, 12.7062},
+		{0.975, 2, 4.30265},
+		{0.975, 5, 2.57058},
+		{0.975, 10, 2.22814},
+		{0.975, 30, 2.04227},
+		{0.95, 5, 2.01505},
+		{0.995, 10, 3.16927},
+	}
+	for _, c := range cases {
+		got := TInv(c.p, c.df)
+		if !almostEq(got, c.want, 2e-3) {
+			t.Errorf("TInv(%v,%v) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTCDFInverseRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 4, 9, 25, 100} {
+		for _, p := range []float64{0.6, 0.75, 0.9, 0.975, 0.999} {
+			tt := TInv(p, df)
+			back := TCDF(tt, df)
+			if !almostEq(back, p, 1e-6) {
+				t.Errorf("TCDF(TInv(%v,%v)) = %v", p, df, back)
+			}
+		}
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 10, 12, 9, 11, 10}
+	ci := MeanCI(xs, 0.95)
+	if !ci.Contains(ci.Mean) {
+		t.Fatal("CI must contain the mean")
+	}
+	if ci.Lo >= ci.Hi {
+		t.Fatal("CI must have positive width")
+	}
+	if !almostEq(ci.Hi-ci.Mean, ci.Mean-ci.Lo, 1e-9) {
+		t.Fatal("CI must be symmetric around the mean")
+	}
+	single := MeanCI([]float64{5}, 0.95)
+	if single.Lo != 5 || single.Hi != 5 {
+		t.Fatal("single-sample CI should collapse to the point")
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// Empirical coverage check: 95% CIs over normal samples should contain
+	// the true mean roughly 95% of the time.
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400
+	hits := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 12)
+		for j := range xs {
+			xs[j] = 7 + rng.NormFloat64()*2
+		}
+		if MeanCI(xs, 0.95).Contains(7) {
+			hits++
+		}
+	}
+	cov := float64(hits) / trials
+	if cov < 0.90 || cov > 0.99 {
+		t.Fatalf("empirical coverage %v outside [0.90, 0.99]", cov)
+	}
+}
+
+func TestRejectIQR(t *testing.T) {
+	xs := []float64{10, 11, 10, 12, 11, 10, 100}
+	out := RejectIQR(xs, 1.5)
+	for _, x := range out {
+		if x == 100 {
+			t.Fatal("outlier survived IQR rejection")
+		}
+	}
+	if len(out) != len(xs)-1 {
+		t.Fatalf("rejected too much: %v", out)
+	}
+	// Small inputs pass through unchanged.
+	small := []float64{1, 2, 3}
+	if got := RejectIQR(small, 1.5); len(got) != 3 {
+		t.Fatal("small input should pass through")
+	}
+}
+
+func TestRejectMAD(t *testing.T) {
+	xs := []float64{10, 10.5, 9.5, 10.2, 9.8, 50}
+	out := RejectMAD(xs, 3)
+	for _, x := range out {
+		if x == 50 {
+			t.Fatal("outlier survived MAD rejection")
+		}
+	}
+	same := []float64{4, 4, 4, 4}
+	if got := RejectMAD(same, 3); len(got) != 4 {
+		t.Fatal("identical samples must pass through (MAD==0)")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := TrimmedMean(xs, 0.2); got != 3 {
+		t.Fatalf("TrimmedMean = %v, want 3", got)
+	}
+	if got := TrimmedMean(xs, 0); got != Mean(xs) {
+		t.Fatal("frac=0 should equal the mean")
+	}
+	if got := TrimmedMean(xs, 0.6); got != Median(xs) {
+		t.Fatal("frac>=0.5 should equal the median")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if h.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", h.Total())
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	// x == Hi must land in the last bin, not panic.
+	if h.Counts[4] < 1 {
+		t.Fatal("boundary sample missing from last bin")
+	}
+	if h.BinWidth() != 2 {
+		t.Fatalf("BinWidth = %v", h.BinWidth())
+	}
+	if s := h.String(); len(s) == 0 {
+		t.Fatal("String should render")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{5.1, 5.2, 5.3, 1})
+	if got := h.Mode(); got != 5.5 {
+		t.Fatalf("Mode = %v, want 5.5", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { NewHistogram(0, 1, 0) })
+	mustPanic(func() { NewHistogram(1, 1, 4) })
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+// Property: the mean lies between min and max for any non-empty sample.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is never negative and invariant under shifts.
+func TestQuickVarianceShiftInvariant(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if math.IsNaN(shift) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		v1 := Variance(xs)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		v2 := Variance(shifted)
+		return v1 >= 0 && almostEq(v1, v2, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram conserves samples (in-range + under + over = added).
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-100, 100, 7)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		return h.Total()+h.Under+h.Over == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: outlier rejection never removes the median.
+func TestQuickRejectKeepsMedian(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 4 {
+			return true
+		}
+		med := Median(xs)
+		out := RejectIQR(xs, 1.5)
+		if len(out) == 0 {
+			return false
+		}
+		return Min(out) <= med && med <= Max(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

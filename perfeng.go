@@ -1,0 +1,108 @@
+// Package perfeng is a performance-engineering toolbox in Go: an
+// executable reproduction of the graduate course described in
+// "Performance Engineering for Graduate Students: A View from Amsterdam"
+// (Varbanescu, Swatman, Pathania — SC-W 2023).
+//
+// The package bundles the course's methods into one importable toolbox —
+// "provide students the opportunity to create their own performance
+// engineering toolbox" — built entirely from the substrates under
+// internal/: measurement and experiment design, microbenchmarks (STREAM,
+// pointer-chase latency, peak FLOPS), the Roofline model with ceilings and
+// cache-aware extensions, analytical models at three granularities
+// (function, loop/ECM, instruction/port), statistical models (OLS/ridge,
+// k-NN, CART, random forest), an execution-driven cache simulator with
+// PAPI-style counters and Treibig-style performance-pattern detection, a
+// message-passing cluster runtime with LogGP modeling and Scalasca-style
+// wait-state analysis, queuing theory with a discrete-event validator, the
+// polyhedral model with legality tests, and a SIMT accelerator substrate.
+//
+// The entry point for the full seven-stage process is Engagement:
+//
+//	app, _ := perfeng.BuiltinApplication("matmul", 256, 4)
+//	e := perfeng.NewEngagement(app, perfeng.GenericLaptop(),
+//		perfeng.Requirement{Kind: perfeng.SpeedupAtLeast, Target: 2})
+//	out, _ := e.Run()
+//	fmt.Println(out.Report)
+package perfeng
+
+import (
+	"perfeng/internal/core"
+	"perfeng/internal/machine"
+	"perfeng/internal/metrics"
+	"perfeng/internal/microbench"
+	"perfeng/internal/roofline"
+)
+
+// Re-exported process types: the seven-stage engine of internal/core.
+type (
+	// Application describes the code under engineering: a baseline, an
+	// optimization ladder, and a work/traffic characterization.
+	Application = core.Application
+	// Variant is one implementation of the application.
+	Variant = core.Variant
+	// Requirement is the stage-1 artifact.
+	Requirement = core.Requirement
+	// Engagement runs the seven-stage process.
+	Engagement = core.Engagement
+	// Outcome carries every stage artifact, including the stage-7 report.
+	Outcome = core.Outcome
+	// VariantResult is one measured variant with its roofline analysis.
+	VariantResult = core.VariantResult
+)
+
+// Requirement kinds.
+const (
+	// SpeedupAtLeast requires best/baseline speedup >= Target.
+	SpeedupAtLeast = core.SpeedupAtLeast
+	// RuntimeBelow requires the best median runtime <= Target seconds.
+	RuntimeBelow = core.RuntimeBelow
+	// FractionOfRoofline requires achieved/attainable >= Target.
+	FractionOfRoofline = core.FractionOfRoofline
+)
+
+// Machine models.
+type (
+	// CPU is the host machine model consumed by every analytical model.
+	CPU = machine.CPU
+	// GPU is the accelerator device model.
+	GPU = machine.GPU
+)
+
+// DAS5CPU returns the model of a DAS-5 cluster node CPU (the machine the
+// course gives students access to).
+func DAS5CPU() CPU { return machine.DAS5CPU() }
+
+// DAS5GPU returns the model of the DAS-5 GTX TitanX accelerator.
+func DAS5GPU() GPU { return machine.DAS5TitanX() }
+
+// GenericLaptop returns a modest reproducible 4-core model used by the
+// examples.
+func GenericLaptop() CPU { return machine.GenericLaptop() }
+
+// NewEngagement binds an application, machine and requirement into a
+// seven-stage engagement with the default measurement protocol.
+func NewEngagement(app *Application, cpu CPU, req Requirement) *Engagement {
+	return &Engagement{App: app, CPU: cpu, Requirement: req}
+}
+
+// QuickEngagement is NewEngagement with the fast measurement protocol
+// (few repetitions) for demos and smoke tests.
+func QuickEngagement(app *Application, cpu CPU, req Requirement) *Engagement {
+	return &Engagement{App: app, CPU: cpu, Requirement: req,
+		Runner: metrics.QuickConfig()}
+}
+
+// NewRoofline builds the standard CPU roofline (peak + no-SIMD +
+// single-core ceilings over the DRAM roof).
+func NewRoofline(cpu CPU) *roofline.Model { return roofline.FromCPU(cpu) }
+
+// CalibrateMachine runs the microbenchmark battery (STREAM, latency,
+// peak FLOPS) and fits the template machine model with measured rates.
+// quick shrinks the probes for smoke runs.
+func CalibrateMachine(template CPU, quick bool) (CPU, error) {
+	cal, err := microbench.Calibrate(microbench.CalibrationConfig{Quick: quick})
+	if err != nil {
+		return CPU{}, err
+	}
+	return cal.FitCPU(template), nil
+}

