@@ -7,6 +7,9 @@
 //	courseviz -artifact all
 //	courseviz -artifact figure1
 //	courseviz -artifact table2a -markdown
+//
+// For execution timelines of the toolbox's kernels (Chrome-trace /
+// folded-stack export), see the sibling command: perfeng trace.
 package main
 
 import (
@@ -23,6 +26,14 @@ func main() {
 			"figure1 | table1 | table2a | table2b | figure2 | grades | data | lessons | all")
 		markdown = flag.Bool("markdown", false, "render tables as markdown")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: courseviz [flags]")
+		fmt.Fprintln(os.Stderr, "regenerates the paper's figures and tables from the embedded course data.")
+		fmt.Fprintln(os.Stderr, "flags:")
+		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "\nsee also: perfeng trace -kernel <name>  — record a unified execution timeline")
+		fmt.Fprintln(os.Stderr, "          (-trace trace.json for Perfetto, -folded profile.folded for speedscope)")
+	}
 	flag.Parse()
 
 	emit := map[string]func(bool) error{

@@ -1,12 +1,14 @@
 // Command perfeng runs the full seven-stage performance-engineering
 // process on one of the built-in course kernels and prints the stage-7
-// report.
+// report. The trace subcommand instead runs a kernel under the unified
+// observability layer and exports the timeline for Perfetto/speedscope.
 //
 // Usage:
 //
 //	perfeng -app matmul -n 256 -workers 4 -machine laptop -speedup 2
 //	perfeng -app spmv -n 4000 -runtime 0.01
 //	perfeng -list
+//	perfeng trace -kernel matmul -n 256 -trace trace.json -folded profile.folded
 package main
 
 import (
@@ -20,6 +22,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -32,6 +38,13 @@ func main() {
 		list     = flag.Bool("list", false, "list built-in applications and exit")
 		csvPath  = flag.String("csv", "", "write per-variant measurement summaries to this CSV file")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: perfeng [flags]           run the seven-stage process on a kernel")
+		fmt.Fprintln(os.Stderr, "       perfeng trace [flags]     trace a kernel into Chrome-trace + folded stacks")
+		fmt.Fprintln(os.Stderr, "                                 (perfeng trace -help for its flags)")
+		fmt.Fprintln(os.Stderr, "flags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *list {

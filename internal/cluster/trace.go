@@ -55,6 +55,13 @@ func NewTracer(size int) *Tracer {
 	return &Tracer{events: make([][]Event, size), epoch: time.Now()}
 }
 
+// Size returns the number of ranks the tracer records.
+func (t *Tracer) Size() int { return len(t.events) }
+
+// Epoch returns the tracer's creation time (the natural timeline origin
+// for exporting the per-rank event streams).
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
 func (t *Tracer) record(rank int, e Event) {
 	t.mu.Lock()
 	t.events[rank] = append(t.events[rank], e)

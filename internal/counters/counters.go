@@ -200,6 +200,33 @@ func (s *EventSet) Add(evs ...Event) error {
 	return nil
 }
 
+// Events returns the events registered in the set, in Add order.
+func (s *EventSet) Events() []Event {
+	return append([]Event(nil), s.events...)
+}
+
+// Backend returns the backend the set reads from.
+func (s *EventSet) Backend() Backend { return s.backend }
+
+// ReadNow reads the current cumulative value of every event in the set
+// without disturbing a running Start/Stop window — the sampling entry
+// point a timeline consumer uses to record counter series between the
+// PAPI-style start/stop deltas.
+func (s *EventSet) ReadNow() (map[Event]uint64, error) {
+	if len(s.events) == 0 {
+		return nil, errors.New("counters: empty event set")
+	}
+	out := make(map[Event]uint64, len(s.events))
+	for _, e := range s.events {
+		v, err := s.backend.Read(e)
+		if err != nil {
+			return nil, err
+		}
+		out[e] = v
+	}
+	return out, nil
+}
+
 // Start snapshots the counters.
 func (s *EventSet) Start() error {
 	if s.running {

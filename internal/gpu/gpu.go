@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"perfeng/internal/machine"
 )
@@ -36,12 +37,24 @@ func (d Dim3) valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
 // and thread indices and the block's shared memory.
 type Kernel func(blockIdx, threadIdx Dim3, shared []float64)
 
+// Recorder observes kernel execution for tracing: one KernelLaunch per
+// launch (host-side view) and one KernelBlock per executed block on its
+// worker "SM". Implementations must be safe for concurrent KernelBlock
+// calls; the obs layer provides one that turns these into device-track
+// spans with occupancy metadata.
+type Recorder interface {
+	KernelLaunch(name string, grid, block Dim3, sharedLen, workers int, start, end time.Time)
+	KernelBlock(name string, worker int, blockIdx Dim3, start, end time.Time)
+}
+
 // Device executes kernels with the geometry of the modeled GPU.
 type Device struct {
 	Model machine.GPU
 	// Workers is the number of concurrently executing blocks (defaults to
 	// min(SMs, GOMAXPROCS)).
 	Workers int
+	// Recorder, when set, receives launch and per-block execution events.
+	Recorder Recorder
 }
 
 // NewDevice creates a device for the model.
@@ -66,6 +79,12 @@ func NewDevice(model machine.GPU) (*Device, error) {
 // blocks run concurrently, so cross-block communication must use atomics,
 // as on real devices.
 func (d *Device) Launch(grid, block Dim3, sharedLen int, kernel Kernel) error {
+	return d.LaunchNamed("kernel", grid, block, sharedLen, kernel)
+}
+
+// LaunchNamed is Launch with a kernel name for the trace recorder, so a
+// timeline shows "saxpy" rather than an anonymous launch.
+func (d *Device) LaunchNamed(name string, grid, block Dim3, sharedLen int, kernel Kernel) error {
 	if kernel == nil {
 		return errors.New("gpu: nil kernel")
 	}
@@ -95,11 +114,16 @@ func (d *Device) Launch(grid, block Dim3, sharedLen int, kernel Kernel) error {
 	if workers > nBlocks {
 		workers = nBlocks
 	}
+	rec := d.Recorder
+	launchStart := time.Time{}
+	if rec != nil {
+		launchStart = time.Now()
+	}
 	var wg sync.WaitGroup
 	panics := make(chan interface{}, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
@@ -114,6 +138,10 @@ func (d *Device) Launch(grid, block Dim3, sharedLen int, kernel Kernel) error {
 				if sharedLen > 0 {
 					shared = make([]float64, sharedLen)
 				}
+				var blockStart time.Time
+				if rec != nil {
+					blockStart = time.Now()
+				}
 				for tz := 0; tz < block.Z; tz++ {
 					for ty := 0; ty < block.Y; ty++ {
 						for tx := 0; tx < block.X; tx++ {
@@ -121,10 +149,16 @@ func (d *Device) Launch(grid, block Dim3, sharedLen int, kernel Kernel) error {
 						}
 					}
 				}
+				if rec != nil {
+					rec.KernelBlock(name, worker, b, blockStart, time.Now())
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if rec != nil {
+		rec.KernelLaunch(name, grid, block, sharedLen, workers, launchStart, time.Now())
+	}
 	select {
 	case p := <-panics:
 		return fmt.Errorf("gpu: kernel panicked: %v", p)

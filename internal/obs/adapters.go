@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"perfeng/internal/cluster"
+	"perfeng/internal/counters"
+	"perfeng/internal/gpu"
+	"perfeng/internal/machine"
+	"perfeng/internal/profile"
+)
+
+// Adapters wiring the existing producers into one session timeline:
+// profiler regions become spans, cluster ranks become tracks (keeping
+// the material the Scalasca-style wait-state analysis runs on), counter
+// event sets become sampled series, and SIMT kernel launches become
+// device-track spans with occupancy metadata.
+
+// ProfileListener returns a profile.SpanListener mirroring every region
+// exit onto the track, preserving the region stack for the folded
+// export. Attach with p.Listen(track.ProfileListener()).
+func (t *Track) ProfileListener() profile.SpanListener {
+	return func(path []string, start, end time.Time) {
+		leaf := path[len(path)-1]
+		t.AddSpanAt(leaf, path[:len(path)-1], start, end, nil)
+	}
+}
+
+// AddClusterTrace imports a cluster tracer's per-rank event streams as
+// "rank N" tracks: every send/recv/collective/compute interval becomes a
+// span carrying peer and byte metadata. The late-sender totals of the
+// wait-state analysis are attached as instant events at each rank's
+// timeline origin, so the diagnosis travels with the trace.
+func AddClusterTrace(s *Session, tr *cluster.Tracer) {
+	ws := tr.AnalyzeWaitStates()
+	for r := 0; r < tr.Size(); r++ {
+		t := s.Track(fmt.Sprintf("rank %d", r))
+		for _, e := range tr.Events(r) {
+			args := map[string]any{"bytes": e.Bytes}
+			if e.Peer >= 0 {
+				args["peer"] = e.Peer
+			}
+			t.AddSpanAt(e.Kind.String(), nil, e.Start, e.End, args)
+		}
+		if wait := ws.LateSenderTime[r]; wait > 0 {
+			t.Instant("late-sender", map[string]any{
+				"wait": wait.String(),
+			})
+		}
+	}
+}
+
+// CounterSampler samples a PAPI-style event set into the session's
+// counter series. Values are reported as deltas from the first sample,
+// so the series start at zero at the session origin instead of at
+// whatever the process accumulated before tracing began.
+type CounterSampler struct {
+	s      *Session
+	prefix string
+	set    *counters.EventSet
+	base   map[counters.Event]uint64
+}
+
+// NewCounterSampler creates a sampler over the set and records the
+// baseline sample immediately. prefix namespaces the series (e.g.
+// "runtime/"). The set needs its events added, but not started.
+func NewCounterSampler(s *Session, prefix string, set *counters.EventSet) (*CounterSampler, error) {
+	base, err := set.ReadNow()
+	if err != nil {
+		return nil, err
+	}
+	cs := &CounterSampler{s: s, prefix: prefix, set: set, base: base}
+	cs.record(s.Now(), base)
+	return cs, nil
+}
+
+// Sample reads every event in the set and appends one point per series,
+// stamped now. Call it at span boundaries so counter inflections line up
+// with the spans that caused them.
+func (cs *CounterSampler) Sample() error {
+	vals, err := cs.set.ReadNow()
+	if err != nil {
+		return err
+	}
+	cs.record(cs.s.Now(), vals)
+	return nil
+}
+
+func (cs *CounterSampler) record(at time.Duration, vals map[counters.Event]uint64) {
+	for _, e := range cs.set.Events() {
+		// Signed delta: gauges like GO_GOROUTINES can dip below the
+		// baseline, which must not wrap around in uint64 space.
+		delta := float64(vals[e]) - float64(cs.base[e])
+		cs.s.CounterSampleAt(cs.prefix+string(e), at, delta)
+	}
+}
+
+// GPURecorder implements gpu.Recorder: kernel launches become spans on a
+// "gpu device" track annotated with geometry and the occupancy analysis
+// of model.go, and each executed block becomes a nested span on its
+// worker's "gpu sm N" track.
+type GPURecorder struct {
+	s     *Session
+	model machine.GPU
+	// RegsPerThread is the per-thread register assumption fed to the
+	// occupancy calculation (the executor does not model registers);
+	// defaults to 32, the usual CUDA compiler ballpark.
+	RegsPerThread int
+}
+
+// NewGPURecorder creates a recorder emitting onto s for a device model.
+func NewGPURecorder(s *Session, model machine.GPU) *GPURecorder {
+	return &GPURecorder{s: s, model: model, RegsPerThread: 32}
+}
+
+// KernelLaunch implements gpu.Recorder.
+func (g *GPURecorder) KernelLaunch(name string, grid, block gpu.Dim3, sharedLen, workers int, start, end time.Time) {
+	args := map[string]any{
+		"grid":         fmt.Sprintf("%dx%dx%d", grid.X, grid.Y, grid.Z),
+		"block":        fmt.Sprintf("%dx%dx%d", block.X, block.Y, block.Z),
+		"blocks":       grid.Count(),
+		"threads":      grid.Count() * block.Count(),
+		"shared_bytes": sharedLen * 8,
+		"workers":      workers,
+	}
+	if occ, err := gpu.ComputeOccupancy(g.model, block.Count(), g.RegsPerThread, sharedLen*8); err == nil {
+		args["occupancy"] = occ.Fraction
+		args["occupancy_limited_by"] = occ.LimitedBy
+	}
+	g.s.Track("gpu device").AddSpanAt(name, nil, start, end, args)
+}
+
+// KernelBlock implements gpu.Recorder.
+func (g *GPURecorder) KernelBlock(name string, worker int, blockIdx gpu.Dim3, start, end time.Time) {
+	t := g.s.Track(fmt.Sprintf("gpu sm %d", worker))
+	t.AddSpanAt("block", []string{name}, start, end, map[string]any{
+		"blockIdx": fmt.Sprintf("(%d,%d,%d)", blockIdx.X, blockIdx.Y, blockIdx.Z),
+	})
+}

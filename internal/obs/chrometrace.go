@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome Trace Event Format export (the "JSON Array with metadata" form:
+// an object whose traceEvents field holds the events). The output loads
+// directly in Perfetto (ui.perfetto.dev) and chrome://tracing, which is
+// the point: students inspect the toolbox's runs with the same viewers
+// used on real systems.
+//
+// Mapping: the session is pid 1, each Track is a tid with a thread_name
+// metadata record, spans are complete events (ph "X"), instants are ph
+// "i", counter series are ph "C". Timestamps are microseconds from the
+// session epoch, as the format requires.
+
+// ChromeEvent is one entry of the traceEvents array. Exported so the
+// round-trip test (and any downstream tool) can decode what we emit.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+const tracePID = 1
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// ChromeTrace assembles the export object.
+func (s *Session) ChromeTrace() ChromeTrace {
+	spans := s.Spans()
+	instants := s.Instants()
+	counters := s.Counters()
+	trackNames := s.TrackNames()
+	s.mu.Lock()
+	counterOrder := append([]string(nil), s.names...)
+	s.mu.Unlock()
+
+	events := make([]ChromeEvent, 0, len(spans)+len(instants)+2*len(trackNames)+8)
+	events = append(events, ChromeEvent{
+		Name: "process_name", Phase: "M", PID: tracePID,
+		Args: map[string]any{"name": s.Name()},
+	})
+	for id, name := range trackNames {
+		events = append(events, ChromeEvent{
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: id,
+			Args: map[string]any{"name": name},
+		})
+		events = append(events, ChromeEvent{
+			Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: id,
+			Args: map[string]any{"sort_index": id},
+		})
+	}
+	for _, sp := range spans {
+		events = append(events, ChromeEvent{
+			Name: sp.Name, Phase: "X", TS: usec(sp.Start), Dur: usec(sp.Dur),
+			PID: tracePID, TID: sp.TrackID, Args: sp.Args,
+		})
+	}
+	for _, in := range instants {
+		events = append(events, ChromeEvent{
+			Name: in.Name, Phase: "i", TS: usec(in.At),
+			PID: tracePID, TID: in.TrackID, Scope: "t", Args: in.Args,
+		})
+	}
+	for _, name := range counterOrder {
+		for _, smp := range counters[name] {
+			events = append(events, ChromeEvent{
+				Name: name, Phase: "C", TS: usec(smp.At), PID: tracePID,
+				Args: map[string]any{"value": smp.Value},
+			})
+		}
+	}
+	return ChromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"session": s.Name(), "exporter": "perfeng/internal/obs"},
+	}
+}
+
+// WriteChromeTrace writes the Chrome Trace Event Format JSON to w.
+func (s *Session) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.ChromeTrace())
+}

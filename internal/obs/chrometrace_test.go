@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceRoundTrip emits a session with nested spans on two
+// tracks, instants and a counter series, decodes the JSON with
+// encoding/json, and asserts the structure survives: span nesting (via
+// timestamps and durations), track ids, and the counter samples.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	s := NewSession("roundtrip")
+	host := s.Track("host")
+	host.AddSpanOffsets("outer", nil, 0, 10*time.Millisecond, nil)
+	host.AddSpanOffsets("inner", []string{"outer"}, 2*time.Millisecond, 6*time.Millisecond,
+		map[string]any{"bytes": 128})
+	rank := s.Track("rank 0")
+	rank.AddSpanOffsets("send", nil, time.Millisecond, 3*time.Millisecond, nil)
+	rank.Instant("late-sender", nil)
+	s.CounterSampleAt("cache-misses", 0, 0)
+	s.CounterSampleAt("cache-misses", 5*time.Millisecond, 42)
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+
+	byPhase := make(map[string][]ChromeEvent)
+	for _, e := range decoded.TraceEvents {
+		byPhase[e.Phase] = append(byPhase[e.Phase], e)
+	}
+
+	// Track metadata: a thread_name record per track, names preserved.
+	names := make(map[int]string)
+	for _, e := range byPhase["M"] {
+		if e.Name == "thread_name" {
+			names[e.TID] = e.Args["name"].(string)
+		}
+	}
+	if names[host.ID()] != "host" || names[rank.ID()] != "rank 0" {
+		t.Fatalf("thread names = %v", names)
+	}
+
+	// Spans: three complete events; inner nested inside outer on the same
+	// tid, send on the rank tid.
+	spans := byPhase["X"]
+	if len(spans) != 3 {
+		t.Fatalf("complete events = %d, want 3", len(spans))
+	}
+	find := func(name string) ChromeEvent {
+		for _, e := range spans {
+			if e.Name == name {
+				return e
+			}
+		}
+		t.Fatalf("span %q missing", name)
+		return ChromeEvent{}
+	}
+	outer, inner, send := find("outer"), find("inner"), find("send")
+	if outer.TID != host.ID() || inner.TID != host.ID() || send.TID != rank.ID() {
+		t.Fatalf("track ids: outer=%d inner=%d send=%d", outer.TID, inner.TID, send.TID)
+	}
+	if inner.TS < outer.TS || inner.TS+inner.Dur > outer.TS+outer.Dur {
+		t.Fatalf("nesting lost: outer [%v,%v] inner [%v,%v]",
+			outer.TS, outer.TS+outer.Dur, inner.TS, inner.TS+inner.Dur)
+	}
+	if inner.Args["bytes"].(float64) != 128 {
+		t.Fatalf("span args lost: %v", inner.Args)
+	}
+	if outer.Dur != 10000 || inner.Dur != 4000 {
+		t.Fatalf("durations (us): outer=%v inner=%v", outer.Dur, inner.Dur)
+	}
+
+	// Instants.
+	if len(byPhase["i"]) != 1 || byPhase["i"][0].Name != "late-sender" {
+		t.Fatalf("instants = %+v", byPhase["i"])
+	}
+
+	// Counter series: two samples in order with values intact.
+	cs := byPhase["C"]
+	if len(cs) != 2 {
+		t.Fatalf("counter events = %d, want 2", len(cs))
+	}
+	if cs[0].Name != "cache-misses" || cs[1].Name != "cache-misses" {
+		t.Fatalf("counter names = %v, %v", cs[0].Name, cs[1].Name)
+	}
+	if cs[0].Args["value"].(float64) != 0 || cs[1].Args["value"].(float64) != 42 {
+		t.Fatalf("counter values lost: %v %v", cs[0].Args, cs[1].Args)
+	}
+	if cs[1].TS != 5000 {
+		t.Fatalf("counter timestamp = %v us, want 5000", cs[1].TS)
+	}
+}
+
+// TestChromeTraceIsValidFormat guards the two accepted container shapes:
+// we emit the object-with-traceEvents form, and every event must carry
+// the mandatory ph/pid/tid fields.
+func TestChromeTraceIsValidFormat(t *testing.T) {
+	s := NewSession("valid")
+	s.Track("t").AddSpanOffsets("x", nil, 0, time.Millisecond, nil)
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := top["traceEvents"]
+	if !ok {
+		t.Fatal("traceEvents field missing")
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("traceEvents is not an array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range events {
+		if _, ok := e["ph"]; !ok {
+			t.Fatalf("event without phase: %v", e)
+		}
+		if _, ok := e["pid"]; !ok {
+			t.Fatalf("event without pid: %v", e)
+		}
+	}
+}

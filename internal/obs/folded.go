@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Folded-stack export, Brendan Gregg's flamegraph input format: one line
+// per unique stack, frames joined by semicolons, followed by a weight.
+// The weight here is exclusive (self) time in integer microseconds, so
+// flamegraph.pl and speedscope render the session's time attribution the
+// way a sampling profiler's collapse script would.
+
+// FoldedStacks returns the folded lines ("track;frame;...;leaf weight"),
+// sorted lexicographically for deterministic output. Paths whose
+// exclusive time rounds to zero microseconds are kept at weight 1 when
+// they carry calls, so very fast regions stay visible rather than
+// silently vanishing.
+func (s *Session) FoldedStacks() []string {
+	ps := s.computePathStats()
+	out := make([]string, 0, len(ps.paths))
+	for _, path := range ps.paths {
+		us := ps.exclusive(path).Microseconds()
+		if us == 0 {
+			us = 1
+		}
+		out = append(out, fmt.Sprintf("%s %d", path, us))
+	}
+	return out
+}
+
+// WriteFolded writes the folded stacks to w, one per line.
+func (s *Session) WriteFolded(w io.Writer) error {
+	for _, line := range s.FoldedStacks() {
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlatReport renders the session as the flat profile students know from
+// internal/profile: spans merged by leaf name, sorted by exclusive time.
+// The header and columns match profile.Profiler.Report, so a session
+// summary drops into the same stage-7 report slot.
+func (s *Session) FlatReport() string {
+	ps := s.computePathStats()
+	type row struct {
+		name      string
+		calls     int
+		inclusive time.Duration
+		exclusive time.Duration
+	}
+	byName := make(map[string]*row)
+	order := make([]string, 0)
+	for _, path := range ps.paths {
+		leaf := path[lastSep(path)+1:]
+		r, ok := byName[leaf]
+		if !ok {
+			r = &row{name: leaf}
+			byName[leaf] = r
+			order = append(order, leaf)
+		}
+		r.calls += ps.calls[path]
+		r.inclusive += ps.inclusive[path]
+		r.exclusive += ps.exclusive(path)
+	}
+	rows := make([]*row, 0, len(order))
+	var total time.Duration
+	for _, name := range order {
+		rows = append(rows, byName[name])
+		total += byName[name].exclusive
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].exclusive != rows[j].exclusive {
+			return rows[i].exclusive > rows[j].exclusive
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	var sb strings.Builder
+	sb.WriteString("flat profile (by exclusive time):\n")
+	sb.WriteString("  excl%   exclusive    inclusive    calls  region\n")
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = float64(r.exclusive) / float64(total) * 100
+		}
+		fmt.Fprintf(&sb, "  %5.1f%%  %-11s  %-11s  %5d  %s\n",
+			pct, r.exclusive.Round(time.Microsecond),
+			r.inclusive.Round(time.Microsecond), r.calls, r.name)
+	}
+	return sb.String()
+}

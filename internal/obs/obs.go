@@ -1,0 +1,377 @@
+// Package obs is the toolbox's unified observability layer: one session
+// timeline that every producer — the region profiler, the cluster tracer,
+// the PAPI-style counters, the SIMT device — records into, with exports a
+// real tool can open. The course's seven-stage process lives or dies on
+// correlated evidence ("use different performance engineering tools"),
+// yet each substrate kept its own clock and its own report; obs gives
+// them a shared monotonic clock, named per-goroutine/per-rank/per-device
+// tracks, nested spans, instant events and counter sample series, and
+// renders the result as
+//
+//   - Chrome Trace Event Format JSON (open in Perfetto or chrome://tracing),
+//   - folded stacks (feed to flamegraph.pl or speedscope), and
+//   - the flat profile text students already know from internal/profile.
+//
+// All methods are safe for concurrent use; each goroutine (or adapter)
+// typically records onto its own Track, and the session serializes the
+// bookkeeping.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one completed interval on a track.
+type Span struct {
+	// TrackID identifies the track the span was recorded on.
+	TrackID int
+	// Name is the leaf frame name.
+	Name string
+	// Stack holds the enclosing frame names, outermost first, excluding
+	// Name itself.
+	Stack []string
+	// Start and Dur position the span on the session timeline (offsets
+	// from the session epoch, monotonic clock).
+	Start, Dur time.Duration
+	// Args carries producer metadata (peer rank, bytes, occupancy, ...).
+	Args map[string]any
+}
+
+// End returns the span's end offset.
+func (sp Span) End() time.Duration { return sp.Start + sp.Dur }
+
+// Instant is a zero-duration marker on a track.
+type Instant struct {
+	TrackID int
+	Name    string
+	At      time.Duration
+	Args    map[string]any
+}
+
+// Sample is one point of a counter series.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// Track is one horizontal lane of the timeline: a goroutine, a cluster
+// rank, a GPU worker. Tracks carry the open-span stack, so Begin/End
+// nest per track exactly as regions nest per thread in Score-P.
+type Track struct {
+	s    *Session
+	id   int
+	name string
+	open []openSpan
+}
+
+type openSpan struct {
+	name  string
+	start time.Duration
+}
+
+// ID returns the track id (the Chrome-trace tid).
+func (t *Track) ID() int { return t.id }
+
+// Name returns the track name.
+func (t *Track) Name() string { return t.name }
+
+// Session is one recording: an epoch, a set of tracks, and everything
+// recorded onto them.
+type Session struct {
+	mu       sync.Mutex
+	name     string
+	epoch    time.Time // carries a monotonic reading
+	tracks   []*Track
+	byName   map[string]*Track
+	spans    []Span
+	instants []Instant
+	series   map[string][]Sample
+	names    []string // counter insertion order
+}
+
+// NewSession starts a session; its epoch is now.
+func NewSession(name string) *Session {
+	return &Session{
+		name:   name,
+		epoch:  time.Now(),
+		byName: make(map[string]*Track),
+		series: make(map[string][]Sample),
+	}
+}
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.name }
+
+// Now returns the current offset on the session timeline.
+func (s *Session) Now() time.Duration { return time.Since(s.epoch) }
+
+// At converts a wall-clock timestamp to a timeline offset. Timestamps
+// taken with time.Now carry Go's monotonic reading, so the subtraction is
+// immune to wall-clock adjustment; times before the epoch clamp to zero.
+func (s *Session) At(t time.Time) time.Duration {
+	d := t.Sub(s.epoch)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Track returns the track with the name, creating it on first use.
+func (s *Session) Track(name string) *Track {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trackLocked(name)
+}
+
+func (s *Session) trackLocked(name string) *Track {
+	if t, ok := s.byName[name]; ok {
+		return t
+	}
+	t := &Track{s: s, id: len(s.tracks), name: name}
+	s.tracks = append(s.tracks, t)
+	s.byName[name] = t
+	return t
+}
+
+// GoroutineTrack returns the calling goroutine's own track
+// ("goroutine <id>"), the per-thread lane of classic tracers.
+func (s *Session) GoroutineTrack() *Track {
+	return s.Track(fmt.Sprintf("goroutine %d", goid()))
+}
+
+// goid extracts the runtime's goroutine id from the stack header
+// ("goroutine 123 [running]:") — the standard trick, used only to label
+// tracks, never for logic.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return 0
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Begin opens a nested span on the track.
+func (t *Track) Begin(name string) {
+	now := t.s.Now()
+	t.s.mu.Lock()
+	t.open = append(t.open, openSpan{name: name, start: now})
+	t.s.mu.Unlock()
+}
+
+// End closes the innermost open span. Like profile.Exit it diagnoses
+// unbalanced instrumentation: the name must match the open span.
+func (t *Track) End(name string) error {
+	now := t.s.Now()
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if len(t.open) == 0 {
+		return fmt.Errorf("obs: end %q on track %q with no open span", name, t.name)
+	}
+	top := t.open[len(t.open)-1]
+	if top.name != name {
+		return fmt.Errorf("obs: end %q does not match open span %q", name, top.name)
+	}
+	t.open = t.open[:len(t.open)-1]
+	stack := make([]string, len(t.open))
+	for i, o := range t.open {
+		stack[i] = o.name
+	}
+	t.s.spans = append(t.s.spans, Span{
+		TrackID: t.id, Name: name, Stack: stack,
+		Start: top.start, Dur: now - top.start,
+	})
+	return nil
+}
+
+// Span records f as one span.
+func (t *Track) Span(name string, f func()) error {
+	t.Begin(name)
+	f()
+	return t.End(name)
+}
+
+// Depth returns the track's open-span depth.
+func (t *Track) Depth() int {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return len(t.open)
+}
+
+// AddSpanAt records a completed span from explicit wall-clock timestamps
+// — the adapter entry point for producers that kept their own event logs
+// (cluster tracer, profiler regions, GPU blocks). stack lists enclosing
+// frames, outermost first; args may be nil.
+func (t *Track) AddSpanAt(name string, stack []string, start, end time.Time, args map[string]any) {
+	so, eo := t.s.At(start), t.s.At(end)
+	t.AddSpanOffsets(name, stack, so, eo, args)
+}
+
+// AddSpanOffsets is AddSpanAt with timeline offsets already computed.
+func (t *Track) AddSpanOffsets(name string, stack []string, start, end time.Duration, args map[string]any) {
+	if end < start {
+		end = start
+	}
+	t.s.mu.Lock()
+	t.s.spans = append(t.s.spans, Span{
+		TrackID: t.id, Name: name, Stack: append([]string(nil), stack...),
+		Start: start, Dur: end - start, Args: args,
+	})
+	t.s.mu.Unlock()
+}
+
+// Instant records a zero-duration marker now.
+func (t *Track) Instant(name string, args map[string]any) {
+	now := t.s.Now()
+	t.s.mu.Lock()
+	t.s.instants = append(t.s.instants, Instant{TrackID: t.id, Name: name, At: now, Args: args})
+	t.s.mu.Unlock()
+}
+
+// CounterSample appends one point to the named counter series, stamped
+// now.
+func (s *Session) CounterSample(name string, v float64) {
+	s.CounterSampleAt(name, s.Now(), v)
+}
+
+// CounterSampleAt appends one point at an explicit offset.
+func (s *Session) CounterSampleAt(name string, at time.Duration, v float64) {
+	s.mu.Lock()
+	if _, ok := s.series[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.series[name] = append(s.series[name], Sample{At: at, Value: v})
+	s.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans in recording order.
+func (s *Session) Spans() []Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Span(nil), s.spans...)
+}
+
+// Instants returns a copy of the instant events.
+func (s *Session) Instants() []Instant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Instant(nil), s.instants...)
+}
+
+// Counters returns the counter series, keyed by name.
+func (s *Session) Counters() map[string][]Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]Sample, len(s.series))
+	for k, v := range s.series {
+		out[k] = append([]Sample(nil), v...)
+	}
+	return out
+}
+
+// TrackNames returns the track names indexed by track id.
+func (s *Session) TrackNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.tracks))
+	for i, t := range s.tracks {
+		out[i] = t.name
+	}
+	return out
+}
+
+// OpenSpans reports how many spans are still open across all tracks —
+// zero for a well-formed finished session.
+func (s *Session) OpenSpans() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tracks {
+		n += len(t.open)
+	}
+	return n
+}
+
+// pathKey joins a span's frames under its track into the canonical
+// "track;frame;frame" key used by the folded and flat exports. Semicolons
+// inside names would corrupt the folded format, so they are rewritten.
+func pathKey(trackName string, sp Span) string {
+	var b bytes.Buffer
+	b.WriteString(sanitizeFrame(trackName))
+	for _, f := range sp.Stack {
+		b.WriteByte(';')
+		b.WriteString(sanitizeFrame(f))
+	}
+	b.WriteByte(';')
+	b.WriteString(sanitizeFrame(sp.Name))
+	return b.String()
+}
+
+func sanitizeFrame(name string) string {
+	return string(bytes.ReplaceAll([]byte(name), []byte(";"), []byte(":")))
+}
+
+// pathStats aggregates inclusive time and call counts per stack path and
+// charges each path's inclusive time to its parent, so exclusive time
+// falls out as inclusive minus children — computed once, shared by the
+// folded and flat exports.
+type pathStats struct {
+	paths     []string // sorted
+	inclusive map[string]time.Duration
+	children  map[string]time.Duration
+	calls     map[string]int
+}
+
+func (s *Session) computePathStats() pathStats {
+	spans := s.Spans()
+	names := s.TrackNames()
+
+	ps := pathStats{
+		inclusive: make(map[string]time.Duration),
+		children:  make(map[string]time.Duration),
+		calls:     make(map[string]int),
+	}
+	for _, sp := range spans {
+		key := pathKey(names[sp.TrackID], sp)
+		if _, seen := ps.inclusive[key]; !seen {
+			ps.paths = append(ps.paths, key)
+		}
+		ps.inclusive[key] += sp.Dur
+		ps.calls[key]++
+		if i := lastSep(key); i >= 0 {
+			ps.children[key[:i]] += sp.Dur
+		}
+	}
+	sort.Strings(ps.paths)
+	return ps
+}
+
+// exclusive returns the path's self time, clamped at zero (adapters that
+// import overlapping external timelines can overshoot).
+func (ps pathStats) exclusive(path string) time.Duration {
+	ex := ps.inclusive[path] - ps.children[path]
+	if ex < 0 {
+		return 0
+	}
+	return ex
+}
+
+func lastSep(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ';' {
+			return i
+		}
+	}
+	return -1
+}

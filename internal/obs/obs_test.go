@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndStacks(t *testing.T) {
+	s := NewSession("test")
+	tr := s.Track("main")
+	tr.Begin("outer")
+	tr.Begin("inner")
+	if err := tr.End("inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.End("outer"); err != nil {
+		t.Fatal(err)
+	}
+	spans := s.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	// inner completes first and must carry its enclosing frame.
+	if spans[0].Name != "inner" || len(spans[0].Stack) != 1 || spans[0].Stack[0] != "outer" {
+		t.Fatalf("inner span = %+v", spans[0])
+	}
+	if spans[1].Name != "outer" || len(spans[1].Stack) != 0 {
+		t.Fatalf("outer span = %+v", spans[1])
+	}
+	if spans[0].Start < spans[1].Start {
+		t.Fatal("inner must start after outer")
+	}
+	if s.OpenSpans() != 0 {
+		t.Fatal("session left spans open")
+	}
+}
+
+func TestEndDiagnosesUnbalancedSpans(t *testing.T) {
+	s := NewSession("test")
+	tr := s.Track("main")
+	if err := tr.End("nothing"); err == nil {
+		t.Fatal("End on empty stack must fail")
+	}
+	tr.Begin("a")
+	if err := tr.End("b"); err == nil {
+		t.Fatal("mismatched End must fail")
+	}
+	if err := tr.End("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracksAreStableByName(t *testing.T) {
+	s := NewSession("test")
+	a := s.Track("a")
+	b := s.Track("b")
+	if a.ID() == b.ID() {
+		t.Fatal("distinct tracks share an id")
+	}
+	if s.Track("a") != a {
+		t.Fatal("Track must return the same track for the same name")
+	}
+	names := s.TrackNames()
+	if names[a.ID()] != "a" || names[b.ID()] != "b" {
+		t.Fatalf("track names = %v", names)
+	}
+}
+
+// TestConcurrentSpanEmission is the acceptance check: spans emitted from
+// many goroutines at once, each on its own per-goroutine track, under
+// the race detector.
+func TestConcurrentSpanEmission(t *testing.T) {
+	s := NewSession("race")
+	const workers = 8
+	const spansPer = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := s.GoroutineTrack()
+			for i := 0; i < spansPer; i++ {
+				if err := tr.Span(fmt.Sprintf("work-%d", w), func() {
+					s.CounterSample("progress", float64(i))
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(s.Spans()); got != workers*spansPer {
+		t.Fatalf("spans = %d, want %d", got, workers*spansPer)
+	}
+	if got := len(s.Counters()["progress"]); got != workers*spansPer {
+		t.Fatalf("samples = %d, want %d", got, workers*spansPer)
+	}
+	// Every goroutine got its own track.
+	names := s.TrackNames()
+	if len(names) != workers {
+		t.Fatalf("tracks = %d (%v), want %d", len(names), names, workers)
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "goroutine ") {
+			t.Fatalf("unexpected track name %q", n)
+		}
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	s := NewSession("test")
+	tr := s.Track("main")
+	tr.AddSpanOffsets("leaf", []string{"root"}, 1*time.Millisecond, 2*time.Millisecond, nil)
+	tr.AddSpanOffsets("root", nil, 0, 4*time.Millisecond, nil)
+	lines := s.FoldedStacks()
+	if len(lines) != 2 {
+		t.Fatalf("folded lines = %v", lines)
+	}
+	// root's exclusive time is 4ms - 1ms of child = 3ms.
+	if lines[0] != "main;root 3000" {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if lines[1] != "main;root;leaf 1000" {
+		t.Fatalf("leaf line = %q", lines[1])
+	}
+}
+
+func TestFoldedSanitizesSeparator(t *testing.T) {
+	s := NewSession("test")
+	s.Track("main").AddSpanOffsets("a;b", nil, 0, time.Millisecond, nil)
+	lines := s.FoldedStacks()
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "main;a:b ") {
+		t.Fatalf("folded = %v", lines)
+	}
+}
+
+func TestFoldedKeepsSubMicrosecondSpans(t *testing.T) {
+	s := NewSession("test")
+	s.Track("main").AddSpanOffsets("blink", nil, 0, 100*time.Nanosecond, nil)
+	lines := s.FoldedStacks()
+	if len(lines) != 1 || lines[0] != "main;blink 1" {
+		t.Fatalf("folded = %v", lines)
+	}
+}
+
+func TestFlatReport(t *testing.T) {
+	s := NewSession("test")
+	tr := s.Track("main")
+	tr.AddSpanOffsets("hot", nil, 0, 3*time.Millisecond, nil)
+	tr.AddSpanOffsets("cold", nil, 3*time.Millisecond, 4*time.Millisecond, nil)
+	tr.AddSpanOffsets("hot", nil, 4*time.Millisecond, 7*time.Millisecond, nil)
+	rep := s.FlatReport()
+	if !strings.Contains(rep, "flat profile (by exclusive time):") {
+		t.Fatalf("header missing:\n%s", rep)
+	}
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	// Header, column row, then hot before cold (6ms vs 1ms).
+	if len(lines) != 4 {
+		t.Fatalf("report lines = %d:\n%s", len(lines), rep)
+	}
+	if !strings.Contains(lines[2], "hot") || !strings.Contains(lines[2], "2") {
+		t.Fatalf("hot row = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "cold") {
+		t.Fatalf("cold row = %q", lines[3])
+	}
+}
+
+func TestWallClockConversion(t *testing.T) {
+	s := NewSession("test")
+	if s.At(time.Now().Add(-time.Hour)) != 0 {
+		t.Fatal("pre-epoch timestamps must clamp to zero")
+	}
+	if s.At(time.Now()) < 0 {
+		t.Fatal("offsets must be non-negative")
+	}
+	start := time.Now()
+	end := start.Add(5 * time.Millisecond)
+	tr := s.Track("main")
+	tr.AddSpanAt("x", nil, start, end, nil)
+	sp := s.Spans()[0]
+	if sp.Dur < 4*time.Millisecond || sp.Dur > 6*time.Millisecond {
+		t.Fatalf("span duration = %v, want ~5ms", sp.Dur)
+	}
+}

@@ -32,17 +32,28 @@ type frame struct {
 	inChild time.Duration
 }
 
+// SpanListener observes every region exit as a timestamped span: path is
+// the full region stack (outermost first, the exiting region last), start
+// and end bound the interval. A listener lets a timeline consumer (the
+// obs tracing layer) mirror the profiler's regions without the profiler
+// depending on it.
+type SpanListener func(path []string, start, end time.Time)
+
 // Profiler collects region statistics on one goroutine.
 type Profiler struct {
-	regions map[string]*Region
-	stack   []frame
-	now     func() time.Time // injectable clock for tests
+	regions  map[string]*Region
+	stack    []frame
+	now      func() time.Time // injectable clock for tests
+	listener SpanListener
 }
 
 // New creates an empty profiler.
 func New() *Profiler {
 	return &Profiler{regions: make(map[string]*Region), now: time.Now}
 }
+
+// Listen attaches a span listener called on every Exit; nil detaches.
+func (p *Profiler) Listen(l SpanListener) { p.listener = l }
 
 // Enter pushes a region onto the stack.
 func (p *Profiler) Enter(name string) {
@@ -61,7 +72,15 @@ func (p *Profiler) Exit(name string) error {
 		return fmt.Errorf("profile: exit %q does not match current region %q", name, top.name)
 	}
 	p.stack = p.stack[:len(p.stack)-1]
-	elapsed := p.now().Sub(top.start)
+	end := p.now()
+	elapsed := end.Sub(top.start)
+	if p.listener != nil {
+		path := make([]string, 0, len(p.stack)+1)
+		for _, f := range p.stack {
+			path = append(path, f.name)
+		}
+		p.listener(append(path, name), top.start, end)
+	}
 
 	r, ok := p.regions[name]
 	if !ok {

@@ -1,7 +1,9 @@
 package profile
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -163,5 +165,145 @@ func TestRealClockSmoke(t *testing.T) {
 	}
 	if p.Regions()[0].Inclusive < time.Millisecond {
 		t.Fatal("real clock did not accumulate")
+	}
+}
+
+// TestMergeConcurrentWorkers exercises the documented concurrent-workers
+// pattern: each worker goroutine profiles with its own Profiler, and the
+// per-worker profiles merge into one report afterwards.
+func TestMergeConcurrentWorkers(t *testing.T) {
+	const workers = 4
+	profs := make([]*Profiler, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := New()
+			// Every worker runs the shared phase twice and its own
+			// phase once, with nesting.
+			for i := 0; i < 2; i++ {
+				p.Enter("work")
+				p.Enter("inner")
+				time.Sleep(time.Millisecond)
+				if err := p.Exit("inner"); err != nil {
+					t.Error(err)
+				}
+				if err := p.Exit("work"); err != nil {
+					t.Error(err)
+				}
+			}
+			if err := p.Do(fmt.Sprintf("setup-%d", w), func() {}); err != nil {
+				t.Error(err)
+			}
+			profs[w] = p
+		}(w)
+	}
+	wg.Wait()
+
+	total := New()
+	for _, p := range profs {
+		if err := total.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions := make(map[string]Region)
+	for _, r := range total.Regions() {
+		regions[r.Name] = r
+	}
+	// workers x 2 calls of the shared regions, one setup region each.
+	if got := regions["work"].Calls; got != workers*2 {
+		t.Fatalf("work calls = %d, want %d", got, workers*2)
+	}
+	if got := regions["inner"].Calls; got != workers*2 {
+		t.Fatalf("inner calls = %d, want %d", got, workers*2)
+	}
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf("setup-%d", w)
+		if got := regions[name].Calls; got != 1 {
+			t.Fatalf("%s calls = %d, want 1", name, got)
+		}
+	}
+	// Inclusive time aggregates across workers and stays >= the nested
+	// child's share; exclusive excludes it.
+	if regions["work"].Inclusive < regions["inner"].Inclusive {
+		t.Fatal("merged inclusive time lost nesting")
+	}
+	if regions["work"].Exclusive > regions["work"].Inclusive {
+		t.Fatal("exclusive exceeds inclusive after merge")
+	}
+	// The merged report renders every region.
+	rep := total.Report()
+	for name := range regions {
+		if !strings.Contains(rep, name) {
+			t.Fatalf("merged report missing %q:\n%s", name, rep)
+		}
+	}
+}
+
+// TestMergeDeterministic pins the merge arithmetic with fake clocks.
+func TestMergeDeterministic(t *testing.T) {
+	a := newFake(time.Millisecond)
+	b := newFake(time.Millisecond)
+	for _, p := range []*Profiler{a, b} {
+		p.Enter("outer")
+		p.Enter("inner")
+		_ = p.Exit("inner") // inner: 1ms inclusive
+		_ = p.Exit("outer") // outer: 3ms inclusive, 2ms exclusive
+	}
+	total := New()
+	if err := total.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := total.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	regions := make(map[string]Region)
+	for _, r := range total.Regions() {
+		regions[r.Name] = r
+	}
+	if got := regions["outer"]; got.Inclusive != 6*time.Millisecond ||
+		got.Exclusive != 4*time.Millisecond || got.Calls != 2 {
+		t.Fatalf("outer = %+v", got)
+	}
+	if got := regions["inner"]; got.Inclusive != 2*time.Millisecond ||
+		got.Exclusive != 2*time.Millisecond || got.Calls != 2 {
+		t.Fatalf("inner = %+v", got)
+	}
+}
+
+// TestSpanListener verifies the observability hook: every Exit reports
+// the full region stack and interval, and detaching stops the stream.
+func TestSpanListener(t *testing.T) {
+	p := newFake(time.Millisecond)
+	type span struct {
+		path       []string
+		start, end time.Time
+	}
+	var got []span
+	p.Listen(func(path []string, start, end time.Time) {
+		got = append(got, span{append([]string(nil), path...), start, end})
+	})
+	p.Enter("outer")
+	p.Enter("inner")
+	_ = p.Exit("inner")
+	_ = p.Exit("outer")
+	if len(got) != 2 {
+		t.Fatalf("listener calls = %d, want 2", len(got))
+	}
+	if strings.Join(got[0].path, "/") != "outer/inner" {
+		t.Fatalf("inner path = %v", got[0].path)
+	}
+	if strings.Join(got[1].path, "/") != "outer" {
+		t.Fatalf("outer path = %v", got[1].path)
+	}
+	if d := got[0].end.Sub(got[0].start); d != time.Millisecond {
+		t.Fatalf("inner interval = %v", d)
+	}
+	p.Listen(nil)
+	p.Enter("quiet")
+	_ = p.Exit("quiet")
+	if len(got) != 2 {
+		t.Fatal("detached listener still called")
 	}
 }
