@@ -1,0 +1,206 @@
+// The benchgate subcommand: record versioned benchmark baselines, compare
+// candidate runs against them with Welch's t-test, and gate CI on
+// statistically significant, practically large regressions.
+//
+//	perfeng benchgate record            # run smoke subset, write BENCH_<n+1>.json
+//	perfeng benchgate compare           # run + compare, print markdown, exit 0
+//	perfeng benchgate gate              # run + compare, exit 1 on regression
+//	go test -bench ... -count 10 -benchmem | perfeng benchgate gate -input -
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"perfeng/internal/benchgate"
+)
+
+func runBenchgate(args []string) {
+	if len(args) == 0 || args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
+		benchgateUsage()
+		os.Exit(2)
+	}
+	mode := args[0]
+	switch mode {
+	case "record", "compare", "gate":
+	default:
+		fmt.Fprintf(os.Stderr, "perfeng benchgate: unknown mode %q\n", mode)
+		benchgateUsage()
+		os.Exit(2)
+	}
+
+	fs := flag.NewFlagSet("benchgate "+mode, flag.ExitOnError)
+	var (
+		dir       = fs.String("dir", ".", "repository root: where BENCH_<n>.json baselines live and go test runs")
+		input     = fs.String("input", "", "read go test -bench output from this file ('-' = stdin) instead of running go test")
+		pattern   = fs.String("pattern", benchgate.DefaultProtocol.Pattern, "benchmark regexp for go test -bench")
+		count     = fs.Int("count", benchgate.DefaultProtocol.Count, "go test -count repetitions (the statistical sample size)")
+		benchtime = fs.String("benchtime", benchgate.DefaultProtocol.Benchtime, "go test -benchtime per measurement")
+		runs      = fs.Int("runs", benchgate.DefaultProtocol.Runs, "record: independent go test invocations to pool (captures cross-run machine noise)")
+		out       = fs.String("out", "", "record: baseline path (default: next BENCH_<n>.json in -dir)")
+		baseline  = fs.String("baseline", "", "compare/gate: baseline path (default: latest BENCH_<n>.json in -dir)")
+		alpha     = fs.Float64("alpha", 0.05, "significance level for Welch's t-test")
+		minEffect = fs.Float64("min-effect", 0.05, "minimum practical relative slowdown to gate on (0.05 = 5%)")
+		strictEnv = fs.Bool("strict-env", false, "fail on regressions even when baseline and candidate environments differ")
+		jsonOut   = fs.String("json", "", "write the machine-readable comparison summary to this file")
+		github    = fs.Bool("github", false, "emit GitHub Actions ::error/::notice annotations")
+	)
+	fs.Usage = func() {
+		benchgateUsage()
+		fmt.Fprintf(os.Stderr, "\nflags for %q:\n", mode)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	proto := benchgate.Protocol{
+		Pkg: "perfeng", Pattern: *pattern, Count: *count, Benchtime: *benchtime,
+	}
+
+	if mode == "record" {
+		proto.Runs = *runs
+		recordBaseline(*dir, *out, *input, proto)
+		return
+	}
+
+	// compare / gate: load the baseline, measure or read the candidate,
+	// compare, render.
+	basePath := *baseline
+	if basePath == "" {
+		var err error
+		basePath, _, err = benchgate.LatestBaselinePath(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	base, err := benchgate.LoadBaseline(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	// Measure with the baseline's own recorded protocol unless overridden,
+	// so candidate and baseline samples come from the same procedure.
+	if *pattern == benchgate.DefaultProtocol.Pattern && base.Protocol.Pattern != "" {
+		proto.Pattern = base.Protocol.Pattern
+	}
+	if *count == benchgate.DefaultProtocol.Count && base.Protocol.Count > 0 {
+		proto.Count = base.Protocol.Count
+	}
+	if *benchtime == benchgate.DefaultProtocol.Benchtime && base.Protocol.Benchtime != "" {
+		proto.Benchtime = base.Protocol.Benchtime
+	}
+	cand, err := candidateRun(*dir, *input, proto)
+	if err != nil {
+		fatal(err)
+	}
+
+	report := benchgate.Compare(base, cand, benchgate.Config{
+		Alpha: *alpha, MinEffect: *minEffect, StrictEnv: *strictEnv,
+	})
+	fmt.Print(report.Markdown())
+	if *github {
+		report.GitHubAnnotations(os.Stdout)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, report.Summary())
+	if mode == "gate" && report.Failed() {
+		os.Exit(1)
+	}
+}
+
+// recordBaseline measures (or reads) a run and writes the next versioned
+// baseline file.
+func recordBaseline(dir, out, input string, proto benchgate.Protocol) {
+	var b *benchgate.Baseline
+	var err error
+	if input != "" {
+		b, err = baselineFromInput(input, proto)
+	} else {
+		b, err = benchgate.RecordRun(dir, proto)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	path, version := out, 0
+	if path == "" {
+		path, version = benchgate.NextBaselinePath(dir)
+	}
+	b.Version = version
+	if err := b.Save(path); err != nil {
+		fatal(err)
+	}
+	samples := 0
+	for _, bb := range b.Benchmarks {
+		if len(bb.NsPerOp) > samples {
+			samples = len(bb.NsPerOp)
+		}
+	}
+	fmt.Printf("recorded %d benchmark(s) x %d sample(s) to %s\n",
+		len(b.Benchmarks), samples, path)
+	fmt.Printf("environment: %s\n", b.Env)
+}
+
+// candidateRun produces the candidate baseline either by running go test
+// or by parsing a provided output file.
+func candidateRun(dir, input string, proto benchgate.Protocol) (*benchgate.Baseline, error) {
+	if input != "" {
+		return baselineFromInput(input, proto)
+	}
+	// The candidate is two independent runs reduced to the best per
+	// benchmark: one-sided ambient noise cannot fail the gate through a
+	// single unlucky process state, while a real regression slows both.
+	proto.Runs = 2
+	return benchgate.CandidateRun(dir, proto)
+}
+
+// baselineFromInput parses go test output from a file or stdin.
+func baselineFromInput(input string, proto benchgate.Protocol) (*benchgate.Baseline, error) {
+	var r io.Reader
+	if input == "-" {
+		r = os.Stdin
+	} else {
+		data, err := os.ReadFile(input)
+		if err != nil {
+			return nil, err
+		}
+		r = bytes.NewReader(data)
+	}
+	rs, err := benchgate.ParseGoBench(r)
+	if err != nil {
+		return nil, err
+	}
+	if rs.Len() == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines in %s", input)
+	}
+	return benchgate.FromResultSet(rs, proto, ""), nil
+}
+
+func benchgateUsage() {
+	fmt.Fprintln(os.Stderr, `usage: perfeng benchgate <mode> [flags]
+
+modes:
+  record    run the smoke benchmark subset (or parse -input) and write the
+            next versioned baseline BENCH_<n>.json
+  compare   run the subset and print the statistical comparison against the
+            committed baseline; always exits 0
+  gate      like compare, but exits 1 when any benchmark shows a
+            statistically significant (Welch's t-test, -alpha) AND
+            practically large (-min-effect) slowdown, or allocates more
+
+Baselines carry raw per-benchmark samples plus the recording environment;
+cross-environment comparisons are advisory unless -strict-env is set.`)
+}

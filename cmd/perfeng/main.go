@@ -9,6 +9,8 @@
 //	perfeng -app spmv -n 4000 -runtime 0.01
 //	perfeng -list
 //	perfeng trace -kernel matmul -n 256 -trace trace.json -folded profile.folded
+//	perfeng benchgate record
+//	perfeng benchgate gate -baseline BENCH_1.json -github
 package main
 
 import (
@@ -24,6 +26,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "benchgate" {
+		runBenchgate(os.Args[2:])
 		return
 	}
 	var (
@@ -42,6 +48,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: perfeng [flags]           run the seven-stage process on a kernel")
 		fmt.Fprintln(os.Stderr, "       perfeng trace [flags]     trace a kernel into Chrome-trace + folded stacks")
 		fmt.Fprintln(os.Stderr, "                                 (perfeng trace -help for its flags)")
+		fmt.Fprintln(os.Stderr, "       perfeng benchgate <mode>  record/compare/gate benchmark baselines")
+		fmt.Fprintln(os.Stderr, "                                 (perfeng benchgate -help for modes and flags)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

@@ -1,0 +1,175 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+)
+
+// Baselines persist one recorded benchmark run as versioned JSON at the
+// repository root: BENCH_1.json, BENCH_2.json, ... A baseline is an
+// artifact in the reproducibility-engineering sense — it carries the raw
+// per-benchmark samples (not just means, so future comparisons can apply
+// their own statistics), the environment it was recorded in, and the
+// protocol that produced it.
+
+// SchemaVersion is the on-disk baseline format version.
+const SchemaVersion = 1
+
+// BaselineBench is one benchmark's recorded sample series.
+type BaselineBench struct {
+	NsPerOp     []float64 `json:"ns_per_op"`
+	MBPerSec    []float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  []float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp []float64 `json:"allocs_per_op,omitempty"`
+	// Noise is the relative spread of per-run mean ns/op across the
+	// independent `go test` invocations that recorded this baseline
+	// ((max-min)/min of run means). It captures machine-state drift that
+	// per-sample statistics cannot see — two runs minutes apart on a busy
+	// host differ systematically, not just per-sample — and the gate
+	// requires a regression to exceed this recorded noise floor.
+	Noise float64 `json:"noise_rel,omitempty"`
+}
+
+// Protocol records how a baseline was measured, so a refresh can
+// reproduce the exact invocation.
+type Protocol struct {
+	Pkg       string `json:"pkg,omitempty"`
+	Pattern   string `json:"pattern,omitempty"`
+	Count     int    `json:"count,omitempty"`
+	Benchtime string `json:"benchtime,omitempty"`
+	// Runs is the number of independent `go test` invocations pooled into
+	// the baseline (record mode); multiple runs let the baseline observe
+	// cross-run machine drift, not just within-run variance.
+	Runs int `json:"runs,omitempty"`
+}
+
+// Baseline is the versioned record of one benchmark run.
+type Baseline struct {
+	Schema     int                      `json:"schema"`
+	Version    int                      `json:"version"`
+	CreatedAt  string                   `json:"created_at,omitempty"`
+	Env        Environment              `json:"env"`
+	Protocol   Protocol                 `json:"protocol"`
+	Benchmarks map[string]BaselineBench `json:"benchmarks"`
+}
+
+// Names returns the benchmark names in sorted order.
+func (b *Baseline) Names() []string {
+	names := make([]string, 0, len(b.Benchmarks))
+	for n := range b.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FromResultSet converts a parsed run into a baseline, completing the
+// environment with the facts only the recording process knows (CPU count,
+// Go version).
+func FromResultSet(rs *ResultSet, proto Protocol, createdAt string) *Baseline {
+	env := rs.Env
+	if env.NumCPU == 0 {
+		env.NumCPU = runtime.NumCPU()
+	}
+	if env.GoVersion == "" {
+		env.GoVersion = runtime.Version()
+	}
+	if proto.Pkg == "" {
+		proto.Pkg = rs.Pkg
+	}
+	b := &Baseline{
+		Schema:     SchemaVersion,
+		CreatedAt:  createdAt,
+		Env:        env,
+		Protocol:   proto,
+		Benchmarks: make(map[string]BaselineBench, len(rs.Benchmarks)),
+	}
+	for name, s := range rs.Benchmarks {
+		bb := BaselineBench{NsPerOp: s.NsPerOp()}
+		if mem := s.BytesPerOp(); len(mem) > 0 {
+			bb.BytesPerOp = mem
+			bb.AllocsPerOp = s.AllocsPerOp()
+		}
+		var mb []float64
+		for _, smp := range s.Samples {
+			if smp.HasMB {
+				mb = append(mb, smp.MBPerSec)
+			}
+		}
+		bb.MBPerSec = mb
+		b.Benchmarks[name] = bb
+	}
+	return b
+}
+
+// Save writes the baseline as indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file and validates the schema.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchgate: %s: schema %d, this build reads %d",
+			path, b.Schema, SchemaVersion)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: %s: no benchmarks recorded", path)
+	}
+	return &b, nil
+}
+
+var baselineName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestBaselinePath returns the highest-versioned BENCH_<n>.json in dir,
+// or an error when none exists.
+func LatestBaselinePath(dir string) (string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	best := 0
+	for _, e := range entries {
+		m := baselineName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var v int
+		fmt.Sscanf(m[1], "%d", &v)
+		if v > best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return "", 0, fmt.Errorf("benchgate: no BENCH_<n>.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", best)), best, nil
+}
+
+// NextBaselinePath returns the path and version the next recorded baseline
+// should use (one past the latest, starting at 1).
+func NextBaselinePath(dir string) (string, int) {
+	_, v, err := LatestBaselinePath(dir)
+	if err != nil {
+		v = 0
+	}
+	v++
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", v)), v
+}

@@ -1,0 +1,94 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineVersioning(t *testing.T) {
+	dir := t.TempDir()
+
+	// Empty dir: no latest, next is version 1.
+	if _, _, err := LatestBaselinePath(dir); err == nil {
+		t.Fatal("want error for empty dir")
+	}
+	path, v := NextBaselinePath(dir)
+	if v != 1 || filepath.Base(path) != "BENCH_1.json" {
+		t.Fatalf("next = %s v%d", path, v)
+	}
+
+	// Save BENCH_1 and BENCH_3 (a gap; refreshes may prune old files).
+	b := mkBaseline("BenchmarkSmoke/x", []float64{1, 2, 3})
+	b.Version = 1
+	if err := b.Save(filepath.Join(dir, "BENCH_1.json")); err != nil {
+		t.Fatal(err)
+	}
+	b.Version = 3
+	if err := b.Save(filepath.Join(dir, "BENCH_3.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Distractors that must not match.
+	os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "BENCH_10.txt"), []byte("{}"), 0o644)
+
+	path, v, err := LatestBaselinePath(dir)
+	if err != nil || v != 3 || filepath.Base(path) != "BENCH_3.json" {
+		t.Fatalf("latest = %s v%d err=%v", path, v, err)
+	}
+	path, v = NextBaselinePath(dir)
+	if v != 4 || filepath.Base(path) != "BENCH_4.json" {
+		t.Fatalf("next = %s v%d", path, v)
+	}
+
+	got, err := LoadBaseline(filepath.Join(dir, "BENCH_3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 3 || len(got.Benchmarks) != 1 {
+		t.Fatalf("loaded = %+v", got)
+	}
+}
+
+func TestLoadBaselineRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"notjson.json": "not json at all",
+		"schema.json":  `{"schema": 99, "benchmarks": {"b": {"ns_per_op": [1]}}}`,
+		"empty.json":   `{"schema": 1, "benchmarks": {}}`,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBaseline(p); err == nil {
+			t.Errorf("%s: want load error", name)
+		}
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestEnvironmentMatches(t *testing.T) {
+	a := Environment{GOOS: "linux", GOARCH: "amd64", CPUModel: "c", NumCPU: 8, GoVersion: "go1.24.0"}
+	b := a
+	if !a.Matches(b) {
+		t.Fatal("identical envs must match")
+	}
+	b.GoVersion = "go1.23.0"
+	if !a.Matches(b) {
+		t.Fatal("go version alone must not break comparability")
+	}
+	b = a
+	b.NumCPU = 4
+	if a.Matches(b) {
+		t.Fatal("CPU count change must break comparability")
+	}
+	b = a
+	b.CPUModel = "other"
+	if a.Matches(b) {
+		t.Fatal("CPU model change must break comparability")
+	}
+}

@@ -1,0 +1,135 @@
+// Package benchgate is the statistical benchmark-regression gate: it turns
+// `go test -bench` output into typed sample series, persists them as
+// versioned JSON baselines (BENCH_<n>.json), and compares a candidate run
+// against a baseline with Welch's t-test so CI can fail a pull request on a
+// statistically significant *and* practically large slowdown — and nothing
+// else. Scheduler noise must not fail a build; a real regression must.
+//
+// The design follows the course's own methodology (repeated measurements,
+// outlier rejection, significance testing, minimum practical effect) and
+// the reproducibility-engineering literature in PAPERS.md: a benchmark is
+// an artifact, so its results are recorded, versioned and re-verified
+// automatically.
+//
+// The gate is metric-agnostic at the comparison layer: anything that
+// yields repeated samples per named series (wall-clock ns/op today,
+// internal/obs counter series or simulator cycle counts tomorrow) can be
+// wrapped in a Baseline and gated with the same machinery.
+package benchgate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is one repetition of one benchmark: the values of a single
+// `go test -bench` result line.
+type Sample struct {
+	Iterations  int64   // the b.N iteration count of this repetition
+	NsPerOp     float64 // wall-clock nanoseconds per operation
+	MBPerSec    float64 // throughput, 0 when the bench does not SetBytes
+	BytesPerOp  float64 // -benchmem bytes allocated per op (HasMem)
+	AllocsPerOp float64 // -benchmem allocations per op (HasMem)
+	HasMem      bool    // whether BytesPerOp/AllocsPerOp were reported
+	HasMB       bool    // whether MBPerSec was reported
+}
+
+// Series is the repeated-sample record of one benchmark (one name across
+// all -count repetitions).
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// NsPerOp returns the ns/op values of all samples, the series the
+// statistical comparison runs on.
+func (s *Series) NsPerOp() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.NsPerOp
+	}
+	return out
+}
+
+// BytesPerOp returns the B/op values of samples that carried -benchmem
+// columns (nil when none did).
+func (s *Series) BytesPerOp() []float64 {
+	var out []float64
+	for _, smp := range s.Samples {
+		if smp.HasMem {
+			out = append(out, smp.BytesPerOp)
+		}
+	}
+	return out
+}
+
+// AllocsPerOp returns the allocs/op values of samples that carried
+// -benchmem columns (nil when none did).
+func (s *Series) AllocsPerOp() []float64 {
+	var out []float64
+	for _, smp := range s.Samples {
+		if smp.HasMem {
+			out = append(out, smp.AllocsPerOp)
+		}
+	}
+	return out
+}
+
+// Environment records where a benchmark run was taken. Wall-clock numbers
+// are only comparable within one environment; the gate downgrades
+// cross-environment verdicts to advisory unless told otherwise.
+type Environment struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUModel  string `json:"cpu,omitempty"`
+	NumCPU    int    `json:"num_cpu,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+}
+
+// Matches reports whether two environments are close enough that their
+// wall-clock samples may be compared: same OS, architecture, CPU model and
+// logical CPU count. Go version differences are reported but do not break
+// comparability (the compiler is part of what the gate should catch).
+func (e Environment) Matches(o Environment) bool {
+	return e.GOOS == o.GOOS && e.GOARCH == o.GOARCH &&
+		e.CPUModel == o.CPUModel && e.NumCPU == o.NumCPU
+}
+
+// String renders the environment compactly.
+func (e Environment) String() string {
+	s := fmt.Sprintf("%s/%s", e.GOOS, e.GOARCH)
+	if e.CPUModel != "" {
+		s += " " + e.CPUModel
+	}
+	if e.NumCPU > 0 {
+		s += fmt.Sprintf(" (%d CPUs)", e.NumCPU)
+	}
+	if e.GoVersion != "" {
+		s += " " + e.GoVersion
+	}
+	return s
+}
+
+// ResultSet is one parsed benchmark run: every benchmark's repeated
+// samples, plus the run headers go test prints.
+type ResultSet struct {
+	Env        Environment
+	Pkg        string
+	Benchmarks map[string]*Series
+	// Malformed records lines that looked like benchmark results but did
+	// not parse; callers surface them instead of silently dropping data.
+	Malformed []string
+}
+
+// Names returns the benchmark names in sorted order.
+func (rs *ResultSet) Names() []string {
+	names := make([]string, 0, len(rs.Benchmarks))
+	for n := range rs.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of distinct benchmarks.
+func (rs *ResultSet) Len() int { return len(rs.Benchmarks) }

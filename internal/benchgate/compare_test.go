@@ -1,0 +1,279 @@
+package benchgate
+
+import (
+	"math"
+	"testing"
+)
+
+// mkBaseline builds a baseline with one benchmark whose ns/op samples are
+// base*(1+jitter_i), in a fixed environment.
+func mkBaseline(name string, samples []float64) *Baseline {
+	env := Environment{GOOS: "linux", GOARCH: "amd64",
+		CPUModel: "test-cpu", NumCPU: 8, GoVersion: "go1.24.0"}
+	return &Baseline{
+		Schema: SchemaVersion, Version: 1, Env: env,
+		Benchmarks: map[string]BaselineBench{
+			name: {NsPerOp: samples},
+		},
+	}
+}
+
+// jittered returns n samples around mean with a small deterministic
+// zig-zag jitter (relative amplitude amp), so variance is realistic but
+// the test is reproducible.
+func jittered(mean float64, n int, amp float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		// Vary the amplitude a little so the series is not two-valued.
+		out[i] = mean * (1 + sign*amp*(0.5+float64(i%3)/4))
+	}
+	return out
+}
+
+func TestGatePassesOnUnchanged(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(1005, 10, 0.01))
+	r := Compare(base, cand, Config{})
+	if r.Failed() {
+		t.Fatalf("0.5%% drift failed the gate: %s", r.Summary())
+	}
+	if r.Comparisons[0].Verdict != Unchanged {
+		t.Fatalf("verdict = %s", r.Comparisons[0].Verdict)
+	}
+}
+
+// TestGateFailsOnDoctoredSlowdown is the acceptance-criterion test: a >5%
+// statistically significant slowdown must fail the gate.
+func TestGateFailsOnDoctoredSlowdown(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	// Doctored candidate: every sample 10% slower.
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(1100, 10, 0.01))
+	r := Compare(base, cand, Config{})
+	if !r.Failed() {
+		t.Fatalf("10%% slowdown passed the gate: %s", r.Summary())
+	}
+	c := r.Comparisons[0]
+	if c.Verdict != Regression {
+		t.Fatalf("verdict = %s, want REGRESSION", c.Verdict)
+	}
+	if c.Delta < 0.05 || c.P >= 0.05 {
+		t.Fatalf("regression stats implausible: delta=%v p=%v", c.Delta, c.P)
+	}
+}
+
+func TestGateIgnoresSignificantButSmallDrift(t *testing.T) {
+	// 2% slower with tiny variance: statistically significant, but below
+	// the 5% practical threshold — scheduler-noise-scale drift must pass.
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.001))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(1020, 10, 0.001))
+	r := Compare(base, cand, Config{})
+	c := r.Comparisons[0]
+	if c.P >= 0.05 {
+		t.Fatalf("test setup broken: drift not significant (p=%v)", c.P)
+	}
+	if r.Failed() || c.Verdict != Unchanged {
+		t.Fatalf("small significant drift failed the gate: %+v", c)
+	}
+}
+
+func TestGateIgnoresLargeButNoisyDifference(t *testing.T) {
+	// 8% slower but with 40% noise on 5 samples: not significant.
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 5, 0.4))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(1080, 5, 0.4))
+	r := Compare(base, cand, Config{OutlierK: -1})
+	c := r.Comparisons[0]
+	if c.Verdict == Regression {
+		t.Fatalf("noisy difference regressed: p=%v delta=%v", c.P, c.Delta)
+	}
+	if r.Failed() {
+		t.Fatalf("noisy difference failed the gate: %s", r.Summary())
+	}
+}
+
+func TestGateDetectsImprovement(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(800, 10, 0.01))
+	r := Compare(base, cand, Config{})
+	if r.Failed() {
+		t.Fatal("improvement failed the gate")
+	}
+	if r.Comparisons[0].Verdict != Improvement {
+		t.Fatalf("verdict = %s", r.Comparisons[0].Verdict)
+	}
+}
+
+func TestOutlierRejectionSavesTheBuild(t *testing.T) {
+	// One wild outlier in the candidate (a descheduled repetition) must
+	// not produce a regression verdict.
+	cs := jittered(1000, 11, 0.01)
+	cs[5] = 5000 // 5x spike
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 11, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/x", cs)
+	r := Compare(base, cand, Config{})
+	c := r.Comparisons[0]
+	if c.CandN != 10 {
+		t.Fatalf("outlier not rejected: n=%d", c.CandN)
+	}
+	if r.Failed() {
+		t.Fatalf("outlier failed the gate: %+v", c)
+	}
+}
+
+func TestEnvMismatchIsAdvisory(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(2000, 10, 0.01))
+	cand.Env.CPUModel = "other-cpu"
+	r := Compare(base, cand, Config{})
+	if r.EnvMatch {
+		t.Fatal("environments should differ")
+	}
+	if !r.Advisory() || r.Failed() {
+		t.Fatalf("cross-environment comparison must be advisory: %s", r.Summary())
+	}
+	// The regression is still *reported*, just not gating.
+	if r.Comparisons[0].Verdict != Regression {
+		t.Fatalf("verdict = %s", r.Comparisons[0].Verdict)
+	}
+	// StrictEnv restores gating.
+	r = Compare(base, cand, Config{StrictEnv: true})
+	if !r.Failed() {
+		t.Fatal("StrictEnv must gate across environments")
+	}
+}
+
+func TestAllocRegression(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	bb := base.Benchmarks["BenchmarkSmoke/x"]
+	bb.AllocsPerOp = []float64{3, 3, 3}
+	base.Benchmarks["BenchmarkSmoke/x"] = bb
+	cb := cand.Benchmarks["BenchmarkSmoke/x"]
+	cb.AllocsPerOp = []float64{7, 7, 7}
+	cand.Benchmarks["BenchmarkSmoke/x"] = cb
+	r := Compare(base, cand, Config{})
+	if !r.Failed() {
+		t.Fatalf("alloc regression passed: %s", r.Summary())
+	}
+	if r.Comparisons[0].Verdict != AllocRegression {
+		t.Fatalf("verdict = %s", r.Comparisons[0].Verdict)
+	}
+	if math.Abs(r.Comparisons[0].AllocDelta-4.0/3.0) > 1e-9 {
+		t.Fatalf("alloc delta = %v", r.Comparisons[0].AllocDelta)
+	}
+}
+
+func TestMissingAndNewBenchmarks(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/old", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/new", jittered(1000, 10, 0.01))
+	r := Compare(base, cand, Config{})
+	counts := r.Counts()
+	if counts.Missing != 1 || counts.New != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	// Coverage changes warn but do not fail.
+	if r.Failed() {
+		t.Fatal("missing/new benchmarks must not fail the gate")
+	}
+}
+
+func TestTooFewSamplesIsIndeterminate(t *testing.T) {
+	base := mkBaseline("BenchmarkSmoke/x", []float64{1000, 1001})
+	cand := mkBaseline("BenchmarkSmoke/x", []float64{5000, 5001})
+	r := Compare(base, cand, Config{})
+	if r.Comparisons[0].Verdict != Indeterminate {
+		t.Fatalf("verdict = %s", r.Comparisons[0].Verdict)
+	}
+	if r.Failed() {
+		t.Fatal("indeterminate must not fail the gate")
+	}
+}
+
+func TestNoiseFloorWidensThreshold(t *testing.T) {
+	// A benchmark that drifted 12% between baseline runs must not gate on
+	// an 8% "regression" — that's within recorded machine noise ...
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	bb := base.Benchmarks["BenchmarkSmoke/x"]
+	bb.Noise = 0.12
+	base.Benchmarks["BenchmarkSmoke/x"] = bb
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(1080, 10, 0.01))
+	r := Compare(base, cand, Config{})
+	c := r.Comparisons[0]
+	if c.Threshold != 0.18 { // 1.5 * 0.12
+		t.Fatalf("threshold = %v, want 0.18", c.Threshold)
+	}
+	if c.P >= 0.05 {
+		t.Fatalf("test setup broken: shift not significant (p=%v)", c.P)
+	}
+	if r.Failed() || c.Verdict != Unchanged {
+		t.Fatalf("within-noise drift failed the gate: %+v", c)
+	}
+	// ... but a shift beyond the noise floor still fails.
+	cand = mkBaseline("BenchmarkSmoke/x", jittered(1250, 10, 0.01))
+	r = Compare(base, cand, Config{})
+	if !r.Failed() {
+		t.Fatalf("25%% slowdown passed a 18%% threshold: %s", r.Summary())
+	}
+}
+
+func TestMergeRunsRecordsNoise(t *testing.T) {
+	mkSet := func(mean float64) *ResultSet {
+		rs := &ResultSet{Benchmarks: map[string]*Series{}}
+		rs.Env = Environment{GOOS: "linux", GOARCH: "amd64"}
+		s := &Series{Name: "BenchmarkSmoke/x"}
+		for _, v := range jittered(mean, 5, 0.01) {
+			s.Samples = append(s.Samples, Sample{Iterations: 1, NsPerOp: v})
+		}
+		rs.Benchmarks[s.Name] = s
+		return rs
+	}
+	b := MergeRuns([]*ResultSet{mkSet(1000), mkSet(1100), mkSet(1050)},
+		Protocol{Runs: 3}, "")
+	bb := b.Benchmarks["BenchmarkSmoke/x"]
+	if len(bb.NsPerOp) != 15 {
+		t.Fatalf("pooled samples = %d, want 15", len(bb.NsPerOp))
+	}
+	// Run means ~1000/1100/1050 -> noise ~ 0.10.
+	if bb.Noise < 0.08 || bb.Noise > 0.12 {
+		t.Fatalf("noise = %v, want ~0.10", bb.Noise)
+	}
+}
+
+func TestBonferroniCorrection(t *testing.T) {
+	env := Environment{GOOS: "linux", GOARCH: "amd64", CPUModel: "test-cpu", NumCPU: 8}
+	base := &Baseline{Schema: SchemaVersion, Env: env, Benchmarks: map[string]BaselineBench{}}
+	cand := &Baseline{Schema: SchemaVersion, Env: env, Benchmarks: map[string]BaselineBench{}}
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		base.Benchmarks["BenchmarkSmoke/"+n] = BaselineBench{NsPerOp: jittered(1000, 10, 0.01)}
+		cand.Benchmarks["BenchmarkSmoke/"+n] = BaselineBench{NsPerOp: jittered(1000, 10, 0.01)}
+	}
+	r := Compare(base, cand, Config{Alpha: 0.05})
+	if math.Abs(r.EffectiveAlpha-0.01) > 1e-12 {
+		t.Fatalf("effective alpha = %v, want 0.05/5", r.EffectiveAlpha)
+	}
+	// A single benchmark keeps the uncorrected level.
+	r = Compare(mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01)),
+		mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01)), Config{Alpha: 0.05})
+	if r.EffectiveAlpha != 0.05 {
+		t.Fatalf("effective alpha = %v, want 0.05", r.EffectiveAlpha)
+	}
+}
+
+func TestReportOrdersRegressionsFirst(t *testing.T) {
+	env := Environment{GOOS: "linux", GOARCH: "amd64", CPUModel: "test-cpu", NumCPU: 8}
+	base := &Baseline{Schema: SchemaVersion, Env: env, Benchmarks: map[string]BaselineBench{
+		"BenchmarkSmoke/a-fine": {NsPerOp: jittered(1000, 10, 0.01)},
+		"BenchmarkSmoke/z-slow": {NsPerOp: jittered(1000, 10, 0.01)},
+	}}
+	cand := &Baseline{Schema: SchemaVersion, Env: env, Benchmarks: map[string]BaselineBench{
+		"BenchmarkSmoke/a-fine": {NsPerOp: jittered(1000, 10, 0.01)},
+		"BenchmarkSmoke/z-slow": {NsPerOp: jittered(1300, 10, 0.01)},
+	}}
+	r := Compare(base, cand, Config{})
+	if r.Comparisons[0].Name != "BenchmarkSmoke/z-slow" || r.Comparisons[0].Verdict != Regression {
+		t.Fatalf("regression not sorted first: %+v", r.Comparisons)
+	}
+}

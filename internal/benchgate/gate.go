@@ -1,0 +1,78 @@
+package benchgate
+
+import "fmt"
+
+// The gate decision: which comparison outcomes fail a build.
+
+// Counts tallies the report's verdicts.
+type Counts struct {
+	Regressions   int `json:"regressions"`
+	AllocRegs     int `json:"alloc_regressions"`
+	Improvements  int `json:"improvements"`
+	Unchanged     int `json:"unchanged"`
+	Indeterminate int `json:"indeterminate"`
+	Missing       int `json:"missing"`
+	New           int `json:"new"`
+}
+
+// Counts computes the verdict tally.
+func (r *Report) Counts() Counts {
+	var c Counts
+	for _, cmp := range r.Comparisons {
+		switch cmp.Verdict {
+		case Regression:
+			c.Regressions++
+		case AllocRegression:
+			c.AllocRegs++
+		case Improvement:
+			c.Improvements++
+		case Unchanged:
+			c.Unchanged++
+		case Indeterminate:
+			c.Indeterminate++
+		case Missing:
+			c.Missing++
+		case New:
+			c.New++
+		}
+	}
+	return c
+}
+
+// Advisory reports whether the comparison is advisory-only: the candidate
+// ran in a different environment than the baseline, so wall-clock verdicts
+// are not comparable and must not fail a build (unless StrictEnv).
+func (r *Report) Advisory() bool {
+	return !r.EnvMatch && !r.Config.StrictEnv
+}
+
+// Failed reports whether the gate should fail the build: at least one
+// regression (time or alloc) in a comparable environment.
+func (r *Report) Failed() bool {
+	if r.Advisory() {
+		return false
+	}
+	c := r.Counts()
+	return c.Regressions > 0 || c.AllocRegs > 0
+}
+
+// Summary renders the one-line gate outcome.
+func (r *Report) Summary() string {
+	c := r.Counts()
+	s := fmt.Sprintf("benchgate: %d regression(s), %d alloc regression(s), %d improvement(s), %d unchanged",
+		c.Regressions, c.AllocRegs, c.Improvements, c.Unchanged)
+	if c.Indeterminate+c.Missing+c.New > 0 {
+		s += fmt.Sprintf(" (%d indeterminate, %d missing, %d new)",
+			c.Indeterminate, c.Missing, c.New)
+	}
+	if r.Advisory() {
+		s += " [advisory: environment mismatch]"
+	}
+	switch {
+	case r.Failed():
+		s += " — FAIL"
+	default:
+		s += " — PASS"
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Rendering of a comparison report in the three formats CI consumes:
+// a markdown table (step summaries, PR comments), GitHub Actions
+// ::error/::notice workflow annotations, and machine-readable JSON.
+
+// Markdown renders the report as a markdown table with a verdict summary.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("## Benchmark gate\n\n")
+	sb.WriteString(r.Summary() + "\n\n")
+	if !r.EnvMatch {
+		fmt.Fprintf(&sb, "> environment mismatch — baseline `%s` vs candidate `%s`; verdicts are advisory\n\n",
+			r.BaseEnv, r.CandEnv)
+	}
+	sb.WriteString("| benchmark | base ns/op (cv) | cand ns/op (cv) | Δ | gate ≥ | p | verdict |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
+	for _, c := range r.Comparisons {
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			markdownEscape(c.Name),
+			nsCell(c.BaseMean, c.BaseCV, c.BaseN),
+			nsCell(c.CandMean, c.CandCV, c.CandN),
+			deltaCell(c), thresholdCell(c), pCell(c), verdictCell(c))
+	}
+	if len(r.Malformed) > 0 {
+		fmt.Fprintf(&sb, "\n%d malformed benchmark line(s) were skipped.\n", len(r.Malformed))
+	}
+	return sb.String()
+}
+
+func nsCell(mean, cv float64, n int) string {
+	if n == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f ±%.1f%%", mean, 100*cv)
+}
+
+func deltaCell(c BenchComparison) string {
+	if c.Verdict == Missing || c.Verdict == New {
+		return "—"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*c.Delta)
+}
+
+func thresholdCell(c BenchComparison) string {
+	if c.Threshold == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f%%", 100*c.Threshold)
+}
+
+func pCell(c BenchComparison) string {
+	if c.BaseN == 0 || c.CandN == 0 || c.Verdict == Indeterminate {
+		return "—"
+	}
+	return fmt.Sprintf("%.4f", c.P)
+}
+
+func verdictCell(c BenchComparison) string {
+	switch c.Verdict {
+	case Regression, AllocRegression:
+		return "**" + c.Verdict.String() + "**"
+	default:
+		return c.Verdict.String()
+	}
+}
+
+func markdownEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// GitHubAnnotations writes GitHub Actions workflow commands: ::error for
+// gating regressions, ::warning for advisory regressions and missing
+// benchmarks, ::notice for improvements and new benchmarks.
+func (r *Report) GitHubAnnotations(w io.Writer) {
+	level := "error"
+	if r.Advisory() {
+		level = "warning"
+	}
+	for _, c := range r.Comparisons {
+		switch c.Verdict {
+		case Regression:
+			fmt.Fprintf(w, "::%s title=benchmark regression::%s: %s\n",
+				level, c.Name, c.Note)
+		case AllocRegression:
+			fmt.Fprintf(w, "::%s title=allocation regression::%s: %s\n",
+				level, c.Name, c.Note)
+		case Missing:
+			fmt.Fprintf(w, "::warning title=benchmark missing::%s: %s\n",
+				c.Name, c.Note)
+		case Improvement:
+			fmt.Fprintf(w, "::notice title=benchmark improvement::%s: %s\n",
+				c.Name, c.Note)
+		case New:
+			fmt.Fprintf(w, "::notice title=new benchmark::%s: %s\n",
+				c.Name, c.Note)
+		}
+	}
+	if !r.EnvMatch {
+		fmt.Fprintf(w, "::notice title=benchgate environment mismatch::baseline %s vs candidate %s\n",
+			r.BaseEnv, r.CandEnv)
+	}
+}
+
+// WriteJSON writes the machine-readable summary: the full report plus the
+// verdict tally and gate outcome.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := struct {
+		*Report
+		Counts Counts `json:"counts"`
+		Failed bool   `json:"failed"`
+	}{r, r.Counts(), r.Failed()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,98 @@
+package benchgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func regressionReport(t *testing.T) *Report {
+	t.Helper()
+	base := mkBaseline("BenchmarkSmoke/slow", jittered(1000, 10, 0.01))
+	base.Benchmarks["BenchmarkSmoke/fast"] = BaselineBench{NsPerOp: jittered(1000, 10, 0.01)}
+	cand := mkBaseline("BenchmarkSmoke/slow", jittered(1200, 10, 0.01))
+	cand.Benchmarks["BenchmarkSmoke/fast"] = BaselineBench{NsPerOp: jittered(700, 10, 0.01)}
+	return Compare(base, cand, Config{})
+}
+
+func TestMarkdownTable(t *testing.T) {
+	r := regressionReport(t)
+	md := r.Markdown()
+	for _, want := range []string{
+		"## Benchmark gate",
+		"| benchmark | base ns/op (cv) | cand ns/op (cv) | Δ | gate ≥ | p | verdict |",
+		"BenchmarkSmoke/slow",
+		"**REGRESSION**",
+		"improvement",
+		"FAIL",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	r := regressionReport(t)
+	var buf bytes.Buffer
+	r.GitHubAnnotations(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "::error title=benchmark regression::BenchmarkSmoke/slow") {
+		t.Fatalf("missing ::error annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "::notice title=benchmark improvement::BenchmarkSmoke/fast") {
+		t.Fatalf("missing ::notice annotation:\n%s", out)
+	}
+
+	// Advisory (env mismatch): regressions downgrade to warnings.
+	base := mkBaseline("BenchmarkSmoke/slow", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/slow", jittered(1200, 10, 0.01))
+	cand.Env.NumCPU = 2
+	buf.Reset()
+	Compare(base, cand, Config{}).GitHubAnnotations(&buf)
+	out = buf.String()
+	if !strings.Contains(out, "::warning title=benchmark regression::") {
+		t.Fatalf("advisory regression not downgraded:\n%s", out)
+	}
+	if !strings.Contains(out, "::notice title=benchgate environment mismatch::") {
+		t.Fatalf("env mismatch notice missing:\n%s", out)
+	}
+}
+
+func TestWriteJSONSummary(t *testing.T) {
+	r := regressionReport(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Failed      bool   `json:"failed"`
+		Counts      Counts `json:"counts"`
+		EnvMatch    bool   `json:"env_match"`
+		Comparisons []struct {
+			Name    string `json:"name"`
+			Verdict string `json:"verdict"`
+		} `json:"comparisons"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("summary not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !got.Failed || got.Counts.Regressions != 1 || got.Counts.Improvements != 1 {
+		t.Fatalf("summary = %+v", got)
+	}
+	if !got.EnvMatch {
+		t.Fatal("env match lost in JSON")
+	}
+	if got.Comparisons[0].Verdict != "REGRESSION" {
+		t.Fatalf("verdict rendering = %+v", got.Comparisons[0])
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	r := regressionReport(t)
+	s := r.Summary()
+	if !strings.Contains(s, "1 regression(s)") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("summary = %q", s)
+	}
+}

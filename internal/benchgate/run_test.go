@@ -1,0 +1,66 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseText is a test helper turning literal go test output into a ResultSet.
+func parseText(t *testing.T, text string) *ResultSet {
+	t.Helper()
+	rs, err := ParseGoBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseGoBench: %v", err)
+	}
+	return rs
+}
+
+func TestBestOfRunsKeepsLowestMeanPerBench(t *testing.T) {
+	// Run 1: A is fast, B is slow. Run 2: A is slow, B is fast.
+	run1 := parseText(t, `
+goos: linux
+goarch: amd64
+BenchmarkA-8	100	100 ns/op
+BenchmarkA-8	100	110 ns/op
+BenchmarkB-8	100	900 ns/op
+BenchmarkB-8	100	910 ns/op
+`)
+	run2 := parseText(t, `
+goos: linux
+goarch: amd64
+BenchmarkA-8	100	300 ns/op
+BenchmarkA-8	100	310 ns/op
+BenchmarkB-8	100	500 ns/op
+BenchmarkB-8	100	510 ns/op
+BenchmarkC-8	100	42 ns/op
+`)
+	b := BestOfRuns([]*ResultSet{run1, run2}, DefaultProtocol, "2026-01-01T00:00:00Z")
+
+	a := b.Benchmarks["BenchmarkA"]
+	if len(a.NsPerOp) != 2 || a.NsPerOp[0] != 100 {
+		t.Fatalf("BenchmarkA should keep run 1 samples, got %v", a.NsPerOp)
+	}
+	bb := b.Benchmarks["BenchmarkB"]
+	if len(bb.NsPerOp) != 2 || bb.NsPerOp[0] != 500 {
+		t.Fatalf("BenchmarkB should keep run 2 samples, got %v", bb.NsPerOp)
+	}
+	// A benchmark present only in a later run is still carried over.
+	if c, ok := b.Benchmarks["BenchmarkC"]; !ok || len(c.NsPerOp) != 1 {
+		t.Fatalf("BenchmarkC missing from best-of selection: %+v", b.Benchmarks)
+	}
+}
+
+func TestCollectRunsDefaultsToOneRun(t *testing.T) {
+	// Protocol.Runs <= 0 must not mean zero invocations; exercised through
+	// BestOfRuns/MergeRuns which require at least one set.
+	p := DefaultProtocol
+	p.Runs = 0
+	rs := parseText(t, "BenchmarkA-8\t100\t100 ns/op\n")
+	b := MergeRuns([]*ResultSet{rs}, p, "")
+	if len(b.Benchmarks) != 1 {
+		t.Fatalf("single-run merge lost benchmarks: %+v", b.Benchmarks)
+	}
+	if b.Benchmarks["BenchmarkA"].Noise != 0 {
+		t.Fatalf("single run must not synthesize a noise floor")
+	}
+}

@@ -390,9 +390,12 @@ func TestTracingAndWaitStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Structural assertions only: magnitudes depend on goroutine
+	// scheduling, so exact wait-state arithmetic is covered by the
+	// deterministic injected-timestamp test below.
 	ws := tr.AnalyzeWaitStates()
-	if ws.LateSenderTime[1] < 10*time.Millisecond {
-		t.Fatalf("late-sender time = %v, want >= 10ms", ws.LateSenderTime[1])
+	if ws.LateSenderTime[1] <= 0 {
+		t.Fatalf("late-sender time = %v, want > 0", ws.LateSenderTime[1])
 	}
 	if ws.LateSenderTime[0] != 0 {
 		t.Fatalf("rank 0 should have no late-sender time")
@@ -401,8 +404,12 @@ func TestTracingAndWaitStates(t *testing.T) {
 	if prof[0].MessagesSent != 1 || prof[0].BytesSent != 8 {
 		t.Fatalf("profile = %+v", prof[0])
 	}
-	if prof[1].RecvTime < 10*time.Millisecond {
-		t.Fatalf("recv time = %v", prof[1].RecvTime)
+	if prof[1].RecvTime <= 0 {
+		t.Fatalf("recv time = %v, want > 0", prof[1].RecvTime)
+	}
+	if prof[1].RecvTime < ws.LateSenderTime[1] {
+		t.Fatalf("late-sender wait %v exceeds recv time %v",
+			ws.LateSenderTime[1], prof[1].RecvTime)
 	}
 	rep := tr.Report()
 	if !strings.Contains(rep, "late-sender") || !strings.Contains(rep, "imbalance") {
@@ -410,6 +417,67 @@ func TestTracingAndWaitStates(t *testing.T) {
 	}
 	if len(tr.Events(1)) == 0 {
 		t.Fatal("rank 1 events missing")
+	}
+}
+
+func TestAnalyzeWaitStatesInjected(t *testing.T) {
+	// Deterministic wait-state arithmetic via injected timestamps: no
+	// goroutines, no sleeps, exact expected values.
+	at := func(ms int) time.Time {
+		return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond)
+	}
+	tr := NewTracer(2)
+	// Rank 1 posts its receive at t=0; rank 0's matching send starts at
+	// t=20ms. Late-sender wait = 20ms exactly.
+	tr.RecordEvent(1, Event{Kind: EvRecv, Peer: 0, Start: at(0), End: at(25)})
+	tr.RecordEvent(0, Event{Kind: EvSend, Peer: 1, Bytes: 8, Start: at(20), End: at(21)})
+	// Second exchange: the send starts first, so no wait is attributed.
+	tr.RecordEvent(0, Event{Kind: EvSend, Peer: 1, Bytes: 8, Start: at(30), End: at(31)})
+	tr.RecordEvent(1, Event{Kind: EvRecv, Peer: 0, Start: at(32), End: at(33)})
+
+	ws := tr.AnalyzeWaitStates()
+	if ws.LateSenderTime[1] != 20*time.Millisecond {
+		t.Fatalf("late-sender time = %v, want exactly 20ms", ws.LateSenderTime[1])
+	}
+	if ws.LateSenderTime[0] != 0 {
+		t.Fatalf("rank 0 late-sender time = %v, want 0", ws.LateSenderTime[0])
+	}
+	// Busy spans: rank 0 = 2ms of sends, rank 1 = 26ms of recvs.
+	if want := float64(26-2) / 26; ws.ImbalanceRatio != want {
+		t.Fatalf("imbalance ratio = %v, want %v", ws.ImbalanceRatio, want)
+	}
+
+	prof := tr.Profile()
+	if prof[0].MessagesSent != 2 || prof[0].BytesSent != 16 {
+		t.Fatalf("rank 0 profile = %+v", prof[0])
+	}
+	if prof[1].RecvTime != 26*time.Millisecond {
+		t.Fatalf("rank 1 recv time = %v, want 26ms", prof[1].RecvTime)
+	}
+}
+
+func TestAnalyzeWaitStatesClampsToRecvDuration(t *testing.T) {
+	// A send that starts after the receive has already completed cannot
+	// attribute more wait than the receive interval itself.
+	at := func(ms int) time.Time {
+		return time.Unix(0, 0).Add(time.Duration(ms) * time.Millisecond)
+	}
+	tr := NewTracer(2)
+	tr.RecordEvent(1, Event{Kind: EvRecv, Peer: 0, Start: at(0), End: at(5)})
+	tr.RecordEvent(0, Event{Kind: EvSend, Peer: 1, Start: at(50), End: at(51)})
+	ws := tr.AnalyzeWaitStates()
+	if ws.LateSenderTime[1] != 5*time.Millisecond {
+		t.Fatalf("late-sender time = %v, want clamped to 5ms recv duration",
+			ws.LateSenderTime[1])
+	}
+}
+
+func TestRecordEventIgnoresOutOfRangeRank(t *testing.T) {
+	tr := NewTracer(1)
+	tr.RecordEvent(-1, Event{Kind: EvSend})
+	tr.RecordEvent(5, Event{Kind: EvSend})
+	if len(tr.Events(0)) != 0 {
+		t.Fatal("out-of-range RecordEvent must not land anywhere")
 	}
 }
 

@@ -68,6 +68,18 @@ func (t *Tracer) record(rank int, e Event) {
 	t.mu.Unlock()
 }
 
+// RecordEvent appends an externally constructed event to rank's stream.
+// Besides instrumentation layered on top of the runtime, this is the
+// deterministic-injection path for testing the trace analyses: callers
+// control every timestamp, so wait-state assertions need no real sleeps.
+// Out-of-range ranks are ignored.
+func (t *Tracer) RecordEvent(rank int, e Event) {
+	if rank < 0 || rank >= len(t.events) {
+		return
+	}
+	t.record(rank, e)
+}
+
 // RecordCompute lets application code mark a computation phase, so the
 // communication share can be computed per rank.
 func (t *Tracer) RecordCompute(rank int, start, end time.Time) {

@@ -47,34 +47,16 @@ func CompareMeasurements(a, b *Measurement, alpha float64) (Comparison, error) {
 	if alpha <= 0 {
 		alpha = 0.05
 	}
-	ma, mb := stats.Mean(a.Seconds), stats.Mean(b.Seconds)
-	va, vb := stats.Variance(a.Seconds), stats.Variance(b.Seconds)
-	na, nb := float64(a.N()), float64(b.N())
-	se2 := va/na + vb/nb
 	c := Comparison{A: a.Name, B: b.Name, Alpha: alpha}
-	if mb > 0 {
+	if stats.Mean(b.Seconds) > 0 {
 		c.Speedup = a.MedianSeconds() / b.MedianSeconds()
 	}
-	if se2 == 0 {
-		// Identical constant series: no evidence of difference.
-		if ma == mb {
-			c.PValue = 1
-			return c, nil
-		}
-		c.PValue = 0
-		c.Significant = true
-		c.TStat = math.Inf(1)
-		return c, nil
+	w, err := stats.WelchTTest(a.Seconds, b.Seconds)
+	if err != nil {
+		return Comparison{}, err
 	}
-	c.TStat = (ma - mb) / math.Sqrt(se2)
-	// Welch-Satterthwaite degrees of freedom.
-	c.DF = se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
-	// Two-sided p-value from the t CDF.
-	c.PValue = 2 * (1 - stats.TCDF(math.Abs(c.TStat), c.DF))
-	if c.PValue > 1 {
-		c.PValue = 1
-	}
-	c.Significant = c.PValue < alpha
+	c.TStat, c.DF, c.PValue = w.T, w.DF, w.P
+	c.Significant = w.Significant(alpha)
 	return c, nil
 }
 

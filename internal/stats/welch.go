@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Welch's unequal-variance t-test, exported here so every layer that
+// compares repeated measurements — engagement verdicts (internal/metrics),
+// the benchmark-regression gate (internal/benchgate), and future consumers
+// of counter or simulator series — shares one implementation of the
+// course's "is this difference noise?" question.
+
+// ErrTooFewSamples is returned when a test needs more repetitions.
+var ErrTooFewSamples = errors.New("stats: need >= 2 samples per side")
+
+// Welch is the outcome of Welch's two-sample t-test.
+type Welch struct {
+	T  float64 // t statistic (mean(a) - mean(b), standardized)
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value for "the means differ"
+}
+
+// Significant reports whether the difference is significant at level alpha.
+func (w Welch) Significant(alpha float64) bool { return w.P < alpha }
+
+// WelchTTest runs Welch's unequal-variance t-test on two sample series.
+// Both series need at least two samples. Two identical constant series
+// yield P = 1 (no evidence of difference); two different constant series
+// yield P = 0 (a difference with zero within-group variance).
+func WelchTTest(a, b []float64) (Welch, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return Welch{}, ErrTooFewSamples
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		if ma == mb {
+			return Welch{P: 1}, nil
+		}
+		return Welch{T: math.Inf(1), P: 0}, nil
+	}
+	w := Welch{T: (ma - mb) / math.Sqrt(se2)}
+	w.DF = se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	w.P = 2 * (1 - TCDF(math.Abs(w.T), w.DF))
+	if w.P > 1 {
+		w.P = 1
+	}
+	return w, nil
+}
