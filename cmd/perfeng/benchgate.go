@@ -199,8 +199,11 @@ modes:
             committed baseline; always exits 0
   gate      like compare, but exits 1 when any benchmark shows a
             statistically significant (Welch's t-test, -alpha) AND
-            practically large (-min-effect) slowdown, or allocates more
+            practically large (-min-effect) slowdown, allocates more, or
+            is missing from the candidate run entirely
 
 Baselines carry raw per-benchmark samples plus the recording environment;
-cross-environment comparisons are advisory unless -strict-env is set.`)
+cross-environment comparisons are advisory unless -strict-env is set
+(missing benchmarks still gate — presence does not depend on wall-clock
+comparability). Retire a benchmark by recording a fresh baseline.`)
 }

@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"runtime"
 	"sort"
 )
 
@@ -68,17 +67,14 @@ func (b *Baseline) Names() []string {
 	return names
 }
 
-// FromResultSet converts a parsed run into a baseline, completing the
-// environment with the facts only the recording process knows (CPU count,
-// Go version).
+// FromResultSet converts a parsed run into a baseline. The environment is
+// exactly what the run's headers describe — never the local host's: a
+// parsed -input file may come from another machine, and backfilling host
+// facts there could fake an environment match and wrongly turn advisory
+// verdicts into binding gate failures. Runs measured in-process
+// (RecordRun, CandidateRun) complete the environment themselves.
 func FromResultSet(rs *ResultSet, proto Protocol, createdAt string) *Baseline {
 	env := rs.Env
-	if env.NumCPU == 0 {
-		env.NumCPU = runtime.NumCPU()
-	}
-	if env.GoVersion == "" {
-		env.GoVersion = runtime.Version()
-	}
 	if proto.Pkg == "" {
 		proto.Pkg = rs.Pkg
 	}

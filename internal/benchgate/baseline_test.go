@@ -91,4 +91,16 @@ func TestEnvironmentMatches(t *testing.T) {
 	if a.Matches(b) {
 		t.Fatal("CPU model change must break comparability")
 	}
+	// GOMAXPROCS: strict when both runs recorded it, wildcard when either
+	// predates the field (or ran at GOMAXPROCS=1, which leaves no suffix).
+	a.Procs = 8
+	b = a
+	b.Procs = 4
+	if a.Matches(b) {
+		t.Fatal("GOMAXPROCS change must break comparability")
+	}
+	b.Procs = 0
+	if !a.Matches(b) {
+		t.Fatal("unknown GOMAXPROCS must not break comparability")
+	}
 }

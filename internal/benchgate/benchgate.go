@@ -84,15 +84,22 @@ type Environment struct {
 	CPUModel  string `json:"cpu,omitempty"`
 	NumCPU    int    `json:"num_cpu,omitempty"`
 	GoVersion string `json:"go_version,omitempty"`
+	// Procs is the GOMAXPROCS the run measured under, recovered from the
+	// -<n> suffix go test appends to benchmark names (0 = unknown: a
+	// GOMAXPROCS=1 run carries no suffix, and baselines recorded before
+	// this field existed never stored it).
+	Procs int `json:"gomaxprocs,omitempty"`
 }
 
 // Matches reports whether two environments are close enough that their
 // wall-clock samples may be compared: same OS, architecture, CPU model and
-// logical CPU count. Go version differences are reported but do not break
+// logical CPU count, and — when both runs recorded it — the same
+// GOMAXPROCS. Go version differences are reported but do not break
 // comparability (the compiler is part of what the gate should catch).
 func (e Environment) Matches(o Environment) bool {
 	return e.GOOS == o.GOOS && e.GOARCH == o.GOARCH &&
-		e.CPUModel == o.CPUModel && e.NumCPU == o.NumCPU
+		e.CPUModel == o.CPUModel && e.NumCPU == o.NumCPU &&
+		(e.Procs == 0 || o.Procs == 0 || e.Procs == o.Procs)
 }
 
 // String renders the environment compactly.
@@ -102,7 +109,11 @@ func (e Environment) String() string {
 		s += " " + e.CPUModel
 	}
 	if e.NumCPU > 0 {
-		s += fmt.Sprintf(" (%d CPUs)", e.NumCPU)
+		s += fmt.Sprintf(" (%d CPUs", e.NumCPU)
+		if e.Procs > 0 && e.Procs != e.NumCPU {
+			s += fmt.Sprintf(", GOMAXPROCS %d", e.Procs)
+		}
+		s += ")"
 	}
 	if e.GoVersion != "" {
 		s += " " + e.GoVersion

@@ -171,7 +171,7 @@ func Compare(base, cand *Baseline, cfg Config) *Report {
 		if !ok {
 			r.Comparisons = append(r.Comparisons, BenchComparison{
 				Name: name, Verdict: Missing,
-				Note: "benchmark present in baseline but not in candidate run",
+				Note: "in baseline but not in candidate run; record a fresh baseline to retire it",
 			})
 			continue
 		}
@@ -241,18 +241,30 @@ func compareBench(name string, base, cand BaselineBench, cfg Config, alpha float
 		c.Threshold = floor
 	}
 	large := math.Abs(c.Delta) >= c.Threshold
+	// The time and allocation checks are independent: a change that trades
+	// allocations for speed (caching, buffering) is both a wall-clock
+	// improvement and an alloc regression, and the gate must still see the
+	// regression. Severity picks the reported verdict — Regression >
+	// AllocRegression > Improvement — and the note carries the other axis.
+	allocReg := c.AllocDelta >= cfg.MinEffect
 	switch {
 	case significant && large && c.Delta > 0:
 		c.Verdict = Regression
 		c.Note = fmt.Sprintf("%.1f%% slower (p=%.4f)", 100*c.Delta, c.P)
-	case significant && large && c.Delta < 0:
-		c.Verdict = Improvement
-		c.Note = fmt.Sprintf("%.1f%% faster (p=%.4f)", -100*c.Delta, c.P)
-	case c.AllocDelta >= cfg.MinEffect:
+		if allocReg {
+			c.Note += fmt.Sprintf("; allocs/op up %.1f%%", 100*c.AllocDelta)
+		}
+	case allocReg:
 		// Allocation counts are near-deterministic: a mean shift beyond
 		// the practical threshold is a real change, not noise.
 		c.Verdict = AllocRegression
 		c.Note = fmt.Sprintf("allocs/op up %.1f%%", 100*c.AllocDelta)
+		if significant && large && c.Delta < 0 {
+			c.Note += fmt.Sprintf(" despite %.1f%% time improvement (p=%.4f)", -100*c.Delta, c.P)
+		}
+	case significant && large && c.Delta < 0:
+		c.Verdict = Improvement
+		c.Note = fmt.Sprintf("%.1f%% faster (p=%.4f)", -100*c.Delta, c.P)
 	default:
 		c.Verdict = Unchanged
 	}

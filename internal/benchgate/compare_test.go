@@ -2,6 +2,7 @@ package benchgate
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -166,6 +167,42 @@ func TestAllocRegression(t *testing.T) {
 	}
 }
 
+func TestAllocRegressionNotMaskedByTimeImprovement(t *testing.T) {
+	// The classic tradeoff: caching makes the op 20% faster but doubles
+	// allocs/op. The time improvement must not hide the alloc regression.
+	base := mkBaseline("BenchmarkSmoke/x", jittered(1000, 10, 0.01))
+	cand := mkBaseline("BenchmarkSmoke/x", jittered(800, 10, 0.01))
+	bb := base.Benchmarks["BenchmarkSmoke/x"]
+	bb.AllocsPerOp = []float64{3, 3, 3}
+	base.Benchmarks["BenchmarkSmoke/x"] = bb
+	cb := cand.Benchmarks["BenchmarkSmoke/x"]
+	cb.AllocsPerOp = []float64{6, 6, 6}
+	cand.Benchmarks["BenchmarkSmoke/x"] = cb
+	r := Compare(base, cand, Config{})
+	c := r.Comparisons[0]
+	if c.Verdict != AllocRegression {
+		t.Fatalf("verdict = %s, want ALLOC-REGRESSION", c.Verdict)
+	}
+	if !r.Failed() {
+		t.Fatalf("alloc regression masked by time improvement: %s", r.Summary())
+	}
+	// The note still surfaces the wall-clock win.
+	if !strings.Contains(c.Note, "improvement") {
+		t.Fatalf("note lost the time axis: %q", c.Note)
+	}
+
+	// And the reverse pairing: a time regression that also allocates more
+	// stays a (time) Regression, the more severe verdict.
+	cand = mkBaseline("BenchmarkSmoke/x", jittered(1200, 10, 0.01))
+	cb = cand.Benchmarks["BenchmarkSmoke/x"]
+	cb.AllocsPerOp = []float64{6, 6, 6}
+	cand.Benchmarks["BenchmarkSmoke/x"] = cb
+	r = Compare(base, cand, Config{})
+	if r.Comparisons[0].Verdict != Regression || !r.Failed() {
+		t.Fatalf("combined regression misclassified: %+v", r.Comparisons[0])
+	}
+}
+
 func TestMissingAndNewBenchmarks(t *testing.T) {
 	base := mkBaseline("BenchmarkSmoke/old", jittered(1000, 10, 0.01))
 	cand := mkBaseline("BenchmarkSmoke/new", jittered(1000, 10, 0.01))
@@ -174,9 +211,24 @@ func TestMissingAndNewBenchmarks(t *testing.T) {
 	if counts.Missing != 1 || counts.New != 1 {
 		t.Fatalf("counts = %+v", counts)
 	}
-	// Coverage changes warn but do not fail.
+	// A benchmark that vanished from the candidate run fails the gate —
+	// deleting or renaming a gated benchmark must not be a silent bypass —
+	// even across environments, since presence is wall-clock-independent.
+	if !r.Failed() {
+		t.Fatal("missing benchmark must fail the gate")
+	}
+	cand.Env.CPUModel = "other-cpu"
+	r = Compare(base, cand, Config{})
+	if !r.Advisory() || !r.Failed() {
+		t.Fatalf("missing benchmark must fail even when advisory: %s", r.Summary())
+	}
+
+	// A purely new benchmark (candidate superset) only notifies.
+	cand = mkBaseline("BenchmarkSmoke/old", jittered(1000, 10, 0.01))
+	cand.Benchmarks["BenchmarkSmoke/new"] = BaselineBench{NsPerOp: jittered(1000, 10, 0.01)}
+	r = Compare(base, cand, Config{})
 	if r.Failed() {
-		t.Fatal("missing/new benchmarks must not fail the gate")
+		t.Fatal("new benchmarks must not fail the gate")
 	}
 }
 

@@ -47,12 +47,20 @@ func (r *Report) Advisory() bool {
 }
 
 // Failed reports whether the gate should fail the build: at least one
-// regression (time or alloc) in a comparable environment.
+// regression (time or alloc) in a comparable environment, or a benchmark
+// that is in the baseline but missing from the candidate run. Missing
+// coverage is about presence, not wall-clock, so it fails even when
+// verdicts are advisory — otherwise deleting or renaming a gated
+// benchmark would slip through with a warning on any mismatched runner.
+// Retiring a benchmark deliberately means recording a fresh baseline.
 func (r *Report) Failed() bool {
+	c := r.Counts()
+	if c.Missing > 0 {
+		return true
+	}
 	if r.Advisory() {
 		return false
 	}
-	c := r.Counts()
 	return c.Regressions > 0 || c.AllocRegs > 0
 }
 

@@ -18,10 +18,13 @@ import (
 //	...
 //	PASS
 //
-// Sub-benchmark names contain '/'; the trailing -<n> is the GOMAXPROCS
-// suffix and is stripped so baselines recorded at different -cpu settings
-// still key on the benchmark identity. Repeated lines for the same name
-// (from -count=N) accumulate as samples of one Series.
+// Sub-benchmark names contain '/'; the trailing -<n> go test appends when
+// GOMAXPROCS > 1 is detected by consensus over the whole run (every
+// benchmark carries the same suffix), stripped from the names, and
+// recorded as Environment.Procs so runs at different GOMAXPROCS settings
+// compare as an environment mismatch rather than silently merging.
+// Repeated lines for the same name (from -count=N) accumulate as samples
+// of one Series.
 
 // ParseGoBench reads go test -bench output from r. It never fails on
 // malformed benchmark lines — those are collected in ResultSet.Malformed —
@@ -60,6 +63,7 @@ func ParseGoBench(r io.Reader) (*ResultSet, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	stripRunProcsSuffix(rs)
 	return rs, nil
 }
 
@@ -71,10 +75,7 @@ func parseBenchLine(line string) (string, Sample, bool) {
 	if len(fields) < 4 {
 		return "", Sample{}, false
 	}
-	name := stripProcsSuffix(fields[0])
-	if name == "" {
-		return "", Sample{}, false
-	}
+	name := fields[0]
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil || iters <= 0 {
 		return "", Sample{}, false
@@ -111,18 +112,49 @@ func parseBenchLine(line string) (string, Sample, bool) {
 	return name, smp, true
 }
 
-// stripProcsSuffix removes the trailing -<GOMAXPROCS> go test appends to
-// benchmark names ("BenchmarkFoo/n=128-8" -> "BenchmarkFoo/n=128"). A
-// trailing -<digits> is only a procs suffix on the last path element.
-func stripProcsSuffix(name string) string {
+// stripRunProcsSuffix removes the -<GOMAXPROCS> suffix go test appends to
+// every benchmark name of a run ("BenchmarkFoo/n=128-8" ->
+// "BenchmarkFoo/n=128"; absent when GOMAXPROCS=1) and records the value
+// as Environment.Procs. The suffix is only recognized by consensus:
+// every benchmark of the run must end in the same "-<digits>", which is
+// exactly what go test produces. A lone trailing number is part of the
+// benchmark's identity — a sub-benchmark like ".../shards-4" run at
+// GOMAXPROCS=1, or two -cpu variants in one output — and is kept, so
+// runs at different -cpu values never silently merge under one name.
+func stripRunProcsSuffix(rs *ResultSet) {
+	digits := ""
+	for name := range rs.Benchmarks {
+		d := trailingDigits(name)
+		if d == "" || (digits != "" && d != digits) {
+			return
+		}
+		digits = d
+	}
+	if digits == "" {
+		return
+	}
+	suffix := "-" + digits
+	renamed := make(map[string]*Series, len(rs.Benchmarks))
+	for name, s := range rs.Benchmarks {
+		short := strings.TrimSuffix(name, suffix)
+		s.Name = short
+		renamed[short] = s
+	}
+	rs.Benchmarks = renamed
+	rs.Env.Procs, _ = strconv.Atoi(digits)
+}
+
+// trailingDigits returns the digits of a trailing "-<digits>" on name,
+// or "" when there is none.
+func trailingDigits(name string) string {
 	i := strings.LastIndex(name, "-")
 	if i <= 0 || i == len(name)-1 {
-		return name
+		return ""
 	}
 	for _, c := range name[i+1:] {
 		if c < '0' || c > '9' {
-			return name
+			return ""
 		}
 	}
-	return name[:i]
+	return name[i+1:]
 }

@@ -101,21 +101,58 @@ func TestParseCustomMetricIgnored(t *testing.T) {
 	}
 }
 
-func TestStripProcsSuffix(t *testing.T) {
-	cases := map[string]string{
-		"BenchmarkFoo-8":           "BenchmarkFoo",
-		"BenchmarkFoo/n=128-16":    "BenchmarkFoo/n=128",
-		"BenchmarkFoo/tile=64":     "BenchmarkFoo/tile=64",
-		"BenchmarkFoo/p=4/e=8-2":   "BenchmarkFoo/p=4/e=8",
-		"BenchmarkFoo":             "BenchmarkFoo",
-		"BenchmarkFoo/name-x-8":    "BenchmarkFoo/name-x",
-		"BenchmarkFoo/bcast-tree":  "BenchmarkFoo/bcast-tree",
-		"BenchmarkFoo/assoc=1-256": "BenchmarkFoo/assoc=1",
-	}
-	for in, want := range cases {
-		if got := stripProcsSuffix(in); got != want {
-			t.Errorf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+func TestProcsSuffixConsensusStrip(t *testing.T) {
+	// Every name of a GOMAXPROCS=8 run carries the same -8 suffix, so it
+	// is stripped from all of them — including names whose own last
+	// element ends in a number — and recorded as Env.Procs.
+	in := `BenchmarkFoo-8            100  10 ns/op
+BenchmarkFoo/n=128-8      100  10 ns/op
+BenchmarkFoo/p=4/e=8-8    100  10 ns/op
+BenchmarkFoo/name-x-8     100  10 ns/op
+BenchmarkFoo/assoc=1-256-8  100  10 ns/op
+`
+	rs := parseText(t, in)
+	for _, want := range []string{
+		"BenchmarkFoo", "BenchmarkFoo/n=128", "BenchmarkFoo/p=4/e=8",
+		"BenchmarkFoo/name-x", "BenchmarkFoo/assoc=1-256",
+	} {
+		if rs.Benchmarks[want] == nil {
+			t.Errorf("missing %q after suffix strip: %v", want, rs.Names())
 		}
+	}
+	if rs.Env.Procs != 8 {
+		t.Errorf("Env.Procs = %d, want 8", rs.Env.Procs)
+	}
+}
+
+func TestProcsSuffixKeptWithoutConsensus(t *testing.T) {
+	// A GOMAXPROCS=1 run has no procs suffix; a sub-benchmark that
+	// legitimately ends in a number must keep it. Consensus protects it:
+	// the sibling without trailing digits vetoes stripping.
+	rs := parseText(t, `BenchmarkFoo/shards-4  100  10 ns/op
+BenchmarkFoo/serial    100  12 ns/op
+`)
+	if rs.Benchmarks["BenchmarkFoo/shards-4"] == nil || rs.Benchmarks["BenchmarkFoo/serial"] == nil {
+		t.Fatalf("GOMAXPROCS=1 names mangled: %v", rs.Names())
+	}
+	if rs.Env.Procs != 0 {
+		t.Errorf("Env.Procs = %d, want 0 (unknown)", rs.Env.Procs)
+	}
+}
+
+func TestProcsSuffixMixedCPUValuesStayDistinct(t *testing.T) {
+	// One output holding runs at -cpu 8,16 must not merge the two
+	// variants under one name.
+	rs := parseText(t, `BenchmarkFoo/n=128-8   100  10 ns/op
+BenchmarkFoo/n=128-16  100  11 ns/op
+`)
+	if rs.Len() != 2 ||
+		rs.Benchmarks["BenchmarkFoo/n=128-8"] == nil ||
+		rs.Benchmarks["BenchmarkFoo/n=128-16"] == nil {
+		t.Fatalf("-cpu variants merged: %v", rs.Names())
+	}
+	if rs.Env.Procs != 0 {
+		t.Errorf("Env.Procs = %d, want 0 (ambiguous)", rs.Env.Procs)
 	}
 }
 
@@ -127,8 +164,15 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := FromResultSet(rs, Protocol{Pattern: "^BenchmarkSmoke$", Count: 2}, "2026-08-05T00:00:00Z")
-	if b.Env.NumCPU == 0 || b.Env.GoVersion == "" {
-		t.Fatalf("environment not completed: %+v", b.Env)
+	// Parsed input keeps exactly the environment its headers describe —
+	// the local host's CPU count and Go version must NOT be stamped in,
+	// because the text may come from another machine and a fake match
+	// would make the gate binding when it should be advisory.
+	if b.Env.NumCPU != 0 || b.Env.GoVersion != "" {
+		t.Fatalf("host facts leaked into parsed environment: %+v", b.Env)
+	}
+	if b.Env.GOOS != "linux" || b.Env.CPUModel == "" {
+		t.Fatalf("header environment lost: %+v", b.Env)
 	}
 
 	path := t.TempDir() + "/BENCH_1.json"

@@ -77,8 +77,9 @@ func markdownEscape(s string) string {
 }
 
 // GitHubAnnotations writes GitHub Actions workflow commands: ::error for
-// gating regressions, ::warning for advisory regressions and missing
-// benchmarks, ::notice for improvements and new benchmarks.
+// gating regressions and missing benchmarks (missing coverage gates
+// regardless of environment), ::warning for advisory regressions,
+// ::notice for improvements and new benchmarks.
 func (r *Report) GitHubAnnotations(w io.Writer) {
 	level := "error"
 	if r.Advisory() {
@@ -93,7 +94,7 @@ func (r *Report) GitHubAnnotations(w io.Writer) {
 			fmt.Fprintf(w, "::%s title=allocation regression::%s: %s\n",
 				level, c.Name, c.Note)
 		case Missing:
-			fmt.Fprintf(w, "::warning title=benchmark missing::%s: %s\n",
+			fmt.Fprintf(w, "::error title=benchmark missing::%s: %s\n",
 				c.Name, c.Note)
 		case Improvement:
 			fmt.Fprintf(w, "::notice title=benchmark improvement::%s: %s\n",

@@ -45,6 +45,16 @@ func TestGitHubAnnotations(t *testing.T) {
 		t.Fatalf("missing ::notice annotation:\n%s", out)
 	}
 
+	// Missing benchmarks gate regardless of environment, so they annotate
+	// as ::error even in advisory reports.
+	gone := Compare(mkBaseline("BenchmarkSmoke/gone", jittered(1000, 10, 0.01)),
+		mkBaseline("BenchmarkSmoke/other", jittered(1000, 10, 0.01)), Config{})
+	buf.Reset()
+	gone.GitHubAnnotations(&buf)
+	if !strings.Contains(buf.String(), "::error title=benchmark missing::BenchmarkSmoke/gone") {
+		t.Fatalf("missing benchmark not an ::error:\n%s", buf.String())
+	}
+
 	// Advisory (env mismatch): regressions downgrade to warnings.
 	base := mkBaseline("BenchmarkSmoke/slow", jittered(1000, 10, 0.01))
 	cand := mkBaseline("BenchmarkSmoke/slow", jittered(1200, 10, 0.01))

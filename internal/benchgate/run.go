@@ -70,7 +70,7 @@ func RecordRun(dir string, proto Protocol) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return MergeRuns(sets, proto, time.Now().UTC().Format(time.RFC3339)), nil
+	return completeHostEnv(MergeRuns(sets, proto, time.Now().UTC().Format(time.RFC3339))), nil
 }
 
 // CandidateRun measures the gate's candidate: proto.Runs independent
@@ -80,7 +80,7 @@ func CandidateRun(dir string, proto Protocol) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BestOfRuns(sets, proto, time.Now().UTC().Format(time.RFC3339)), nil
+	return completeHostEnv(BestOfRuns(sets, proto, time.Now().UTC().Format(time.RFC3339))), nil
 }
 
 // collectRuns executes proto.Runs (>= 1) go test invocations and parses
@@ -167,14 +167,22 @@ func MergeRuns(sets []*ResultSet, proto Protocol, createdAt string) *Baseline {
 	return base
 }
 
-// HostEnvironment returns the recording process's environment, used to
-// complete candidate runs parsed from files (where go test headers carry
-// GOOS/GOARCH/CPU but not CPU count or Go version).
-func HostEnvironment() Environment {
-	return Environment{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+// completeHostEnv fills in the environment facts only the measuring
+// process knows (CPU count, Go version, GOMAXPROCS when the run's names
+// carried no suffix, i.e. the child go test ran at GOMAXPROCS=1). It is
+// applied exclusively to runs measured in-process by RecordRun and
+// CandidateRun — baselines parsed from -input files keep the environment
+// their headers describe, because the file may have been recorded on a
+// different machine.
+func completeHostEnv(b *Baseline) *Baseline {
+	if b.Env.NumCPU == 0 {
+		b.Env.NumCPU = runtime.NumCPU()
 	}
+	if b.Env.GoVersion == "" {
+		b.Env.GoVersion = runtime.Version()
+	}
+	if b.Env.Procs == 0 {
+		b.Env.Procs = runtime.GOMAXPROCS(0)
+	}
+	return b
 }
