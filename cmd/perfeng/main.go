@@ -11,6 +11,7 @@
 //	perfeng trace -kernel matmul -n 256 -trace trace.json -folded profile.folded
 //	perfeng benchgate record
 //	perfeng benchgate gate -baseline BENCH_1.json -github
+//	perfeng vet ./...
 package main
 
 import (
@@ -32,6 +33,10 @@ func main() {
 		runBenchgate(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		runVet(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -50,6 +55,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "                                 (perfeng trace -help for its flags)")
 		fmt.Fprintln(os.Stderr, "       perfeng benchgate <mode>  record/compare/gate benchmark baselines")
 		fmt.Fprintln(os.Stderr, "                                 (perfeng benchgate -help for modes and flags)")
+		fmt.Fprintln(os.Stderr, "       perfeng vet [packages]    statically check for performance antipatterns")
+		fmt.Fprintln(os.Stderr, "                                 (perfeng vet -help for analyzers and flags)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

@@ -1,0 +1,20 @@
+// The vet subcommand: run the perfvet static-analysis suite over the
+// module. Stage 1 of the seven-stage process is inspecting the code
+// before measuring it; perfvet mechanizes that inspection.
+//
+//	perfeng vet                      # all analyzers over ./...
+//	perfeng vet -analyzers bcehint ./internal/kernels
+//	perfeng vet -github -json findings.json
+package main
+
+import (
+	"os"
+
+	"perfeng/internal/perfvet"
+)
+
+func runVet(args []string) {
+	// Exit-code contract (same shape as benchgate gate, and returned
+	// directly so CI can capture it): 0 clean, 1 findings, 2 error.
+	os.Exit(perfvet.Main("perfeng vet", args, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,26 @@
+// Command perfvet is the standalone multichecker driver for the
+// perfvet analyzer suite: static detection of the performance
+// antipatterns the course teaches (allocation in hot loops, defer in
+// loops, bounds-check-elimination blockers, false sharing,
+// preallocatable slices). The same checks are available as `perfeng
+// vet`.
+//
+// Usage:
+//
+//	perfvet ./...
+//	perfvet -analyzers hotloopalloc,bcehint ./internal/kernels
+//	perfvet -github -json findings.json ./...
+//	perfvet -list
+//
+// Exit code: 0 clean, 1 findings, 2 the run itself failed.
+package main
+
+import (
+	"os"
+
+	"perfeng/internal/perfvet"
+)
+
+func main() {
+	os.Exit(perfvet.Main("perfvet", os.Args[1:], os.Stdout, os.Stderr))
+}

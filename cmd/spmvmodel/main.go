@@ -31,13 +31,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var sizes []int
-	for _, s := range strings.Split(*sizesFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || v < 10 {
-			fatal(fmt.Errorf("bad size %q", s))
-		}
-		sizes = append(sizes, v)
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := metrics.DefaultConfig()
@@ -52,7 +48,6 @@ func main() {
 		seconds  float64
 		nnz      int
 	}
-	var samples []sample
 	families := []struct {
 		name string
 		gen  func(n int, seed int64) *kernels.COO
@@ -66,6 +61,7 @@ func main() {
 	// larger than the feature count (the OLS fit needs rows > columns —
 	// itself an Assignment 3 lesson about collecting enough data).
 	const seedsPerCell = 3
+	samples := make([]sample, 0, len(families)*len(sizes)*seedsPerCell)
 	fmt.Println("collecting training data (CSR SpMV per family x size x seed):")
 	for fi, fam := range families {
 		for _, n := range sizes {
@@ -73,7 +69,7 @@ func main() {
 				csr := fam.gen(n, *seed+int64(fi*seedsPerCell+rep)).ToCSR()
 				x := kernels.UniformSamples(n, 3)
 				y := make([]float64, n)
-				m := runner.Measure(fmt.Sprintf("%s-n%d-s%d", fam.name, n, rep),
+				m := runner.Measure(fam.name+"-n"+strconv.Itoa(n)+"-s"+strconv.Itoa(rep),
 					kernels.SpMVFLOPs(csr.NNZ()), kernels.SpMVCSRBytes(n, csr.NNZ()),
 					func() { kernels.SpMVCSR(csr, x, y) })
 				samples = append(samples, sample{
@@ -134,6 +130,20 @@ func abs(v float64) float64 {
 		return -v
 	}
 	return v
+}
+
+// parseSizes parses the comma-separated -sizes flag.
+func parseSizes(flagVal string) ([]int, error) {
+	parts := strings.Split(flagVal, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, s := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 10 {
+			return nil, fmt.Errorf("bad size %q", s)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
 }
 
 func fatal(err error) {

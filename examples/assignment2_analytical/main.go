@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strconv"
 
 	"perfeng/internal/analytic"
 	"perfeng/internal/isa"
@@ -34,13 +35,13 @@ func main() {
 	// ---- matmul ----
 	fmt.Println("\n== matmul: three model granularities ==")
 	sizes := []float64{64, 96, 128, 192}
-	var pts []analytic.CalibrationPoint
+	pts := make([]analytic.CalibrationPoint, 0, len(sizes))
 	for _, nf := range sizes {
 		n := int(nf)
 		a := kernels.RandomDense(n, 1)
 		b := kernels.RandomDense(n, 2)
 		c := kernels.NewDense(n)
-		m := runner.Measure(fmt.Sprintf("matmul-%d", n),
+		m := runner.Measure("matmul-"+strconv.Itoa(n),
 			kernels.MatMulFLOPs(n), kernels.MatMulCompulsoryBytes(n),
 			func() { kernels.MatMulIKJ(a, b, c) })
 		pts = append(pts, analytic.CalibrationPoint{N: nf, Seconds: m.MedianSeconds()})
@@ -92,7 +93,8 @@ func main() {
 	// ---- histogram: the data-dependent challenge ----
 	fmt.Println("== histogram: data-dependent behaviour ==")
 	hsizes := []float64{1 << 16, 1 << 17, 1 << 18}
-	var hu, hs []analytic.CalibrationPoint
+	hu := make([]analytic.CalibrationPoint, 0, len(hsizes))
+	hs := make([]analytic.CalibrationPoint, 0, len(hsizes))
 	for _, nf := range hsizes {
 		n := int(nf)
 		counts := make([]int64, 256)

@@ -29,8 +29,8 @@ func main() {
 		{"banded", func(n int, s int64) *kernels.COO { return kernels.BandedSparse(n, 6, s) }},
 		{"powerlaw", func(n int, s int64) *kernels.COO { return kernels.PowerLawSparse(n, 10, 1.5, s) }},
 	}
-	var xs [][]float64
-	var ys []float64
+	xs := make([][]float64, 0, len(families)*3*3)
+	ys := make([]float64, 0, len(families)*3*3)
 	fmt.Println("== data collection ==")
 	for fi, fam := range families {
 		for _, n := range []int{400, 800, 1600} {

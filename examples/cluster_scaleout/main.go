@@ -81,6 +81,7 @@ func main() {
 	session := obs.NewSession("cluster_scaleout distributed BFS")
 	err = w.Run(func(c *cluster.Comm) error {
 		p, rank := c.Size(), c.Rank()
+		off, adj := g.Offset, g.Edges
 		dist := make([]int32, g.N)
 		for i := range dist {
 			dist[i] = -1
@@ -92,7 +93,7 @@ func main() {
 			// deliberately slowed down (a simulated imbalanced
 			// partition) so the wait-state analysis has something to
 			// find.
-			var local []float64
+			local := make([]float64, 0, len(frontier))
 			for i, vf := range frontier {
 				if i%p != rank {
 					continue
@@ -103,8 +104,8 @@ func main() {
 					passes = 8
 				}
 				for rep := 0; rep < passes; rep++ {
-					for k := g.Offset[v]; k < g.Offset[v+1]; k++ {
-						u := g.Edges[k]
+					for k := off[v]; k < off[v+1]; k++ {
+						u := adj[k]
 						if rep == 0 && dist[u] == -1 {
 							dist[u] = level
 							local = append(local, float64(u))

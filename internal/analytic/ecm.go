@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"perfeng/internal/machine"
@@ -99,9 +100,9 @@ func (e *ECM) SaturationCores() float64 {
 // "{Tcore | T_L1L2 | T_L2L3 | T_L3Mem}" notation.
 func (e *ECM) String() string {
 	parts := make([]string, 0, len(e.TransferCyclesPerLine)+1)
-	parts = append(parts, fmt.Sprintf("%.1f", e.CoreCyclesPerLine))
+	parts = append(parts, strconv.FormatFloat(e.CoreCyclesPerLine, 'f', 1, 64))
 	for _, t := range e.TransferCyclesPerLine {
-		parts = append(parts, fmt.Sprintf("%.1f", t))
+		parts = append(parts, strconv.FormatFloat(t, 'f', 1, 64))
 	}
 	return fmt.Sprintf("%s = {%s} cy/line -> %.1f cy/line, saturates at %.1f cores",
 		e.ModelName, strings.Join(parts, " | "), e.CyclesPerLine(), e.SaturationCores())

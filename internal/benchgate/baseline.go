@@ -91,13 +91,15 @@ func FromResultSet(rs *ResultSet, proto Protocol, createdAt string) *Baseline {
 			bb.BytesPerOp = mem
 			bb.AllocsPerOp = s.AllocsPerOp()
 		}
-		var mb []float64
+		mb := make([]float64, 0, len(s.Samples))
 		for _, smp := range s.Samples {
 			if smp.HasMB {
 				mb = append(mb, smp.MBPerSec)
 			}
 		}
-		bb.MBPerSec = mb
+		if len(mb) > 0 {
+			bb.MBPerSec = mb
+		}
 		b.Benchmarks[name] = bb
 	}
 	return b

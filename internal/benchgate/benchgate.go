@@ -54,11 +54,14 @@ func (s *Series) NsPerOp() []float64 {
 // BytesPerOp returns the B/op values of samples that carried -benchmem
 // columns (nil when none did).
 func (s *Series) BytesPerOp() []float64 {
-	var out []float64
+	out := make([]float64, 0, len(s.Samples))
 	for _, smp := range s.Samples {
 		if smp.HasMem {
 			out = append(out, smp.BytesPerOp)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -66,11 +69,14 @@ func (s *Series) BytesPerOp() []float64 {
 // AllocsPerOp returns the allocs/op values of samples that carried
 // -benchmem columns (nil when none did).
 func (s *Series) AllocsPerOp() []float64 {
-	var out []float64
+	out := make([]float64, 0, len(s.Samples))
 	for _, smp := range s.Samples {
 		if smp.HasMem {
 			out = append(out, smp.AllocsPerOp)
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -58,11 +58,13 @@ func NewWorld(size, linkCap int) (*World, error) {
 		dead: make([]bool, size),
 	}
 	w.mail = make([][]chan message, size)
-	for dst := 0; dst < size; dst++ {
-		w.mail[dst] = make([]chan message, size)
-		for src := 0; src < size; src++ {
-			w.mail[dst][src] = make(chan message, linkCap)
+	mail := w.mail
+	for dst := range mail {
+		row := make([]chan message, size)
+		for src := range row {
+			row[src] = make(chan message, linkCap)
 		}
+		mail[dst] = row
 	}
 	return w, nil
 }

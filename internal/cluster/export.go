@@ -3,9 +3,9 @@ package cluster
 import (
 	"encoding/csv"
 	"encoding/json"
-	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -29,7 +29,11 @@ type ExportedEvent struct {
 func (t *Tracer) Export() []ExportedEvent {
 	t.mu.Lock()
 	epoch := t.epoch
-	var out []ExportedEvent
+	total := 0
+	for _, evs := range t.events {
+		total += len(evs)
+	}
+	out := make([]ExportedEvent, 0, total)
 	for rank, evs := range t.events {
 		for _, e := range evs {
 			out = append(out, ExportedEvent{
@@ -65,11 +69,14 @@ func (t *Tracer) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"rank", "kind", "peer", "bytes", "start_us", "end_us"}); err != nil {
 		return err
 	}
+	rec := make([]string, 6)
 	for _, e := range t.Export() {
-		rec := []string{
-			fmt.Sprint(e.Rank), e.Kind, fmt.Sprint(e.Peer), fmt.Sprint(e.Bytes),
-			fmt.Sprintf("%.3f", e.StartUs), fmt.Sprintf("%.3f", e.EndUs),
-		}
+		rec[0] = strconv.Itoa(e.Rank)
+		rec[1] = e.Kind
+		rec[2] = strconv.Itoa(e.Peer)
+		rec[3] = strconv.Itoa(e.Bytes)
+		rec[4] = strconv.FormatFloat(e.StartUs, 'f', 3, 64)
+		rec[5] = strconv.FormatFloat(e.EndUs, 'f', 3, 64)
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

@@ -172,8 +172,9 @@ func (t *Tracer) AnalyzeWaitStates() WaitStates {
 		sends[k] = s
 	}
 	used := make(map[[2]int]int)
+	late := ws.LateSenderTime
 	for dst, evs := range t.events {
-		recvs := make([]Event, 0)
+		recvs := make([]Event, 0, len(evs))
 		for _, e := range evs {
 			if e.Kind == EvRecv {
 				recvs = append(recvs, e)
@@ -193,7 +194,7 @@ func (t *Tracer) AnalyzeWaitStates() WaitStates {
 				if recvDur := re.Duration(); wait > recvDur {
 					wait = recvDur
 				}
-				ws.LateSenderTime[dst] += wait
+				late[dst] += wait
 			}
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"perfeng/internal/machine"
@@ -282,9 +283,9 @@ func (e *Engagement) buildReport(out *Outcome) *report.Report {
 	for _, v := range out.Variants {
 		tab.AddRow(v.Variant.Name,
 			metrics.FormatSeconds(v.Measurement.MedianSeconds()),
-			fmt.Sprintf("%.2f", v.Measurement.GFLOPS()),
-			fmt.Sprintf("%.2fx", v.Speedup),
-			fmt.Sprintf("%.0f%%", v.Analysis.Fraction*100),
+			strconv.FormatFloat(v.Measurement.GFLOPS(), 'f', 2, 64),
+			strconv.FormatFloat(v.Speedup, 'f', 2, 64)+"x",
+			strconv.FormatFloat(v.Analysis.Fraction*100, 'f', 0, 64)+"%",
 			v.Analysis.Bound.String())
 	}
 	r.AddTable(tab)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"perfeng/internal/linalg"
@@ -42,13 +43,13 @@ func RunScalingStudy(name string, workerCounts []int, cfg metrics.RunnerConfig, 
 		return nil, errors.New("core: scaling study needs worker counts starting at 1")
 	}
 	runner := metrics.NewRunner(cfg)
-	var seconds []float64
+	seconds := make([]float64, 0, len(workerCounts))
 	for _, w := range workerCounts {
 		if w < 1 {
 			return nil, fmt.Errorf("core: invalid worker count %d", w)
 		}
 		w := w
-		m := runner.Measure(fmt.Sprintf("%s/w=%d", name, w), 0, 0, func() { run(w) })
+		m := runner.Measure(name+"/w="+strconv.Itoa(w), 0, 0, func() { run(w) })
 		seconds = append(seconds, m.MedianSeconds())
 	}
 	return FitScaling(name, workerCounts, seconds)
@@ -227,7 +228,7 @@ func (r *ScalingResult) String() string {
 	for _, p := range r.Points {
 		kf := "-"
 		if !math.IsNaN(p.KarpFlatt) {
-			kf = fmt.Sprintf("%.3f", p.KarpFlatt)
+			kf = strconv.FormatFloat(p.KarpFlatt, 'f', 3, 64)
 		}
 		fmt.Fprintf(&sb, "%3d   %-10s  %6.2fx  %9.0f%%  %s\n",
 			p.Workers, metrics.FormatSeconds(p.Seconds), p.Speedup,

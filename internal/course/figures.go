@@ -3,6 +3,7 @@ package course
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"perfeng/internal/report"
@@ -14,7 +15,10 @@ import (
 // Figure1 renders the enrollment/passing/respondents plot of Figure 1.
 func Figure1(width, height int) string {
 	recs := Students()
-	var years, enrolled, passed, resp []float64
+	years := make([]float64, 0, len(recs))
+	enrolled := make([]float64, 0, len(recs))
+	passed := make([]float64, 0, len(recs))
+	resp := make([]float64, 0, len(recs))
 	for _, r := range recs {
 		years = append(years, float64(r.Year))
 		enrolled = append(enrolled, float64(r.Enrolled))
@@ -61,6 +65,17 @@ func Table1() *report.Table {
 	return t
 }
 
+// evalRow renders one evaluation question as a table row (shared by
+// Table 2a and 2b, and allocation-light: strconv, not fmt, per cell).
+func evalRow(q EvalQuestion) []string {
+	return []string{
+		q.Group, q.Statement,
+		strconv.Itoa(q.Counts[0]), strconv.Itoa(q.Counts[1]), strconv.Itoa(q.Counts[2]),
+		strconv.Itoa(q.Counts[3]), strconv.Itoa(q.Counts[4]),
+		strconv.Itoa(q.N()), strconv.FormatFloat(q.Mean(), 'f', 1, 64),
+	}
+}
+
 // Table2aReport renders Table 2a with per-statement histograms and means.
 func Table2aReport() *report.Table {
 	t := &report.Table{
@@ -68,10 +83,7 @@ func Table2aReport() *report.Table {
 		Headers: []string{"Group", "Statement", "1", "2", "3", "4", "5", "N", "M"},
 	}
 	for _, q := range Table2a() {
-		t.AddRow(q.Group, q.Statement,
-			fmt.Sprint(q.Counts[0]), fmt.Sprint(q.Counts[1]), fmt.Sprint(q.Counts[2]),
-			fmt.Sprint(q.Counts[3]), fmt.Sprint(q.Counts[4]),
-			fmt.Sprint(q.N()), fmt.Sprintf("%.1f", q.Mean()))
+		t.AddRow(evalRow(q)...)
 	}
 	return t
 }
@@ -83,10 +95,7 @@ func Table2bReport() *report.Table {
 		Headers: []string{"Group", "Statement", "1", "2", "3", "4", "5", "N", "M"},
 	}
 	for _, q := range Table2b() {
-		t.AddRow(q.Group, q.Statement,
-			fmt.Sprint(q.Counts[0]), fmt.Sprint(q.Counts[1]), fmt.Sprint(q.Counts[2]),
-			fmt.Sprint(q.Counts[3]), fmt.Sprint(q.Counts[4]),
-			fmt.Sprint(q.N()), fmt.Sprintf("%.1f", q.Mean()))
+		t.AddRow(evalRow(q)...)
 	}
 	return t
 }

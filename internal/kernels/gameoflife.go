@@ -72,9 +72,10 @@ func (b *Life) Equal(o *Life) bool {
 // String renders the board with '#' for live cells.
 func (b *Life) String() string {
 	var sb strings.Builder
+	cells, w := b.Cells, b.W
 	for y := 0; y < b.H; y++ {
-		for x := 0; x < b.W; x++ {
-			if b.Cells[y*b.W+x] == 1 {
+		for x := 0; x < w; x++ {
+			if cells[y*w+x] == 1 {
 				sb.WriteByte('#')
 			} else {
 				sb.WriteByte('.')
@@ -99,14 +100,15 @@ func (b *Life) neighbours(x, y int) int {
 // Step computes one generation into dst. dst must be a distinct board of
 // the same size.
 func (b *Life) Step(dst *Life) {
+	src, out, w := b.Cells, dst.Cells, b.W
 	for y := 0; y < b.H; y++ {
-		for x := 0; x < b.W; x++ {
+		for x := 0; x < w; x++ {
 			n := b.neighbours(x, y)
-			alive := b.Cells[y*b.W+x] == 1
+			alive := src[y*w+x] == 1
 			if alive && (n == 2 || n == 3) || !alive && n == 3 {
-				dst.Cells[y*b.W+x] = 1
+				out[y*w+x] = 1
 			} else {
-				dst.Cells[y*b.W+x] = 0
+				out[y*w+x] = 0
 			}
 		}
 	}
@@ -121,6 +123,7 @@ func (b *Life) StepParallel(dst *Life, workers int) {
 		workers = b.H
 	}
 	var wg sync.WaitGroup
+	src, out, width := b.Cells, dst.Cells, b.W
 	chunk := (b.H + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -132,13 +135,13 @@ func (b *Life) StepParallel(dst *Life, workers int) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for y := lo; y < hi; y++ {
-				for x := 0; x < b.W; x++ {
+				for x := 0; x < width; x++ {
 					n := b.neighbours(x, y)
-					alive := b.Cells[y*b.W+x] == 1
+					alive := src[y*width+x] == 1
 					if alive && (n == 2 || n == 3) || !alive && n == 3 {
-						dst.Cells[y*b.W+x] = 1
+						out[y*width+x] = 1
 					} else {
-						dst.Cells[y*b.W+x] = 0
+						out[y*width+x] = 0
 					}
 				}
 			}
@@ -197,10 +200,16 @@ func (b *Life) StepPadded(dst *Life, scratch []uint8) []uint8 {
 	// Corner cells are covered by the column fill above because the halo
 	// rows were installed first.
 	for y := 0; y < h; y++ {
-		up := pad[y*pw:]
-		mid := pad[(y+1)*pw:]
-		down := pad[(y+2)*pw:]
-		out := dst.Cells[y*w:]
+		up := pad[y*pw : (y+1)*pw]
+		mid := pad[(y+1)*pw : (y+2)*pw]
+		down := pad[(y+2)*pw : (y+3)*pw]
+		out := dst.Cells[y*w : (y+1)*w]
+		// Tell the prover the rows cover x+2 and out covers x, so the
+		// inner loop runs without bounds checks (-d=ssa/check_bce).
+		_ = up[w+1]
+		_ = mid[w+1]
+		_ = down[w+1]
+		_ = out[w-1]
 		for x := 0; x < w; x++ {
 			n := int(up[x]) + int(up[x+1]) + int(up[x+2]) +
 				int(mid[x]) + int(mid[x+2]) +

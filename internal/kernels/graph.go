@@ -64,7 +64,7 @@ func RandomGraph(n, m int, seed int64) *Graph {
 // GridGraph returns the directed 4-neighbour grid graph on side x side
 // vertices (each edge in both directions), a diameter-heavy BFS workload.
 func GridGraph(side int) *Graph {
-	var edges [][2]int32
+	edges := make([][2]int32, 0, 4*side*side)
 	id := func(r, c int) int32 { return int32(r*side + c) }
 	for r := 0; r < side; r++ {
 		for c := 0; c < side; c++ {
@@ -87,12 +87,13 @@ func BFS(g *Graph, src int) []int32 {
 		dist[i] = -1
 	}
 	dist[src] = 0
+	off, adj := g.Offset, g.Edges
 	frontier := []int32{int32(src)}
 	for level := int32(1); len(frontier) > 0; level++ {
-		var next []int32
+		next := make([]int32, 0, len(frontier))
 		for _, u := range frontier {
-			for k := g.Offset[u]; k < g.Offset[u+1]; k++ {
-				v := g.Edges[k]
+			for k := off[u]; k < off[u+1]; k++ {
+				v := adj[k]
 				if dist[v] == -1 {
 					dist[v] = level
 					next = append(next, v)
@@ -115,6 +116,7 @@ func BFSParallel(g *Graph, src, workers int) []int32 {
 		dist[i] = -1
 	}
 	dist[src] = 0
+	off, adj := g.Offset, g.Edges
 	frontier := []int32{int32(src)}
 	for level := int32(1); len(frontier) > 0; level++ {
 		nexts := make([][]int32, workers)
@@ -129,10 +131,10 @@ func BFSParallel(g *Graph, src, workers int) []int32 {
 			wg.Add(1)
 			go func(w int, part []int32) {
 				defer wg.Done()
-				var local []int32
+				local := make([]int32, 0, len(part))
 				for _, u := range part {
-					for k := g.Offset[u]; k < g.Offset[u+1]; k++ {
-						v := g.Edges[k]
+					for k := off[u]; k < off[u+1]; k++ {
+						v := adj[k]
 						if atomic.CompareAndSwapInt32(&dist[v], -1, level) {
 							local = append(local, v)
 						}
@@ -160,20 +162,21 @@ func PageRank(g *Graph, d float64, iters int) []float64 {
 	for i := range rank {
 		rank[i] = 1 / float64(n)
 	}
+	off, adj := g.Offset, g.Edges
 	for it := 0; it < iters; it++ {
 		var dangling float64
 		for i := range next {
 			next[i] = 0
 		}
-		for u := 0; u < n; u++ {
-			deg := g.Degree(u)
+		for u, ru := range rank {
+			deg := int(off[u+1] - off[u])
 			if deg == 0 {
-				dangling += rank[u]
+				dangling += ru
 				continue
 			}
-			share := rank[u] / float64(deg)
-			for k := g.Offset[u]; k < g.Offset[u+1]; k++ {
-				next[g.Edges[k]] += share
+			share := ru / float64(deg)
+			for k := off[u]; k < off[u+1]; k++ {
+				next[adj[k]] += share
 			}
 		}
 		base := (1-d)/float64(n) + d*dangling/float64(n)
@@ -202,13 +205,13 @@ func PageRankParallel(g *Graph, d float64, iters, workers int) []float64 {
 	}
 	for it := 0; it < iters; it++ {
 		var dangling float64
-		for u := 0; u < n; u++ {
+		for u, ru := range rank {
 			deg := g.Degree(u)
 			if deg == 0 {
-				dangling += rank[u]
+				dangling += ru
 				contrib[u] = 0
 			} else {
-				contrib[u] = rank[u] / float64(deg)
+				contrib[u] = ru / float64(deg)
 			}
 		}
 		base := (1-d)/float64(n) + d*dangling/float64(n)
@@ -223,10 +226,11 @@ func PageRankParallel(g *Graph, d float64, iters, workers int) []float64 {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				roff, radj := rev.Offset, rev.Edges
 				for v := lo; v < hi; v++ {
 					var sum float64
-					for k := rev.Offset[v]; k < rev.Offset[v+1]; k++ {
-						sum += contrib[rev.Edges[k]]
+					for k := roff[v]; k < roff[v+1]; k++ {
+						sum += contrib[radj[k]]
 					}
 					next[v] = base + d*sum
 				}
@@ -241,9 +245,10 @@ func PageRankParallel(g *Graph, d float64, iters, workers int) []float64 {
 // Reverse returns the transpose graph (all edges flipped).
 func (g *Graph) Reverse() *Graph {
 	edges := make([][2]int32, 0, g.M())
-	for u := 0; u < g.N; u++ {
-		for k := g.Offset[u]; k < g.Offset[u+1]; k++ {
-			edges = append(edges, [2]int32{g.Edges[k], int32(u)})
+	off, adj := g.Offset, g.Edges
+	for u := 0; u < len(off)-1; u++ {
+		for k := off[u]; k < off[u+1]; k++ {
+			edges = append(edges, [2]int32{adj[k], int32(u)})
 		}
 	}
 	return BuildGraph(g.N, edges)

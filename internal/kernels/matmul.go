@@ -94,8 +94,10 @@ func MatMulNaive(a, b, c *Dense) {
 		for j := 0; j < n; j++ {
 			var sum float64
 			for k := 0; k < n; k++ {
+				//perfvet:ignore:bcehint verbatim textbook baseline of the Assignment 1 ladder; the reloads are part of what students diagnose
 				sum += a.Data[i*n+k] * b.Data[k*n+j]
 			}
+			//perfvet:ignore:bcehint verbatim textbook baseline of the Assignment 1 ladder
 			c.Data[i*n+j] = sum
 		}
 	}
@@ -109,10 +111,11 @@ func MatMulIKJ(a, b, c *Dense) {
 	for i := range c.Data {
 		c.Data[i] = 0
 	}
+	ad := a.Data
 	for i := 0; i < n; i++ {
 		crow := c.Data[i*n : (i+1)*n]
 		for k := 0; k < n; k++ {
-			av := a.Data[i*n+k]
+			av := ad[i*n+k]
 			if av == 0 {
 				continue
 			}
@@ -129,20 +132,22 @@ func MatMulIKJ(a, b, c *Dense) {
 func MatMulTransposed(a, b, c *Dense) {
 	n := mustSameSize(a, b, c)
 	bt := NewDense(n)
+	btd, bd := bt.Data, b.Data
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			bt.Data[j*n+i] = b.Data[i*n+j]
+			btd[j*n+i] = bd[i*n+j]
 		}
 	}
+	cd := c.Data
 	for i := 0; i < n; i++ {
 		arow := a.Data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			btrow := bt.Data[j*n : (j+1)*n]
+			btrow := btd[j*n : (j+1)*n]
 			var sum float64
 			for k, av := range arow {
 				sum += av * btrow[k]
 			}
-			c.Data[i*n+j] = sum
+			cd[i*n+j] = sum
 		}
 	}
 }
@@ -158,6 +163,7 @@ func MatMulTiled(a, b, c *Dense, tile int) {
 	for i := range c.Data {
 		c.Data[i] = 0
 	}
+	ad := a.Data
 	for ii := 0; ii < n; ii += tile {
 		imax := min(ii+tile, n)
 		for kk := 0; kk < n; kk += tile {
@@ -167,7 +173,7 @@ func MatMulTiled(a, b, c *Dense, tile int) {
 				for i := ii; i < imax; i++ {
 					crow := c.Data[i*n : (i+1)*n]
 					for k := kk; k < kmax; k++ {
-						av := a.Data[i*n+k]
+						av := ad[i*n+k]
 						brow := b.Data[k*n : (k+1)*n]
 						for j := jj; j < jmax; j++ {
 							crow[j] += av * brow[j]
@@ -190,6 +196,7 @@ func MatMulParallel(a, b, c *Dense, workers int) {
 		workers = n
 	}
 	var wg sync.WaitGroup
+	ad := a.Data
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -206,7 +213,7 @@ func MatMulParallel(a, b, c *Dense, workers int) {
 					crow[j] = 0
 				}
 				for k := 0; k < n; k++ {
-					av := a.Data[i*n+k]
+					av := ad[i*n+k]
 					brow := b.Data[k*n : (k+1)*n]
 					for j, bv := range brow {
 						crow[j] += av * bv
@@ -232,6 +239,7 @@ func MatMulParallelTiled(a, b, c *Dense, workers, tile int) {
 		tile = 64
 	}
 	var wg sync.WaitGroup
+	ad := a.Data
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -255,7 +263,7 @@ func MatMulParallelTiled(a, b, c *Dense, workers, tile int) {
 					for i := lo; i < hi; i++ {
 						crow := c.Data[i*n : (i+1)*n]
 						for k := kk; k < kmax; k++ {
-							av := a.Data[i*n+k]
+							av := ad[i*n+k]
 							brow := b.Data[k*n : (k+1)*n]
 							for j := jj; j < jmax; j++ {
 								crow[j] += av * brow[j]

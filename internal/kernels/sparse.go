@@ -114,8 +114,9 @@ func (m *CSR) ToCOO() *COO {
 		RowIdx: make([]int32, 0, m.NNZ()),
 		ColIdx: append([]int32(nil), m.ColIdx...),
 		Vals:   append([]float64(nil), m.Vals...)}
-	for r := 0; r < m.Rows; r++ {
-		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+	rp := m.RowPtr
+	for r := 0; r < len(rp)-1; r++ {
+		for k := rp[r]; k < rp[r+1]; k++ {
 			out.RowIdx = append(out.RowIdx, int32(r))
 		}
 	}
@@ -125,10 +126,11 @@ func (m *CSR) ToCOO() *COO {
 // SpMVCSR computes y = A*x for a CSR matrix: unit-stride over the values,
 // gather on x — the format of choice for row-parallel SpMV.
 func SpMVCSR(a *CSR, x, y []float64) {
-	for r := 0; r < a.Rows; r++ {
+	rp, ci, vals := a.RowPtr, a.ColIdx, a.Vals
+	for r := range y[:a.Rows] {
 		var sum float64
-		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-			sum += a.Vals[k] * x[a.ColIdx[k]]
+		for k := rp[r]; k < rp[r+1]; k++ {
+			sum += vals[k] * x[ci[k]]
 		}
 		y[r] = sum
 	}
@@ -143,6 +145,7 @@ func SpMVCSRParallel(a *CSR, x, y []float64, workers int) {
 		workers = a.Rows
 	}
 	var wg sync.WaitGroup
+	rp, ci, vals := a.RowPtr, a.ColIdx, a.Vals
 	chunk := (a.Rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -155,8 +158,8 @@ func SpMVCSRParallel(a *CSR, x, y []float64, workers int) {
 			defer wg.Done()
 			for r := lo; r < hi; r++ {
 				var sum float64
-				for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-					sum += a.Vals[k] * x[a.ColIdx[k]]
+				for k := rp[r]; k < rp[r+1]; k++ {
+					sum += vals[k] * x[ci[k]]
 				}
 				y[r] = sum
 			}
@@ -172,13 +175,13 @@ func SpMVCSC(a *CSC, x, y []float64) {
 	for i := range y[:a.Rows] {
 		y[i] = 0
 	}
-	for c := 0; c < a.Cols; c++ {
-		xv := x[c]
+	cp, ri, vals := a.ColPtr, a.RowIdx, a.Vals
+	for c, xv := range x[:a.Cols] {
 		if xv == 0 {
 			continue
 		}
-		for k := a.ColPtr[c]; k < a.ColPtr[c+1]; k++ {
-			y[a.RowIdx[k]] += a.Vals[k] * xv
+		for k := cp[c]; k < cp[c+1]; k++ {
+			y[ri[k]] += vals[k] * xv
 		}
 	}
 }
@@ -290,8 +293,9 @@ func (m *CSR) Stats() RowStats {
 	var sum, sumSq, spanSum float64
 	nonEmpty := 0
 	diag := 0
-	for r := 0; r < m.Rows; r++ {
-		cnt := int(m.RowPtr[r+1] - m.RowPtr[r])
+	rp, ci := m.RowPtr, m.ColIdx
+	for r := 0; r < len(rp)-1; r++ {
+		cnt := int(rp[r+1] - rp[r])
 		sum += float64(cnt)
 		sumSq += float64(cnt) * float64(cnt)
 		if cnt > s.MaxPerRow {
@@ -303,8 +307,8 @@ func (m *CSR) Stats() RowStats {
 		}
 		nonEmpty++
 		minC, maxC := int32(m.Cols), int32(-1)
-		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
-			c := m.ColIdx[k]
+		for k := rp[r]; k < rp[r+1]; k++ {
+			c := ci[k]
 			if c < minC {
 				minC = c
 			}

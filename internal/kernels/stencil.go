@@ -151,10 +151,11 @@ func StencilRun(g *Grid2D, sweeps, workers int) *Grid2D {
 // measure for Jacobi iteration.
 func StencilResidual(a, b *Grid2D) float64 {
 	n, w := a.N, a.N+2
+	ad, bd := a.Data, b.Data
 	var max float64
 	for i := 1; i <= n; i++ {
 		for j := 1; j <= n; j++ {
-			d := a.Data[i*w+j] - b.Data[i*w+j]
+			d := ad[i*w+j] - bd[i*w+j]
 			if d < 0 {
 				d = -d
 			}

@@ -102,12 +102,14 @@ func NewWordle(words []string) (*Wordle, error) {
 // memoization optimization (trades O(n^2) bytes for the per-pair scoring
 // work).
 func (w *Wordle) Precompute() {
-	n := len(w.Words)
+	words := w.Words
+	n := len(words)
 	w.table = make([]uint8, n*n)
+	tbl := w.table
 	for g := 0; g < n; g++ {
 		for a := 0; a < n; a++ {
-			fb, _ := Feedback(w.Words[g], w.Words[a])
-			w.table[g*n+a] = fb
+			fb, _ := Feedback(words[g], words[a])
+			tbl[g*n+a] = fb
 		}
 	}
 }
@@ -170,7 +172,7 @@ func (w *Wordle) BestGuessParallel(candidates []int, workers int) (int, error) {
 	results := make([]result, workers)
 	var wg sync.WaitGroup
 	chunk := (len(candidates) + workers - 1) / workers
-	for t := 0; t < workers; t++ {
+	for t := range results {
 		lo := t * chunk
 		hi := lo + chunk
 		if hi > len(candidates) {

@@ -74,10 +74,11 @@ func (m *Matrix) Clone() *Matrix {
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
+	td, tc := t.Data, t.Cols
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			t.Data[j*t.Cols+i] = v
+			td[j*tc+i] = v
 		}
 	}
 	return t
@@ -114,7 +115,7 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 			m.Rows, m.Cols, len(x))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
+	for i := range out {
 		row := m.Row(i)
 		var s float64
 		for j, v := range row {

@@ -2,8 +2,8 @@ package metrics
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
+	"strconv"
 )
 
 // CSV export of measurement series — the automation step the course's
@@ -16,32 +16,40 @@ var csvHeader = []string{
 	"ci95_lo_s", "ci95_hi_s", "flops", "bytes", "gflops", "gbs", "procs",
 }
 
+// g formats a float with the given significant-digit count, matching the
+// %.Ng verbs the CSV schema promises without going through fmt's
+// reflection-based formatter in the row loop.
+func g(v float64, prec int) string {
+	return strconv.FormatFloat(v, 'g', prec, 64)
+}
+
 // WriteCSV writes one summary row per measurement.
 func WriteCSV(w io.Writer, ms []*Measurement) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
+	rec := make([]string, 0, len(csvHeader))
 	for _, m := range ms {
 		s := m.Summary()
 		ci := m.MeanCI(0.95)
-		rec := []string{
+		rec = append(rec[:0],
 			m.Name,
-			fmt.Sprint(s.N),
-			fmt.Sprintf("%.9g", s.Median),
-			fmt.Sprintf("%.9g", s.Mean),
-			fmt.Sprintf("%.9g", s.Min),
-			fmt.Sprintf("%.9g", s.Max),
-			fmt.Sprintf("%.9g", s.Stddev),
-			fmt.Sprintf("%.6g", s.CV),
-			fmt.Sprintf("%.9g", ci.Lo),
-			fmt.Sprintf("%.9g", ci.Hi),
-			fmt.Sprintf("%.9g", m.FLOPs),
-			fmt.Sprintf("%.9g", m.Bytes),
-			fmt.Sprintf("%.6g", m.GFLOPS()),
-			fmt.Sprintf("%.6g", m.GBs()),
-			fmt.Sprint(m.Procs),
-		}
+			strconv.Itoa(s.N),
+			g(s.Median, 9),
+			g(s.Mean, 9),
+			g(s.Min, 9),
+			g(s.Max, 9),
+			g(s.Stddev, 9),
+			g(s.CV, 6),
+			g(ci.Lo, 9),
+			g(ci.Hi, 9),
+			g(m.FLOPs, 9),
+			g(m.Bytes, 9),
+			g(m.GFLOPS(), 6),
+			g(m.GBs(), 6),
+			strconv.Itoa(m.Procs),
+		)
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -57,9 +65,12 @@ func WriteRawCSV(w io.Writer, ms []*Measurement) error {
 	if err := cw.Write([]string{"name", "rep", "seconds"}); err != nil {
 		return err
 	}
+	rec := make([]string, 3)
 	for _, m := range ms {
+		rec[0] = m.Name
 		for i, s := range m.Seconds {
-			if err := cw.Write([]string{m.Name, fmt.Sprint(i), fmt.Sprintf("%.9g", s)}); err != nil {
+			rec[1], rec[2] = strconv.Itoa(i), g(s, 9)
+			if err := cw.Write(rec); err != nil {
 				return err
 			}
 		}

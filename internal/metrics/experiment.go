@@ -1,8 +1,8 @@
 package metrics
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -45,19 +45,26 @@ func (d Design) Points() []Point {
 			return nil
 		}
 	}
+	// Hoist the per-factor names and level slices out of the odometer loop
+	// so the hot enumeration indexes plain locals.
+	names := make([]string, len(d.Factors))
+	levels := make([][]float64, len(d.Factors))
+	for i, f := range d.Factors {
+		names[i], levels[i] = f.Name, f.Levels
+	}
 	out := make([]Point, 0, d.Size())
-	idx := make([]int, len(d.Factors))
+	idx := make([]int, len(levels))
 	for {
-		p := make(Point, len(d.Factors))
-		for i, f := range d.Factors {
-			p[f.Name] = f.Levels[idx[i]]
+		p := make(Point, len(levels))
+		for i, lv := range levels {
+			p[names[i]] = lv[idx[i]]
 		}
 		out = append(out, p)
 		// Odometer increment, last factor fastest.
 		i := len(idx) - 1
 		for ; i >= 0; i-- {
 			idx[i]++
-			if idx[i] < len(d.Factors[i].Levels) {
+			if idx[i] < len(levels[i]) {
 				break
 			}
 			idx[i] = 0
@@ -78,7 +85,7 @@ func (p Point) Key() string {
 	sort.Strings(names)
 	parts := make([]string, len(names))
 	for i, k := range names {
-		parts[i] = fmt.Sprintf("%s=%g", k, p[k])
+		parts[i] = k + "=" + strconv.FormatFloat(p[k], 'g', -1, 64)
 	}
 	return strings.Join(parts, " ")
 }
@@ -86,9 +93,10 @@ func (p Point) Key() string {
 // Sweep runs the measurement function at every point of the design and
 // returns the results keyed by Point.Key(), plus the ordered keys.
 func (d Design) Sweep(run func(Point) *Measurement) (map[string]*Measurement, []string) {
-	results := make(map[string]*Measurement)
-	var order []string
-	for _, p := range d.Points() {
+	pts := d.Points()
+	results := make(map[string]*Measurement, len(pts))
+	order := make([]string, 0, len(pts))
+	for _, p := range pts {
 		k := p.Key()
 		results[k] = run(p)
 		order = append(order, k)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"perfeng/internal/cluster"
@@ -35,7 +36,7 @@ func (t *Track) ProfileListener() profile.SpanListener {
 func AddClusterTrace(s *Session, tr *cluster.Tracer) {
 	ws := tr.AnalyzeWaitStates()
 	for r := 0; r < tr.Size(); r++ {
-		t := s.Track(fmt.Sprintf("rank %d", r))
+		t := s.Track("rank " + strconv.Itoa(r))
 		for _, e := range tr.Events(r) {
 			args := map[string]any{"bytes": e.Bytes}
 			if e.Peer >= 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -27,7 +28,7 @@ func (s *Session) FoldedStacks() []string {
 		if us == 0 {
 			us = 1
 		}
-		out = append(out, fmt.Sprintf("%s %d", path, us))
+		out = append(out, path+" "+strconv.FormatInt(us, 10))
 	}
 	return out
 }
@@ -55,7 +56,7 @@ func (s *Session) FlatReport() string {
 		exclusive time.Duration
 	}
 	byName := make(map[string]*row)
-	order := make([]string, 0)
+	order := make([]string, 0, len(ps.paths))
 	for _, path := range ps.paths {
 		leaf := path[lastSep(path)+1:]
 		r, ok := byName[leaf]

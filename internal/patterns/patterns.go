@@ -141,8 +141,9 @@ func Known() []*Pattern {
 // Detect scores the features against every known pattern and returns
 // matches with score >= threshold, best first.
 func Detect(f Features, threshold float64) []Match {
-	var out []Match
-	for _, p := range Known() {
+	known := Known()
+	out := make([]Match, 0, len(known))
+	for _, p := range known {
 		s := p.Score(f)
 		if s >= threshold {
 			out = append(out, Match{Pattern: p, Score: s})

@@ -1,0 +1,191 @@
+package perfvet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// An analysistest-style fixture runner: fixture packages live under
+// testdata/src/<name>, annotate expected findings with
+//
+//	code... // want "regexp" `another regexp`
+//
+// and RunFixture checks that the analyzers report exactly the
+// annotated set — every finding must match a want on its line, every
+// want must be matched by a finding. Both double-quoted (Go escapes)
+// and backquoted (raw, regex-friendly) strings are accepted.
+
+// RunFixture loads the fixture package in dir (relative to the test's
+// working directory), runs the analyzers, and diffs findings against
+// the // want annotations.
+func RunFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	report := fixtureReport(t, dir, analyzers...)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(wants))
+	for _, f := range report.Findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != f.File || w.line != f.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureReport loads and analyzes a fixture package without want
+// checking, for tests that assert on findings directly.
+func fixtureReport(t *testing.T, dir string, analyzers ...*Analyzer) *Report {
+	t.Helper()
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fixture/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("perfvet: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans every non-test Go file in dir for want
+// annotations.
+func collectWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			patterns, err := parseWants(lineText)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", full, i+1, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", full, i+1, p, err)
+				}
+				wants = append(wants, want{file: full, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWants extracts quoted patterns following a "// want" marker.
+func parseWants(line string) ([]string, error) {
+	idx := strings.Index(line, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(line[idx+len("// want "):])
+	var out []string
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern")
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, fmt.Errorf("unterminated want pattern")
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %w", rest[:end+1], err)
+			}
+			out = append(out, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			return out, nil
+		}
+	}
+	return out, nil
+}

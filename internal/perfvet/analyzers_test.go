@@ -1,0 +1,41 @@
+package perfvet
+
+import "testing"
+
+// Each analyzer runs alone against its fixture package; the fixture's
+// want comments cover both true positives and deliberate non-findings
+// (lines without a want must report nothing).
+
+func TestDeferInLoopFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/deferinloop", DeferInLoop)
+}
+
+func TestHotLoopAllocFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/hotloopalloc", HotLoopAlloc)
+}
+
+func TestBCEHintFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/bcehint", BCEHint)
+}
+
+func TestFalseShareFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/falseshare", FalseShare)
+}
+
+func TestPreallocHintFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/preallochint", PreallocHint)
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := Select("bcehint, deferinloop")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(two) = %v, %v", two, err)
+	}
+	if _, err := Select("nope"); err == nil {
+		t.Fatal("Select(unknown) succeeded, want error")
+	}
+}

@@ -1,0 +1,392 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// BCEHint flags slice-index patterns that defeat Go's bounds-check
+// elimination, the stage-4 micro-optimization the course demonstrates
+// with -gcflags=-d=ssa/check_bce:
+//
+//   - a counted loop `for i := 0; i < n; i++` indexing s[i] where the
+//     prover cannot relate n to len(s), so every access re-checks
+//     bounds. Hoisting `_ = s[n-1]` above the loop (or bounding by
+//     len(s)) eliminates the per-iteration check. Bounds the prover
+//     does handle are exempt: len(s) itself, len(s) minus a
+//     non-negative constant, a variable whose only assignment in the
+//     function is `n := len(s)`, and a slice constructed with
+//     `make([]T, n)` for the same bound n.
+//   - a struct-field slice (x.f[...]) indexed inside a nested loop:
+//     the compiler re-loads the slice header through the pointer on
+//     every inner iteration, which blocks both BCE and invariant
+//     hoisting. Copying the field to a local before the inner loop
+//     fixes it. Single, non-nested loops are below the reporting bar —
+//     one extra load per iteration rarely shows up outside a nest.
+var BCEHint = &Analyzer{
+	Name: "bcehint",
+	Doc:  "slice indexing that defeats bounds-check elimination (non-len loop bound, struct-field slice in loop)",
+	Run:  runBCEHint,
+}
+
+func runBCEHint(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkCountedLoops(pass, f)
+		checkFieldSliceIndex(pass, f)
+	}
+	return nil
+}
+
+// checkCountedLoops handles the non-len-bound pattern.
+func checkCountedLoops(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		iv, bound := countedLoop(info, loop)
+		if iv == nil || assignsTo(info, loop.Body, iv) {
+			return true
+		}
+		// The slice whose length the prover can already tie the bound
+		// to (if any) needs no hint.
+		fn := enclosingFunc(stack)
+		boundLenOf := lenBoundObject(info, fn, bound)
+		var boundObj types.Object
+		if id, ok := ast.Unparen(bound).(*ast.Ident); ok {
+			boundObj = info.Uses[id]
+		}
+		reported := make(map[types.Object]bool)
+		ast.Inspect(loop.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			s, ok := ast.Unparen(ix.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			sObj := info.Uses[s]
+			if sObj == nil || reported[sObj] || !isSlice(info.Types[ix.X].Type) {
+				return true
+			}
+			idx, ok := ast.Unparen(ix.Index).(*ast.Ident)
+			if !ok || info.Uses[idx] != iv {
+				return true
+			}
+			if sObj == boundLenOf || assignsTo(info, loop.Body, sObj) {
+				return true
+			}
+			if makeLenBound(info, fn, sObj, boundObj) {
+				return true
+			}
+			if hoistedCheck(info, stack, loop, sObj) {
+				return true
+			}
+			reported[sObj] = true
+			pass.Reportf(ix.Pos(),
+				"bounds check on %s[%s] stays in the loop because the bound %s is not len(%s); hoist `_ = %s[%s-1]` before the loop or iterate to len(%s)",
+				s.Name, idx.Name, types.ExprString(bound), s.Name, s.Name, types.ExprString(bound), s.Name)
+			return true
+		})
+		return true
+	})
+}
+
+// countedLoop recognizes `for i := 0; i < bound; i++` and returns the
+// induction variable and bound expression.
+func countedLoop(info *types.Info, loop *ast.ForStmt) (*types.Var, ast.Expr) {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, nil
+	}
+	if lit, ok := ast.Unparen(init.Rhs[0]).(*ast.BasicLit); !ok || lit.Value != "0" {
+		return nil, nil
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	iv, ok := info.Defs[id].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	cond, ok := loop.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return nil, nil
+	}
+	condID, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || info.Uses[condID] != iv {
+		return nil, nil
+	}
+	post, ok := loop.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return nil, nil
+	}
+	postID, ok := post.X.(*ast.Ident)
+	if !ok || info.Uses[postID] != iv {
+		return nil, nil
+	}
+	return iv, cond.Y
+}
+
+// lenBoundObject returns the slice object X when the loop bound e is
+// provably at most len(X), in forms the SSA prover itself recognizes:
+//
+//	len(X)            the canonical bounded loop
+//	len(X) - c        c a non-negative constant
+//	n                 where n's sole assignment in fn is n := len(X)
+func lenBoundObject(info *types.Info, fn ast.Node, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if obj := lenOperand(info, e); obj != nil {
+		return obj
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == token.SUB {
+		if tv, ok := info.Types[bin.Y]; ok && tv.Value != nil &&
+			constant.Sign(tv.Value) >= 0 {
+			return lenOperand(info, bin.X)
+		}
+		return nil
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return soleLenAssign(info, fn, info.Uses[id])
+	}
+	return nil
+}
+
+// A write records one site in a function that (possibly) modifies an
+// object: an assignment (rhs set when it is a 1:1 assignment), an
+// increment/decrement, or an address-taken escape (rhs nil).
+type write struct {
+	rhs ast.Expr
+	pos token.Pos
+}
+
+// objWrites collects every write to obj under fn, treating &obj as a
+// write because anything could modify it afterwards.
+func objWrites(info *types.Info, fn ast.Node, obj types.Object) []write {
+	var ws []write
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || (info.Uses[id] != obj && info.Defs[id] != obj) {
+					continue
+				}
+				w := write{pos: n.Pos()}
+				if len(n.Lhs) == len(n.Rhs) && n.Tok != token.ADD_ASSIGN {
+					w.rhs = n.Rhs[i]
+				}
+				ws = append(ws, w)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+				ws = append(ws, write{pos: n.Pos()})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					ws = append(ws, write{pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return ws
+}
+
+// soleLenAssign returns the object X when obj is written exactly once
+// inside fn, by an assignment of len(X). With a single definition the
+// compiler's value numbering makes n and len(X) the same SSA value, so
+// `i < n` proves `i < len(X)` and the bounds check is already gone.
+func soleLenAssign(info *types.Info, fn ast.Node, obj types.Object) types.Object {
+	if fn == nil || obj == nil {
+		return nil
+	}
+	ws := objWrites(info, fn, obj)
+	if len(ws) != 1 || ws[0].rhs == nil {
+		return nil
+	}
+	return lenOperand(info, ws[0].rhs)
+}
+
+// makeLenBound reports whether sObj's only assignment in fn is
+// make([]T, n, ...) whose length argument is the loop bound object,
+// with the bound itself written at most once, before the make. Then
+// len(s) == n by construction, the prover already relates the two, and
+// the bounds check is gone without a hint.
+func makeLenBound(info *types.Info, fn ast.Node, sObj, boundObj types.Object) bool {
+	if fn == nil || sObj == nil || boundObj == nil {
+		return false
+	}
+	sw := objWrites(info, fn, sObj)
+	if len(sw) != 1 || sw[0].rhs == nil {
+		return false
+	}
+	call, ok := ast.Unparen(sw[0].rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	callee, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[callee].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	lenID, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok || info.Uses[lenID] != boundObj {
+		return false
+	}
+	bw := objWrites(info, fn, boundObj)
+	return len(bw) == 0 || (len(bw) == 1 && bw[0].pos < sw[0].pos)
+}
+
+// lenOperand returns the object X when e is len(X) for an identifier
+// X, else nil.
+func lenOperand(info *types.Info, e ast.Expr) types.Object {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "len" {
+		return nil
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[arg]
+}
+
+// assignsTo reports whether any statement under n writes to obj.
+func assignsTo(info *types.Info, n ast.Node, obj types.Object) bool {
+	written := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok &&
+					(info.Uses[id] == obj || info.Defs[id] == obj) {
+					written = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+				written = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.Uses[id] == obj {
+					written = true // address taken: anything could write it
+				}
+			}
+		}
+		return !written
+	})
+	return written
+}
+
+// hoistedCheck reports whether a `_ = s[...]` statement precedes the
+// loop among its siblings.
+func hoistedCheck(info *types.Info, stack []ast.Node, loop ast.Stmt, sObj types.Object) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	block, ok := stack[len(stack)-1].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	for _, stmt := range block.List {
+		if stmt == loop {
+			break
+		}
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+			continue
+		}
+		ix, ok := ast.Unparen(as.Rhs[0]).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := ast.Unparen(ix.X).(*ast.Ident); ok && info.Uses[id] == sObj {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFieldSliceIndex handles the struct-field-slice pattern, one
+// report per field per function. Only nested loops are reported: the
+// inner trip count multiplies the reload, and a local copy right above
+// the inner loop is the standard fix.
+func checkFieldSliceIndex(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	type key struct {
+		fn  ast.Node
+		sel string
+	}
+	reported := make(map[key]bool)
+	inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if loopDepth(stack) < 2 {
+			return true
+		}
+		sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !isSlice(info.Types[ix.X].Type) {
+			return true
+		}
+		k := key{fn: enclosingFunc(stack), sel: types.ExprString(sel)}
+		if reported[k] {
+			return true
+		}
+		reported[k] = true
+		pass.Reportf(ix.Pos(),
+			"%s is re-read through its struct on every inner-loop iteration, which blocks bounds-check elimination and invariant hoisting; copy it to a local variable before the loop nest",
+			types.ExprString(sel))
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func isSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,101 @@
+package perfvet
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Main implements the shared perfvet command line used by both
+// cmd/perfvet and `perfeng vet`.
+//
+// Exit-code contract (the same one PR 2's review fixed for benchgate:
+// the caller must receive the code directly, never through a pipe):
+//
+//	0  no findings
+//	1  findings (including stale/undocumented ignore directives)
+//	2  the run itself failed (bad flags, unknown analyzer, load error)
+func Main(prog string, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir       = fs.String("dir", ".", "module root (where go.mod lives)")
+		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		jsonOut   = fs.String("json", "", "write the machine-readable findings report to this file")
+		github    = fs.Bool("github", false, "emit GitHub Actions ::error annotations per finding")
+		list      = fs.Bool("list", false, "list the analyzers and their antipatterns, then exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: %s [flags] [packages]
+
+Statically checks Go packages for the performance antipatterns the
+course teaches (stage 1: inspect before you measure). Packages default
+to ./... relative to -dir. Suppress a finding with a documented
+//perfvet:ignore[:analyzer] directive; undocumented or stale
+directives are findings themselves.
+
+Exit code: 0 clean, 1 findings, 2 error.
+
+flags:
+`, prog)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	selected, err := Select(*analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 2
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 2
+	}
+	report, err := Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return 2
+	}
+	report.Text(stdout, loader.ModuleDir)
+	if *github {
+		report.GitHubAnnotations(stdout, loader.ModuleDir)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 2
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 2
+		}
+	}
+	if report.Failed() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,120 @@
+package perfvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI's exit-code contract mirrors benchgate's gate: 0 clean, 1
+// findings, 2 run failure — and the code must be returned, not
+// printed, so callers (CI) capture it directly.
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := Main("perfvet", args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCLIFindingsExitOne(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(root, "internal", "perfvet", "testdata", "src", "deferinloop")
+	code, out, _ := runCLI(t, "-dir", root, fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[deferinloop]") {
+		t.Errorf("findings output missing analyzer tag:\n%s", out)
+	}
+}
+
+func TestCLICleanExitZero(t *testing.T) {
+	dir := t.TempDir()
+	writeCleanModule(t, dir)
+	code, out, errOut := runCLI(t, "-dir", dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "clean") {
+		t.Errorf("clean summary missing:\n%s", out)
+	}
+}
+
+func TestCLIErrorsExitTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, "-analyzers", "nope", "."); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-dir", t.TempDir(), "./..."); code != 2 {
+		t.Errorf("no module: exit %d, want 2", code)
+	}
+}
+
+func TestCLIJSONAndAnnotations(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(root, "internal", "perfvet", "testdata", "src", "preallochint")
+	jsonPath := filepath.Join(t.TempDir(), "findings.json")
+	code, out, _ := runCLI(t, "-dir", root, "-github", "-json", jsonPath, fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "::error file=") {
+		t.Errorf("-github annotations missing:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Failed   bool      `json:"failed"`
+		Findings []Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Failed || len(decoded.Findings) == 0 {
+		t.Errorf("JSON artifact not populated: %+v", decoded)
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list missing %s:\n%s", a.Name, out)
+		}
+	}
+}
+
+// writeCleanModule creates a tiny antipattern-free module.
+func writeCleanModule(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module clean\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package clean
+
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package perfvet
+
+import (
+	"go/ast"
+)
+
+// DeferInLoop flags defer statements inside loop bodies. Deferred
+// calls run at function return, not at the end of the iteration, so a
+// defer in a loop accumulates one pending call (and its allocation)
+// per iteration — file handles stay open, locks stay held, and the
+// defer chain itself grows O(iterations). A defer inside a function
+// literal that is itself inside a loop is fine: it runs when the
+// literal returns.
+var DeferInLoop = &Analyzer{
+	Name: "deferinloop",
+	Doc:  "defer inside a loop runs at function exit, accumulating one pending call per iteration",
+	Run:  runDeferInLoop,
+}
+
+func runDeferInLoop(pass *Pass) error {
+	visit := func(n ast.Node, stack []ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if enclosingLoop(stack) != nil {
+			pass.Reportf(d.Pos(), "defer inside a loop does not run until the function returns; move the loop body into a helper function or release the resource explicitly")
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, visit)
+	}
+	return nil
+}

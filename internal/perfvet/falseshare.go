@@ -1,0 +1,176 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"perfeng/internal/simulator"
+)
+
+// FalseShare flags struct layouts where two independently-updated
+// synchronization points — sync/atomic values, plain fields updated
+// through sync/atomic calls, or mutexes — sit within one cache line of
+// each other. Cores then invalidate each other's line on every update
+// even though the data is logically disjoint: the false-sharing
+// pattern internal/patterns demonstrates dynamically, caught here at
+// the struct declaration. The line size is the simulator's
+// DefaultLineSize, the geometry of every machine model the course
+// uses.
+var FalseShare = &Analyzer{
+	Name: "falseshare",
+	Doc:  "adjacent independently-updated synchronization fields likely share a cache line",
+	Run:  runFalseShare,
+}
+
+func runFalseShare(pass *Pass) error {
+	atomicFields := atomicUpdatedFields(pass)
+	visit := func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		checkStruct(pass, ts, st, atomicFields)
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// atomicUpdatedFields collects struct fields whose address is passed
+// to a sync/atomic function anywhere in the package, e.g.
+// atomic.AddUint64(&s.hits, 1).
+func atomicUpdatedFields(pass *Pass) map[*types.Var]bool {
+	info := pass.TypesInfo
+	fields := make(map[*types.Var]bool)
+	visit := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := callee(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				fields[v] = true
+			}
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, visit)
+	}
+	return fields
+}
+
+// checkStruct reports contended-field pairs that fall inside the same
+// cache-line span.
+func checkStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, atomicFields map[*types.Var]bool) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name]
+	if !ok || obj == nil {
+		return
+	}
+	structType, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	n := structType.NumFields()
+	if n < 2 {
+		return
+	}
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = structType.Field(i)
+	}
+	offsets := pass.Sizes.Offsetsof(fields)
+	fieldPos := fieldPositions(st, n)
+
+	type contended struct {
+		idx  int
+		kind string
+	}
+	var prev *contended
+	for i := 0; i < n; i++ {
+		kind := contentionKind(fields[i], atomicFields)
+		if kind == "" {
+			continue
+		}
+		cur := &contended{idx: i, kind: kind}
+		if prev != nil {
+			gap := offsets[cur.idx] - offsets[prev.idx]
+			if gap < int64(simulator.DefaultLineSize) {
+				pos := ts.Pos()
+				if cur.idx < len(fieldPos) && fieldPos[cur.idx].IsValid() {
+					pos = fieldPos[cur.idx]
+				}
+				pass.Reportf(pos,
+					"fields %s (%s) and %s (%s) are independently-updated synchronization points only %d bytes apart — they share a %d-byte cache line, so updates ping-pong the line between cores; insert [%d]byte padding or split the struct",
+					fields[prev.idx].Name(), prev.kind, fields[cur.idx].Name(), cur.kind,
+					gap, simulator.DefaultLineSize, simulator.DefaultLineSize)
+			}
+		}
+		prev = cur
+	}
+}
+
+// fieldPositions maps types.Struct field order (which expands
+// multi-name field declarations) to source positions.
+func fieldPositions(st *ast.StructType, n int) []token.Pos {
+	pos := make([]token.Pos, 0, n)
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			pos = append(pos, f.Pos()) // embedded
+			continue
+		}
+		for _, name := range f.Names {
+			pos = append(pos, name.Pos())
+		}
+	}
+	return pos
+}
+
+// contentionKind classifies a field as an independent synchronization
+// point: "" means not contended.
+func contentionKind(v *types.Var, atomicFields map[*types.Var]bool) string {
+	if atomicFields[v] {
+		return "updated via sync/atomic"
+	}
+	name := namedTypePath(v.Type())
+	switch {
+	case strings.HasPrefix(name, "sync/atomic."):
+		return strings.TrimPrefix(name, "sync/")
+	case name == "sync.Mutex" || name == "sync.RWMutex":
+		return strings.TrimPrefix(name, "sync.") + " lock word"
+	}
+	return ""
+}
+
+// namedTypePath returns "pkgpath.Name" for named types, else "".
+func namedTypePath(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,243 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotLoopAlloc flags per-iteration allocation sources inside loop
+// bodies — the first thing the course's stage-1 code inspection looks
+// for, because a single allocation in a hot loop turns into
+// O(iterations) garbage:
+//
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf calls
+//   - string concatenation that grows a string (s += x, s = s + x)
+//   - string <-> []byte conversions
+//   - boxing a concrete value into an interface
+//   - closures that capture only loop-invariant variables (hoistable)
+//
+// Goroutine and defer closures (`go func(){...}()`) are exempt: the
+// spawn itself dominates, and the idiom is deliberate. Allocations on
+// loop-exit paths (inside a return statement or a panic call) are also
+// exempt: they run at most once per loop entry, so the construction of
+// an error with fmt.Errorf on the way out is not a per-iteration cost.
+var HotLoopAlloc = &Analyzer{
+	Name: "hotloopalloc",
+	Doc:  "allocation source inside a loop body (fmt formatting, string concat/conversion, boxing, hoistable closure)",
+	Run:  runHotLoopAlloc,
+}
+
+func runHotLoopAlloc(pass *Pass) error {
+	visit := func(n ast.Node, stack []ast.Node) bool {
+		loop := enclosingLoop(stack)
+		if loop == nil || loopExitPath(pass.TypesInfo, stack, loop) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkLoopCall(pass, n, loop)
+		case *ast.AssignStmt:
+			checkLoopConcat(pass, n)
+		case *ast.FuncLit:
+			checkLoopClosure(pass, n, loop, stack)
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, visit)
+	}
+	return nil
+}
+
+// loopExitPath reports whether the current node (whose ancestors are
+// stack) sits on a path that leaves the loop in the same iteration:
+// under a return statement or inside a panic call. Such code runs at
+// most once per loop entry, so per-iteration allocation costs do not
+// apply to it.
+func loopExitPath(info *types.Info, stack []ast.Node, loop ast.Stmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == ast.Node(loop) {
+			return false
+		}
+		switch n := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkLoopCall flags allocating fmt calls and allocating conversions.
+// Conversions are only flagged when their operand is loop-invariant —
+// converting per-iteration data is unavoidable without restructuring,
+// but converting the same value every time is a free hoist.
+func checkLoopCall(pass *Pass, call *ast.CallExpr, loop ast.Stmt) {
+	info := pass.TypesInfo
+	if fn := callee(info, call); fn != nil {
+		if isPkgFunc(fn, "fmt", "Sprintf", "Sprint", "Sprintln", "Errorf") {
+			pass.Reportf(call.Pos(), "fmt.%s allocates on every loop iteration; hoist the formatting out of the loop or build into a reused buffer (strconv.Append*, strings.Builder)", fn.Name())
+		}
+		return
+	}
+	// Conversions: T(x) where the callee is a type, not a function.
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	src := info.Types[call.Args[0]].Type
+	if src == nil || !loopInvariant(info, call.Args[0], loop) {
+		return
+	}
+	switch {
+	case isString(dst) && isByteSlice(src):
+		pass.Reportf(call.Pos(), "string([]byte) conversion of a loop-invariant value copies on every iteration; hoist it out of the loop")
+	case isByteSlice(dst) && isString(src):
+		pass.Reportf(call.Pos(), "[]byte(string) conversion of a loop-invariant value copies on every iteration; hoist it out of the loop")
+	case types.IsInterface(dst) && !types.IsInterface(src) && src != types.Typ[types.UntypedNil]:
+		pass.Reportf(call.Pos(), "conversion to %s boxes the same value on every loop iteration; hoist the conversion or keep the concrete type", types.TypeString(dst, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// loopInvariant conservatively reports whether e evaluates to the same
+// value on every iteration of loop: every variable it mentions is
+// declared outside the loop and never written inside it, and it calls
+// nothing.
+func loopInvariant(info *types.Info, e ast.Expr, loop ast.Stmt) bool {
+	invariant := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			invariant = false
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok {
+				if nodeContains(loop, v.Pos()) || assignsTo(info, loop, v) {
+					invariant = false
+				}
+			}
+		}
+		return invariant
+	})
+	return invariant
+}
+
+// checkLoopConcat flags string concatenation that grows a string per
+// iteration: s += x, or s = s + x where s appears on the right.
+func checkLoopConcat(pass *Pass, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[lhs]
+	if obj == nil {
+		obj = info.Defs[lhs]
+	}
+	if obj == nil || !isString(obj.Type()) {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		pass.Reportf(as.Pos(), "%s += in a loop re-allocates and copies the whole string each iteration (quadratic); use a strings.Builder", lhs.Name)
+	case token.ASSIGN:
+		// Only a genuine + chain grows the string; s = f(s) does not.
+		bin, isAdd := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if isAdd && bin.Op == token.ADD && rhsUsesObj(info, bin, obj) {
+			pass.Reportf(as.Pos(), "%s = %s + ... in a loop re-allocates and copies the whole string each iteration (quadratic); use a strings.Builder", lhs.Name, lhs.Name)
+		}
+	}
+}
+
+// rhsUsesObj reports whether the + chain rooted at e mentions obj.
+func rhsUsesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLoopClosure flags function literals built inside a loop that
+// capture at least one variable, all of which are loop-invariant: the
+// literal (re-)allocates per iteration but could be hoisted above the
+// loop. Literals launched via go or defer are exempt.
+func checkLoopClosure(pass *Pass, lit *ast.FuncLit, loop ast.Stmt, stack []ast.Node) {
+	if launchedClosure(lit, stack) {
+		return
+	}
+	info := pass.TypesInfo
+	captures := 0
+	invariant := true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		if v.Parent() == pass.Pkg.Scope() || nodeContains(lit, v.Pos()) {
+			return true // global access or local to the literal: not a capture
+		}
+		captures++
+		if nodeContains(loop, v.Pos()) {
+			invariant = false
+			return false
+		}
+		return true
+	})
+	if captures > 0 && invariant {
+		pass.Reportf(lit.Pos(), "closure captures only loop-invariant variables; hoist it out of the loop to avoid re-creating it every iteration")
+	}
+}
+
+// launchedClosure reports whether lit is the callee of a go or defer
+// statement's call.
+func launchedClosure(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != ast.Expr(lit) {
+		return false
+	}
+	switch stack[len(stack)-2].(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,219 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Handling of the //perfvet:ignore suppression directive.
+//
+//	//perfvet:ignore reason...               suppress all analyzers
+//	//perfvet:ignore:name1,name2 reason...   suppress only those named
+//
+// A directive that shares its line with code applies to that line; a
+// directive alone on its line applies to the next line. Directives are
+// contracts, not escape hatches: a missing reason, an unknown analyzer
+// name, or a directive that suppresses nothing is reported as a
+// finding by the pseudo-analyzer "perfvet". Those meta findings are
+// themselves not suppressible.
+
+const directivePrefix = "perfvet:ignore"
+
+type ignoreDirective struct {
+	file      string
+	line      int // line the directive applies to
+	ownLine   int // line the comment sits on (for reporting)
+	col       int
+	analyzers []string // empty = all analyzers
+	reason    string
+	used      bool
+}
+
+type ignoreSet struct {
+	byLine map[string]map[int][]*ignoreDirective
+	all    []*ignoreDirective
+}
+
+// collectIgnores scans a package's comments for directives. Malformed
+// directives (no reason, unknown analyzer scope) are returned as
+// findings immediately.
+func collectIgnores(pkg *Package) (*ignoreSet, []Finding) {
+	set := &ignoreSet{byLine: make(map[string]map[int][]*ignoreDirective)}
+	//perfvet:ignore:preallochint malformed directives are rare; sizing to len(pkg.Files) would allocate for the common all-clean case
+	var malformed []Finding
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, errs := parseDirective(pkg, c, known)
+				if d == nil && errs == nil {
+					continue
+				}
+				for _, msg := range errs {
+					pos := pkg.Fset.Position(c.Pos())
+					malformed = append(malformed, Finding{
+						Analyzer: "perfvet", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: msg,
+					})
+				}
+				if d == nil {
+					continue
+				}
+				byFile := set.byLine[d.file]
+				if byFile == nil {
+					byFile = make(map[int][]*ignoreDirective)
+					set.byLine[d.file] = byFile
+				}
+				byFile[d.line] = append(byFile[d.line], d)
+				set.all = append(set.all, d)
+			}
+		}
+	}
+	return set, malformed
+}
+
+// parseDirective parses one comment. It returns (nil, nil) for
+// non-directive comments, (nil, errs) for malformed directives, and a
+// directive (plus any errors for the salvageable parts) otherwise.
+func parseDirective(pkg *Package, c *ast.Comment, known map[string]bool) (*ignoreDirective, []string) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil, nil // block comments are not directives
+	}
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return nil, nil
+	}
+	var scope []string
+	var errs []string
+	if names, ok := strings.CutPrefix(rest, ":"); ok {
+		list := names
+		if i := strings.IndexFunc(names, unicode.IsSpace); i >= 0 {
+			list, rest = names[:i], names[i:]
+		} else {
+			rest = ""
+		}
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !known[n] {
+				errs = append(errs, "//perfvet:ignore names unknown analyzer "+strconv.Quote(n))
+				continue
+			}
+			scope = append(scope, n)
+		}
+		if len(scope) == 0 && len(errs) > 0 {
+			return nil, errs
+		}
+	} else if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return nil, nil // e.g. //perfvet:ignorexyz — not the directive
+	}
+	reason := strings.TrimSpace(rest)
+	if reason == "" {
+		errs = append(errs, "//perfvet:ignore directive needs a justification: //perfvet:ignore[:analyzer] why this finding is acceptable")
+		return nil, errs
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	d := &ignoreDirective{
+		file: pos.Filename, ownLine: pos.Line, line: pos.Line, col: pos.Column,
+		analyzers: scope, reason: reason,
+	}
+	if standaloneComment(pkg.Sources[pos.Filename], pos) {
+		d.line = pos.Line + 1
+	}
+	return d, errs
+}
+
+// standaloneComment reports whether only whitespace precedes the
+// comment on its line, in which case the directive governs the line
+// below it.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	// pos.Offset is the byte offset of the comment's "//".
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // comment starts the file
+}
+
+// suppress reports whether a finding by the analyzer at pos is covered
+// by a directive, marking the directive used.
+func (s *ignoreSet) suppress(analyzer string, pos token.Position) bool {
+	suppressed := false
+	for _, d := range s.byLine[pos.Filename][pos.Line] {
+		if len(d.analyzers) > 0 && !contains(d.analyzers, analyzer) {
+			continue
+		}
+		d.used = true
+		suppressed = true
+	}
+	return suppressed
+}
+
+// unused reports stale directives: those that suppressed nothing even
+// though every analyzer they apply to ran. A directive scoped to an
+// analyzer that was deselected this run is left alone — it may be
+// load-bearing for a full run.
+func (s *ignoreSet) unused(ran map[string]bool) []Finding {
+	//perfvet:ignore:preallochint stale directives are the exception; sizing to len(s.all) would allocate even when every directive is live
+	var out []Finding
+	for _, d := range s.all {
+		if d.used {
+			continue
+		}
+		covered := true
+		if len(d.analyzers) == 0 {
+			for _, a := range All() {
+				if !ran[a.Name] {
+					covered = false
+					break
+				}
+			}
+		} else {
+			for _, n := range d.analyzers {
+				if !ran[n] {
+					covered = false
+					break
+				}
+			}
+		}
+		if !covered {
+			continue
+		}
+		scope := "any"
+		if len(d.analyzers) > 0 {
+			scope = strings.Join(d.analyzers, ",")
+		}
+		out = append(out, Finding{
+			Analyzer: "perfvet", File: d.file, Line: d.ownLine, Col: d.col,
+			Message: "unused //perfvet:ignore directive: no " + scope + " finding on line " + strconv.Itoa(d.line) + " — remove it",
+		})
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

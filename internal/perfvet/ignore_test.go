@@ -1,0 +1,72 @@
+package perfvet
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectation is one finding the ignore fixture must produce: the
+// line, the reporting analyzer, and a message fragment.
+type expectation struct {
+	line     int
+	analyzer string
+	fragment string
+}
+
+func checkFindings(t *testing.T, report *Report, want []expectation) {
+	t.Helper()
+	matched := make([]bool, len(want))
+	for _, f := range report.Findings {
+		ok := false
+		for i, w := range want {
+			if matched[i] || f.Line != w.line || f.Analyzer != w.analyzer {
+				continue
+			}
+			if strings.Contains(f.Message, w.fragment) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range want {
+		if !matched[i] {
+			t.Errorf("missing finding: line %d [%s] containing %q", w.line, w.analyzer, w.fragment)
+		}
+	}
+}
+
+// TestIgnoreDirectives runs the full suite over the ignore fixture:
+// documented directives (same-line, standalone, correctly scoped)
+// suppress; wrongly scoped, stale, undocumented, and unknown-scope
+// directives surface as findings.
+func TestIgnoreDirectives(t *testing.T) {
+	report := fixtureReport(t, "testdata/src/ignore", All()...)
+	checkFindings(t, report, []expectation{
+		{35, "hotloopalloc", "fmt.Sprintf allocates"},
+		{35, "perfvet", "unused //perfvet:ignore directive"},
+		{42, "perfvet", "unused //perfvet:ignore directive"},
+		{51, "perfvet", "needs a justification"},
+		{51, "hotloopalloc", "fmt.Sprintf allocates"},
+		{58, "perfvet", "unknown analyzer"},
+		{58, "hotloopalloc", "fmt.Sprintf allocates"},
+	})
+}
+
+// TestIgnoreDirectivesSubsetRun: when only one analyzer runs, a
+// directive scoped to a different analyzer is not reported stale (it
+// may be load-bearing for a full run), and unscoped stale directives
+// are likewise left alone.
+func TestIgnoreDirectivesSubsetRun(t *testing.T) {
+	report := fixtureReport(t, "testdata/src/ignore", HotLoopAlloc)
+	checkFindings(t, report, []expectation{
+		{35, "hotloopalloc", "fmt.Sprintf allocates"},
+		{51, "perfvet", "needs a justification"},
+		{51, "hotloopalloc", "fmt.Sprintf allocates"},
+		{58, "perfvet", "unknown analyzer"},
+		{58, "hotloopalloc", "fmt.Sprintf allocates"},
+	})
+}

@@ -1,0 +1,320 @@
+package perfvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+// Only non-test files are loaded: the analyzers look for hot-path
+// antipatterns, and test files are not hot paths (and external _test
+// packages would complicate type-checking for no findings worth
+// having).
+type Package struct {
+	Path    string // import path, e.g. perfeng/internal/kernels
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Sources map[string][]byte // filename -> raw source, for directive layout checks
+	Types   *types.Package
+	Info    *types.Info
+	Sizes   types.Sizes
+}
+
+// A Loader parses and type-checks packages of a single module using
+// only the standard library: imports within the module resolve
+// recursively through the loader itself, and standard-library imports
+// resolve through go/importer's source importer (which type-checks
+// GOROOT sources, needing no pre-built export data and no network).
+// Third-party imports are unsupported — the module is dependency-free
+// by design.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+	Fset       *token.FileSet
+
+	std   types.ImporterFrom
+	sizes types.Sizes
+	pkgs  map[string]*loadEntry
+}
+
+type loadEntry struct {
+	loading bool
+	pkg     *Package
+	err     error
+}
+
+// NewLoader creates a loader rooted at the module directory containing
+// go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("perfvet: source importer does not implement ImporterFrom")
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
+	}
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        std,
+		sizes:      sizes,
+		pkgs:       make(map[string]*loadEntry),
+	}, nil
+}
+
+// modulePath extracts the module path from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("perfvet: %s is not a module root: %w", dir, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.Trim(strings.TrimSpace(rest), `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("perfvet: no module line in %s/go.mod", dir)
+}
+
+// Load expands the patterns ("./...", "./internal/kernels",
+// "perfeng/internal/...") and loads every matched package, sorted by
+// import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath = path.Join(l.ModulePath, filepath.ToSlash(rel))
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// expand turns patterns into a deduplicated list of package
+// directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if p == "..." {
+			p, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, recursive = rest, true
+		}
+		dir, err := l.patternDir(p)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("perfvet: no Go files in %s", dir)
+			}
+			add(dir)
+			continue
+		}
+		found := false
+		err = filepath.WalkDir(dir, func(sub string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if sub != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			if hasGoFiles(sub) {
+				found = true
+				add(sub)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, fmt.Errorf("perfvet: no packages match %s/...", dir)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("perfvet: no packages matched %v", patterns)
+	}
+	return dirs, nil
+}
+
+// patternDir maps one non-recursive pattern to an absolute directory,
+// accepting both filesystem paths and module import paths.
+func (l *Loader) patternDir(p string) (string, error) {
+	if p == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(p, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	dir := p
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModuleDir, dir)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return "", fmt.Errorf("perfvet: pattern %q matches no directory", p)
+	}
+	return dir, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path. Results are memoized, so a package imported by
+// several analyzed packages is checked once.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entry, ok := l.pkgs[importPath]
+	if ok {
+		if entry.loading {
+			return nil, fmt.Errorf("perfvet: import cycle through %s", importPath)
+		}
+		return entry.pkg, entry.err
+	}
+	entry = &loadEntry{loading: true}
+	l.pkgs[importPath] = entry
+	pkg, err := l.loadDir(dir, importPath)
+	entry.loading = false
+	entry.pkg, entry.err = pkg, err
+	return pkg, err
+}
+
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("perfvet: no Go files in %s", dir)
+	}
+	sources := make(map[string][]byte, len(names))
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		sources[full] = src
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l, Sizes: l.sizes}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("perfvet: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path: importPath, Dir: dir, Fset: l.Fset, Files: files,
+		Sources: sources, Types: tpkg, Info: info, Sizes: l.sizes,
+	}, nil
+}
+
+// Import implements types.Importer for the type-checker: module-local
+// imports recurse through the loader, everything else is treated as
+// standard library and resolved from GOROOT sources.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if importPath == l.ModulePath {
+		pkg, err := l.LoadDir(l.ModuleDir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.ModulePath+"/"); ok {
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), importPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(importPath, l.ModuleDir, 0)
+}

@@ -1,0 +1,250 @@
+// Package perfvet statically detects the performance antipatterns the
+// course teaches students to find during stage 1 of the seven-stage
+// process — static inspection of the code before any measurement.
+// Each analyzer encodes one antipattern:
+//
+//   - hotloopalloc: allocation sources inside loop bodies (fmt
+//     formatting, string concatenation, string<->[]byte conversions,
+//     interface boxing, hoistable closures)
+//   - deferinloop: defer statements that accumulate inside a loop
+//   - bcehint: slice indexing that defeats Go's bounds-check
+//     elimination (non-len loop bounds without a hoisted check, slice
+//     struct fields re-indexed inside loops)
+//   - falseshare: adjacent independently-updated synchronization
+//     fields that likely share a cache line
+//   - preallochint: slices grown by append in a loop whose capacity is
+//     computable before the loop
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, analysistest-style fixtures) but is built on the standard
+// library only, so the module stays dependency-free and the CI tool
+// chain stays pinned and reproducible.
+//
+// Findings are suppressed with a documented directive:
+//
+//	//perfvet:ignore reason...               all analyzers
+//	//perfvet:ignore:name1,name2 reason...   only the named analyzers
+//
+// A directive placed on its own line applies to the next line;
+// otherwise it applies to its own line. A directive must carry a
+// justification, must name known analyzers, and must actually suppress
+// a finding — undocumented, unknown-scope, and stale directives are
+// themselves findings (analyzer name "perfvet"), so suppressions
+// cannot rot silently.
+package perfvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one antipattern detector and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -analyzers selections
+	// and scoped //perfvet:ignore directives.
+	Name string
+	// Doc is a one-line description of the antipattern.
+	Doc string
+	// Run inspects a single package and reports findings via pass.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with a single type-checked package and
+// a sink for its findings.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Sizes     types.Sizes
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is a raw finding before ignore filtering and position
+// resolution.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Finding is a position-resolved diagnostic that survived ignore
+// filtering — what the renderers and the exit code are based on.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Run applies the analyzers to every package, filters findings through
+// //perfvet:ignore directives, and reports stale or malformed
+// directives as findings of their own.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Report, error) {
+	ran := make(map[string]bool, len(analyzers))
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		names = append(names, a.Name)
+	}
+	report := &Report{Analyzers: names, Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		record := func(d Diagnostic) { diags = append(diags, d) }
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Sizes:     pkg.Sizes,
+				report:    record,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("perfvet: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		ignores, malformed := collectIgnores(pkg)
+		report.Findings = append(report.Findings, malformed...)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.suppress(d.Analyzer, pos) {
+				continue
+			}
+			report.Findings = append(report.Findings, Finding{
+				Analyzer: d.Analyzer, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Message: d.Message,
+			})
+		}
+		report.Findings = append(report.Findings, ignores.unused(ran)...)
+	}
+	sort.Slice(report.Findings, func(i, j int) bool {
+		a, b := report.Findings[i], report.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return report, nil
+}
+
+// inspectStack walks root in preorder, calling fn with each node and
+// the stack of its ancestors (outermost first, innermost last, not
+// including n itself). If fn returns false the node's children are
+// skipped.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingLoop returns the innermost for or range statement whose
+// per-iteration region (body, or a for statement's condition/post)
+// contains the current node, without crossing a function boundary.
+// The current node is the child of stack's last element.
+func enclosingLoop(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil
+		case *ast.ForStmt:
+			if i+1 < len(stack) && (stack[i+1] == ast.Node(n.Body) ||
+				(n.Cond != nil && stack[i+1] == ast.Node(n.Cond)) ||
+				(n.Post != nil && stack[i+1] == ast.Node(n.Post))) {
+				return n
+			}
+		case *ast.RangeStmt:
+			if i+1 < len(stack) && stack[i+1] == ast.Node(n.Body) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// loopDepth counts how many enclosing loops contain the current node
+// within the nearest function frame.
+func loopDepth(stack []ast.Node) int {
+	depth := 0
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return depth
+		case *ast.ForStmt:
+			if i+1 < len(stack) && (stack[i+1] == ast.Node(n.Body) ||
+				(n.Cond != nil && stack[i+1] == ast.Node(n.Cond)) ||
+				(n.Post != nil && stack[i+1] == ast.Node(n.Post))) {
+				depth++
+			}
+		case *ast.RangeStmt:
+			if i+1 < len(stack) && stack[i+1] == ast.Node(n.Body) {
+				depth++
+			}
+		}
+	}
+	return depth
+}
+
+// callee resolves the called function or method, or nil for indirect
+// calls, conversions and builtins.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is one of the named package-level
+// functions of the package with the given import path.
+func isPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeContains reports whether pos lies within n's source range.
+func nodeContains(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}

@@ -1,0 +1,250 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PreallocHint flags slices declared with no capacity and then grown
+// by append inside a loop whose trip count is computable before the
+// loop runs: `make(T, 0, n)` up front replaces the O(log n) growth
+// re-allocations (and the copying they do) with a single allocation.
+// Only appends of single elements to a slice declared in the same
+// block as the loop are considered, so the hint is always actionable.
+var PreallocHint = &Analyzer{
+	Name: "preallochint",
+	Doc:  "slice grown by append in a loop whose capacity is computable up front",
+	Run:  runPreallocHint,
+}
+
+func runPreallocHint(pass *Pass) error {
+	visit := func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		checkBlock(pass, block)
+		return true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+type candidate struct {
+	obj  types.Object
+	pos  token.Pos
+	name string
+}
+
+// checkBlock tracks zero-capacity slice declarations and matches them
+// against later sibling loops that append to them.
+func checkBlock(pass *Pass, block *ast.BlockStmt) {
+	info := pass.TypesInfo
+	candidates := make(map[types.Object]*candidate)
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.DeclStmt:
+			// var out []T
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				at, ok := vs.Type.(*ast.ArrayType)
+				if !ok || at.Len != nil {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil {
+						candidates[obj] = &candidate{obj: obj, pos: name.Pos(), name: name.Name}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// out := []T{} / out := make([]T, 0), or invalidation by
+			// reassignment.
+			rhs := s.Rhs
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if s.Tok == token.DEFINE && len(s.Lhs) == len(rhs) && zeroCapSlice(info, rhs[i]) {
+					candidates[obj] = &candidate{obj: obj, pos: id.Pos(), name: id.Name}
+				} else {
+					delete(candidates, obj) // reassigned: no longer the empty slice
+				}
+			}
+		case *ast.ForStmt:
+			matchLoop(pass, candidates, s, s.Body, forTripCount(info, s))
+		case *ast.RangeStmt:
+			matchLoop(pass, candidates, s, s.Body, rangeTripCount(info, s))
+		default:
+			// A declared slice used by any other statement shape (passed
+			// somewhere, returned, address taken) may alias; drop it.
+			invalidateUses(info, stmt, candidates)
+		}
+	}
+}
+
+// matchLoop reports candidates appended to inside the loop body when
+// the trip count is known, then retires them either way.
+func matchLoop(pass *Pass, candidates map[types.Object]*candidate, loop ast.Stmt, body *ast.BlockStmt, tripCount string) {
+	info := pass.TypesInfo
+	appended := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		c, ok := candidates[obj]
+		if !ok {
+			return true
+		}
+		if selfAppend(info, as.Rhs[0], obj) {
+			appended[c.obj] = true
+		} else {
+			delete(candidates, obj)
+		}
+		return true
+	})
+	loopLine := pass.Fset.Position(loop.Pos()).Line
+	for obj := range appended {
+		c := candidates[obj]
+		if c == nil {
+			continue
+		}
+		if tripCount != "" {
+			elemType := types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg))
+			pass.Reportf(c.pos,
+				"%s is grown by append in the loop at line %d whose trip count is known up front; preallocate with make(%s, 0, %s) to avoid repeated growth copies",
+				c.name, loopLine, elemType, tripCount)
+		}
+		delete(candidates, obj) // one hint per declaration
+	}
+}
+
+// selfAppend recognizes obj = append(obj, x) with a single non-spread
+// element.
+func selfAppend(info *types.Info, rhs ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || call.Ellipsis != token.NoPos || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[arg] == obj
+}
+
+// zeroCapSlice recognizes []T{} and make([]T, 0).
+func zeroCapSlice(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if !isSlice(info.Types[e].Type) {
+			return false
+		}
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		if len(e.Args) != 2 || !isSlice(info.Types[e].Type) {
+			return false
+		}
+		fn, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "make" {
+			return false
+		}
+		tv, ok := info.Types[e.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}
+
+// forTripCount extracts the bound of a counted `for i := 0; i < n;
+// i++` loop as source text, or "".
+func forTripCount(info *types.Info, loop *ast.ForStmt) string {
+	iv, bound := countedLoop(info, loop)
+	if iv == nil {
+		return ""
+	}
+	return types.ExprString(bound)
+}
+
+// rangeTripCount derives a capacity expression from a range operand
+// with a cheaply knowable length (slice, array, map, string, integer).
+// Channels and iterator functions yield "".
+func rangeTripCount(info *types.Info, loop *ast.RangeStmt) string {
+	t := info.Types[loop.X].Type
+	if t == nil {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return "len(" + types.ExprString(loop.X) + ")"
+	case *types.Array:
+		return "len(" + types.ExprString(loop.X) + ")"
+	case *types.Pointer:
+		if _, ok := u.Elem().Underlying().(*types.Array); ok {
+			return "len(" + types.ExprString(loop.X) + ")"
+		}
+	case *types.Basic:
+		if u.Info()&types.IsString != 0 {
+			return "len(" + types.ExprString(loop.X) + ")"
+		}
+		if u.Info()&types.IsInteger != 0 {
+			return types.ExprString(loop.X)
+		}
+	}
+	return ""
+}
+
+// invalidateUses drops candidates mentioned by a non-loop, non-append
+// statement in any way other than plain reads.
+func invalidateUses(info *types.Info, stmt ast.Stmt, candidates map[types.Object]*candidate) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					delete(candidates, info.Uses[id])
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					delete(candidates, info.Uses[id])
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,55 @@
+package perfvet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry lists every analyzer in the suite, in reporting order.
+var registry = []*Analyzer{
+	BCEHint,
+	DeferInLoop,
+	FalseShare,
+	HotLoopAlloc,
+	PreallocHint,
+}
+
+// All returns the full analyzer suite.
+func All() []*Analyzer {
+	out := make([]*Analyzer, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Select resolves a comma-separated analyzer selection ("" = all).
+func Select(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer, len(registry))
+	for _, a := range registry {
+		byName[a.Name] = a
+	}
+	parts := strings.Split(names, ",")
+	out := make([]*Analyzer, 0, len(parts))
+	seen := make(map[string]bool)
+	for _, n := range parts {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			valid := make([]string, 0, len(registry))
+			for _, a := range registry {
+				valid = append(valid, a.Name)
+			}
+			sort.Strings(valid)
+			return nil, fmt.Errorf("perfvet: unknown analyzer %q (have %s)", n, strings.Join(valid, ", "))
+		}
+		seen[n] = true
+		out = append(out, a)
+	}
+	return out, nil
+}

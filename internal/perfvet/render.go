@@ -1,0 +1,96 @@
+package perfvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Rendering of a perfvet run in the formats CI consumes, following the
+// conventions of internal/benchgate/render.go: plain text for
+// terminals and logs, GitHub Actions ::error workflow annotations for
+// PR overlays, and machine-readable JSON for artifacts.
+
+// A Report is the outcome of one perfvet run: the surviving findings
+// plus what was analyzed.
+type Report struct {
+	Analyzers []string  `json:"analyzers"`
+	Packages  int       `json:"packages"`
+	Findings  []Finding `json:"findings"`
+}
+
+// Failed reports whether the run should gate (any finding at all —
+// including stale or undocumented ignore directives).
+func (r *Report) Failed() bool { return len(r.Findings) > 0 }
+
+// Counts tallies findings per analyzer.
+func (r *Report) Counts() map[string]int {
+	counts := make(map[string]int)
+	for _, f := range r.Findings {
+		counts[f.Analyzer]++
+	}
+	return counts
+}
+
+// Summary is the one-line verdict.
+func (r *Report) Summary() string {
+	if !r.Failed() {
+		return fmt.Sprintf("perfvet: %d package(s) clean (%s)",
+			r.Packages, strings.Join(r.Analyzers, ", "))
+	}
+	counts := r.Counts()
+	parts := make([]string, 0, len(counts))
+	for _, a := range append(r.Analyzers, "perfvet") {
+		if counts[a] > 0 {
+			parts = append(parts, strconv.Itoa(counts[a])+" "+a)
+		}
+	}
+	return fmt.Sprintf("perfvet: %d finding(s) in %d package(s): %s",
+		len(r.Findings), r.Packages, strings.Join(parts, ", "))
+}
+
+// Text writes findings one per line, relative to dir when possible, in
+// the file:line:col: message [analyzer] shape Go tooling uses.
+func (r *Report) Text(w io.Writer, dir string) {
+	for _, f := range r.Findings {
+		file := relPath(dir, f.File)
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", file, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	fmt.Fprintln(w, r.Summary())
+}
+
+// GitHubAnnotations writes ::error workflow commands so findings
+// render as inline PR annotations. Paths are made repo-relative, which
+// GitHub requires for placement.
+func (r *Report) GitHubAnnotations(w io.Writer, dir string) {
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=perfvet/%s::%s\n",
+			relPath(dir, f.File), f.Line, f.Col, f.Analyzer, f.Message)
+	}
+}
+
+// WriteJSON writes the machine-readable summary: the report plus the
+// per-analyzer tally and the gate outcome.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := struct {
+		*Report
+		Counts map[string]int `json:"counts"`
+		Failed bool           `json:"failed"`
+	}{r, r.Counts(), r.Failed()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func relPath(dir, file string) string {
+	if dir == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
+}

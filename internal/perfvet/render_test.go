@@ -1,0 +1,81 @@
+package perfvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Analyzers: []string{"bcehint", "deferinloop"},
+		Packages:  3,
+		Findings: []Finding{
+			{Analyzer: "deferinloop", File: "/repo/internal/x/x.go", Line: 12, Col: 3, Message: "defer inside a loop"},
+			{Analyzer: "bcehint", File: "/repo/internal/x/y.go", Line: 40, Col: 9, Message: "bounds check on s[i] stays in the loop"},
+		},
+	}
+}
+
+func TestReportText(t *testing.T) {
+	var buf bytes.Buffer
+	r := sampleReport()
+	r.Text(&buf, "/repo")
+	out := buf.String()
+	for _, want := range []string{
+		"internal/x/x.go:12:3: defer inside a loop [deferinloop]",
+		"internal/x/y.go:40:9: bounds check on s[i] stays in the loop [bcehint]",
+		"2 finding(s) in 3 package(s)",
+		"1 bcehint",
+		"1 deferinloop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportTextClean(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Report{Analyzers: []string{"bcehint"}, Packages: 5}
+	r.Text(&buf, "")
+	if !strings.Contains(buf.String(), "5 package(s) clean") {
+		t.Errorf("clean summary missing: %s", buf.String())
+	}
+	if r.Failed() {
+		t.Error("empty report should not fail")
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	var buf bytes.Buffer
+	sampleReport().GitHubAnnotations(&buf, "/repo")
+	out := buf.String()
+	want := "::error file=internal/x/x.go,line=12,col=3,title=perfvet/deferinloop::defer inside a loop"
+	if !strings.Contains(out, want) {
+		t.Errorf("annotations missing %q in:\n%s", want, out)
+	}
+	if strings.Count(out, "::error") != 2 {
+		t.Errorf("want 2 ::error annotations, got:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Analyzers []string       `json:"analyzers"`
+		Findings  []Finding      `json:"findings"`
+		Counts    map[string]int `json:"counts"`
+		Failed    bool           `json:"failed"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if !decoded.Failed || len(decoded.Findings) != 2 || decoded.Counts["bcehint"] != 1 {
+		t.Errorf("unexpected JSON payload: %+v", decoded)
+	}
+}

@@ -1,0 +1,121 @@
+// Fixture for the bcehint analyzer: counted loops whose bound the
+// prover cannot tie to the indexed slice's length, and struct-field
+// slices re-read inside loops.
+package bcehint
+
+func nonLenBound(s []float64, n int) float64 {
+	var t float64
+	for i := 0; i < n; i++ {
+		t += s[i] // want `bounds check on s\[i\] stays in the loop`
+	}
+	return t
+}
+
+func hoisted(s []float64, n int) float64 {
+	var t float64
+	_ = s[n-1]
+	for i := 0; i < n; i++ {
+		t += s[i] // hint already hoisted: no finding
+	}
+	return t
+}
+
+func lenBound(s []float64) float64 {
+	var t float64
+	for i := 0; i < len(s); i++ {
+		t += s[i] // bound is len(s): the prover eliminates the check
+	}
+	return t
+}
+
+func otherSliceLen(dst, src []float64) {
+	for i := 0; i < len(src); i++ {
+		dst[i] = 2 * src[i] // want `bounds check on dst\[i\] stays in the loop`
+	}
+}
+
+func lenMinusBound(s []float64) float64 {
+	var t float64
+	for i := 0; i < len(s)-1; i++ {
+		t += s[i] // prover knows i < len(s)-1 < len(s): no finding
+	}
+	return t
+}
+
+func lenAliasBound(s []float64) float64 {
+	var t float64
+	n := len(s)
+	for i := 0; i < n; i++ {
+		t += s[i] // n is len(s) by value numbering: no finding
+	}
+	return t
+}
+
+func lenAliasRebound(s []float64, m int) float64 {
+	var t float64
+	n := len(s)
+	if m < n {
+		n = m // second write: n is no longer provably len(s)
+	}
+	for i := 0; i < n; i++ {
+		t += s[i] // want `bounds check on s\[i\] stays in the loop`
+	}
+	return t
+}
+
+func makeBound(n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = float64(i) // len(out) is n by construction: no finding
+	}
+	return out
+}
+
+func makeRebound(n, m int) []float64 {
+	out := make([]float64, n)
+	if m < n {
+		n = m // n rewritten after the make: prover loses the tie
+	}
+	for i := 0; i < n; i++ {
+		out[i] = float64(i) // want `bounds check on out\[i\] stays in the loop`
+	}
+	return out
+}
+
+func mutatedIndex(s []float64, n int) float64 {
+	var t float64
+	for i := 0; i < n; i++ {
+		t += s[i] // i is also written in the body: pattern does not hold
+		if t > 100 {
+			i++
+		}
+	}
+	return t
+}
+
+type frame struct {
+	data []float64
+}
+
+func (f *frame) scaleEach(vs []float64) {
+	for _, v := range vs {
+		for i := range f.data {
+			f.data[i] *= v // want `f\.data is re-read through its struct on every inner-loop iteration`
+		}
+	}
+}
+
+func (f *frame) scale(v float64) {
+	for i := range f.data {
+		f.data[i] *= v // single non-nested loop: below the reporting bar
+	}
+}
+
+func (f *frame) scaleEachLocal(vs []float64) {
+	d := f.data
+	for _, v := range vs {
+		for i := range d {
+			d[i] *= v // local copy: header stays in a register, no finding
+		}
+	}
+}

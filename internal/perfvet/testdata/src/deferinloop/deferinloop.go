@@ -1,0 +1,43 @@
+// Fixture for the deferinloop analyzer: a defer in a loop body
+// accumulates until function return; a defer inside a function literal
+// (even one called in a loop) scopes to the literal and is fine.
+package deferinloop
+
+import "sync"
+
+func leaky(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() // want `defer inside a loop`
+	}
+}
+
+func leakyCounted(mus []*sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mus[i].Lock()
+		defer mus[i].Unlock() // want `defer inside a loop`
+	}
+}
+
+func fine(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func scopedToClosure(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+		}()
+	}
+}
+
+func nested(mus [][]*sync.Mutex) {
+	for _, row := range mus {
+		for _, mu := range row {
+			mu.Lock()
+			defer mu.Unlock() // want `defer inside a loop`
+		}
+	}
+}

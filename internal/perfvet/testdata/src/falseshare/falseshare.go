@@ -1,0 +1,44 @@
+// Fixture for the falseshare analyzer: independently-updated
+// synchronization fields within one cache line of each other.
+package falseshare
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type sharedCounters struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64 // want `share a 64-byte cache line`
+}
+
+type paddedCounters struct {
+	hits   atomic.Uint64
+	_      [64]byte
+	misses atomic.Uint64 // padding pushes it onto its own line: no finding
+}
+
+type plainAtomics struct {
+	produced uint64
+	consumed uint64 // want `share a 64-byte cache line`
+}
+
+func bump(p *plainAtomics) {
+	atomic.AddUint64(&p.produced, 1)
+	atomic.AddUint64(&p.consumed, 1)
+}
+
+type lockPair struct {
+	readers sync.Mutex
+	writers sync.Mutex // want `share a 64-byte cache line`
+}
+
+type singleLock struct {
+	mu    sync.Mutex // one sync point guarding its data: no finding
+	count int
+	name  string
+}
+
+type coldStruct struct {
+	a, b, c int // no synchronization at all: no finding
+}

@@ -1,0 +1,135 @@
+// Fixture for the hotloopalloc analyzer: per-iteration allocation
+// sources inside loop bodies.
+package hotloopalloc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+func fmtInLoop(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("%d", x)) // want `fmt\.Sprintf allocates on every loop iteration`
+	}
+	return out
+}
+
+func fmtErrorfReturn(xs []int) error {
+	for _, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative: %d", x) // loop-exit path, runs at most once: no finding
+		}
+	}
+	return nil
+}
+
+func fmtErrorfPanic(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			panic(fmt.Sprintf("negative: %d", x)) // loop-exit path: no finding
+		}
+	}
+}
+
+func fmtErrorfCollected(xs []int) []error {
+	var errs []error
+	for _, x := range xs {
+		if x < 0 {
+			errs = append(errs, fmt.Errorf("negative: %d", x)) // want `fmt\.Errorf allocates on every loop iteration`
+		}
+	}
+	return errs
+}
+
+func fmtHoisted(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, strconv.Itoa(x)) // strconv does not go through reflection: no finding
+	}
+	return out
+}
+
+func concatGrow(xs []string) string {
+	s := ""
+	for _, x := range xs {
+		s += x // want `s \+= in a loop re-allocates`
+	}
+	t := ""
+	for _, x := range xs {
+		t = t + x // want `t = t \+ \.\.\. in a loop re-allocates`
+	}
+	return s + t
+}
+
+func selfAssignNotConcat(xs []string) []string {
+	for i, x := range xs {
+		x = trim(x) // self-assignment through a call, not a + chain: no finding
+		xs[i] = x
+	}
+	return xs
+}
+
+func trim(s string) string {
+	for len(s) > 0 && s[0] == ' ' {
+		s = s[1:] // re-slicing, not concatenation: no finding
+	}
+	return s
+}
+
+func concatFresh(xs []string) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		y := "<" + x + ">" // not growing an accumulator: no finding
+		out = append(out, y)
+	}
+	return out
+}
+
+func invariantConversion(key string, xs [][]byte) int {
+	n := 0
+	for range xs {
+		k := []byte(key) // want `\[\]byte\(string\) conversion of a loop-invariant value`
+		n += len(k)
+	}
+	return n
+}
+
+func variantConversion(words []string) int {
+	n := 0
+	for _, w := range words {
+		n += len([]byte(w)) // w changes per iteration: no finding
+	}
+	return n
+}
+
+func invariantBoxing(x int, n int) []any {
+	out := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, any(x)) // want `boxes the same value on every loop iteration`
+	}
+	return out
+}
+
+func hoistableClosure(xs []int, scale int) int {
+	total := 0
+	for _, x := range xs {
+		f := func(v int) int { return v * scale } // want `closure captures only loop-invariant variables`
+		total += f(x)
+	}
+	return total
+}
+
+func variantClosure(rows [][]int) {
+	for _, row := range rows {
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] }) // captures row: no finding
+	}
+}
+
+func launchedClosures(xs []int, done chan<- int) {
+	sum := 0
+	for range xs {
+		go func() { done <- sum }() // go-launched: no finding
+	}
+}

@@ -1,0 +1,60 @@
+// Fixture for //perfvet:ignore directive handling. Expected findings
+// are asserted programmatically in ignore_test.go (not via want
+// comments, because several cases are about the directive comment
+// itself).
+package ignore
+
+import "fmt"
+
+// A documented directive on the finding's line suppresses it.
+func sameLine(xs []int) {
+	for _, x := range xs {
+		_ = fmt.Sprintf("%d", x) //perfvet:ignore fixture: cold diagnostic loop
+	}
+}
+
+// A documented directive alone on a line suppresses the next line.
+func standalone(xs []int) {
+	for _, x := range xs {
+		//perfvet:ignore fixture: cold diagnostic loop
+		_ = fmt.Sprintf("%d", x)
+	}
+}
+
+// A directive scoped to the reporting analyzer suppresses it.
+func scopedRight(xs []int) {
+	for _, x := range xs {
+		_ = fmt.Sprintf("%d", x) //perfvet:ignore:hotloopalloc fixture: cold diagnostic loop
+	}
+}
+
+// A directive scoped to a different analyzer suppresses nothing: the
+// finding survives and the directive is reported stale.
+func scopedWrong(xs []int) {
+	for _, x := range xs {
+		_ = fmt.Sprintf("%d", x) //perfvet:ignore:deferinloop fixture: wrong scope on purpose
+	}
+}
+
+// A stale directive with no finding to suppress is a finding.
+func stale() int {
+	x := 1
+	//perfvet:ignore fixture: nothing here to suppress
+	x++
+	return x
+}
+
+// A directive without a justification is a finding even when it would
+// otherwise suppress.
+func undocumented(xs []int) {
+	for _, x := range xs {
+		_ = fmt.Sprintf("%d", x) //perfvet:ignore
+	}
+}
+
+// A directive naming an unknown analyzer is a finding.
+func unknownScope(xs []int) {
+	for _, x := range xs {
+		_ = fmt.Sprintf("%d", x) //perfvet:ignore:nosuchanalyzer fixture: bad name
+	}
+}

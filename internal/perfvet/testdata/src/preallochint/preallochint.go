@@ -1,0 +1,78 @@
+// Fixture for the preallochint analyzer: slices grown by append in
+// loops whose trip count is computable before the loop.
+package preallochint
+
+func rangeGrow(xs []int) []int {
+	var out []int // want `preallocate with make\(\[\]int, 0, len\(xs\)\)`
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}
+
+func literalGrow(xs []int) []float64 {
+	out := []float64{} // want `preallocate with make\(\[\]float64, 0, len\(xs\)\)`
+	for _, x := range xs {
+		out = append(out, float64(x))
+	}
+	return out
+}
+
+func makeGrow(m map[string]int) []string {
+	keys := make([]string, 0) // want `preallocate with make\(\[\]string, 0, len\(m\)\)`
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func countedGrow(n int) []int {
+	var out []int // want `preallocate with make\(\[\]int, 0, n\)`
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func alreadyPrealloced(xs []int) []int {
+	out := make([]int, 0, len(xs)) // capacity given: no finding
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}
+
+func channelGrow(ch chan int) []int {
+	var out []int // trip count unknowable: no finding
+	for x := range ch {
+		out = append(out, x)
+	}
+	return out
+}
+
+func conditionalGrow(xs []int) []int {
+	var out []int // want `preallocate with make\(\[\]int, 0, len\(xs\)\)`
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func reassigned(xs, ys []int) []int {
+	var out []int // reassigned wholesale before the loop: no finding
+	out = ys
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func spreadAppend(xs [][]int) []int {
+	var out []int // spread append: capacity is not len(xs), no finding
+	for _, x := range xs {
+		out = append(out, x...)
+	}
+	return out
+}

@@ -116,7 +116,7 @@ func Dependences(n *Nest) ([]Dependence, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	var out []Dependence
+	out := make([]Dependence, 0, len(n.Accesses))
 	seen := make(map[string]bool)
 	for i, src := range n.Accesses {
 		for j, dst := range n.Accesses {
@@ -148,6 +148,7 @@ func Dependences(n *Nest) ([]Dependence, error) {
 			if len(instantiations(dist)) == 0 {
 				continue
 			}
+			//perfvet:ignore:hotloopalloc dedup key formats a distance-vector slice; fmt.Sprint is the clearest encoding and Dependences runs once per nest, not per iteration
 			key := fmt.Sprintf("%s|%v|%v", src.Array, kind, dist)
 			if seen[key] {
 				continue

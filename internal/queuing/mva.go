@@ -67,15 +67,16 @@ func MVA(stations []MVAStation, n int) ([]MVAResult, error) {
 		}
 		res.ResponseTime = total
 		res.Throughput = float64(pop) / total
+		ql, util := res.QueueLengths, res.Utilization
 		for i, s := range stations {
-			res.QueueLengths[i] = res.Throughput * resid[i]
+			ql[i] = res.Throughput * resid[i]
 			if s.Delay {
-				res.Utilization[i] = res.QueueLengths[i]
+				util[i] = ql[i]
 			} else {
-				res.Utilization[i] = res.Throughput * s.Demand
+				util[i] = res.Throughput * s.Demand
 			}
 		}
-		q = res.QueueLengths
+		q = ql
 		out = append(out, res)
 	}
 	return out, nil

@@ -176,11 +176,12 @@ func (n *JacksonNetwork) Solve() ([]StationResult, float64, error) {
 	}
 	// Traffic equations: lambda_j = ext_j + sum_i lambda_i p_ij.
 	lambda := append([]float64(nil), n.External...)
+	routing := n.Routing
 	for iter := 0; iter < 10000; iter++ {
 		next := append([]float64(nil), n.External...)
-		for i := 0; i < k; i++ {
-			for j := 0; j < k; j++ {
-				next[j] += lambda[i] * n.Routing[i][j]
+		for i, li := range lambda {
+			for j, p := range routing[i] {
+				next[j] += li * p
 			}
 		}
 		var maxDelta float64

@@ -27,9 +27,11 @@ func (t *Table) AddRow(cells ...string) {
 
 // AddRowf appends a row of formatted values.
 func (t *Table) AddRowf(format string, cells ...interface{}) {
+	formats := strings.Split(format, "|")
 	parts := make([]string, len(cells))
 	for i, c := range cells {
-		parts[i] = fmt.Sprintf(strings.Split(format, "|")[i], c)
+		//perfvet:ignore:hotloopalloc formatting each cell is this helper's purpose; tables have tens of rows, not a hot loop
+		parts[i] = fmt.Sprintf(formats[i], c)
 	}
 	t.AddRow(parts...)
 }
@@ -112,11 +114,12 @@ func LinePlot(title string, series []Series, width, height int) string {
 	xMin, xMax := math.Inf(1), math.Inf(-1)
 	yMin, yMax := math.Inf(1), math.Inf(-1)
 	for _, s := range series {
-		for i := range s.X {
-			xMin = math.Min(xMin, s.X[i])
-			xMax = math.Max(xMax, s.X[i])
-			yMin = math.Min(yMin, s.Y[i])
-			yMax = math.Max(yMax, s.Y[i])
+		xs, ys := s.X, s.Y
+		for i := range xs {
+			xMin = math.Min(xMin, xs[i])
+			xMax = math.Max(xMax, xs[i])
+			yMin = math.Min(yMin, ys[i])
+			yMax = math.Max(yMax, ys[i])
 		}
 	}
 	if math.IsInf(xMin, 1) {
@@ -149,16 +152,17 @@ func LinePlot(title string, series []Series, width, height int) string {
 		if m == 0 {
 			m = markers[si%len(markers)]
 		}
+		xs, ys := s.X, s.Y
 		// Connect consecutive points with interpolated marks.
-		for i := 0; i+1 < len(s.X); i++ {
-			steps := width / max(1, len(s.X)-1)
+		for i := 0; i+1 < len(xs); i++ {
+			steps := width / max(1, len(xs)-1)
 			for k := 0; k <= steps; k++ {
 				f := float64(k) / float64(max(1, steps))
-				put(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, m)
+				put(xs[i]+(xs[i+1]-xs[i])*f, ys[i]+(ys[i+1]-ys[i])*f, m)
 			}
 		}
-		if len(s.X) == 1 {
-			put(s.X[0], s.Y[0], m)
+		if len(xs) == 1 {
+			put(xs[0], ys[0], m)
 		}
 	}
 	var sb strings.Builder

@@ -69,6 +69,13 @@ func (p Policy) String() string {
 	return [...]string{"lru", "fifo", "random"}[p]
 }
 
+// DefaultLineSize is the cache-line size, in bytes, of every machine
+// model the course targets (x86-64 and recent ARM servers alike). It
+// is the geometry both the coherence false-sharing demos and the
+// perfvet falseshare analyzer assume when no explicit hierarchy is in
+// play.
+const DefaultLineSize = 64
+
 // Cache is one set-associative level.
 type Cache struct {
 	Name     string
@@ -121,9 +128,9 @@ func (c *Cache) MemTraffic() (reads, writes uint64) { return c.memReads, c.memWr
 
 // Reset clears all lines and counters.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
+	for _, set := range c.sets {
+		for j := range set {
+			set[j] = line{}
 		}
 	}
 	c.clock = 0

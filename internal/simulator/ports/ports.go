@@ -81,6 +81,7 @@ func Analyze(k *isa.Kernel, tbl *isa.Table, simIters int) (*Result, error) {
 
 	res := &Result{Kernel: k.Name, Table: tbl.Name,
 		PortPressure: make([]float64, tbl.NumPorts)}
+	pressure := res.PortPressure
 
 	missing := map[string]bool{}
 	// Analytic port pressure: distribute each instruction's reciprocal
@@ -92,7 +93,7 @@ func Analyze(k *isa.Kernel, tbl *isa.Table, simIters int) (*Result, error) {
 		}
 		share := tm.RecipThroughput / float64(len(tm.Ports))
 		for _, p := range tm.Ports {
-			res.PortPressure[p] += share
+			pressure[p] += share
 		}
 	}
 	for op := range missing {
@@ -193,8 +194,9 @@ func simulate(k *isa.Kernel, tbl *isa.Table, iters int) float64 {
 				}
 			}
 			// Pick the eligible port that can issue earliest.
-			best := tm.Ports[0]
-			for _, p := range tm.Ports[1:] {
+			ports := tm.Ports
+			best := ports[0]
+			for _, p := range ports[1:] {
 				if portFree[p] < portFree[best] {
 					best = p
 				}

@@ -126,13 +126,14 @@ func TraceHistogram(h *Hierarchy, samples []float64, bins int) {
 // TraceSpMVCSR replays y = A*x for a CSR matrix: unit-stride vals/colidx,
 // gathers on x, streaming stores on y.
 func TraceSpMVCSR(h *Hierarchy, a *kernels.CSR) {
-	for r := 0; r < a.Rows; r++ {
+	rp, ci := a.RowPtr, a.ColIdx
+	for r := 0; r < len(rp)-1; r++ {
 		h.Load(baseA+uint64(r)*4, 4)   // RowPtr[r] (RowPtr[r+1] hits the same or next line)
 		h.Load(baseA+uint64(r+1)*4, 4) // RowPtr[r+1]
-		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+		for k := rp[r]; k < rp[r+1]; k++ {
 			h.Load(baseB+uint64(k)*w8, w8) // Vals[k]
 			h.Load(baseC+uint64(k)*4, 4)   // ColIdx[k]
-			h.Load(baseX+uint64(a.ColIdx[k])*w8, w8)
+			h.Load(baseX+uint64(ci[k])*w8, w8)
 		}
 		h.Store(baseY+uint64(r)*w8, w8)
 	}

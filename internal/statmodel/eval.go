@@ -124,13 +124,15 @@ func KFoldCV(factory func() Regressor, x [][]float64, y []float64, k int, seed i
 		return nil, Metrics{}, fmt.Errorf("statmodel: k=%d invalid for n=%d", k, n)
 	}
 	idx := rand.New(rand.NewSource(seed)).Perm(n)
-	var folds []Metrics
+	folds := make([]Metrics, 0, k)
 	var maeS, rmseS, mapeS, r2S float64
 	name := ""
 	for f := 0; f < k; f++ {
 		lo, hi := f*n/k, (f+1)*n/k
-		var xTr, xTe [][]float64
-		var yTr, yTe []float64
+		xTe := make([][]float64, 0, hi-lo)
+		yTe := make([]float64, 0, hi-lo)
+		xTr := make([][]float64, 0, n-(hi-lo))
+		yTr := make([]float64, 0, n-(hi-lo))
 		for i, j := range idx {
 			if i >= lo && i < hi {
 				xTe = append(xTe, x[j])
@@ -161,7 +163,7 @@ func KFoldCV(factory func() Regressor, x [][]float64, y []float64, k int, seed i
 // ShootOut trains and evaluates several models on the same split and
 // returns their metrics sorted by MAPE (best first) plus a rendered table.
 func ShootOut(models []Regressor, xTr [][]float64, yTr []float64, xTe [][]float64, yTe []float64) ([]Metrics, string, error) {
-	var out []Metrics
+	out := make([]Metrics, 0, len(models))
 	for _, m := range models {
 		met, err := FitEvaluate(m, xTr, yTr, xTe, yTe)
 		if err != nil {

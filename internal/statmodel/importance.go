@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -44,13 +45,14 @@ func PermutationImportance(m Regressor, x [][]float64, y []float64, names []stri
 	out := make([]Importance, d)
 	col := make([]float64, n)
 	shuffled := make([][]float64, n)
-	for j := 0; j < d; j++ {
+	swapCol := func(a, b int) { col[a], col[b] = col[b], col[a] }
+	for j := range out {
 		var sum float64
 		for r := 0; r < rounds; r++ {
 			for i := range x {
 				col[i] = x[i][j]
 			}
-			rng.Shuffle(n, func(a, b int) { col[a], col[b] = col[b], col[a] })
+			rng.Shuffle(n, swapCol)
 			for i := range x {
 				row := append([]float64(nil), x[i]...)
 				row[j] = col[i]
@@ -62,7 +64,7 @@ func PermutationImportance(m Regressor, x [][]float64, y []float64, names []stri
 			}
 			sum += e - baseline
 		}
-		name := fmt.Sprintf("f%d", j)
+		name := "f" + strconv.Itoa(j)
 		if names != nil {
 			name = names[j]
 		}

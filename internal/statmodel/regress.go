@@ -136,10 +136,12 @@ func PolynomialFeatures(x [][]float64, degree int) ([][]float64, error) {
 				feats = append(feats, math.Pow(v, float64(k)))
 			}
 		}
-		// Pairwise interaction terms (degree >= 2).
+		// Pairwise interaction terms (degree >= 2). len(row) == d was
+		// checked above; iterating to len(row) lets the prover drop the
+		// bounds checks.
 		if degree >= 2 {
-			for a := 0; a < d; a++ {
-				for b := a + 1; b < d; b++ {
+			for a := 0; a < len(row); a++ {
+				for b := a + 1; b < len(row); b++ {
 					feats = append(feats, row[a]*row[b])
 				}
 			}
@@ -162,34 +164,36 @@ func FitStandardizer(x [][]float64) (*Standardizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
-	for j := 0; j < d; j++ {
+	means := make([]float64, d)
+	stds := make([]float64, d)
+	for j := range means {
 		var sum float64
-		for i := 0; i < n; i++ {
-			sum += x[i][j]
+		for _, row := range x {
+			sum += row[j]
 		}
 		mean := sum / float64(n)
 		var ss float64
-		for i := 0; i < n; i++ {
-			dlt := x[i][j] - mean
+		for _, row := range x {
+			dlt := row[j] - mean
 			ss += dlt * dlt
 		}
 		std := math.Sqrt(ss / float64(n))
 		if std == 0 {
 			std = 1 // constant feature: pass through centered
 		}
-		s.Mean[j], s.Std[j] = mean, std
+		means[j], stds[j] = mean, std
 	}
-	return s, nil
+	return &Standardizer{Mean: means, Std: stds}, nil
 }
 
 // Transform returns the standardized copy of x.
 func (s *Standardizer) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
+	mean, std := s.Mean, s.Std
 	for i, row := range x {
 		r := make([]float64, len(row))
 		for j, v := range row {
-			r[j] = (v - s.Mean[j]) / s.Std[j]
+			r[j] = (v - mean[j]) / std[j]
 		}
 		out[i] = r
 	}

@@ -132,7 +132,8 @@ func (m *RegressionTree) build(x [][]float64, y []float64, idx []int, depth int,
 	if bestFeature < 0 {
 		return &treeNode{leaf: true, value: meanAt(y, idx)}
 	}
-	var loIdx, hiIdx []int
+	loIdx := make([]int, 0, len(idx))
+	hiIdx := make([]int, 0, len(idx))
 	for _, i := range idx {
 		if x[i][bestFeature] <= bestThresh {
 			loIdx = append(loIdx, i)
