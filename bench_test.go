@@ -31,6 +31,7 @@ import (
 	"perfeng/internal/simulator"
 	"perfeng/internal/simulator/ports"
 	"perfeng/internal/statmodel"
+	"perfeng/internal/telemetry"
 )
 
 // sink defeats dead-code elimination across benches.
@@ -140,6 +141,32 @@ func BenchmarkSmoke(b *testing.B) {
 		b.SetBytes(int64(kernels.StencilBytes(128)))
 		for i := 0; i < b.N; i++ {
 			sink = kernels.StencilRun(g, 2, 1)
+		}
+	})
+	// Telemetry hot path: the per-event cost every instrumented producer
+	// pays while live monitoring is on. Gated so the registry's
+	// allocation-free fast path cannot regress silently; the
+	// AllocsPerRun check turns any allocation into a hard failure
+	// rather than a timing drift the t-test might absorb.
+	treg := telemetry.NewRegistry()
+	tc := treg.Counter("perfeng_bench_ops", "gate bench counter")
+	th := treg.Histogram("perfeng_bench_latency_seconds", "gate bench histogram", -30, 4)
+	b.Run("telemetry-counter-inc", func(b *testing.B) {
+		if a := testing.AllocsPerRun(1000, tc.Inc); a != 0 {
+			b.Fatalf("counter inc allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tc.Inc()
+		}
+	})
+	b.Run("telemetry-histogram-observe", func(b *testing.B) {
+		if a := testing.AllocsPerRun(1000, func() { th.Observe(1.25e-6) }); a != 0 {
+			b.Fatalf("histogram observe allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			th.Observe(1.25e-6)
 		}
 	})
 }

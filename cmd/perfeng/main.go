@@ -9,6 +9,7 @@
 //	perfeng -app spmv -n 4000 -runtime 0.01
 //	perfeng -list
 //	perfeng trace -kernel matmul -n 256 -trace trace.json -folded profile.folded
+//	perfeng serve -addr 127.0.0.1:8080 -kernel matmul -n 256
 //	perfeng benchgate record
 //	perfeng benchgate gate -baseline BENCH_1.json -github
 //	perfeng vet ./...
@@ -27,6 +28,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "benchgate" {
@@ -53,6 +58,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: perfeng [flags]           run the seven-stage process on a kernel")
 		fmt.Fprintln(os.Stderr, "       perfeng trace [flags]     trace a kernel into Chrome-trace + folded stacks")
 		fmt.Fprintln(os.Stderr, "                                 (perfeng trace -help for its flags)")
+		fmt.Fprintln(os.Stderr, "       perfeng serve [flags]     loop a kernel behind a live monitoring endpoint")
+		fmt.Fprintln(os.Stderr, "                                 (/metrics, /healthz, /debug/pprof/, /trace.json)")
 		fmt.Fprintln(os.Stderr, "       perfeng benchgate <mode>  record/compare/gate benchmark baselines")
 		fmt.Fprintln(os.Stderr, "                                 (perfeng benchgate -help for modes and flags)")
 		fmt.Fprintln(os.Stderr, "       perfeng vet [packages]    statically check for performance antipatterns")

@@ -1,0 +1,188 @@
+// The serve subcommand: run the instrumented workload in a loop behind
+// a live monitoring endpoint. One telemetry registry collects every
+// producer in the repo (runner, GPU device, cluster tracer, cache
+// simulator, queuing) plus the background runtime collector; the HTTP
+// server exposes it as OpenMetrics next to pprof and the current obs
+// session's timeline. SIGINT shuts down gracefully and, when asked,
+// flushes the last session as a valid trace.json.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"perfeng"
+	"perfeng/internal/cluster"
+	"perfeng/internal/gpu"
+	"perfeng/internal/metrics"
+	"perfeng/internal/obs"
+	"perfeng/internal/queuing"
+	"perfeng/internal/simulator"
+	"perfeng/internal/telemetry"
+)
+
+// serveStack bundles the pieces `perfeng serve` wires together; tests
+// build one around port :0 and tear it down with close.
+type serveStack struct {
+	reg       *telemetry.Registry
+	collector *telemetry.Collector
+	server    *telemetry.Server
+	sink      *obs.SessionSink
+	iters     *telemetry.Counter
+}
+
+// newServeStack builds the registry, enables every producer on it, and
+// prepares the collector and HTTP server (neither started yet).
+func newServeStack(addr string, interval time.Duration) *serveStack {
+	reg := telemetry.NewRegistry()
+	metrics.EnableTelemetry(reg)
+	gpu.EnableTelemetry(reg)
+	cluster.EnableTelemetry(reg)
+	simulator.EnableTelemetry(reg)
+	queuing.EnableTelemetry(reg)
+
+	sink := obs.NewSessionSink(nil)
+	collector := telemetry.NewCollector(reg, interval)
+	collector.SetSink(sink)
+	server := telemetry.NewServer(addr, reg, func() telemetry.TraceSource {
+		// Return a typed nil as an untyped one so the endpoints 404
+		// cleanly before the first workload iteration attaches a session.
+		if s := sink.Current(); s != nil {
+			return s
+		}
+		return nil
+	})
+	return &serveStack{
+		reg:       reg,
+		collector: collector,
+		server:    server,
+		sink:      sink,
+		iters: reg.Counter("perfeng_serve_iterations",
+			"Workload iterations completed under perfeng serve."),
+	}
+}
+
+// close stops the collector and server and detaches every producer, so
+// package-global telemetry does not outlive the stack.
+func (st *serveStack) close(ctx context.Context) error {
+	st.collector.Stop()
+	err := st.server.Stop(ctx)
+	metrics.EnableTelemetry(nil)
+	gpu.EnableTelemetry(nil)
+	cluster.EnableTelemetry(nil)
+	simulator.EnableTelemetry(nil)
+	queuing.EnableTelemetry(nil)
+	return err
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address for the monitoring endpoint")
+		appName    = fs.String("kernel", "matmul", "application kernel to loop (see perfeng -list)")
+		n          = fs.Int("n", 256, "problem size")
+		workers    = fs.Int("workers", 4, "parallel workers for the parallel variants")
+		ranks      = fs.Int("ranks", 4, "cluster ranks for the scale-out phase")
+		interval   = fs.Duration("interval", time.Second, "runtime collector sampling interval")
+		iterations = fs.Int("iterations", 0, "stop after this many workload iterations (0 = run until SIGINT)")
+		pause      = fs.Duration("pause", 200*time.Millisecond, "pause between workload iterations")
+		tracePath  = fs.String("trace", "", "on shutdown, write the last session's Chrome trace here")
+		foldedPath = fs.String("folded", "", "on shutdown, write the last session's folded stacks here")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: perfeng serve [flags]")
+		fmt.Fprintln(os.Stderr, "loops one kernel under full instrumentation behind a live monitoring")
+		fmt.Fprintln(os.Stderr, "endpoint: /metrics (OpenMetrics), /healthz, /debug/pprof/, and the")
+		fmt.Fprintln(os.Stderr, "current session as /trace.json + /profile.folded. Ctrl-C stops cleanly.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	app, err := perfeng.BuiltinApplication(*appName, *n, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := newServeStack(*addr, *interval)
+	st.collector.Start()
+	bound, err := st.server.Start()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("perfeng serve: monitoring on http://%s/ (metrics, healthz, trace.json, profile.folded, debug/pprof)\n", bound)
+	fmt.Printf("perfeng serve: looping kernel %q n=%d ranks=%d; Ctrl-C to stop\n", app.Name, *n, *ranks)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	loopDone := make(chan error, 1)
+	namePrefix := "perfeng serve " + app.Name + " #"
+	go func() {
+		for i := 1; *iterations == 0 || i <= *iterations; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			ws, err := newWiredSession(namePrefix + strconv.Itoa(i))
+			if err != nil {
+				loopDone <- err
+				return
+			}
+			// Swap the fresh session in before running, so scrapes and
+			// trace downloads during the iteration see live data.
+			st.sink.Set(ws.session)
+			if err := runWorkload(ws, app, *ranks, *n); err != nil {
+				loopDone <- err
+				return
+			}
+			st.iters.Inc()
+			select {
+			case <-ctx.Done():
+			case <-time.After(*pause):
+			}
+		}
+		loopDone <- nil
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "perfeng serve: signal received, shutting down")
+	case err := <-loopDone:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	stop()
+
+	// Flush the current session before the stack goes away; exports take
+	// the session lock, so a workload iteration still finishing is fine.
+	if cur := st.sink.Current(); cur != nil {
+		if *tracePath != "" {
+			if err := writeFile(*tracePath, cur.WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "perfeng:", err)
+			} else {
+				fmt.Printf("perfeng serve: wrote %s\n", *tracePath)
+			}
+		}
+		if *foldedPath != "" {
+			if err := writeFile(*foldedPath, cur.WriteFolded); err != nil {
+				fmt.Fprintln(os.Stderr, "perfeng:", err)
+			} else {
+				fmt.Printf("perfeng serve: wrote %s\n", *foldedPath)
+			}
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := st.close(shutdownCtx); err != nil {
+		fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfeng"
+	"perfeng/internal/telemetry"
+)
+
+// TestServeStackSmoke is the end-to-end serve exercise: build the full
+// stack, run one workload iteration through it, and scrape the
+// endpoints the way a monitoring system would.
+func TestServeStackSmoke(t *testing.T) {
+	st := newServeStack("127.0.0.1:0", time.Second)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := st.close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	ts := httptest.NewServer(st.server.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	// Before any iteration: metrics serve fine, trace endpoints 404.
+	if code, _ := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics before workload: %d", code)
+	}
+	if code, _ := get("/trace.json"); code != http.StatusNotFound {
+		t.Fatalf("/trace.json without session: %d, want 404", code)
+	}
+
+	// One workload iteration, the same path runServe's loop takes.
+	app, err := perfeng.BuiltinApplication("matmul", 48, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := newWiredSession("serve-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.sink.Set(ws.session)
+	if err := runWorkload(ws, app, 2, 48); err != nil {
+		t.Fatal(err)
+	}
+	st.iters.Inc()
+	st.collector.SampleOnce()
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	fams, err := telemetry.ParseOpenMetrics(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape is not valid OpenMetrics: %v", err)
+	}
+	have := map[string]bool{}
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	// Every producer plus the runtime collector must be present.
+	for _, name := range []string{
+		"perfeng_runner_measurements",
+		"perfeng_gpu_launches",
+		"perfeng_cluster_events",
+		"perfeng_simcache_accesses",
+		"perfeng_queuing_runs",
+		"perfeng_serve_iterations",
+		"perfeng_collector_ticks",
+		"go_sched_goroutines",
+	} {
+		if !have[name] {
+			t.Errorf("scrape missing family %s", name)
+		}
+	}
+
+	// The attached session now serves a valid Chrome trace.
+	code, body = get("/trace.json")
+	if code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+		t.Fatalf("/trace.json: %d (traceEvents present: %v)", code, strings.Contains(body, "traceEvents"))
+	}
+	if code, body = get("/profile.folded"); code != http.StatusOK || body == "" {
+		t.Fatalf("/profile.folded: %d", code)
+	}
+}

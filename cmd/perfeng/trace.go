@@ -1,7 +1,8 @@
-// The trace subcommand: run one built-in kernel under full
-// instrumentation — profiler regions, cluster ranks, runtime counters and
-// the SIMT device all recording into one obs session — and export the
-// timeline as Chrome Trace Event JSON plus folded stacks.
+// The trace subcommand: run the instrumented workload once — profiler
+// regions, cluster ranks, runtime counters and the SIMT device all
+// recording into one obs session — and export the timeline as Chrome
+// Trace Event JSON plus folded stacks. The session construction and
+// workload phases are shared with `perfeng serve` (wiring.go).
 package main
 
 import (
@@ -9,15 +10,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
+	"os/signal"
 
 	"perfeng"
-	"perfeng/internal/cluster"
-	"perfeng/internal/counters"
-	"perfeng/internal/gpu"
-	"perfeng/internal/machine"
-	"perfeng/internal/obs"
-	"perfeng/internal/profile"
 )
 
 func runTrace(args []string) {
@@ -46,134 +41,43 @@ func runTrace(args []string) {
 		fatal(err)
 	}
 
-	session := obs.NewSession("perfeng trace " + app.Name)
-
-	// Runtime counters, sampled at every span boundary so allocation and
-	// GC inflections line up with the spans that caused them.
-	set := counters.NewEventSet(counters.RuntimeBackend{})
-	if err := set.Add(counters.Allocs, counters.AllocBytes,
-		counters.GCCycles, counters.Goroutines); err != nil {
-		fatal(err)
-	}
-	sampler, err := obs.NewCounterSampler(session, "runtime/", set)
+	ws, err := newWiredSession("perfeng trace " + app.Name)
 	if err != nil {
 		fatal(err)
 	}
 
-	// Host profiler: regions mirror onto the "host" track and trigger a
-	// counter sample on every exit.
-	prof := profile.New()
-	mirror := session.Track("host").ProfileListener()
-	prof.Listen(func(path []string, start, end time.Time) {
-		mirror(path, start, end)
-		_ = sampler.Sample()
-	})
-
-	// Phase 1: the optimization ladder, every variant one region.
-	prof.Enter(app.Name)
-	variants := append([]perfeng.Variant{app.Baseline}, app.Candidates...)
-	for _, v := range variants {
-		if err := prof.Do("variant/"+v.Name, v.Run); err != nil {
-			fatal(err)
+	// SIGINT flush: an interrupted run still writes a valid (partial)
+	// trace before exiting. Session exports take the session lock, so
+	// flushing here is safe against the workload mid-span.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "perfeng trace: interrupted, flushing partial trace")
+		if err := writeFile(*tracePath, ws.session.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "perfeng:", err)
 		}
-	}
-
-	// Phase 2: scale-out. A deliberately imbalanced compute+allreduce
-	// round per rank, so the rank tracks carry wait states worth seeing.
-	if err := prof.Do("cluster/allreduce", func() {
-		if err := traceClusterPhase(session, *ranks, *n); err != nil {
-			fatal(err)
+		if err := writeFile(*foldedPath, ws.session.WriteFolded); err != nil {
+			fmt.Fprintln(os.Stderr, "perfeng:", err)
 		}
-	}); err != nil {
+		os.Exit(130)
+	}()
+
+	if err := runWorkload(ws, app, *ranks, *n); err != nil {
+		fatal(err)
+	}
+	signal.Stop(sigc)
+
+	if err := writeFile(*tracePath, ws.session.WriteChromeTrace); err != nil {
+		fatal(err)
+	}
+	if err := writeFile(*foldedPath, ws.session.WriteFolded); err != nil {
 		fatal(err)
 	}
 
-	// Phase 3: offload. The same data volume through the SIMT device,
-	// with per-block spans on the SM tracks and occupancy metadata.
-	if err := prof.Do("gpu/saxpy", func() {
-		if err := traceGPUPhase(session, *n); err != nil {
-			fatal(err)
-		}
-	}); err != nil {
-		fatal(err)
-	}
-	if err := prof.Exit(app.Name); err != nil {
-		fatal(err)
-	}
-
-	if err := writeFile(*tracePath, session.WriteChromeTrace); err != nil {
-		fatal(err)
-	}
-	if err := writeFile(*foldedPath, session.WriteFolded); err != nil {
-		fatal(err)
-	}
-
-	fmt.Print(session.FlatReport())
+	fmt.Print(ws.session.FlatReport())
 	fmt.Printf("\nwrote %s (open at https://ui.perfetto.dev or chrome://tracing)\n", *tracePath)
 	fmt.Printf("wrote %s (render with flamegraph.pl or https://speedscope.app)\n", *foldedPath)
-}
-
-// traceClusterPhase runs one compute+allreduce round on a traced world
-// and imports the per-rank event streams into the session.
-func traceClusterPhase(session *obs.Session, ranks, n int) error {
-	world, err := cluster.NewWorld(ranks, 0)
-	if err != nil {
-		return err
-	}
-	tracer := world.EnableTracing()
-	err = world.Run(func(c *cluster.Comm) error {
-		// Local compute: rank 0 does extra passes (an imbalanced
-		// partition), which surfaces as late-sender wait time downstream.
-		start := time.Now()
-		passes := 1
-		if c.Rank() == 0 {
-			passes = 4
-		}
-		var local float64
-		for p := 0; p < passes; p++ {
-			for i := 0; i < n*n; i++ {
-				local += float64(i%7) * 0.5
-			}
-		}
-		tracer.RecordCompute(c.Rank(), start, time.Now())
-		if err := c.Barrier(); err != nil {
-			return err
-		}
-		_, err := c.AllreduceScalar(local, cluster.SumOp)
-		return err
-	})
-	if err != nil {
-		return err
-	}
-	obs.AddClusterTrace(session, tracer)
-	return nil
-}
-
-// traceGPUPhase launches a SAXPY-class kernel on the modeled device with
-// the session's GPU recorder attached.
-func traceGPUPhase(session *obs.Session, n int) error {
-	model := machine.DAS5TitanX()
-	dev, err := gpu.NewDevice(model)
-	if err != nil {
-		return err
-	}
-	dev.Recorder = obs.NewGPURecorder(session, model)
-	elems := n * n
-	const block = 256
-	blocks := (elems + block - 1) / block
-	x := make([]float64, elems)
-	y := make([]float64, elems)
-	for i := range x {
-		x[i] = float64(i)
-	}
-	return dev.LaunchNamed("saxpy",
-		gpu.Dim3{X: blocks, Y: 1, Z: 1}, gpu.Dim3{X: block, Y: 1, Z: 1}, 0,
-		func(b, tid gpu.Dim3, _ []float64) {
-			i := b.X*block + tid.X
-			if i < elems {
-				y[i] = 2.0*x[i] + y[i]
-			}
-		})
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

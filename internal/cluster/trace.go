@@ -63,6 +63,7 @@ func (t *Tracer) Size() int { return len(t.events) }
 func (t *Tracer) Epoch() time.Time { return t.epoch }
 
 func (t *Tracer) record(rank int, e Event) {
+	publishEvent(e)
 	t.mu.Lock()
 	t.events[rank] = append(t.events[rank], e)
 	t.mu.Unlock()
@@ -221,6 +222,7 @@ func (t *Tracer) AnalyzeWaitStates() WaitStates {
 	if maxSpan > 0 {
 		ws.ImbalanceRatio = float64(maxSpan-minSpan) / float64(maxSpan)
 	}
+	publishWaitStates(ws)
 	return ws
 }
 

@@ -115,8 +115,9 @@ func (d *Device) LaunchNamed(name string, grid, block Dim3, sharedLen int, kerne
 		workers = nBlocks
 	}
 	rec := d.Recorder
+	th := tel.Load()
 	launchStart := time.Time{}
-	if rec != nil {
+	if rec != nil || th != nil {
 		launchStart = time.Now()
 	}
 	var wg sync.WaitGroup
@@ -156,8 +157,14 @@ func (d *Device) LaunchNamed(name string, grid, block Dim3, sharedLen int, kerne
 		}(w)
 	}
 	wg.Wait()
-	if rec != nil {
-		rec.KernelLaunch(name, grid, block, sharedLen, workers, launchStart, time.Now())
+	if rec != nil || th != nil {
+		launchEnd := time.Now()
+		if rec != nil {
+			rec.KernelLaunch(name, grid, block, sharedLen, workers, launchStart, launchEnd)
+		}
+		if th != nil {
+			d.publishLaunch(th, name, grid, block, sharedLen, launchEnd.Sub(launchStart).Seconds())
+		}
 	}
 	select {
 	case p := <-panics:

@@ -1,0 +1,60 @@
+package gpu
+
+import (
+	"sync/atomic"
+
+	"perfeng/internal/telemetry"
+)
+
+// Live-telemetry hooks for the device executor. Launch bookkeeping is
+// host-side and happens once per kernel launch (never per thread), so
+// the labeled lookups here are cold-path; the disabled path is one
+// atomic load in LaunchNamed.
+
+// telemetryRegsPerThread is the per-thread register pressure assumed
+// when deriving launch occupancy for the gauge — the executor does not
+// model registers, so this matches the course's default kernel budget.
+const telemetryRegsPerThread = 32
+
+type telHandles struct {
+	launches   *telemetry.CounterFamily
+	blocks     *telemetry.CounterFamily
+	launchSecs *telemetry.HistogramFamily
+	occupancy  *telemetry.GaugeFamily
+}
+
+var tel atomic.Pointer[telHandles]
+
+// EnableTelemetry publishes kernel-launch activity to reg, labeled by
+// kernel name: launches and blocks executed, wall-clock launch
+// duration, and the modeled occupancy of the most recent launch.
+// Passing nil stops publication.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		tel.Store(nil)
+		return
+	}
+	tel.Store(&telHandles{
+		launches: reg.CounterFamily("perfeng_gpu_launches",
+			"Kernel launches completed.", "kernel"),
+		blocks: reg.CounterFamily("perfeng_gpu_blocks",
+			"Thread blocks executed.", "kernel"),
+		// 2^-20 s ≈ 1 µs up to 2^2 = 4 s.
+		launchSecs: reg.HistogramFamily("perfeng_gpu_launch_seconds",
+			"Wall-clock kernel launch duration.", -20, 2, "kernel"),
+		occupancy: reg.GaugeFamily("perfeng_gpu_occupancy_fraction",
+			"Modeled SM occupancy of the most recent launch.", "kernel"),
+	})
+}
+
+// publishLaunch records one completed launch. seconds is the host-side
+// wall-clock duration; occupancy is derived from the launch geometry
+// with the default register budget.
+func (d *Device) publishLaunch(th *telHandles, name string, grid, block Dim3, sharedLen int, seconds float64) {
+	th.launches.With(name).Inc()
+	th.blocks.With(name).Add(uint64(grid.Count()))
+	th.launchSecs.With(name).Observe(seconds)
+	if occ, err := ComputeOccupancy(d.Model, block.Count(), telemetryRegsPerThread, sharedLen*8); err == nil {
+		th.occupancy.With(name).Set(occ.Fraction)
+	}
+}

@@ -89,6 +89,7 @@ func (r *Runner) Measure(name string, flops, bytes float64, f func()) *Measureme
 	if r.cfg.RejectOutliers {
 		m.Seconds = stats.RejectIQR(m.Seconds, 1.5)
 	}
+	publishMeasurement(m)
 	return m
 }
 

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"sync/atomic"
+
+	"perfeng/internal/telemetry"
+)
+
+// Live-telemetry hooks for the measurement runner. The handles are
+// grouped behind one atomic pointer so the disabled path costs a single
+// load and branch; enabling swaps in a populated handle set.
+
+type telHandles struct {
+	measurements *telemetry.Counter
+	samples      *telemetry.Counter
+	sampleSecs   *telemetry.Histogram
+}
+
+var tel atomic.Pointer[telHandles]
+
+// EnableTelemetry publishes runner activity to reg: measurements and
+// samples completed, and the per-sample duration distribution. Passing
+// nil stops publication.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		tel.Store(nil)
+		return
+	}
+	tel.Store(&telHandles{
+		measurements: reg.Counter("perfeng_runner_measurements",
+			"Measurements completed by metrics.Runner."),
+		samples: reg.Counter("perfeng_runner_samples",
+			"Timed samples recorded across all measurements."),
+		// 2^-20 s ≈ 1 µs up to 2^2 = 4 s spans the runner's sample range.
+		sampleSecs: reg.Histogram("perfeng_runner_sample_seconds",
+			"Duration of individual timed samples.", -20, 2),
+	})
+}
+
+// publishMeasurement records one finished measurement; called at the
+// end of Runner.Measure, outside any timed region.
+func publishMeasurement(m *Measurement) {
+	th := tel.Load()
+	if th == nil {
+		return
+	}
+	th.measurements.Inc()
+	th.samples.Add(uint64(len(m.Seconds)))
+	for _, s := range m.Seconds {
+		th.sampleSecs.Observe(s)
+	}
+}

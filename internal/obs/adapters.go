@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"perfeng/internal/cluster"
@@ -138,4 +139,35 @@ func (g *GPURecorder) KernelBlock(name string, worker int, blockIdx gpu.Dim3, st
 	t.AddSpanAt("block", []string{name}, start, end, map[string]any{
 		"blockIdx": fmt.Sprintf("(%d,%d,%d)", blockIdx.X, blockIdx.Y, blockIdx.Z),
 	})
+}
+
+// SessionSink is a swappable indirection in front of the current
+// session: long-lived consumers (the telemetry collector's sample
+// bridge, the monitoring server's trace endpoints) hold one stable sink
+// while a rolling workload loop rotates fresh sessions underneath it.
+// It satisfies telemetry.SampleSink and, via Current, supplies
+// telemetry.TraceSource; samples arriving while no session is attached
+// are dropped.
+type SessionSink struct {
+	cur atomic.Pointer[Session]
+}
+
+// NewSessionSink returns a sink forwarding to s (nil = detached).
+func NewSessionSink(s *Session) *SessionSink {
+	k := &SessionSink{}
+	k.cur.Store(s)
+	return k
+}
+
+// Set swaps the target session; nil detaches.
+func (k *SessionSink) Set(s *Session) { k.cur.Store(s) }
+
+// Current returns the session currently receiving samples, or nil.
+func (k *SessionSink) Current() *Session { return k.cur.Load() }
+
+// CounterSample forwards one sampled value to the current session.
+func (k *SessionSink) CounterSample(name string, v float64) {
+	if s := k.cur.Load(); s != nil {
+		s.CounterSample(name, v)
+	}
 }

@@ -151,5 +151,6 @@ func Simulate(interarrival, service Sampler, servers, customers, warmup int, see
 	if math.IsNaN(res.MeanW) {
 		return SimResult{}, errors.New("queuing: simulation produced NaN")
 	}
+	publishRun(res)
 	return res, nil
 }

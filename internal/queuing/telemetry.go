@@ -1,0 +1,53 @@
+package queuing
+
+import (
+	"sync/atomic"
+
+	"perfeng/internal/telemetry"
+)
+
+// Live-telemetry hooks for the discrete-event simulator. Simulate runs
+// for thousands of events per call, so publication happens once at the
+// end of a run; the disabled path is one atomic load.
+
+type telHandles struct {
+	runs      *telemetry.Counter
+	customers *telemetry.Counter
+	meanWait  *telemetry.Gauge
+	util      *telemetry.Gauge
+}
+
+var tel atomic.Pointer[telHandles]
+
+// EnableTelemetry publishes simulation activity to reg: runs and
+// customers completed, plus the mean waiting time and server
+// utilization of the most recent run (in simulated time units).
+// Passing nil stops publication.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		tel.Store(nil)
+		return
+	}
+	tel.Store(&telHandles{
+		runs: reg.Counter("perfeng_queuing_runs",
+			"Discrete-event simulation runs completed."),
+		customers: reg.Counter("perfeng_queuing_customers",
+			"Customers served across all runs (excluding warm-up)."),
+		meanWait: reg.Gauge("perfeng_queuing_mean_wait",
+			"Mean waiting time of the most recent run, simulated time units."),
+		util: reg.Gauge("perfeng_queuing_utilization",
+			"Server utilization of the most recent run."),
+	})
+}
+
+// publishRun records one completed simulation.
+func publishRun(res SimResult) {
+	th := tel.Load()
+	if th == nil {
+		return
+	}
+	th.runs.Inc()
+	th.customers.Add(uint64(res.Customers))
+	th.meanWait.Set(res.MeanWq)
+	th.util.Set(res.Util)
+}

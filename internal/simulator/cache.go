@@ -258,6 +258,11 @@ type Hierarchy struct {
 	Accesses uint64
 
 	tlb *TLB
+
+	// telLast/telLastAccesses hold the per-level stats as of the last
+	// PublishTelemetry call, so publication forwards deltas.
+	telLast         []Stats
+	telLastAccesses uint64
 }
 
 // NewHierarchy chains the given levels (L1 first). At least one level is

@@ -1,0 +1,171 @@
+// The runtime collector: a background sampler that publishes Go
+// runtime health — scheduler, GC, heap — into the registry on a ticker,
+// and optionally mirrors every sample into a trace timeline (the obs
+// session's counter series) so live monitoring and the Chrome-trace
+// view stay one dataset.
+package telemetry
+
+import (
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// SampleSink receives every collector sample as a named series point.
+// *obs.Session satisfies it, which is the bridge that lands live
+// telemetry in the Chrome-trace timeline; implementations must be safe
+// for concurrent use.
+type SampleSink interface {
+	CounterSample(name string, v float64)
+}
+
+// runtimeMetrics is the curated runtime/metrics subset the collector
+// samples, with the registry names they publish under. Cumulative
+// runtime totals are exposed as gauges (the collector samples, it does
+// not own the increments).
+var runtimeMetrics = []struct {
+	source string // runtime/metrics key
+	name   string // registry metric name
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "go_sched_goroutines", "Live goroutines."},
+	{"/sched/gomaxprocs:threads", "go_sched_gomaxprocs_threads", "GOMAXPROCS."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total_cycles", "Completed GC cycles since process start."},
+	{"/gc/heap/allocs:bytes", "go_gc_heap_allocs_bytes", "Cumulative bytes allocated on the heap."},
+	{"/gc/heap/allocs:objects", "go_gc_heap_allocs_objects", "Cumulative heap objects allocated."},
+	{"/memory/classes/heap/objects:bytes", "go_memory_heap_objects_bytes", "Bytes of live heap objects."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime."},
+}
+
+// Collector samples the runtime into a registry on a fixed interval.
+type Collector struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	sink SampleSink
+
+	gauges     []*Gauge // aligned with the scalar entries of runtimeMetrics
+	names      []string // exposition names, same alignment
+	samples    []rtmetrics.Sample
+	pauses     *Gauge // GC pause total from the runtime histogram
+	heapInuse  *Gauge
+	stackInuse *Gauge
+	ticks      *Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCollector creates a collector publishing into reg every interval
+// (minimum 10ms; zero means 1s). Call Start to begin sampling.
+func NewCollector(reg *Registry, interval time.Duration) *Collector {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	c := &Collector{reg: reg, interval: interval}
+	for _, m := range runtimeMetrics {
+		c.gauges = append(c.gauges, reg.Gauge(m.name, m.help))
+		c.names = append(c.names, m.name)
+		c.samples = append(c.samples, rtmetrics.Sample{Name: m.source})
+	}
+	c.pauses = reg.Gauge("go_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+	c.heapInuse = reg.Gauge("go_memstats_heap_inuse_bytes", "Heap bytes in in-use spans.")
+	c.stackInuse = reg.Gauge("go_memstats_stack_inuse_bytes", "Stack bytes in use.")
+	c.ticks = reg.Counter("perfeng_collector_ticks", "Collector sampling ticks.")
+	return c
+}
+
+// SetSink attaches (or, with nil, detaches) a sink that receives every
+// sampled value in addition to the registry — pass an *obs.Session to
+// land live series in the trace timeline. Safe to swap while running,
+// which is how a rolling serve loop re-points the collector at each
+// fresh session.
+func (c *Collector) SetSink(s SampleSink) {
+	c.mu.Lock()
+	c.sink = s
+	c.mu.Unlock()
+}
+
+// Start launches the sampling loop. It samples once immediately so the
+// registry is populated before the first scrape.
+func (c *Collector) Start() {
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	c.SampleOnce()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.SampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent; Start may
+// be called again afterwards.
+func (c *Collector) Stop() {
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop, c.done = nil, nil
+}
+
+// SampleOnce reads the runtime and publishes one sample of every
+// metric. Exported so tests and one-shot tools can sample without the
+// background loop.
+func (c *Collector) SampleOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rtmetrics.Read(c.samples)
+	for i, s := range c.samples {
+		var v float64
+		switch s.Value.Kind() {
+		case rtmetrics.KindUint64:
+			v = float64(s.Value.Uint64())
+		case rtmetrics.KindFloat64:
+			v = s.Value.Float64()
+		default:
+			continue
+		}
+		c.gauges[i].Set(v)
+		c.emit(c.names[i], v)
+	}
+
+	// GC pause total from the runtime's pause histogram: sum of
+	// bucket-weighted counts is overkill; MemStats carries the exact
+	// cumulative total.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	pause := float64(ms.PauseTotalNs) / 1e9
+	c.pauses.Set(pause)
+	c.emit("go_gc_pause_total_seconds", pause)
+	c.heapInuse.Set(float64(ms.HeapInuse))
+	c.emit("go_memstats_heap_inuse_bytes", float64(ms.HeapInuse))
+	c.stackInuse.Set(float64(ms.StackInuse))
+	c.emit("go_memstats_stack_inuse_bytes", float64(ms.StackInuse))
+
+	c.ticks.Inc()
+}
+
+// emit forwards one sample to the sink, if attached. Caller holds c.mu.
+func (c *Collector) emit(name string, v float64) {
+	if c.sink != nil {
+		c.sink.CounterSample(name, v)
+	}
+}

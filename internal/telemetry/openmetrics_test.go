@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds the fixed registry the golden file records: one
+// of each kind, labeled and unlabeled, with label values that exercise
+// escaping.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("perfeng_ops", "Operations completed.").Add(42)
+	cf := reg.CounterFamily("perfeng_events", "Events by kind.", "kind", "peer")
+	cf.With("send", "1").Add(7)
+	cf.With("recv", "0").Add(9)
+	cf.With(`quo"te`, "back\\slash\nnewline").Inc()
+	reg.Gauge("perfeng_depth", "Queue depth.").Set(3.25)
+	h := reg.Histogram("perfeng_latency_seconds", "Latency with\nmultiline help.", -2, 2)
+	for _, v := range []float64{0.1, 0.25, 0.3, 1, 3, 100} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.om")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to record)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestOpenMetricsRoundTrip renders the registry, parses the text back,
+// and checks the parsed families match the registry snapshot — values,
+// labels (including escaped ones), histogram buckets, sums and counts.
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if len(parsed) != len(snap) {
+		t.Fatalf("parsed %d families, snapshot has %d", len(parsed), len(snap))
+	}
+	for i, want := range snap {
+		got := parsed[i]
+		if got.Name != want.Name || got.Kind != want.Kind {
+			t.Fatalf("family %d: got %s/%v, want %s/%v", i, got.Name, got.Kind, want.Name, want.Kind)
+		}
+		if got.Help != want.Help {
+			t.Errorf("%s: help %q != %q", got.Name, got.Help, want.Help)
+		}
+		if len(got.Series) != len(want.Series) {
+			t.Fatalf("%s: %d series, want %d", got.Name, len(got.Series), len(want.Series))
+		}
+		for j, ws := range want.Series {
+			gs := got.Series[j]
+			if !equalStrings(gs.LabelValues, ws.LabelValues) {
+				t.Errorf("%s[%d]: labels %q != %q", got.Name, j, gs.LabelValues, ws.LabelValues)
+			}
+			switch want.Kind {
+			case KindCounter, KindGauge:
+				if gs.Value != ws.Value {
+					t.Errorf("%s[%d]: value %v != %v", got.Name, j, gs.Value, ws.Value)
+				}
+			case KindHistogram:
+				if gs.Count != ws.Count || math.Abs(gs.Sum-ws.Sum) > 1e-9 {
+					t.Errorf("%s[%d]: count/sum %d/%v != %d/%v", got.Name, j, gs.Count, gs.Sum, ws.Count, ws.Sum)
+				}
+				if len(gs.Buckets) != len(ws.Buckets) {
+					t.Fatalf("%s[%d]: %d buckets, want %d", got.Name, j, len(gs.Buckets), len(ws.Buckets))
+				}
+				for k := range ws.Buckets {
+					if gs.Buckets[k] != ws.Buckets[k] {
+						t.Errorf("%s[%d] bucket %d: %+v != %+v", got.Name, j, k, gs.Buckets[k], ws.Buckets[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\three\"\n", `all\\three\"\n`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// And the exposition round-trips them through the parser.
+	reg := NewRegistry()
+	cf := reg.CounterFamily("m", "", "l")
+	for _, c := range cases {
+		cf.With(c.in).Inc()
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseOpenMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range parsed[0].Series {
+		seen[s.LabelValues[0]] = true
+	}
+	for _, c := range cases {
+		if !seen[c.in] {
+			t.Errorf("label %q did not round-trip (saw %v)", c.in, seen)
+		}
+	}
+}
+
+// TestHistogramExpositionCumulativity checks the wire-format contract
+// directly on the text: le buckets monotone non-decreasing, +Inf
+// present and equal to _count.
+func TestHistogramExpositionCumulativity(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", -3, 3)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.1)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseOpenMetrics(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := parsed[0].Series[0]
+	if len(s.Buckets) == 0 {
+		t.Fatal("no buckets parsed")
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Fatalf("last bucket le = %v, want +Inf", last.UpperBound)
+	}
+	if last.CumulativeCount != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last.CumulativeCount, s.Count)
+	}
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].CumulativeCount < s.Buckets[i-1].CumulativeCount {
+			t.Fatalf("buckets not monotone: %+v", s.Buckets)
+		}
+	}
+	// The raw text must spell the +Inf bound exactly "+Inf".
+	if !strings.Contains(buf.String(), `le="+Inf"`) {
+		t.Fatal(`exposition missing le="+Inf" bucket`)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"no-eof":         "# TYPE a counter\na_total 1\n",
+		"after-eof":      "# EOF\nx 1\n",
+		"unknown-type":   "# TYPE a summary\n# EOF\n",
+		"bad-value":      "# TYPE a gauge\na nope\n# EOF\n",
+		"orphan-sample":  "b 1\n# EOF\n",
+		"unclosed-label": "# TYPE a counter\na_total{l=\"v 1\n# EOF\n",
+	} {
+		if _, err := ParseOpenMetrics(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestExpositionEndsWithEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "# EOF\n" {
+		t.Fatalf("empty registry exposition = %q", got)
+	}
+}

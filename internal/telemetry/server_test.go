@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTrace implements TraceSource with canned payloads.
+type fakeTrace struct{ chrome, folded string }
+
+func (f *fakeTrace) WriteChromeTrace(w io.Writer) error {
+	_, err := io.WriteString(w, f.chrome)
+	return err
+}
+func (f *fakeTrace) WriteFolded(w io.Writer) error {
+	_, err := io.WriteString(w, f.folded)
+	return err
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("perfeng_ops", "ops").Add(5)
+	trace := &fakeTrace{chrome: `{"traceEvents":[]}`, folded: "main;work 12\n"}
+	srv := NewServer(":0", reg, func() TraceSource { return trace })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, hdr := get(t, ts, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body, hdr = get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "perfeng_ops_total 5") || !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	// The scrape must parse as valid OpenMetrics.
+	if _, err := ParseOpenMetrics(strings.NewReader(body)); err != nil {
+		t.Fatalf("scrape does not round-trip: %v", err)
+	}
+
+	code, body, hdr = get(t, ts, "/trace.json")
+	if code != http.StatusOK || body != trace.chrome {
+		t.Fatalf("/trace.json: %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/trace.json content type %q", ct)
+	}
+
+	code, body, _ = get(t, ts, "/profile.folded")
+	if code != http.StatusOK || body != trace.folded {
+		t.Fatalf("/profile.folded: %d %q", code, body)
+	}
+
+	code, body, _ = get(t, ts, "/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+
+	code, body, _ = get(t, ts, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+
+	code, _, _ = get(t, ts, "/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("/nope: %d, want 404", code)
+	}
+}
+
+func TestServerWithoutTraceSource(t *testing.T) {
+	srv := NewServer(":0", NewRegistry(), nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/trace.json", "/profile.folded"} {
+		code, _, _ := get(t, ts, path)
+		if code != http.StatusNotFound {
+			t.Fatalf("%s without source: %d, want 404", path, code)
+		}
+	}
+}
+
+func TestServerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	srv := NewServer("127.0.0.1:0", reg, nil)
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live server /healthz: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// After shutdown the port no longer answers.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still answering after Stop")
+	} else if !errors.Is(err, context.DeadlineExceeded) && err == nil {
+		t.Fatal("unexpected nil error")
+	}
+}
