@@ -28,6 +28,7 @@ import (
 	"perfeng/internal/polyhedral"
 	"perfeng/internal/queuing"
 	"perfeng/internal/roofline"
+	"perfeng/internal/sched"
 	"perfeng/internal/simulator"
 	"perfeng/internal/simulator/ports"
 	"perfeng/internal/statmodel"
@@ -47,7 +48,10 @@ var sink interface{}
 // CI's bench-gate job compares fresh runs against the committed baseline
 // with Welch's t-test. Parallel and goroutine-heavy benches are excluded
 // on purpose — their variance on shared CI runners drowns the signal the
-// gate is looking for.
+// gate is looking for. The two sched entries are the deliberate
+// exception: every parallel kernel now rides on the shared runtime, so
+// its dispatch overhead and steal path are gated with small fixed shapes
+// that keep the variance bounded.
 func BenchmarkSmoke(b *testing.B) {
 	b.Run("figure1", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -169,6 +173,93 @@ func BenchmarkSmoke(b *testing.B) {
 			th.Observe(1.25e-6)
 		}
 	})
+	// Scheduler hot path: the per-region cost every parallel kernel now
+	// pays. Two gated shapes: dispatch overhead on a small uniform body
+	// (the closure is hoisted, so the steady state must stay
+	// allocation-free — rare sync.Pool GC clears are the only tolerated
+	// allocs), and a skewed cost ramp exercising the steal path.
+	schedOut := make([]float64, 1024)
+	schedBody := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			schedOut[i] = float64(i) * 0.5
+		}
+	}
+	b.Run("sched-parallel-for/n=1024", func(b *testing.B) {
+		run := func() { sched.ParallelFor(len(schedOut), 0, schedBody) }
+		for i := 0; i < 100; i++ {
+			run() // warm the job and deque pools before the alloc guard
+		}
+		if a := testing.AllocsPerRun(200, run); a > 0.5 {
+			b.Fatalf("ParallelFor steady state allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+	skewOut := make([]float64, 256)
+	skewBody := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for k := 0; k < i*4; k++ {
+				acc += float64(k&7) * 0.25
+			}
+			skewOut[i] = acc
+		}
+	}
+	b.Run("sched-skewed-steal/n=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched.ParallelForPolicy(sched.PolicyStealing, len(skewOut), 8, skewBody)
+		}
+	})
+}
+
+// BenchmarkSchedPolicies is the scheduling-policy ablation of DESIGN.md:
+// static vs guided vs stealing decomposition over a uniform body and a
+// skewed one (per-index quadratic cost ramp). Uniform work shows the
+// policies within noise of each other; on the ramp, static's fixed
+// chunks strand the heavy tail on the last executor while stealing
+// rebalances it. Not part of the gate subset — the relative shape, not
+// the absolute time, is the result (see EXPERIMENTS.md).
+func BenchmarkSchedPolicies(b *testing.B) {
+	const n = 512
+	out := make([]float64, n)
+	uniform := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for k := 0; k < 512; k++ {
+				acc += float64(k&7) * 0.25
+			}
+			out[i] = acc
+		}
+	}
+	skewed := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := 0.0
+			for k := 0; k < i*2; k++ {
+				acc += float64(k&7) * 0.25
+			}
+			out[i] = acc
+		}
+	}
+	workloads := []struct {
+		name string
+		body func(lo, hi int)
+	}{
+		{"uniform", uniform},
+		{"skewed", skewed},
+	}
+	for _, wl := range workloads {
+		for _, pol := range []sched.Policy{sched.PolicyStatic, sched.PolicyGuided, sched.PolicyStealing} {
+			b.Run(wl.name+"/"+pol.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sched.ParallelForPolicy(pol, n, 8, wl.body)
+				}
+			})
+		}
+	}
+	sink = out
 }
 
 // ---- E1-E6: the paper's own artifacts ----

@@ -13,6 +13,7 @@
 //	perfeng benchgate record
 //	perfeng benchgate gate -baseline BENCH_1.json -github
 //	perfeng vet ./...
+//	perfeng scaling -github
 package main
 
 import (
@@ -42,6 +43,10 @@ func main() {
 		runVet(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "scaling" {
+		runScaling(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -64,6 +69,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "                                 (perfeng benchgate -help for modes and flags)")
 		fmt.Fprintln(os.Stderr, "       perfeng vet [packages]    statically check for performance antipatterns")
 		fmt.Fprintln(os.Stderr, "                                 (perfeng vet -help for analyzers and flags)")
+		fmt.Fprintln(os.Stderr, "       perfeng scaling [flags]   smoke-test parallel speedup of the scheduler")
+		fmt.Fprintln(os.Stderr, "                                 (skips below -min-procs; perfeng scaling -help)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

@@ -1,0 +1,140 @@
+// The scaling subcommand: a CI smoke test that the shared work-stealing
+// runtime actually scales. It times a compute-bound kernel (parallel
+// matmul) and a memory/merge-bound one (privatized histogram) against
+// their sequential ladders and checks the speedup at the machine's
+// GOMAXPROCS. On boxes too small for parallel speedup to be expected
+// (below -min-procs) it skips cleanly, so laptops and 1-core containers
+// stay green while CI runners enforce the bar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"perfeng/internal/kernels"
+	"perfeng/internal/sched"
+)
+
+func runScaling(args []string) {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	var (
+		n        = fs.Int("n", 512, "matmul problem size")
+		samples  = fs.Int("samples", 8<<20, "histogram sample count")
+		reps     = fs.Int("reps", 3, "repetitions per variant (best time wins)")
+		minProcs = fs.Int("min-procs", 4, "skip with exit 0 below this GOMAXPROCS")
+		warnAt   = fs.Float64("warn", 1.5, "advisory threshold: warn when speedup falls below this")
+		failAt   = fs.Float64("fail", 1.0, "hard threshold: exit 1 when speedup falls below this")
+		github   = fs.Bool("github", false, "emit GitHub Actions ::error/::warning annotations")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: perfeng scaling [flags]")
+		fmt.Fprintln(os.Stderr, "smoke-tests parallel speedup of the shared scheduler: parallel matmul and")
+		fmt.Fprintln(os.Stderr, "privatized histogram vs their sequential variants, best-of-reps timing.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	if procs < *minProcs {
+		fmt.Printf("perfeng scaling: GOMAXPROCS=%d < %d — skipping, parallel speedup not expected here\n",
+			procs, *minProcs)
+		return
+	}
+
+	cases := scalingCases(*n, *samples)
+	fmt.Printf("perfeng scaling: GOMAXPROCS=%d, sched workers=%d, best of %d reps\n",
+		procs, sched.Workers(), *reps)
+
+	failed := false
+	for _, c := range cases {
+		seq := bestOf(*reps, c.seq)
+		par := bestOf(*reps, c.par)
+		speedup := seq.Seconds() / par.Seconds()
+		verdict := "ok"
+		switch {
+		case speedup < *failAt:
+			verdict = "FAIL"
+			failed = true
+		case speedup < *warnAt:
+			verdict = "warn"
+		}
+		fmt.Printf("  %-12s seq %10v  par %10v  speedup %.2fx  [%s]\n",
+			c.name, seq.Round(time.Microsecond), par.Round(time.Microsecond), speedup, verdict)
+		if *github {
+			switch verdict {
+			case "FAIL":
+				fmt.Printf("::error title=scaling %s::parallel %s speedup %.2fx < %.2fx at GOMAXPROCS=%d — the runtime is slower than sequential\n",
+					c.name, c.name, speedup, *failAt, procs)
+			case "warn":
+				fmt.Printf("::warning title=scaling %s::parallel %s speedup %.2fx < %.2fx at GOMAXPROCS=%d\n",
+					c.name, c.name, speedup, *warnAt, procs)
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "perfeng scaling: FAIL — parallel slower than sequential")
+		os.Exit(1)
+	}
+}
+
+// scalingCase pairs a sequential kernel with its scheduler-parallel
+// variant (workers <= 0: stealing over the whole pool).
+type scalingCase struct {
+	name string
+	seq  func()
+	par  func()
+}
+
+func scalingCases(n, samples int) []scalingCase {
+	a, b := kernels.RandomDense(n, 1), kernels.RandomDense(n, 2)
+	cSeq, cPar := kernels.NewDense(n), kernels.NewDense(n)
+
+	data := kernels.UniformSamples(samples, 3)
+	const bins = 1024
+	hSeq, hPar := make([]int64, bins), make([]int64, bins)
+
+	return []scalingCase{
+		{
+			name: "matmul",
+			seq:  func() { kernels.MatMulIKJ(a, b, cSeq) },
+			par:  func() { kernels.MatMulParallel(a, b, cPar, 0) },
+		},
+		{
+			name: "histogram",
+			seq: func() {
+				clearCounts(hSeq)
+				kernels.HistogramSeq(data, hSeq)
+			},
+			par: func() {
+				clearCounts(hPar)
+				kernels.HistogramPrivate(data, hPar, 0)
+			},
+		},
+	}
+}
+
+func clearCounts(c []int64) {
+	for i := range c {
+		c[i] = 0
+	}
+}
+
+// bestOf runs f reps times and returns the fastest wall time — the
+// standard noise-rejection protocol for a smoke check (minimum of a
+// shifted distribution estimates the noise-free cost).
+func bestOf(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

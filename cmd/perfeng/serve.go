@@ -23,6 +23,7 @@ import (
 	"perfeng/internal/metrics"
 	"perfeng/internal/obs"
 	"perfeng/internal/queuing"
+	"perfeng/internal/sched"
 	"perfeng/internal/simulator"
 	"perfeng/internal/telemetry"
 )
@@ -46,6 +47,7 @@ func newServeStack(addr string, interval time.Duration) *serveStack {
 	cluster.EnableTelemetry(reg)
 	simulator.EnableTelemetry(reg)
 	queuing.EnableTelemetry(reg)
+	sched.EnableTelemetry(reg)
 
 	sink := obs.NewSessionSink(nil)
 	collector := telemetry.NewCollector(reg, interval)
@@ -78,6 +80,8 @@ func (st *serveStack) close(ctx context.Context) error {
 	cluster.EnableTelemetry(nil)
 	simulator.EnableTelemetry(nil)
 	queuing.EnableTelemetry(nil)
+	sched.EnableTelemetry(nil)
+	sched.Observe(nil)
 	return err
 }
 

@@ -18,6 +18,7 @@ import (
 	"perfeng/internal/obs"
 	"perfeng/internal/profile"
 	"perfeng/internal/queuing"
+	"perfeng/internal/sched"
 	"perfeng/internal/simulator"
 )
 
@@ -54,6 +55,12 @@ func newWiredSession(name string) (*wiredSession, error) {
 		mirror(path, start, end)
 		_ = sampler.Sample()
 	})
+
+	// Scheduler tasks land on per-executor "sched" tracks, so the
+	// parallel variants show their range decomposition next to the host
+	// spans. The observer follows the newest session (serve wires one per
+	// iteration); serve detaches it at stack close.
+	sched.Observe(obs.NewSchedObserver(session))
 	return &wiredSession{session: session, prof: prof, sampler: sampler}, nil
 }
 

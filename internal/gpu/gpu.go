@@ -16,10 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfeng/internal/machine"
+
+	"perfeng/internal/sched"
 )
 
 // Dim3 is the CUDA-style 3D geometry index.
@@ -100,16 +102,6 @@ func (d *Device) LaunchNamed(name string, grid, block Dim3, sharedLen int, kerne
 			sharedLen*8, d.Model.SharedMemPerSMBytes)
 	}
 	nBlocks := grid.Count()
-	blockCh := make(chan Dim3, nBlocks)
-	for bz := 0; bz < grid.Z; bz++ {
-		for by := 0; by < grid.Y; by++ {
-			for bx := 0; bx < grid.X; bx++ {
-				blockCh <- Dim3{X: bx, Y: by, Z: bz}
-			}
-		}
-	}
-	close(blockCh)
-
 	workers := d.Workers
 	if workers > nBlocks {
 		workers = nBlocks
@@ -120,43 +112,47 @@ func (d *Device) LaunchNamed(name string, grid, block Dim3, sharedLen int, kerne
 	if rec != nil || th != nil {
 		launchStart = time.Now()
 	}
-	var wg sync.WaitGroup
-	panics := make(chan interface{}, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					select {
-					case panics <- p:
-					default:
+	// Blocks are handed out dynamically from a shared counter; each lane of
+	// the shared scheduler acts as one virtual SM, so at most d.Workers
+	// blocks are in flight regardless of the pool's worker count.
+	var next atomic.Int64
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("gpu: kernel panicked: %v", p)
+			}
+		}()
+		sched.ParallelFor(workers, 1, func(lo, hi int) {
+			for lane := lo; lane < hi; lane++ {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nBlocks {
+						return
 					}
-				}
-			}()
-			for b := range blockCh {
-				var shared []float64
-				if sharedLen > 0 {
-					shared = make([]float64, sharedLen)
-				}
-				var blockStart time.Time
-				if rec != nil {
-					blockStart = time.Now()
-				}
-				for tz := 0; tz < block.Z; tz++ {
-					for ty := 0; ty < block.Y; ty++ {
-						for tx := 0; tx < block.X; tx++ {
-							kernel(b, Dim3{X: tx, Y: ty, Z: tz}, shared)
+					b := Dim3{X: i % grid.X, Y: (i / grid.X) % grid.Y, Z: i / (grid.X * grid.Y)}
+					var shared []float64
+					if sharedLen > 0 {
+						shared = make([]float64, sharedLen)
+					}
+					var blockStart time.Time
+					if rec != nil {
+						blockStart = time.Now()
+					}
+					for tz := 0; tz < block.Z; tz++ {
+						for ty := 0; ty < block.Y; ty++ {
+							for tx := 0; tx < block.X; tx++ {
+								kernel(b, Dim3{X: tx, Y: ty, Z: tz}, shared)
+							}
 						}
 					}
-				}
-				if rec != nil {
-					rec.KernelBlock(name, worker, b, blockStart, time.Now())
+					if rec != nil {
+						rec.KernelBlock(name, lane, b, blockStart, time.Now())
+					}
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
+		})
+		return nil
+	}()
 	if rec != nil || th != nil {
 		launchEnd := time.Now()
 		if rec != nil {
@@ -166,12 +162,7 @@ func (d *Device) LaunchNamed(name string, grid, block Dim3, sharedLen int, kerne
 			d.publishLaunch(th, name, grid, block, sharedLen, launchEnd.Sub(launchStart).Seconds())
 		}
 	}
-	select {
-	case p := <-panics:
-		return fmt.Errorf("gpu: kernel panicked: %v", p)
-	default:
-		return nil
-	}
+	return err
 }
 
 // Launch1D is the common 1D convenience wrapper: n threads in blocks of

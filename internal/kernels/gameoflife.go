@@ -2,9 +2,7 @@ package kernels
 
 import (
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
 )
 
 // Conway's Game of Life on a toroidal grid — the second most popular
@@ -114,40 +112,23 @@ func (b *Life) Step(dst *Life) {
 	}
 }
 
-// StepParallel computes one generation with row bands split over workers.
+// StepParallel computes one generation with row bands split over the
+// shared scheduler.
 func (b *Life) StepParallel(dst *Life, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > b.H {
-		workers = b.H
-	}
-	var wg sync.WaitGroup
 	src, out, width := b.Cells, dst.Cells, b.W
-	chunk := (b.H + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, b.H)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for y := lo; y < hi; y++ {
-				for x := 0; x < width; x++ {
-					n := b.neighbours(x, y)
-					alive := src[y*width+x] == 1
-					if alive && (n == 2 || n == 3) || !alive && n == 3 {
-						out[y*width+x] = 1
-					} else {
-						out[y*width+x] = 0
-					}
+	parFor(b.H, workers, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < width; x++ {
+				n := b.neighbours(x, y)
+				alive := src[y*width+x] == 1
+				if alive && (n == 2 || n == 3) || !alive && n == 3 {
+					out[y*width+x] = 1
+				} else {
+					out[y*width+x] = 0
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // Run advances the board g generations (workers <= 1 sequential) and

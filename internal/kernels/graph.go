@@ -2,9 +2,7 @@ package kernels
 
 import (
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -106,11 +104,10 @@ func BFS(g *Graph, src int) []int32 {
 }
 
 // BFSParallel is a level-synchronous parallel BFS: each level's frontier is
-// split over workers, with atomic claim of unvisited vertices.
+// split over the shared scheduler, with atomic claim of unvisited vertices
+// and per-executor next-frontier buffers (reused across levels) merged at
+// the level barrier.
 func BFSParallel(g *Graph, src, workers int) []int32 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	dist := make([]int32, g.N)
 	for i := range dist {
 		dist[i] = -1
@@ -118,35 +115,27 @@ func BFSParallel(g *Graph, src, workers int) []int32 {
 	dist[src] = 0
 	off, adj := g.Offset, g.Edges
 	frontier := []int32{int32(src)}
+	nexts := make([][]int32, parExecutors())
 	for level := int32(1); len(frontier) > 0; level++ {
-		nexts := make([][]int32, workers)
-		var wg sync.WaitGroup
-		chunk := (len(frontier) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := min(lo+chunk, len(frontier))
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w int, part []int32) {
-				defer wg.Done()
-				local := make([]int32, 0, len(part))
-				for _, u := range part {
-					for k := off[u]; k < off[u+1]; k++ {
-						v := adj[k]
-						if atomic.CompareAndSwapInt32(&dist[v], -1, level) {
-							local = append(local, v)
-						}
+		for i := range nexts {
+			nexts[i] = nexts[i][:0]
+		}
+		part := frontier
+		parForWorker(len(part), workers, func(w, lo, hi int) {
+			local := nexts[w]
+			for _, u := range part[lo:hi] {
+				for k := off[u]; k < off[u+1]; k++ {
+					v := adj[k]
+					if atomic.CompareAndSwapInt32(&dist[v], -1, level) {
+						local = append(local, v)
 					}
 				}
-				nexts[w] = local
-			}(w, frontier[lo:hi])
-		}
-		wg.Wait()
+			}
+			nexts[w] = local
+		})
 		frontier = frontier[:0]
-		for _, part := range nexts {
-			frontier = append(frontier, part...)
+		for _, local := range nexts {
+			frontier = append(frontier, local...)
 		}
 	}
 	return dist
@@ -192,9 +181,6 @@ func PageRank(g *Graph, d float64, iters int) []float64 {
 // reverse graph so each vertex gathers from its in-neighbours without
 // write conflicts.
 func PageRankParallel(g *Graph, d float64, iters, workers int) []float64 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	rev := g.Reverse()
 	n := g.N
 	rank := make([]float64, n)
@@ -215,28 +201,17 @@ func PageRankParallel(g *Graph, d float64, iters, workers int) []float64 {
 			}
 		}
 		base := (1-d)/float64(n) + d*dangling/float64(n)
-		var wg sync.WaitGroup
-		chunk := (n + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := min(lo+chunk, n)
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				roff, radj := rev.Offset, rev.Edges
-				for v := lo; v < hi; v++ {
-					var sum float64
-					for k := roff[v]; k < roff[v+1]; k++ {
-						sum += contrib[radj[k]]
-					}
-					next[v] = base + d*sum
+		roff, radj := rev.Offset, rev.Edges
+		dst := next
+		parFor(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				var sum float64
+				for k := roff[v]; k < roff[v+1]; k++ {
+					sum += contrib[radj[k]]
 				}
-			}(lo, hi)
-		}
-		wg.Wait()
+				dst[v] = base + d*sum
+			}
+		})
 		rank, next = next, rank
 	}
 	return rank

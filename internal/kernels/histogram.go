@@ -3,7 +3,6 @@ package kernels
 import (
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,61 +41,37 @@ func binIndex(s float64, bins int) int {
 	return i
 }
 
-// HistogramAtomic bins samples in parallel, with all workers incrementing a
-// shared bin array using atomic adds — correct, but heavily contended for
-// skewed inputs (the "false sharing / contention" performance pattern).
+// HistogramAtomic bins samples in parallel, with all executors
+// incrementing a shared bin array using atomic adds — correct, but heavily
+// contended for skewed inputs (the "false sharing / contention"
+// performance pattern).
 func HistogramAtomic(samples []float64, counts []int64, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	bins := len(counts)
-	var wg sync.WaitGroup
-	chunk := (len(samples) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(samples))
-		if lo >= hi {
-			break
+	parFor(len(samples), workers, func(lo, hi int) {
+		for _, s := range samples[lo:hi] {
+			atomic.AddInt64(&counts[binIndex(s, bins)], 1)
 		}
-		wg.Add(1)
-		go func(part []float64) {
-			defer wg.Done()
-			for _, s := range part {
-				atomic.AddInt64(&counts[binIndex(s, bins)], 1)
-			}
-		}(samples[lo:hi])
-	}
-	wg.Wait()
+	})
 }
 
-// HistogramPrivate bins samples in parallel with per-worker private bin
+// HistogramPrivate bins samples in parallel with per-executor private bin
 // arrays merged at the end — the standard privatization fix for the
-// contention pattern.
+// contention pattern. Private arrays are allocated lazily on an
+// executor's first range, so only executors that actually ran pay for
+// one.
 func HistogramPrivate(samples []float64, counts []int64, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	bins := len(counts)
-	privs := make([][]int64, workers)
-	var wg sync.WaitGroup
-	chunk := (len(samples) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(samples))
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w int, part []float64) {
-			defer wg.Done()
-			priv := make([]int64, bins)
-			for _, s := range part {
-				priv[binIndex(s, bins)]++
-			}
+	privs := make([][]int64, parExecutors())
+	parForWorker(len(samples), workers, func(w, lo, hi int) {
+		priv := privs[w]
+		if priv == nil {
+			priv = make([]int64, bins)
 			privs[w] = priv
-		}(w, samples[lo:hi])
-	}
-	wg.Wait()
+		}
+		for _, s := range samples[lo:hi] {
+			priv[binIndex(s, bins)]++
+		}
+	})
 	for _, priv := range privs {
 		for i, c := range priv {
 			counts[i] += c
@@ -107,30 +82,15 @@ func HistogramPrivate(samples []float64, counts []int64, workers int) {
 // HistogramMutex bins samples in parallel with a single mutex around the
 // shared bin array — the pessimal strategy, kept as the ablation baseline.
 func HistogramMutex(samples []float64, counts []int64, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	bins := len(counts)
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	chunk := (len(samples) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(samples))
-		if lo >= hi {
-			break
+	parFor(len(samples), workers, func(lo, hi int) {
+		for _, s := range samples[lo:hi] {
+			mu.Lock()
+			counts[binIndex(s, bins)]++
+			mu.Unlock()
 		}
-		wg.Add(1)
-		go func(part []float64) {
-			defer wg.Done()
-			for _, s := range part {
-				mu.Lock()
-				counts[binIndex(s, bins)]++
-				mu.Unlock()
-			}
-		}(samples[lo:hi])
-	}
-	wg.Wait()
+	})
 }
 
 // UniformSamples returns n deterministic uniform samples in [0,1).

@@ -15,8 +15,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Dense is a dense row-major n x n matrix of float64.
@@ -186,95 +184,61 @@ func MatMulTiled(a, b, c *Dense, tile int) {
 }
 
 // MatMulParallel computes c = a*b with the ikj order, splitting rows of c
-// over workers goroutines. workers <= 0 uses GOMAXPROCS.
+// over the shared scheduler. workers > 0 pins a static decomposition into
+// that many row bands; workers <= 0 lets the pool steal dynamically.
 func MatMulParallel(a, b, c *Dense, workers int) {
 	n := mustSameSize(a, b, c)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
 	ad := a.Data
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				crow := c.Data[i*n : (i+1)*n]
-				for j := range crow {
-					crow[j] = 0
-				}
-				for k := 0; k < n; k++ {
-					av := ad[i*n+k]
-					brow := b.Data[k*n : (k+1)*n]
-					for j, bv := range brow {
-						crow[j] += av * bv
-					}
+	parFor(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Data[i*n : (i+1)*n]
+			for j := range crow {
+				crow[j] = 0
+			}
+			for k := 0; k < n; k++ {
+				av := ad[i*n+k]
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // MatMulParallelTiled combines tiling with row-block parallelism: each
-// worker owns a horizontal band of c and tiles the k and j loops within it.
+// executed range owns a horizontal band of c and tiles the k and j loops
+// within it.
 func MatMulParallelTiled(a, b, c *Dense, workers, tile int) {
 	n := mustSameSize(a, b, c)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
 	if tile <= 0 {
 		tile = 64
 	}
-	var wg sync.WaitGroup
 	ad := a.Data
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := c.Data[i*n : (i+1)*n]
-				for j := range row {
-					row[j] = 0
-				}
+	parFor(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := c.Data[i*n : (i+1)*n]
+			for j := range row {
+				row[j] = 0
 			}
-			for kk := 0; kk < n; kk += tile {
-				kmax := min(kk+tile, n)
-				for jj := 0; jj < n; jj += tile {
-					jmax := min(jj+tile, n)
-					for i := lo; i < hi; i++ {
-						crow := c.Data[i*n : (i+1)*n]
-						for k := kk; k < kmax; k++ {
-							av := ad[i*n+k]
-							brow := b.Data[k*n : (k+1)*n]
-							for j := jj; j < jmax; j++ {
-								crow[j] += av * brow[j]
-							}
+		}
+		for kk := 0; kk < n; kk += tile {
+			kmax := min(kk+tile, n)
+			for jj := 0; jj < n; jj += tile {
+				jmax := min(jj+tile, n)
+				for i := lo; i < hi; i++ {
+					crow := c.Data[i*n : (i+1)*n]
+					for k := kk; k < kmax; k++ {
+						av := ad[i*n+k]
+						brow := b.Data[k*n : (k+1)*n]
+						for j := jj; j < jmax; j++ {
+							crow[j] += av * brow[j]
 						}
 					}
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // MatMulVariant names one member of the matmul optimization ladder.

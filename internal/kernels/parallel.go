@@ -1,0 +1,39 @@
+// Shared dispatch into the work-stealing runtime (internal/sched).
+// Every parallel kernel in this package routes its index loop through
+// these helpers instead of hand-rolling a goroutine fan-out: spawn and
+// join costs are paid once in the persistent pool, and irregular
+// workloads (power-law SpMV rows, BFS frontiers, Wordle scoring)
+// rebalance by stealing instead of idling behind a static split.
+package kernels
+
+import "perfeng/internal/sched"
+
+// parFor runs body over disjoint subranges covering [0, n).
+// workers > 0 reproduces the classic static decomposition into that
+// many contiguous chunks — the behaviour these kernels had with
+// hand-rolled fan-outs, kept so decomposition stays an explicit knob
+// for the scheduling ablations and for callers that pin concurrency.
+// workers <= 0 uses the pool's dynamic stealing policy with an
+// automatic grain.
+func parFor(n, workers int, body func(lo, hi int)) {
+	if workers > 0 {
+		sched.ParallelForPolicy(sched.PolicyStatic, n, (n+workers-1)/workers, body)
+		return
+	}
+	sched.ParallelFor(n, 0, body)
+}
+
+// parForWorker is parFor for bodies that privatize per-executor state
+// (histogram counts, BFS next-frontier buffers): body additionally
+// receives an executor id in [0, parExecutors()), and ranges with the
+// same id never run concurrently.
+func parForWorker(n, workers int, body func(worker, lo, hi int)) {
+	if workers > 0 {
+		sched.ParallelForWorkerPolicy(sched.PolicyStatic, n, (n+workers-1)/workers, body)
+		return
+	}
+	sched.ParallelForWorker(n, 0, body)
+}
+
+// parExecutors sizes per-executor state for parForWorker bodies.
+func parExecutors() int { return sched.Executors() }

@@ -5,9 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 )
 
 // Sparse matrix-vector multiplication (Assignments 3 and 4) in the three
@@ -136,36 +134,20 @@ func SpMVCSR(a *CSR, x, y []float64) {
 	}
 }
 
-// SpMVCSRParallel computes y = A*x with rows split across workers.
+// SpMVCSRParallel computes y = A*x with rows split across the shared
+// scheduler. With workers <= 0 the stealing policy rebalances power-law
+// row-length imbalance that a static split cannot.
 func SpMVCSRParallel(a *CSR, x, y []float64, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
 	rp, ci, vals := a.RowPtr, a.ColIdx, a.Vals
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.Rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for r := lo; r < hi; r++ {
-				var sum float64
-				for k := rp[r]; k < rp[r+1]; k++ {
-					sum += vals[k] * x[ci[k]]
-				}
-				y[r] = sum
+	parFor(a.Rows, workers, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var sum float64
+			for k := rp[r]; k < rp[r+1]; k++ {
+				sum += vals[k] * x[ci[k]]
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			y[r] = sum
+		}
+	})
 }
 
 // SpMVCSC computes y = A*x for a CSC matrix: scatter on y, which defeats

@@ -2,8 +2,6 @@ package kernels
 
 import (
 	"math"
-	"runtime"
-	"sync"
 )
 
 // 2D 5-point Jacobi stencil — the most popular student project in the
@@ -96,39 +94,21 @@ func StencilSweep(src, dst *Grid2D) {
 	}
 }
 
-// StencilSweepParallel performs one Jacobi sweep with row bands split over
-// workers goroutines.
+// StencilSweepParallel performs one Jacobi sweep with interior row bands
+// split over the shared scheduler.
 func StencilSweepParallel(src, dst *Grid2D, workers int) {
 	n, w := src.N, src.N+2
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for wk := 0; wk < workers; wk++ {
-		lo := 1 + wk*chunk
-		hi := min(lo+chunk, n+1)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				up := src.Data[(i-1)*w:]
-				mid := src.Data[i*w:]
-				down := src.Data[(i+1)*w:]
-				out := dst.Data[i*w:]
-				for j := 1; j <= n; j++ {
-					out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
-				}
+	parFor(n, workers, func(lo, hi int) {
+		for i := lo + 1; i <= hi; i++ { // interior rows are 1..n
+			up := src.Data[(i-1)*w:]
+			mid := src.Data[i*w:]
+			down := src.Data[(i+1)*w:]
+			out := dst.Data[i*w:]
+			for j := 1; j <= n; j++ {
+				out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // StencilRun performs sweeps Jacobi sweeps ping-ponging between two

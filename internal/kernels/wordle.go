@@ -3,8 +3,8 @@ package kernels
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"perfeng/internal/sched"
 )
 
 // Wordle solving — one of the "exotic applications" students brought to
@@ -154,58 +154,48 @@ func (w *Wordle) BestGuess(candidates []int) (int, error) {
 	return best, nil
 }
 
-// BestGuessParallel scores candidate guesses across workers.
+// BestGuessParallel scores candidate guesses as a parallel reduction on
+// the shared scheduler: each range reports its best (score, index) pair
+// and pairs combine by lower score, ties to the lower index — an
+// order-insensitive fold, so the answer is deterministic under stealing.
+// Guess scoring cost varies with how sharply a guess partitions the
+// candidates, which is exactly the irregularity stealing absorbs.
 func (w *Wordle) BestGuessParallel(candidates []int, workers int) (int, error) {
-	if len(candidates) == 0 {
+	n := len(candidates)
+	if n == 0 {
 		return 0, errors.New("kernels: no candidates")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(candidates) {
-		workers = len(candidates)
 	}
 	type result struct {
 		idx   int
 		score float64
 	}
-	results := make([]result, workers)
-	var wg sync.WaitGroup
-	chunk := (len(candidates) + workers - 1) / workers
-	for t := range results {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > len(candidates) {
-			hi = len(candidates)
-		}
-		if lo >= hi {
-			results[t] = result{idx: -1}
-			continue
-		}
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
+	pol, grain := sched.PolicyStealing, 0
+	if workers > 0 {
+		pol, grain = sched.PolicyStatic, (n+workers-1)/workers
+	}
+	best := sched.Reduce(sched.Default(), pol, n, grain, result{idx: -1},
+		func(lo, hi int) result {
 			best, bestScore := candidates[lo], w.scoreGuess(candidates[lo], candidates)
 			for _, g := range candidates[lo+1 : hi] {
 				if s := w.scoreGuess(g, candidates); s < bestScore {
 					best, bestScore = g, s
 				}
 			}
-			results[t] = result{idx: best, score: bestScore}
-		}(t, lo, hi)
-	}
-	wg.Wait()
-	best, bestScore := -1, 0.0
-	for _, r := range results {
-		if r.idx < 0 {
-			continue
-		}
-		if best == -1 || r.score < bestScore ||
-			(r.score == bestScore && r.idx < best) {
-			best, bestScore = r.idx, r.score
-		}
-	}
-	return best, nil
+			return result{idx: best, score: bestScore}
+		},
+		func(a, b result) result {
+			switch {
+			case a.idx < 0:
+				return b
+			case b.idx < 0:
+				return a
+			case b.score < a.score, b.score == a.score && b.idx < a.idx:
+				return b
+			default:
+				return a
+			}
+		})
+	return best.idx, nil
 }
 
 // Solve plays a full game against the hidden answer (an index into Words)

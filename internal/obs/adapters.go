@@ -11,6 +11,7 @@ import (
 	"perfeng/internal/gpu"
 	"perfeng/internal/machine"
 	"perfeng/internal/profile"
+	"perfeng/internal/sched"
 )
 
 // Adapters wiring the existing producers into one session timeline:
@@ -139,6 +140,27 @@ func (g *GPURecorder) KernelBlock(name string, worker int, blockIdx gpu.Dim3, st
 	t.AddSpanAt("block", []string{name}, start, end, map[string]any{
 		"blockIdx": fmt.Sprintf("(%d,%d,%d)", blockIdx.X, blockIdx.Y, blockIdx.Z),
 	})
+}
+
+// SchedObserver implements sched.Observer: every range a pool executes
+// becomes a span on a per-executor track ("sched worker 0", …, plus
+// "sched caller" for ranges a submitter ran in its help loop), named by
+// scheduling policy — the timeline view of how evenly a parallel
+// region spread over the pool. Attach with sched.Observe(
+// obs.NewSchedObserver(session)) and detach with sched.Observe(nil).
+type SchedObserver struct {
+	s *Session
+}
+
+// NewSchedObserver creates an observer emitting onto s.
+func NewSchedObserver(s *Session) *SchedObserver {
+	return &SchedObserver{s: s}
+}
+
+// TaskRan implements sched.Observer.
+func (o *SchedObserver) TaskRan(executor string, pol sched.Policy, start time.Time, dur time.Duration) {
+	off := o.s.At(start)
+	o.s.Track("sched "+executor).AddSpanOffsets("parfor/"+pol.String(), nil, off, off+dur, nil)
 }
 
 // SessionSink is a swappable indirection in front of the current

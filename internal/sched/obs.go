@@ -1,0 +1,53 @@
+// Observability hook: an Observer attached to a pool receives one
+// callback per executed range, labeled by executor, so a trace
+// timeline can show which executor ran which part of each parallel
+// region and how evenly the work spread. The obs package provides the
+// session adapter (obs.NewSchedObserver), following the same
+// producer-interface / obs-adapter split as gpu.Recorder — sched
+// cannot import obs without a cycle through the kernels.
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observer receives executed-range events from a pool. Implementations
+// must be safe for concurrent use: workers report in parallel.
+type Observer interface {
+	// TaskRan reports that executor ran one range of a pol-scheduled
+	// region, starting at start and lasting dur. executor is
+	// "worker 0" … "worker N-1", or "caller" for ranges the submitter
+	// ran in its help loop.
+	TaskRan(executor string, pol Policy, start time.Time, dur time.Duration)
+}
+
+// observerBox lets an interface value live in an atomic.Pointer.
+type observerBox struct{ o Observer }
+
+type obsCell = atomic.Pointer[observerBox]
+
+// Observe mirrors executed ranges into o. Passing nil detaches. The
+// disabled path is one atomic load per task.
+func (p *Pool) Observe(o Observer) {
+	if o == nil {
+		p.obs.Store(nil)
+		return
+	}
+	p.obs.Store(&observerBox{o: o})
+}
+
+// Observe attaches o to the default pool (see Pool.Observe).
+func Observe(o Observer) { Default().Observe(o) }
+
+// callerExecutor labels ranges run by the submitting goroutine.
+const callerExecutor = "caller"
+
+// observeTask reports one executed range to the attached observer.
+func observeTask(o Observer, w *worker, pol Policy, start time.Time, dur time.Duration) {
+	exec := callerExecutor
+	if w != nil {
+		exec = w.obsName
+	}
+	o.TaskRan(exec, pol, start, dur)
+}

@@ -1,0 +1,36 @@
+// Parallel reductions layered on ParallelFor: each executed range maps
+// to a partial value, partials fold into an accumulator under a mutex.
+// Range count is O(workers), so the lock is uncontended in practice.
+package sched
+
+import "sync"
+
+// Reduce computes combine over mapRange applied to disjoint subranges
+// covering [0, n) on pool p. identity must be the neutral element of
+// combine, and combine must be associative and commutative — partials
+// arrive in scheduling order, not index order. For a deterministic
+// result over floats, make combine insensitive to fold order (e.g.
+// min/max with an index tiebreak) or use PolicyStatic with a fixed
+// grain and an order-insensitive combine.
+//
+// Unlike Pool.For, Reduce allocates (closure captures) per call; it is
+// for coarse-grained reductions, not tight loops.
+func Reduce[T any](p *Pool, pol Policy, n, grain int, identity T, mapRange func(lo, hi int) T, combine func(a, b T) T) T {
+	var (
+		mu  sync.Mutex
+		acc = identity
+	)
+	p.ForPolicy(pol, n, grain, func(lo, hi int) {
+		part := mapRange(lo, hi)
+		mu.Lock()
+		acc = combine(acc, part)
+		mu.Unlock()
+	})
+	return acc
+}
+
+// ParallelReduce is Reduce on the default pool with the stealing
+// policy.
+func ParallelReduce[T any](n, grain int, identity T, mapRange func(lo, hi int) T, combine func(a, b T) T) T {
+	return Reduce(Default(), PolicyStealing, n, grain, identity, mapRange, combine)
+}
