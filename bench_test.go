@@ -14,12 +14,15 @@ package perfeng
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"perfeng/internal/analytic"
 	"perfeng/internal/cluster"
 	"perfeng/internal/course"
+	"perfeng/internal/flight"
 	"perfeng/internal/gpu"
 	"perfeng/internal/isa"
 	"perfeng/internal/kernels"
@@ -37,6 +40,19 @@ import (
 
 // sink defeats dead-code elimination across benches.
 var sink interface{}
+
+// init arms the process-wide flight recorder when PERFENG_FLIGHT=1 —
+// the enabled-vs-disabled overhead experiment of EXPERIMENTS.md: run
+// BenchmarkSmoke twice, once per state, and Welch-t the pairs. The
+// sched tee is attached too, so every parallel bench records through
+// the black box exactly as `perfeng serve` would.
+func init() {
+	if os.Getenv("PERFENG_FLIGHT") == "1" {
+		rec := flight.NewRecorder(0)
+		flight.Enable(rec)
+		sched.Observe(flight.NewSchedTee(rec, nil))
+	}
+}
 
 // ---- Smoke subset: the CI benchmark gate ----
 
@@ -171,6 +187,38 @@ func BenchmarkSmoke(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			th.Observe(1.25e-6)
+		}
+	})
+	// Flight-recorder hot path: the per-event cost of the always-on
+	// black box — one stripe lock and a struct copy. Gated at exactly
+	// zero allocations, like the telemetry entries: the ring's buffers
+	// are preallocated, so any alloc here is a contract break, not a
+	// tuning matter.
+	frec := flight.NewRecorder(0)
+	b.Run("flight-record", func(b *testing.B) {
+		rec := flight.Record{Kind: flight.KindSpan, Track: "bench", Name: "op",
+			Start: time.Microsecond, Dur: time.Microsecond}
+		if a := testing.AllocsPerRun(1000, func() { frec.Record(rec) }); a != 0 {
+			b.Fatalf("flight record allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frec.Record(rec)
+		}
+	})
+	// SLO exemplar path: ObserveExemplar in steady state (the observed
+	// value is not a new maximum) must cost one atomic load and a
+	// compare over plain Observe, and never allocate.
+	b.Run("slo-observe-exemplar", func(b *testing.B) {
+		ex := telemetry.Exemplar{Value: 1.25e-6, Track: "bench", Name: "op",
+			Start: time.Microsecond, Dur: time.Microsecond}
+		th.ObserveExemplar(1.0, telemetry.Exemplar{Value: 1.0}) // pin the retained max
+		if a := testing.AllocsPerRun(1000, func() { th.ObserveExemplar(1.25e-6, ex) }); a != 0 {
+			b.Fatalf("ObserveExemplar allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			th.ObserveExemplar(1.25e-6, ex)
 		}
 	})
 	// Scheduler hot path: the per-region cost every parallel kernel now

@@ -1,0 +1,140 @@
+// The flight subcommand: run the instrumented workload with the black
+// box armed, evaluate SLO objectives against what was measured, and
+// drain the flight ring to disk — the on-demand counterpart of serve's
+// violation-triggered dump, and the quickest way to see what the
+// recorder captures:
+//
+//	perfeng flight -kernel matmul -n 128 -iterations 3 \
+//	    -slo 'perfeng_flight_iteration_seconds.p99<2s' \
+//	    -trace flight.trace.json -folded flight.profile.folded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"perfeng"
+	"perfeng/internal/cluster"
+	"perfeng/internal/flight"
+	"perfeng/internal/gpu"
+	"perfeng/internal/metrics"
+	"perfeng/internal/queuing"
+	"perfeng/internal/sched"
+	"perfeng/internal/simulator"
+	"perfeng/internal/telemetry"
+)
+
+func runFlight(args []string) {
+	fs := flag.NewFlagSet("flight", flag.ExitOnError)
+	var (
+		appName    = fs.String("kernel", "matmul", "application kernel to run (see perfeng -list)")
+		n          = fs.Int("n", 128, "problem size")
+		workers    = fs.Int("workers", 4, "parallel workers for the parallel variants")
+		ranks      = fs.Int("ranks", 4, "cluster ranks for the scale-out phase")
+		iterations = fs.Int("iterations", 1, "workload iterations to capture")
+		capacity   = fs.Int("capacity", 0, "flight ring capacity in records (0 = default)")
+		slos       = fs.String("slo", "", "comma-separated SLO objectives to evaluate after the run")
+		tracePath  = fs.String("trace", "flight.trace.json", "write the drained black box as Chrome-trace JSON here")
+		foldedPath = fs.String("folded", "", "write the drained black box as folded stacks here")
+		failOnSLO  = fs.Bool("fail", false, "exit 1 when an SLO objective is violated")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: perfeng flight [flags]")
+		fmt.Fprintln(os.Stderr, "runs the instrumented workload with the flight recorder armed, checks")
+		fmt.Fprintln(os.Stderr, "-slo objectives, and drains the black box into trace files.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	objectives, err := flight.ParseObjectives(*slos)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := perfeng.BuiltinApplication(*appName, *n, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Same producer set serve enables, minus the HTTP surface.
+	reg := telemetry.NewRegistry()
+	metrics.EnableTelemetry(reg)
+	gpu.EnableTelemetry(reg)
+	cluster.EnableTelemetry(reg)
+	simulator.EnableTelemetry(reg)
+	queuing.EnableTelemetry(reg)
+	sched.EnableTelemetry(reg)
+	defer func() {
+		metrics.EnableTelemetry(nil)
+		gpu.EnableTelemetry(nil)
+		cluster.EnableTelemetry(nil)
+		simulator.EnableTelemetry(nil)
+		queuing.EnableTelemetry(nil)
+		sched.EnableTelemetry(nil)
+		sched.Observe(nil)
+	}()
+
+	rec := flight.NewRecorder(*capacity)
+	flight.Enable(rec)
+	defer flight.Enable(nil)
+
+	collector := telemetry.NewCollector(reg, 100*time.Millisecond)
+	collector.SetSink(rec)
+	collector.Start()
+	defer collector.Stop()
+
+	iterHist := reg.Histogram("perfeng_flight_iteration_seconds",
+		"Wall-clock duration of one captured workload iteration.", -30, 4)
+
+	for i := 1; i <= *iterations; i++ {
+		ws, err := newWiredSession("perfeng flight " + app.Name + " #" + strconv.Itoa(i))
+		if err != nil {
+			fatal(err)
+		}
+		start := rec.Now()
+		if err := runWorkload(ws, app, *ranks, *n); err != nil {
+			fatal(err)
+		}
+		dur := rec.Now() - start
+		rec.RecordSpan("host", "iteration", "", start, dur)
+		iterHist.ObserveExemplar(dur.Seconds(), telemetry.Exemplar{
+			Value: dur.Seconds(), Track: "host", Name: "iteration", Start: start, Dur: dur,
+		})
+		fmt.Printf("perfeng flight: iteration %d in %v\n", i, dur.Round(time.Millisecond))
+	}
+	collector.SampleOnce() // final pass, so derived gauges reflect the run
+
+	engine := flight.NewEngine(reg, rec, objectives, nil)
+	violations := engine.Check()
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "perfeng flight:", v.String())
+	}
+
+	// The dump carries the first violation's objective on the "slo"
+	// track (when any), linked to its exemplar interval.
+	var firstV *flight.Violation
+	if len(violations) > 0 {
+		firstV = &violations[0]
+	}
+	dump := engine.DumpSession("perfeng flight "+app.Name, firstV)
+	fmt.Printf("perfeng flight: black box holds %d records (%d captured in total)\n", rec.Len(), rec.Total())
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, dump.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("perfeng flight: wrote %s\n", *tracePath)
+	}
+	if *foldedPath != "" {
+		if err := writeFile(*foldedPath, dump.WriteFolded); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("perfeng flight: wrote %s\n", *foldedPath)
+	}
+	if *failOnSLO && len(violations) > 0 {
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@
 //	perfeng benchgate gate -baseline BENCH_1.json -github
 //	perfeng vet ./...
 //	perfeng scaling -github
+//	perfeng flight -kernel matmul -slo 'perfeng_flight_iteration_seconds.p99<2s'
 package main
 
 import (
@@ -47,6 +48,10 @@ func main() {
 		runScaling(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "flight" {
+		runFlight(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -71,6 +76,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "                                 (perfeng vet -help for analyzers and flags)")
 		fmt.Fprintln(os.Stderr, "       perfeng scaling [flags]   smoke-test parallel speedup of the scheduler")
 		fmt.Fprintln(os.Stderr, "                                 (skips below -min-procs; perfeng scaling -help)")
+		fmt.Fprintln(os.Stderr, "       perfeng flight [flags]    capture a run in the flight recorder, check SLOs,")
+		fmt.Fprintln(os.Stderr, "                                 drain the black box (perfeng flight -help)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

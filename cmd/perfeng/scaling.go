@@ -10,10 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"perfeng/internal/flight"
 	"perfeng/internal/kernels"
 	"perfeng/internal/sched"
 )
@@ -28,6 +31,7 @@ func runScaling(args []string) {
 		warnAt   = fs.Float64("warn", 1.5, "advisory threshold: warn when speedup falls below this")
 		failAt   = fs.Float64("fail", 1.0, "hard threshold: exit 1 when speedup falls below this")
 		github   = fs.Bool("github", false, "emit GitHub Actions ::error/::warning annotations")
+		dumpDir  = fs.String("flight-dump", "", "on failure, drain the flight recorder into this directory (trace.json + folded stacks)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: perfeng scaling [flags]")
@@ -44,6 +48,20 @@ func runScaling(args []string) {
 		fmt.Printf("perfeng scaling: GOMAXPROCS=%d < %d — skipping, parallel speedup not expected here\n",
 			procs, *minProcs)
 		return
+	}
+
+	// Black-box the smoke run: when -flight-dump is set, every executed
+	// sched range is captured, so a failing run ships its own evidence
+	// (CI uploads the dump as an artifact).
+	var rec *flight.Recorder
+	if *dumpDir != "" {
+		rec = flight.NewRecorder(0)
+		flight.Enable(rec)
+		sched.Observe(flight.NewSchedTee(rec, nil))
+		defer func() {
+			sched.Observe(nil)
+			flight.Enable(nil)
+		}()
 	}
 
 	cases := scalingCases(*n, *samples)
@@ -77,8 +95,34 @@ func runScaling(args []string) {
 		}
 	}
 	if failed {
+		if rec != nil {
+			dumpScalingFlight(rec, *dumpDir)
+		}
 		fmt.Fprintln(os.Stderr, "perfeng scaling: FAIL — parallel slower than sequential")
 		os.Exit(1)
+	}
+}
+
+// dumpScalingFlight drains the smoke run's black box so CI can attach
+// it to the failing job.
+func dumpScalingFlight(rec *flight.Recorder, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "perfeng:", err)
+		return
+	}
+	s := rec.BuildSession("perfeng scaling flight dump")
+	for _, out := range []struct {
+		path  string
+		write func(w io.Writer) error
+	}{
+		{filepath.Join(dir, "flight.trace.json"), s.WriteChromeTrace},
+		{filepath.Join(dir, "flight.profile.folded"), s.WriteFolded},
+	} {
+		if err := writeFile(out.path, out.write); err != nil {
+			fmt.Fprintln(os.Stderr, "perfeng:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "perfeng scaling: wrote %s\n", out.path)
+		}
 	}
 }
 

@@ -3,22 +3,28 @@
 // producer in the repo (runner, GPU device, cluster tracer, cache
 // simulator, queuing) plus the background runtime collector; the HTTP
 // server exposes it as OpenMetrics next to pprof and the current obs
-// session's timeline. SIGINT shuts down gracefully and, when asked,
-// flushes the last session as a valid trace.json.
+// session's timeline. An always-on flight recorder black-boxes every
+// producer, and an SLO engine watches named latency objectives — on
+// violation (or on demand via /debug/flight) the recent past drains to
+// a valid trace. SIGINT shuts down gracefully and, when asked, flushes
+// the last session as a valid trace.json.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
 
 	"perfeng"
 	"perfeng/internal/cluster"
+	"perfeng/internal/flight"
 	"perfeng/internal/gpu"
 	"perfeng/internal/metrics"
 	"perfeng/internal/obs"
@@ -36,11 +42,23 @@ type serveStack struct {
 	server    *telemetry.Server
 	sink      *obs.SessionSink
 	iters     *telemetry.Counter
+	iterHist  *telemetry.Histogram
+	rec       *flight.Recorder
+	engine    *flight.Engine
+	dumpDir   string
 }
 
 // newServeStack builds the registry, enables every producer on it, and
-// prepares the collector and HTTP server (neither started yet).
-func newServeStack(addr string, interval time.Duration) *serveStack {
+// prepares the collector, flight recorder, SLO engine and HTTP server
+// (none started yet). slos is the comma-separated objective list (may
+// be empty); dumpDir, when non-empty, receives flight.trace.json +
+// flight.profile.folded on every (cooldown-limited) violation.
+func newServeStack(addr string, interval time.Duration, slos, dumpDir string) (*serveStack, error) {
+	objectives, err := flight.ParseObjectives(slos)
+	if err != nil {
+		return nil, err
+	}
+
 	reg := telemetry.NewRegistry()
 	metrics.EnableTelemetry(reg)
 	gpu.EnableTelemetry(reg)
@@ -49,9 +67,16 @@ func newServeStack(addr string, interval time.Duration) *serveStack {
 	queuing.EnableTelemetry(reg)
 	sched.EnableTelemetry(reg)
 
+	// The black box: every producer tee in wiring.go consults
+	// flight.Active(), so enabling here arms them all.
+	rec := flight.NewRecorder(0)
+	flight.Enable(rec)
+
 	sink := obs.NewSessionSink(nil)
 	collector := telemetry.NewCollector(reg, interval)
-	collector.SetSink(sink)
+	// Collector samples land in the live session's counter series AND
+	// the flight ring, from the same sampling pass.
+	collector.SetSink(telemetry.TeeSink(sink, rec))
 	server := telemetry.NewServer(addr, reg, func() telemetry.TraceSource {
 		// Return a typed nil as an untyped one so the endpoints 404
 		// cleanly before the first workload iteration attaches a session.
@@ -60,19 +85,96 @@ func newServeStack(addr string, interval time.Duration) *serveStack {
 		}
 		return nil
 	})
-	return &serveStack{
+
+	st := &serveStack{
 		reg:       reg,
 		collector: collector,
 		server:    server,
 		sink:      sink,
 		iters: reg.Counter("perfeng_serve_iterations",
 			"Workload iterations completed under perfeng serve."),
+		iterHist: reg.Histogram("perfeng_serve_iteration_seconds",
+			"Wall-clock duration of one full workload iteration.", -30, 4),
+		rec:     rec,
+		dumpDir: dumpDir,
+	}
+	st.engine = flight.NewEngine(reg, rec, objectives, func(v flight.Violation) {
+		fmt.Fprintln(os.Stderr, "perfeng serve:", v.String())
+		st.dumpFlight(&v)
+	})
+
+	// On-demand black-box drain, next to the live-session endpoints.
+	server.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		s := st.engine.DumpSession("perfeng flight", nil)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="flight.trace.json"`)
+		if err := s.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	server.HandleFunc("/debug/flight.folded", func(w http.ResponseWriter, _ *http.Request) {
+		s := st.engine.DumpSession("perfeng flight", nil)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.WriteFolded(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return st, nil
+}
+
+// noteIteration records one finished workload iteration: a span in the
+// flight ring and an exemplar-carrying histogram observation, so an SLO
+// violation on the iteration latency links straight to the slowest
+// iteration's interval in the black box.
+func (st *serveStack) noteIteration(start, dur time.Duration) {
+	st.rec.RecordSpan("host", "iteration", "", start, dur)
+	secs := dur.Seconds()
+	st.iterHist.ObserveExemplar(secs, telemetry.Exemplar{
+		Value: secs, Track: "host", Name: "iteration", Start: start, Dur: dur,
+	})
+	st.iters.Inc()
+}
+
+// iterQuantiles returns the live p50/p95/p99 of the iteration latency
+// histogram for console output.
+func (st *serveStack) iterQuantiles() (p50, p95, p99 time.Duration) {
+	toDur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return toDur(st.iterHist.Quantile(0.50)),
+		toDur(st.iterHist.Quantile(0.95)),
+		toDur(st.iterHist.Quantile(0.99))
+}
+
+// dumpFlight drains the black box (stamped with v, if any) into
+// dumpDir as flight.trace.json + flight.profile.folded through the
+// standard obs exporters. No-op without a dump directory.
+func (st *serveStack) dumpFlight(v *flight.Violation) {
+	if st.dumpDir == "" {
+		return
+	}
+	if err := os.MkdirAll(st.dumpDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "perfeng:", err)
+		return
+	}
+	s := st.engine.DumpSession("perfeng flight dump", v)
+	tracePath := filepath.Join(st.dumpDir, "flight.trace.json")
+	if err := writeFile(tracePath, s.WriteChromeTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "perfeng:", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "perfeng serve: wrote %s\n", tracePath)
+	}
+	foldedPath := filepath.Join(st.dumpDir, "flight.profile.folded")
+	if err := writeFile(foldedPath, s.WriteFolded); err != nil {
+		fmt.Fprintln(os.Stderr, "perfeng:", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "perfeng serve: wrote %s\n", foldedPath)
 	}
 }
 
-// close stops the collector and server and detaches every producer, so
-// package-global telemetry does not outlive the stack.
+// close stops the SLO watcher, collector and server and detaches every
+// producer (including the flight recorder), so package-global telemetry
+// does not outlive the stack.
 func (st *serveStack) close(ctx context.Context) error {
+	st.engine.Stop()
 	st.collector.Stop()
 	err := st.server.Stop(ctx)
 	metrics.EnableTelemetry(nil)
@@ -82,6 +184,7 @@ func (st *serveStack) close(ctx context.Context) error {
 	queuing.EnableTelemetry(nil)
 	sched.EnableTelemetry(nil)
 	sched.Observe(nil)
+	flight.Enable(nil)
 	return err
 }
 
@@ -98,12 +201,16 @@ func runServe(args []string) {
 		pause      = fs.Duration("pause", 200*time.Millisecond, "pause between workload iterations")
 		tracePath  = fs.String("trace", "", "on shutdown, write the last session's Chrome trace here")
 		foldedPath = fs.String("folded", "", "on shutdown, write the last session's folded stacks here")
+		slos       = fs.String("slo", "", "comma-separated SLO objectives, e.g. 'perfeng_serve_iteration_seconds.p99<2s,go_gc_pause_burn_ratio.max<0.05'")
+		flightDump = fs.String("flight-dump", "", "directory receiving flight.trace.json + flight.profile.folded on SLO violation")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: perfeng serve [flags]")
 		fmt.Fprintln(os.Stderr, "loops one kernel under full instrumentation behind a live monitoring")
-		fmt.Fprintln(os.Stderr, "endpoint: /metrics (OpenMetrics), /healthz, /debug/pprof/, and the")
-		fmt.Fprintln(os.Stderr, "current session as /trace.json + /profile.folded. Ctrl-C stops cleanly.")
+		fmt.Fprintln(os.Stderr, "endpoint: /metrics (OpenMetrics), /healthz, /debug/pprof/, the current")
+		fmt.Fprintln(os.Stderr, "session as /trace.json + /profile.folded, and the flight recorder's")
+		fmt.Fprintln(os.Stderr, "black box as /debug/flight (+ .folded). -slo objectives are watched in")
+		fmt.Fprintln(os.Stderr, "the background; violations dump the black box. Ctrl-C stops cleanly.")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -115,14 +222,21 @@ func runServe(args []string) {
 		fatal(err)
 	}
 
-	st := newServeStack(*addr, *interval)
+	st, err := newServeStack(*addr, *interval, *slos, *flightDump)
+	if err != nil {
+		fatal(err)
+	}
 	st.collector.Start()
+	st.engine.Start(*interval)
 	bound, err := st.server.Start()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("perfeng serve: monitoring on http://%s/ (metrics, healthz, trace.json, profile.folded, debug/pprof)\n", bound)
+	fmt.Printf("perfeng serve: monitoring on http://%s/ (metrics, healthz, trace.json, profile.folded, debug/pprof, debug/flight)\n", bound)
 	fmt.Printf("perfeng serve: looping kernel %q n=%d ranks=%d; Ctrl-C to stop\n", app.Name, *n, *ranks)
+	for _, o := range st.engine.Objectives() {
+		fmt.Printf("perfeng serve: watching SLO %s\n", o.Raw)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -142,11 +256,17 @@ func runServe(args []string) {
 			// Swap the fresh session in before running, so scrapes and
 			// trace downloads during the iteration see live data.
 			st.sink.Set(ws.session)
+			iterStart := st.rec.Now()
 			if err := runWorkload(ws, app, *ranks, *n); err != nil {
 				loopDone <- err
 				return
 			}
-			st.iters.Inc()
+			dur := st.rec.Now() - iterStart
+			st.noteIteration(iterStart, dur)
+			p50, p95, p99 := st.iterQuantiles()
+			fmt.Printf("perfeng serve: iteration %d in %v; iteration_seconds p50=%v p95=%v p99=%v\n",
+				i, dur.Round(time.Millisecond),
+				p50.Round(time.Millisecond), p95.Round(time.Millisecond), p99.Round(time.Millisecond))
 			select {
 			case <-ctx.Done():
 			case <-time.After(*pause):

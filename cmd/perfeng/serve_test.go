@@ -2,14 +2,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"perfeng"
+	"perfeng/internal/obs"
 	"perfeng/internal/telemetry"
 )
 
@@ -17,7 +21,10 @@ import (
 // stack, run one workload iteration through it, and scrape the
 // endpoints the way a monitoring system would.
 func TestServeStackSmoke(t *testing.T) {
-	st := newServeStack("127.0.0.1:0", time.Second)
+	st, err := newServeStack("127.0.0.1:0", time.Second, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
@@ -105,5 +112,107 @@ func TestServeStackSmoke(t *testing.T) {
 	}
 	if code, body = get("/profile.folded"); code != http.StatusOK || body == "" {
 		t.Fatalf("/profile.folded: %d", code)
+	}
+}
+
+// TestServeFlightSLOViolation is the flight recorder's end-to-end
+// acceptance path: an unsatisfiable iteration-latency objective is
+// injected, one real workload iteration runs under the armed black box,
+// and the violation must produce a flight dump whose trace.json
+// round-trips through the Chrome-trace structs and contains (a) the
+// span named by the violated objective and (b) the exemplar evidence
+// span it points at, alongside drained producer records.
+func TestServeFlightSLOViolation(t *testing.T) {
+	dir := t.TempDir()
+	const objective = "perfeng_serve_iteration_seconds.p99<1ns"
+	st, err := newServeStack("127.0.0.1:0", time.Second, objective, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := st.close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	st.engine.Cooldown = 0
+
+	app, err := perfeng.BuiltinApplication("matmul", 48, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := newWiredSession("flight-slo-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.sink.Set(ws.session)
+	iterStart := st.rec.Now()
+	if err := runWorkload(ws, app, 2, 48); err != nil {
+		t.Fatal(err)
+	}
+	st.noteIteration(iterStart, st.rec.Now()-iterStart)
+
+	// Any real iteration takes longer than 1ns, so the check violates.
+	vs := st.engine.Check()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1", len(vs))
+	}
+	if !vs[0].HasExemplar || vs[0].Exemplar.Name != "iteration" {
+		t.Fatalf("violation lacks the iteration exemplar: %+v", vs[0])
+	}
+
+	// The onViolation callback wrote the dump; it must round-trip.
+	data, err := os.ReadFile(filepath.Join(dir, "flight.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct obs.ChromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		t.Fatalf("flight dump is not valid Chrome-trace JSON: %v", err)
+	}
+	found := map[string]bool{}
+	for _, ev := range ct.TraceEvents {
+		found[ev.Name] = true
+	}
+	if !found[objective] {
+		t.Fatalf("dump lacks the span named by the violated objective %q", objective)
+	}
+	if !found["iteration"] {
+		t.Fatal("dump lacks the exemplar evidence span 'iteration'")
+	}
+	// The drained black box also carries producer records (the sched
+	// tee ran during the workload's parallel phases).
+	schedSpans := false
+	for _, ev := range ct.TraceEvents {
+		if strings.HasPrefix(ev.Name, "parfor/") {
+			schedSpans = true
+			break
+		}
+	}
+	if !schedSpans {
+		t.Fatal("dump carries no sched spans — producer tee not wired")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flight.profile.folded")); err != nil {
+		t.Fatalf("folded dump missing: %v", err)
+	}
+
+	// The on-demand endpoint drains the same black box.
+	ts := httptest.NewServer(st.server.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var ct2 obs.ChromeTrace
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &ct2) != nil || len(ct2.TraceEvents) == 0 {
+		t.Fatalf("/debug/flight: %d, parseable=%v", resp.StatusCode, json.Unmarshal(body, &ct2) == nil)
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/debug/flight.folded"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight.folded: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"perfeng"
 	"perfeng/internal/cluster"
 	"perfeng/internal/counters"
+	"perfeng/internal/flight"
 	"perfeng/internal/gpu"
 	"perfeng/internal/machine"
 	"perfeng/internal/metrics"
@@ -47,20 +48,25 @@ func newWiredSession(name string) (*wiredSession, error) {
 		return nil, err
 	}
 
-	// Host profiler: regions mirror onto the "host" track and trigger a
-	// counter sample on every exit.
+	// Host profiler: regions mirror onto the "host" track (session and
+	// flight ring both, when the black box is enabled) and trigger a
+	// counter sample on every exit. A nil Active() recorder no-ops, so
+	// the tee costs one atomic load when flight is off.
 	prof := profile.New()
 	mirror := session.Track("host").ProfileListener()
+	blackBox := flight.SpanListener(flight.Active(), "host")
 	prof.Listen(func(path []string, start, end time.Time) {
 		mirror(path, start, end)
+		blackBox(path, start, end)
 		_ = sampler.Sample()
 	})
 
 	// Scheduler tasks land on per-executor "sched" tracks, so the
 	// parallel variants show their range decomposition next to the host
-	// spans. The observer follows the newest session (serve wires one per
-	// iteration); serve detaches it at stack close.
-	sched.Observe(obs.NewSchedObserver(session))
+	// spans — teed through the flight ring on the way. The observer
+	// follows the newest session (serve wires one per iteration); serve
+	// detaches it at stack close.
+	sched.Observe(flight.NewSchedTee(flight.Active(), obs.NewSchedObserver(session)))
 	return &wiredSession{session: session, prof: prof, sampler: sampler}, nil
 }
 
@@ -144,6 +150,7 @@ func clusterPhase(session *obs.Session, ranks, n int) error {
 		return err
 	}
 	tracer := world.EnableTracing()
+	tracer.Listen(flight.ClusterListener(flight.Active(), ranks))
 	err = world.Run(func(c *cluster.Comm) error {
 		// Local compute: rank 0 does extra passes (an imbalanced
 		// partition), which surfaces as late-sender wait time downstream.
@@ -180,7 +187,7 @@ func gpuPhase(session *obs.Session, n int) error {
 	if err != nil {
 		return err
 	}
-	dev.Recorder = obs.NewGPURecorder(session, model)
+	dev.Recorder = flight.NewGPUTee(flight.Active(), obs.NewGPURecorder(session, model))
 	elems := n * n
 	const block = 256
 	blocks := (elems + block - 1) / block

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerListen: a listener sees every recorded event, may safely
+// query the tracer from the callback, and detaches with nil.
+func TestTracerListen(t *testing.T) {
+	tr := NewTracer(2)
+	var mu sync.Mutex
+	var got []Event
+	tr.Listen(func(rank int, e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+		_ = tr.Events(rank) // must not deadlock
+	})
+	now := time.Now()
+	tr.RecordEvent(0, Event{Kind: EvSend, Peer: 1, Bytes: 8, Start: now, End: now.Add(time.Millisecond)})
+	tr.RecordCompute(1, now, now.Add(2*time.Millisecond))
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("listener saw %d events, want 2", n)
+	}
+	tr.Listen(nil)
+	tr.RecordEvent(0, Event{Kind: EvBarrier, Peer: -1, Start: now, End: now})
+	mu.Lock()
+	n = len(got)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("detached listener still invoked: %d events", n)
+	}
+}

@@ -45,9 +45,10 @@ func (e Event) Duration() time.Duration { return e.End.Sub(e.Start) }
 
 // Tracer collects per-rank event streams.
 type Tracer struct {
-	mu     sync.Mutex
-	events [][]Event
-	epoch  time.Time
+	mu       sync.Mutex
+	events   [][]Event
+	epoch    time.Time
+	listener func(rank int, e Event)
 }
 
 // NewTracer creates a tracer for size ranks.
@@ -66,6 +67,20 @@ func (t *Tracer) record(rank int, e Event) {
 	publishEvent(e)
 	t.mu.Lock()
 	t.events[rank] = append(t.events[rank], e)
+	fn := t.listener
+	t.mu.Unlock()
+	// Invoked outside the lock so a listener may query the tracer.
+	if fn != nil {
+		fn(rank, e)
+	}
+}
+
+// Listen attaches a callback invoked for every recorded event — the
+// hook the flight recorder tees cluster traffic through. One listener;
+// nil detaches. Safe to call while ranks are recording.
+func (t *Tracer) Listen(fn func(rank int, e Event)) {
+	t.mu.Lock()
+	t.listener = fn
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,119 @@
+// Producer tees. The dependency direction is the same as obs's: the
+// producers (sched, gpu, cluster, profile) expose observer interfaces
+// and cannot import flight, so flight implements their interfaces and
+// forwards to an optional inner observer — one hook feeds the live
+// session and the black box at once. Every label a tee emits is
+// pre-interned at construction, keeping the record path 0 allocs/op.
+package flight
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"perfeng/internal/cluster"
+	"perfeng/internal/gpu"
+	"perfeng/internal/profile"
+	"perfeng/internal/sched"
+)
+
+// SchedTee implements sched.Observer: executed ranges land in the
+// recorder on "sched <executor>" tracks (matching obs.SchedObserver's
+// lanes) and forward to inner, if any. Attach with
+// sched.Observe(flight.NewSchedTee(rec, innerObserver)).
+type SchedTee struct {
+	rec    *Recorder
+	inner  sched.Observer
+	tracks map[string]string // executor -> "sched <executor>", read-only
+}
+
+// NewSchedTee builds a tee over rec forwarding to inner (nil for none).
+// Track labels are pre-interned for the executors a default-sized pool
+// can name; an executor beyond the table falls back to concatenation
+// (one alloc, off the expected path).
+func NewSchedTee(rec *Recorder, inner sched.Observer) *SchedTee {
+	tracks := map[string]string{"caller": "sched caller"}
+	for i := 0; i < 4*maxProcs()+16; i++ {
+		e := "worker " + strconv.Itoa(i)
+		tracks[e] = "sched " + e
+	}
+	return &SchedTee{rec: rec, inner: inner, tracks: tracks}
+}
+
+// TaskRan implements sched.Observer.
+func (t *SchedTee) TaskRan(executor string, pol sched.Policy, start time.Time, dur time.Duration) {
+	track, ok := t.tracks[executor]
+	if !ok {
+		track = "sched " + executor
+	}
+	t.rec.RecordSpan(track, "parfor", pol.String(), t.rec.At(start), dur)
+	if t.inner != nil {
+		t.inner.TaskRan(executor, pol, start, dur)
+	}
+}
+
+// GPUTee implements gpu.Recorder: kernel launches become "gpu device"
+// spans, executed blocks land on "gpu sm N" tracks, both forwarded to
+// inner (typically obs.NewGPURecorder). Attach with
+// dev.Recorder = flight.NewGPUTee(rec, inner).
+type GPUTee struct {
+	rec   *Recorder
+	inner gpu.Recorder
+	sm    []string // worker -> "gpu sm N", read-only
+}
+
+// NewGPUTee builds a tee over rec forwarding to inner (nil for none).
+func NewGPUTee(rec *Recorder, inner gpu.Recorder) *GPUTee {
+	sm := make([]string, 4*maxProcs()+16)
+	for i := range sm {
+		sm[i] = "gpu sm " + strconv.Itoa(i)
+	}
+	return &GPUTee{rec: rec, inner: inner, sm: sm}
+}
+
+// KernelLaunch implements gpu.Recorder.
+func (t *GPUTee) KernelLaunch(name string, grid, block gpu.Dim3, sharedLen, workers int, start, end time.Time) {
+	t.rec.RecordSpan("gpu device", name, "", t.rec.At(start), end.Sub(start))
+	if t.inner != nil {
+		t.inner.KernelLaunch(name, grid, block, sharedLen, workers, start, end)
+	}
+}
+
+// KernelBlock implements gpu.Recorder.
+func (t *GPUTee) KernelBlock(name string, worker int, blockIdx gpu.Dim3, start, end time.Time) {
+	track := ""
+	if worker >= 0 && worker < len(t.sm) {
+		track = t.sm[worker]
+	} else {
+		track = fmt.Sprintf("gpu sm %d", worker)
+	}
+	t.rec.RecordSpan(track, "block", name, t.rec.At(start), end.Sub(start))
+	if t.inner != nil {
+		t.inner.KernelBlock(name, worker, blockIdx, start, end)
+	}
+}
+
+// ClusterListener returns a cluster.Tracer listener capturing every
+// recorded event on "rank N" tracks (matching obs.AddClusterTrace's
+// lanes). Attach with tracer.Listen(flight.ClusterListener(rec, size)).
+func ClusterListener(rec *Recorder, size int) func(rank int, e cluster.Event) {
+	labels := make([]string, size)
+	for i := range labels {
+		labels[i] = "rank " + strconv.Itoa(i)
+	}
+	return func(rank int, e cluster.Event) {
+		if rank < 0 || rank >= len(labels) {
+			return
+		}
+		rec.RecordSpan(labels[rank], e.Kind.String(), "", rec.At(e.Start), e.End.Sub(e.Start))
+	}
+}
+
+// SpanListener returns a profile.SpanListener capturing region exits
+// onto the named track — the black-box mirror of
+// obs.Track.ProfileListener.
+func SpanListener(rec *Recorder, track string) profile.SpanListener {
+	return func(path []string, start, end time.Time) {
+		rec.RecordSpan(track, path[len(path)-1], "", rec.At(start), end.Sub(start))
+	}
+}

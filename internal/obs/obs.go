@@ -233,9 +233,15 @@ func (t *Track) AddSpanOffsets(name string, stack []string, start, end time.Dura
 
 // Instant records a zero-duration marker now.
 func (t *Track) Instant(name string, args map[string]any) {
-	now := t.s.Now()
+	t.InstantAt(name, t.s.Now(), args)
+}
+
+// InstantAt records a zero-duration marker at an explicit timeline
+// offset — the adapter entry point for producers (the flight recorder's
+// drain) that kept their own timestamps.
+func (t *Track) InstantAt(name string, at time.Duration, args map[string]any) {
 	t.s.mu.Lock()
-	t.s.instants = append(t.s.instants, Instant{TrackID: t.id, Name: name, At: now, Args: args})
+	t.s.instants = append(t.s.instants, Instant{TrackID: t.id, Name: name, At: at, Args: args})
 	t.s.mu.Unlock()
 }
 

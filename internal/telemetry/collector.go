@@ -20,6 +20,29 @@ type SampleSink interface {
 	CounterSample(name string, v float64)
 }
 
+// teeSink fans samples out to several sinks (trace timeline and flight
+// recorder at once).
+type teeSink []SampleSink
+
+func (t teeSink) CounterSample(name string, v float64) {
+	for _, s := range t {
+		s.CounterSample(name, v)
+	}
+}
+
+// TeeSink combines sinks into one that forwards every sample to each
+// non-nil member, so a collector can feed the obs timeline and the
+// flight recorder from the same sampling pass.
+func TeeSink(sinks ...SampleSink) SampleSink {
+	out := make(teeSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // runtimeMetrics is the curated runtime/metrics subset the collector
 // samples, with the registry names they publish under. Cumulative
 // runtime totals are exposed as gauges (the collector samples, it does
@@ -54,6 +77,18 @@ type Collector struct {
 	stackInuse *Gauge
 	ticks      *Counter
 
+	// Derived SLO-trigger gauges: interval-delta ratios a burn objective
+	// can watch directly instead of re-deriving from raw cumulative
+	// counters on every evaluation.
+	gcBurn     *Gauge   // pause seconds per wall second over the last interval
+	stealRatio *Gauge   // failed steal sweeps per steal attempt, last interval
+	steals     *Counter // the sched counters the ratio derives from
+	stealFails *Counter
+	prevPause  float64
+	prevSteals uint64
+	prevFails  uint64
+	prevAt     time.Time
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -77,6 +112,18 @@ func NewCollector(reg *Registry, interval time.Duration) *Collector {
 	c.heapInuse = reg.Gauge("go_memstats_heap_inuse_bytes", "Heap bytes in in-use spans.")
 	c.stackInuse = reg.Gauge("go_memstats_stack_inuse_bytes", "Stack bytes in use.")
 	c.ticks = reg.Counter("perfeng_collector_ticks", "Collector sampling ticks.")
+	c.gcBurn = reg.Gauge("go_gc_pause_burn_ratio",
+		"Fraction of the last sampling interval spent in GC stop-the-world pauses (derived).")
+	c.stealRatio = reg.Gauge("perfeng_sched_steal_failure_ratio",
+		"Failed steal sweeps per steal attempt over the last sampling interval (derived).")
+	// The sched counters the ratio derives from. register() returns the
+	// existing series when sched.EnableTelemetry already created them (and
+	// creates zero-valued ones otherwise, keeping the ratio well-defined
+	// whether or not the scheduler publishes).
+	c.steals = reg.Counter("perfeng_sched_steals",
+		"Tasks taken from another worker's deque.")
+	c.stealFails = reg.Counter("perfeng_sched_steal_failures",
+		"Steal sweeps that found every deque empty.")
 	return c
 }
 
@@ -159,6 +206,29 @@ func (c *Collector) SampleOnce() {
 	c.emit("go_memstats_heap_inuse_bytes", float64(ms.HeapInuse))
 	c.stackInuse.Set(float64(ms.StackInuse))
 	c.emit("go_memstats_stack_inuse_bytes", float64(ms.StackInuse))
+
+	// Derived interval deltas. The first sample has no interval, so both
+	// ratios report zero until the second pass.
+	now := time.Now()
+	steals, fails := c.steals.Value(), c.stealFails.Value()
+	if !c.prevAt.IsZero() {
+		var burn float64
+		if elapsed := now.Sub(c.prevAt).Seconds(); elapsed > 0 {
+			burn = (pause - c.prevPause) / elapsed
+		}
+		c.gcBurn.Set(burn)
+		c.emit("go_gc_pause_burn_ratio", burn)
+
+		var ratio float64
+		dSteals, dFails := steals-c.prevSteals, fails-c.prevFails
+		if attempts := dSteals + dFails; attempts > 0 {
+			ratio = float64(dFails) / float64(attempts)
+		}
+		c.stealRatio.Set(ratio)
+		c.emit("perfeng_sched_steal_failure_ratio", ratio)
+	}
+	c.prevAt, c.prevPause = now, pause
+	c.prevSteals, c.prevFails = steals, fails
 
 	c.ticks.Inc()
 }

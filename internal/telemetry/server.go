@@ -31,6 +31,7 @@ type TraceSource interface {
 type Server struct {
 	reg   *Registry
 	trace func() TraceSource // may be nil, or return nil
+	extra map[string]http.HandlerFunc
 	http  *http.Server
 	ln    net.Listener
 }
@@ -48,10 +49,25 @@ func NewServer(addr string, reg *Registry, trace func() TraceSource) *Server {
 	return s
 }
 
+// HandleFunc registers an extra route served alongside the built-in
+// endpoints — how the flight recorder's /debug/flight dump attaches
+// without this package importing it. Register before Start/Handler;
+// built-in patterns cannot be overridden.
+func (s *Server) HandleFunc(pattern string, fn http.HandlerFunc) {
+	if s.extra == nil {
+		s.extra = make(map[string]http.HandlerFunc)
+	}
+	s.extra[pattern] = fn
+	s.http.Handler = s.Handler()
+}
+
 // Handler returns the endpoint's routing table — also the unit-test
 // surface (httptest.NewServer(srv.Handler())).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	for pattern, fn := range s.extra {
+		mux.HandleFunc(pattern, fn)
+	}
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/trace.json", s.handleTrace)

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -172,6 +173,30 @@ type Histogram struct {
 	counts []atomic.Uint64
 	stride int
 	sums   []sumCell
+
+	// Exemplar state: the trace reference behind the largest observation
+	// seen through ObserveExemplar. The fast path is one atomic load and
+	// a compare; the lock is taken only when a new maximum arrives.
+	exMax atomic.Uint64 // float64 bits of the retained exemplar's value
+	_     [56]byte      // keep the hot exMax load off the lock word's cache line
+	exMu  sync.Mutex
+	ex    Exemplar
+	exSet bool
+}
+
+// Exemplar links a histogram's extreme observation to the trace evidence
+// behind it: a span on the flight-recorder timeline (track, name, start
+// offset, duration). An SLO violation on the histogram can then point at
+// the exact interval that caused it instead of a bare number.
+type Exemplar struct {
+	// Value is the observed value the exemplar annotates (seconds for
+	// duration histograms).
+	Value float64
+	// Track and Name identify the span on the flight timeline.
+	Track, Name string
+	// Start and Dur position the span as offsets on the flight-recorder
+	// timeline (the recorder's epoch, not the wall clock).
+	Start, Dur time.Duration
 }
 
 // sumCell is a padded per-shard accumulator for the observation sum.
@@ -190,13 +215,17 @@ func newHistogram(minExp, maxExp int) *Histogram {
 		bounds[i] = math.Ldexp(1, minExp+i)
 	}
 	stride := (nb + 1 + 7) &^ 7 // round to 8 uint64s = one 64B line
-	return &Histogram{
+	h := &Histogram{
 		minExp: minExp,
 		bounds: bounds,
 		counts: make([]atomic.Uint64, numShards*stride),
 		stride: stride,
 		sums:   make([]sumCell, numShards),
 	}
+	// -Inf so the first exemplar-carrying observation, whatever its
+	// value, becomes the retained maximum.
+	h.exMax.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // bucketIndex maps v to its raw bucket: values ≤ 2^minExp (including
@@ -241,6 +270,100 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration is shorthand for recording a duration in seconds.
 func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// ObserveExemplar records v and, when v is the largest value the
+// histogram has seen through this method, retains ex as the histogram's
+// exemplar. The common case — v is not a new maximum — adds one atomic
+// load and a compare to Observe and allocates nothing; only a fresh
+// maximum takes the exemplar lock.
+func (h *Histogram) ObserveExemplar(v float64, ex Exemplar) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if v <= math.Float64frombits(h.exMax.Load()) {
+		return
+	}
+	h.exMu.Lock()
+	if v > math.Float64frombits(h.exMax.Load()) {
+		h.exMax.Store(math.Float64bits(v))
+		h.ex = ex
+		h.exSet = true
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the trace reference behind the histogram's largest
+// exemplar-carrying observation, and whether one has been recorded.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.ex, h.exSet
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	_, _, count := h.snapshot()
+	return count
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the log2
+// buckets. The rank convention follows internal/stats.Percentile: the
+// fractional rank is q*(count-1), and the estimate interpolates linearly
+// between that rank's neighbors — here under the assumption that a
+// bucket's members are evenly spread from its lower to its upper bound
+// (the only assumption a bucketed sketch can make). The first bucket's
+// lower bound is 0; ranks landing in the +Inf bucket clamp to the last
+// finite bound. Returns NaN for an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	cum, _, count := h.snapshot()
+	if count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count-1)
+	// First bucket whose cumulative count exceeds the rank holds the
+	// rank's observation (cumulative counts index one past the last
+	// member rank).
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) > rank })
+	if i == len(cum) { // defensive: rank <= count-1 < cum[last]
+		i = len(cum) - 1
+	}
+	var lower float64
+	if i > 0 {
+		lower = h.bounds[i-1]
+	}
+	if i >= len(h.bounds) {
+		// +Inf bucket: no finite upper bound to interpolate toward.
+		return h.bounds[len(h.bounds)-1]
+	}
+	upper := h.bounds[i]
+	var prev uint64
+	if i > 0 {
+		prev = cum[i-1]
+	}
+	n := cum[i] - prev // members in this bucket; > 0 by bucket choice
+	if n == 1 {
+		// A single member is assumed mid-bucket — the unbiased guess.
+		return lower + (upper-lower)/2
+	}
+	frac := (rank - float64(prev)) / float64(n-1)
+	return lower + (upper-lower)*frac
+}
 
 // snapshot returns cumulative bucket counts (one per finite bound, plus
 // +Inf last), the observation sum, and the total count.
@@ -494,6 +617,44 @@ func (hf *HistogramFamily) With(labelValues ...string) *Histogram {
 		return nil
 	}
 	return hf.f.get(labelValues).histogram
+}
+
+// find looks a series up without creating anything: nil when the family
+// does not exist, is a different kind, or the series has not been
+// instantiated. This is the read-side counterpart of register/get for
+// consumers (the SLO engine) that watch metrics some producer may or may
+// not have registered yet.
+func (r *Registry) find(name string, kind Kind, labelValues []string) *series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok || f.kind != kind || len(labelValues) != len(f.labelNames) {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.series[labelKey(labelValues)]
+}
+
+// FindHistogram returns the histogram series with the name and label
+// values, or nil when no producer has registered it (yet).
+func (r *Registry) FindHistogram(name string, labelValues ...string) *Histogram {
+	if s := r.find(name, KindHistogram, labelValues); s != nil {
+		return s.histogram
+	}
+	return nil
+}
+
+// FindGauge returns the gauge series with the name and label values, or
+// nil when no producer has registered it (yet).
+func (r *Registry) FindGauge(name string, labelValues ...string) *Gauge {
+	if s := r.find(name, KindGauge, labelValues); s != nil {
+		return s.gauge
+	}
+	return nil
 }
 
 // Bucket is one cumulative histogram bucket of a snapshot.
