@@ -36,6 +36,7 @@ import (
 	"perfeng/internal/simulator/ports"
 	"perfeng/internal/statmodel"
 	"perfeng/internal/telemetry"
+	"perfeng/internal/tune"
 )
 
 // sink defeats dead-code elimination across benches.
@@ -261,7 +262,28 @@ func BenchmarkSmoke(b *testing.B) {
 			sched.ParallelForPolicy(sched.PolicyStealing, len(skewOut), 8, skewBody)
 		}
 	})
+	// Tuning-cache hot path: the consultation every tuned kernel entry
+	// point now pays on dispatch. Gated at exactly zero allocations with
+	// an active table — one atomic load, one map access, a short scan —
+	// so wiring the autotuner into the kernels can never tax them.
+	b.Run("tune-lookup", func(b *testing.B) {
+		tune.ActivateOne(tune.KernelMatMul, 144, tune.Config{Policy: "guided", Tile: 32})
+		defer tune.Activate(nil)
+		if a := testing.AllocsPerRun(1000, func() {
+			tunedCfgSink, _ = tune.Lookup(tune.KernelMatMul, 144)
+		}); a != 0 {
+			b.Fatalf("tune.Lookup allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tunedCfgSink, _ = tune.Lookup(tune.KernelMatMul, 144)
+		}
+	})
 }
+
+// tunedCfgSink keeps tune.Lookup results unboxed (assigning to the
+// interface sink would itself allocate and mask the 0-alloc contract).
+var tunedCfgSink tune.Config
 
 // BenchmarkSchedPolicies is the scheduling-policy ablation of DESIGN.md:
 // static vs guided vs stealing decomposition over a uniform body and a

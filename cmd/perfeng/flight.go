@@ -25,6 +25,7 @@ import (
 	"perfeng/internal/sched"
 	"perfeng/internal/simulator"
 	"perfeng/internal/telemetry"
+	"perfeng/internal/tune"
 )
 
 func runFlight(args []string) {
@@ -68,6 +69,7 @@ func runFlight(args []string) {
 	simulator.EnableTelemetry(reg)
 	queuing.EnableTelemetry(reg)
 	sched.EnableTelemetry(reg)
+	tune.EnableTelemetry(reg)
 	defer func() {
 		metrics.EnableTelemetry(nil)
 		gpu.EnableTelemetry(nil)
@@ -75,6 +77,8 @@ func runFlight(args []string) {
 		simulator.EnableTelemetry(nil)
 		queuing.EnableTelemetry(nil)
 		sched.EnableTelemetry(nil)
+		tune.EnableTelemetry(nil)
+		tune.EnableTelemetry(nil)
 		sched.Observe(nil)
 	}()
 

@@ -15,6 +15,7 @@
 //	perfeng vet ./...
 //	perfeng scaling -github
 //	perfeng flight -kernel matmul -slo 'perfeng_flight_iteration_seconds.p99<2s'
+//	perfeng tune -smoke -github
 package main
 
 import (
@@ -52,6 +53,10 @@ func main() {
 		runFlight(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "tune" {
+		runTune(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -78,6 +83,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "                                 (skips below -min-procs; perfeng scaling -help)")
 		fmt.Fprintln(os.Stderr, "       perfeng flight [flags]    capture a run in the flight recorder, check SLOs,")
 		fmt.Fprintln(os.Stderr, "                                 drain the black box (perfeng flight -help)")
+		fmt.Fprintln(os.Stderr, "       perfeng tune [flags]      search kernel configs, persist winners to TUNED.json")
+		fmt.Fprintln(os.Stderr, "                                 (Welch-t gated; perfeng tune -help)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

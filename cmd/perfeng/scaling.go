@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"time"
 
 	"perfeng/internal/flight"
@@ -28,11 +29,10 @@ func runScaling(args []string) {
 		samples  = fs.Int("samples", 8<<20, "histogram sample count")
 		reps     = fs.Int("reps", 3, "repetitions per variant (best time wins)")
 		minProcs = fs.Int("min-procs", 4, "skip with exit 0 below this GOMAXPROCS")
-		warnAt   = fs.Float64("warn", 1.5, "advisory threshold: warn when speedup falls below this")
-		failAt   = fs.Float64("fail", 1.0, "hard threshold: exit 1 when speedup falls below this")
 		github   = fs.Bool("github", false, "emit GitHub Actions ::error/::warning annotations")
 		dumpDir  = fs.String("flight-dump", "", "on failure, drain the flight recorder into this directory (trace.json + folded stacks)")
 	)
+	thresholds := registerThresholdFlags(fs, 1.5, 1.0)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: perfeng scaling [flags]")
 		fmt.Fprintln(os.Stderr, "smoke-tests parallel speedup of the shared scheduler: parallel matmul and")
@@ -73,25 +73,15 @@ func runScaling(args []string) {
 		seq := bestOf(*reps, c.seq)
 		par := bestOf(*reps, c.par)
 		speedup := seq.Seconds() / par.Seconds()
-		verdict := "ok"
-		switch {
-		case speedup < *failAt:
-			verdict = "FAIL"
+		verdict := thresholds.verdict(speedup)
+		if verdict == "FAIL" {
 			failed = true
-		case speedup < *warnAt:
-			verdict = "warn"
 		}
 		fmt.Printf("  %-12s seq %10v  par %10v  speedup %.2fx  [%s]\n",
 			c.name, seq.Round(time.Microsecond), par.Round(time.Microsecond), speedup, verdict)
 		if *github {
-			switch verdict {
-			case "FAIL":
-				fmt.Printf("::error title=scaling %s::parallel %s speedup %.2fx < %.2fx at GOMAXPROCS=%d — the runtime is slower than sequential\n",
-					c.name, c.name, speedup, *failAt, procs)
-			case "warn":
-				fmt.Printf("::warning title=scaling %s::parallel %s speedup %.2fx < %.2fx at GOMAXPROCS=%d\n",
-					c.name, c.name, speedup, *warnAt, procs)
-			}
+			thresholds.annotate(verdict, "scaling "+c.name,
+				"parallel "+c.name+" at GOMAXPROCS="+strconv.Itoa(procs)+":", speedup)
 		}
 	}
 	if failed {

@@ -32,6 +32,7 @@ import (
 	"perfeng/internal/sched"
 	"perfeng/internal/simulator"
 	"perfeng/internal/telemetry"
+	"perfeng/internal/tune"
 )
 
 // serveStack bundles the pieces `perfeng serve` wires together; tests
@@ -66,6 +67,7 @@ func newServeStack(addr string, interval time.Duration, slos, dumpDir string) (*
 	simulator.EnableTelemetry(reg)
 	queuing.EnableTelemetry(reg)
 	sched.EnableTelemetry(reg)
+	tune.EnableTelemetry(reg)
 
 	// The black box: every producer tee in wiring.go consults
 	// flight.Active(), so enabling here arms them all.
@@ -183,6 +185,7 @@ func (st *serveStack) close(ctx context.Context) error {
 	simulator.EnableTelemetry(nil)
 	queuing.EnableTelemetry(nil)
 	sched.EnableTelemetry(nil)
+	tune.EnableTelemetry(nil)
 	sched.Observe(nil)
 	flight.Enable(nil)
 	return err

@@ -1,0 +1,50 @@
+// Shared speedup thresholds for the CI-facing subcommands. scaling and
+// tune assert the same kind of claim — "this configuration is at least
+// as fast as that one" — so they share one flag surface (-warn/-fail,
+// current defaults preserved) and one verdict function, and a CI job
+// that tightens the bar tightens it for both identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+)
+
+// speedupThresholds classifies a measured speedup against an advisory
+// and a hard floor.
+type speedupThresholds struct {
+	WarnAt float64 // advisory: warn below this
+	FailAt float64 // hard: fail below this
+}
+
+// registerThresholdFlags wires -warn and -fail onto fs with the given
+// defaults and returns the threshold set they populate.
+func registerThresholdFlags(fs *flag.FlagSet, warnDef, failDef float64) *speedupThresholds {
+	t := &speedupThresholds{}
+	fs.Float64Var(&t.WarnAt, "warn", warnDef,
+		"advisory threshold: warn when speedup falls below this")
+	fs.Float64Var(&t.FailAt, "fail", failDef,
+		"hard threshold: exit 1 when speedup falls below this")
+	return t
+}
+
+// verdict returns "ok", "warn" or "FAIL" for a speedup.
+func (t *speedupThresholds) verdict(speedup float64) string {
+	switch {
+	case speedup < t.FailAt:
+		return "FAIL"
+	case speedup < t.WarnAt:
+		return "warn"
+	}
+	return "ok"
+}
+
+// annotate emits the GitHub Actions annotation for a non-ok verdict.
+func (t *speedupThresholds) annotate(verdict, title, detail string, speedup float64) {
+	switch verdict {
+	case "FAIL":
+		fmt.Printf("::error title=%s::%s speedup %.2fx < %.2fx\n", title, detail, speedup, t.FailAt)
+	case "warn":
+		fmt.Printf("::warning title=%s::%s speedup %.2fx < %.2fx\n", title, detail, speedup, t.WarnAt)
+	}
+}

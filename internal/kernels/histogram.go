@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"perfeng/internal/tune"
 )
 
 // Histogram kernels (Assignment 2): counting values into bins is the
@@ -47,7 +49,7 @@ func binIndex(s float64, bins int) int {
 // performance pattern).
 func HistogramAtomic(samples []float64, counts []int64, workers int) {
 	bins := len(counts)
-	parFor(len(samples), workers, func(lo, hi int) {
+	parForTuned(tune.KernelHistogram, len(samples), workers, func(lo, hi int) {
 		for _, s := range samples[lo:hi] {
 			atomic.AddInt64(&counts[binIndex(s, bins)], 1)
 		}
@@ -62,7 +64,7 @@ func HistogramAtomic(samples []float64, counts []int64, workers int) {
 func HistogramPrivate(samples []float64, counts []int64, workers int) {
 	bins := len(counts)
 	privs := make([][]int64, parExecutors())
-	parForWorker(len(samples), workers, func(w, lo, hi int) {
+	parForWorkerTuned(tune.KernelHistogram, len(samples), workers, func(w, lo, hi int) {
 		priv := privs[w]
 		if priv == nil {
 			priv = make([]int64, bins)

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"perfeng/internal/tune"
 )
 
 // Dense is a dense row-major n x n matrix of float64.
@@ -152,12 +154,10 @@ func MatMulTransposed(a, b, c *Dense) {
 
 // MatMulTiled computes c = a*b with square tiling of all three loops
 // ("loop tiling" in the assignment), tile being the tile edge. A
-// non-positive tile falls back to 64.
+// non-positive tile consults the tuning cache, then falls back to 64.
 func MatMulTiled(a, b, c *Dense, tile int) {
 	n := mustSameSize(a, b, c)
-	if tile <= 0 {
-		tile = 64
-	}
+	tile = tunedTile(tune.KernelMatMul, n, tile, 64)
 	for i := range c.Data {
 		c.Data[i] = 0
 	}
@@ -189,7 +189,7 @@ func MatMulTiled(a, b, c *Dense, tile int) {
 func MatMulParallel(a, b, c *Dense, workers int) {
 	n := mustSameSize(a, b, c)
 	ad := a.Data
-	parFor(n, workers, func(lo, hi int) {
+	parForTuned(tune.KernelMatMul, n, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			crow := c.Data[i*n : (i+1)*n]
 			for j := range crow {
@@ -211,11 +211,9 @@ func MatMulParallel(a, b, c *Dense, workers int) {
 // within it.
 func MatMulParallelTiled(a, b, c *Dense, workers, tile int) {
 	n := mustSameSize(a, b, c)
-	if tile <= 0 {
-		tile = 64
-	}
+	tile = tunedTile(tune.KernelMatMul, n, tile, 64)
 	ad := a.Data
-	parFor(n, workers, func(lo, hi int) {
+	parForTuned(tune.KernelMatMul, n, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := c.Data[i*n : (i+1)*n]
 			for j := range row {

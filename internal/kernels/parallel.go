@@ -6,7 +6,10 @@
 // rebalance by stealing instead of idling behind a static split.
 package kernels
 
-import "perfeng/internal/sched"
+import (
+	"perfeng/internal/sched"
+	"perfeng/internal/tune"
+)
 
 // parFor runs body over disjoint subranges covering [0, n).
 // workers > 0 reproduces the classic static decomposition into that
@@ -37,3 +40,48 @@ func parForWorker(n, workers int, body func(worker, lo, hi int)) {
 
 // parExecutors sizes per-executor state for parForWorker bodies.
 func parExecutors() int { return sched.Executors() }
+
+// parForTuned is parFor consulting the tuning cache: when the caller
+// leaves workers at 0 (the "let the runtime decide" setting) and an
+// activated TUNED.json has an entry for (kernel, n), the dispatch uses
+// the tuned policy and grain instead of the stealing default. An
+// explicit workers pin always wins — callers that chose a
+// decomposition keep it — and a cache miss is exactly parFor.
+func parForTuned(kernel string, n, workers int, body func(lo, hi int)) {
+	if workers > 0 {
+		sched.ParallelForPolicy(sched.PolicyStatic, n, (n+workers-1)/workers, body)
+		return
+	}
+	if cfg, ok := tune.Lookup(kernel, n); ok {
+		sched.ParallelForPolicy(cfg.SchedPolicy(sched.PolicyStealing), n, cfg.EffectiveGrain(n), body)
+		return
+	}
+	sched.ParallelFor(n, 0, body)
+}
+
+// parForWorkerTuned is parForWorker with the same cache consultation
+// as parForTuned.
+func parForWorkerTuned(kernel string, n, workers int, body func(worker, lo, hi int)) {
+	if workers > 0 {
+		sched.ParallelForWorkerPolicy(sched.PolicyStatic, n, (n+workers-1)/workers, body)
+		return
+	}
+	if cfg, ok := tune.Lookup(kernel, n); ok {
+		sched.ParallelForWorkerPolicy(cfg.SchedPolicy(sched.PolicyStealing), n, cfg.EffectiveGrain(n), body)
+		return
+	}
+	sched.ParallelForWorker(n, 0, body)
+}
+
+// tunedTile resolves the tile edge for a tiled kernel: an explicit
+// caller tile wins, then an activated cache entry's Tile, then the
+// kernel's built-in default.
+func tunedTile(kernel string, n, tile, def int) int {
+	if tile > 0 {
+		return tile
+	}
+	if cfg, ok := tune.Lookup(kernel, n); ok && cfg.Tile > 0 {
+		return cfg.Tile
+	}
+	return def
+}

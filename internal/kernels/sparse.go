@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"perfeng/internal/tune"
 )
 
 // Sparse matrix-vector multiplication (Assignments 3 and 4) in the three
@@ -139,7 +141,7 @@ func SpMVCSR(a *CSR, x, y []float64) {
 // row-length imbalance that a static split cannot.
 func SpMVCSRParallel(a *CSR, x, y []float64, workers int) {
 	rp, ci, vals := a.RowPtr, a.ColIdx, a.Vals
-	parFor(a.Rows, workers, func(lo, hi int) {
+	parForTuned(tune.KernelSpMVCSR, a.Rows, workers, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			var sum float64
 			for k := rp[r]; k < rp[r+1]; k++ {

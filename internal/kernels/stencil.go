@@ -2,6 +2,8 @@ package kernels
 
 import (
 	"math"
+
+	"perfeng/internal/tune"
 )
 
 // 2D 5-point Jacobi stencil — the most popular student project in the
@@ -98,7 +100,7 @@ func StencilSweep(src, dst *Grid2D) {
 // split over the shared scheduler.
 func StencilSweepParallel(src, dst *Grid2D, workers int) {
 	n, w := src.N, src.N+2
-	parFor(n, workers, func(lo, hi int) {
+	parForTuned(tune.KernelStencil, n, workers, func(lo, hi int) {
 		for i := lo + 1; i <= hi; i++ { // interior rows are 1..n
 			up := src.Data[(i-1)*w:]
 			mid := src.Data[i*w:]
@@ -113,14 +115,16 @@ func StencilSweepParallel(src, dst *Grid2D, workers int) {
 
 // StencilRun performs sweeps Jacobi sweeps ping-ponging between two
 // scratch grids and returns the grid holding the final iterate. g itself
-// is never modified. workers <= 1 runs sequentially.
+// is never modified. workers == 1 runs sequentially; any other value is
+// the usual decomposition knob (0 = dynamic pool, possibly tuned, like
+// every other parallel kernel here).
 func StencilRun(g *Grid2D, sweeps, workers int) *Grid2D {
 	src, dst := g.Clone(), g.Clone()
 	for s := 0; s < sweeps; s++ {
-		if workers > 1 {
-			StencilSweepParallel(src, dst, workers)
-		} else {
+		if workers == 1 {
 			StencilSweep(src, dst)
+		} else {
+			StencilSweepParallel(src, dst, workers)
 		}
 		src, dst = dst, src
 	}

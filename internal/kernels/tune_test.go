@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"path/filepath"
+	"testing"
+
+	"perfeng/internal/benchgate"
+	"perfeng/internal/telemetry"
+	"perfeng/internal/tune"
+)
+
+// TestKernelsConsultTuningCache proves the acceptance property of the
+// autotuner wiring: with a cache activated, the parallel kernel entry
+// points actually hit it (observed through the tune telemetry
+// counters), results stay identical to the sequential references, and
+// deactivating restores the default dispatch with no residue.
+func TestKernelsConsultTuningCache(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tune.EnableTelemetry(reg)
+	t.Cleanup(func() { tune.EnableTelemetry(nil) })
+	tune.Activate(nil)
+	t.Cleanup(func() { tune.Activate(nil) })
+
+	const n = 64
+	const samples = 10000
+	a, b := RandomDense(n, 1), RandomDense(n, 2)
+	want := NewDense(n)
+	MatMulIKJ(a, b, want)
+	data := UniformSamples(samples, 3)
+	wantCounts := make([]int64, 64)
+	HistogramSeq(data, wantCounts)
+
+	tune.Activate(&tune.Cache{Entries: []tune.Entry{
+		{Kernel: tune.KernelMatMul, N: n,
+			Config: tune.Config{Policy: "guided", Grain: 8, Tile: 16}},
+		{Kernel: tune.KernelHistogram, N: samples,
+			Config: tune.Config{Policy: "static", Grain: 512}},
+	}})
+
+	hits := reg.Counter("perfeng_tune_lookup_hits", "")
+
+	got := NewDense(n)
+	MatMulParallel(a, b, got, 0)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("tuned MatMulParallel diverges from reference: %g", d)
+	}
+	MatMulParallelTiled(a, b, got, 0, 0) // tile 0 → tuned tile 16
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("tuned MatMulParallelTiled diverges from reference: %g", d)
+	}
+	MatMulTiled(a, b, got, 0)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("tuned MatMulTiled diverges from reference: %g", d)
+	}
+
+	counts := make([]int64, 64)
+	HistogramPrivate(data, counts, 0)
+	for i := range counts {
+		if counts[i] != wantCounts[i] {
+			t.Fatalf("tuned HistogramPrivate bin %d = %d, want %d", i, counts[i], wantCounts[i])
+		}
+	}
+
+	if v := hits.Value(); v < 4 {
+		t.Errorf("kernels consulted the cache %d times, want >= 4 (one per entry point)", v)
+	}
+
+	// Explicit worker pins bypass the cache: the caller chose.
+	before := hits.Value()
+	MatMulParallel(a, b, got, 2)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("pinned MatMulParallel diverges: %g", d)
+	}
+	if hits.Value() != before {
+		t.Error("explicit workers pin still consulted the tuning cache")
+	}
+
+	// Deactivation restores the default path and stops consultation.
+	tune.Activate(nil)
+	before = hits.Value()
+	MatMulParallel(a, b, got, 0)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("default MatMulParallel diverges after deactivation: %g", d)
+	}
+	if hits.Value() != before {
+		t.Error("deactivated table still produced lookup hits")
+	}
+}
+
+// TestStaleCacheFallsBackToDefaults is the doctored-cache test: a
+// TUNED.json recorded on another machine refuses to activate, and a
+// cache whose entries are corrupted degrades to the default dispatch —
+// in both cases every kernel keeps producing reference results.
+func TestStaleCacheFallsBackToDefaults(t *testing.T) {
+	tune.Activate(nil)
+	t.Cleanup(func() { tune.Activate(nil) })
+
+	const n = 48
+	a, b := RandomDense(n, 4), RandomDense(n, 5)
+	want := NewDense(n)
+	MatMulIKJ(a, b, want)
+
+	// Stale = fingerprinted by a machine this host is not.
+	stale := &tune.Cache{
+		Env: benchgate.Environment{GOOS: "plan9", GOARCH: "mips", NumCPU: 1024, Procs: 1024},
+		Entries: []tune.Entry{{Kernel: tune.KernelMatMul, N: n,
+			Config: tune.Config{Policy: "static", Grain: 1, Tile: 8}}},
+	}
+	path := filepath.Join(t.TempDir(), "TUNED.json")
+	if err := stale.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tune.LoadAndActivate(path); err == nil {
+		t.Fatal("stale-environment cache activated without error")
+	}
+	if tune.Active() {
+		t.Fatal("stale-environment cache left a table active")
+	}
+	got := NewDense(n)
+	MatMulParallel(a, b, got, 0)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("kernel diverges after stale-cache refusal: %g", d)
+	}
+
+	// Doctored entries (invalid policy) are skipped at activation; the
+	// kernel silently uses its defaults.
+	tune.Activate(&tune.Cache{Entries: []tune.Entry{{Kernel: tune.KernelMatMul, N: n,
+		Config: tune.Config{Policy: "voodoo"}}}})
+	MatMulParallel(a, b, got, 0)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Errorf("kernel diverges under a doctored cache: %g", d)
+	}
+}

@@ -1,0 +1,132 @@
+// The on-disk tuning cache: TUNED.json at the repository root, in the
+// same artifact spirit as benchgate's BENCH_<n>.json baselines — every
+// persisted winner carries the measurement that justified it (default
+// and tuned ns/op, speedup, p-value) and the environment fingerprint it
+// was measured on, so a reader can audit why a knob is set and the
+// loader can refuse to apply another machine's tunings.
+package tune
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"perfeng/internal/benchgate"
+)
+
+// SchemaVersion is the on-disk cache format version.
+const SchemaVersion = 1
+
+// DefaultPath is where the cache lives relative to the repo root.
+const DefaultPath = "TUNED.json"
+
+// ErrEnvMismatch reports a cache recorded on a different machine.
+var ErrEnvMismatch = errors.New("tune: cache environment does not match this host")
+
+// Entry is one persisted winner: the config to apply for a
+// kernel×shape, plus the evidence that made it win.
+type Entry struct {
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	Config Config `json:"config"`
+	// DefaultNs/TunedNs are mean ns/op of the kernel's built-in
+	// defaults and of Config, measured by the search's final budget.
+	DefaultNs float64 `json:"default_ns_per_op,omitempty"`
+	TunedNs   float64 `json:"tuned_ns_per_op,omitempty"`
+	// Speedup is DefaultNs/TunedNs (1.0 = the defaults won and were
+	// kept — beat-or-match keeps an explicit "match" entry so the gate
+	// can still verify it).
+	Speedup float64 `json:"speedup,omitempty"`
+	// P is the two-sided Welch p-value of the final tuned-vs-default
+	// comparison.
+	P float64 `json:"p,omitempty"`
+	// Improved records whether Config beat the defaults significantly
+	// (p < alpha and relative win >= the practical floor). When false,
+	// Config equals the zero config and the entry documents a verified
+	// tie.
+	Improved bool `json:"improved"`
+	// Trials is how many candidate measurements the search spent.
+	Trials int `json:"trials,omitempty"`
+}
+
+// Cache is the versioned collection of winners for one machine.
+type Cache struct {
+	Schema    int                   `json:"schema"`
+	CreatedAt string                `json:"created_at,omitempty"`
+	Env       benchgate.Environment `json:"env"`
+	Entries   []Entry               `json:"entries"`
+}
+
+// Find returns the entry recorded for exactly (kernel, n), if any.
+func (c *Cache) Find(kernel string, n int) (Entry, bool) {
+	for _, e := range c.Entries {
+		if e.Kernel == kernel && e.N == n {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// EnvMatches reports whether the cache was recorded on an environment
+// comparable to env (benchgate's comparability rule: same OS, arch,
+// CPU model and count, compatible GOMAXPROCS).
+func (c *Cache) EnvMatches(env benchgate.Environment) bool {
+	return c.Env.Matches(env)
+}
+
+// Save writes the cache as indented JSON.
+func (c *Cache) Save(path string) error {
+	c.Schema = SchemaVersion
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a cache file. It does not check the
+// environment — callers decide whether a mismatch warns (CI on a
+// foreign runner) or refuses (LoadAndActivate).
+func Load(path string) (*Cache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Cache
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("tune: %s: %w", path, err)
+	}
+	if c.Schema != SchemaVersion {
+		return nil, fmt.Errorf("tune: %s: schema %d, this build reads %d",
+			path, c.Schema, SchemaVersion)
+	}
+	if len(c.Entries) == 0 {
+		return nil, fmt.Errorf("tune: %s: no entries", path)
+	}
+	for i, e := range c.Entries {
+		if e.Kernel == "" || e.N <= 0 {
+			return nil, fmt.Errorf("tune: %s: entry %d has no kernel/shape", path, i)
+		}
+		if err := e.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("tune: %s: entry %d: %w", path, i, err)
+		}
+	}
+	return &c, nil
+}
+
+// LoadAndActivate loads path and installs it as the process tuning
+// table, but only when its environment fingerprint matches this host —
+// a cache tuned on another machine returns ErrEnvMismatch and leaves
+// the kernels on their defaults (tuned configs are machine facts).
+func LoadAndActivate(path string) (*Cache, error) {
+	c, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if !c.EnvMatches(HostEnvironment()) {
+		return c, fmt.Errorf("%w (cache: %s, host: %s)", ErrEnvMismatch, c.Env, HostEnvironment())
+	}
+	Activate(c)
+	return c, nil
+}

@@ -1,0 +1,138 @@
+package tune
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"perfeng/internal/benchgate"
+)
+
+func sampleCache() *Cache {
+	return &Cache{
+		CreatedAt: "2026-08-08T00:00:00Z",
+		Env:       HostEnvironment(),
+		Entries: []Entry{
+			{Kernel: KernelMatMul, N: 256,
+				Config:    Config{Policy: "guided", Grain: 32, Tile: 64},
+				DefaultNs: 1.5e6, TunedNs: 1.2e6, Speedup: 1.25, P: 0.003,
+				Improved: true, Trials: 90},
+			{Kernel: KernelHistogram, N: 1 << 20,
+				Config: Config{}, Speedup: 1, P: 1, Improved: false, Trials: 40},
+		},
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TUNED.json")
+	want := sampleCache()
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("Save stamped schema %d, want %d", got.Schema, SchemaVersion)
+	}
+	if e, ok := got.Find(KernelMatMul, 256); !ok || e.Config.Tile != 64 {
+		t.Fatalf("Find(matmul, 256) = %+v, %v", e, ok)
+	}
+	if _, ok := got.Find(KernelMatMul, 512); ok {
+		t.Fatal("Find matched a shape that was never recorded")
+	}
+}
+
+func TestLoadRejectsBadCaches(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"future schema": `{"schema": 99, "env": {}, "entries": [{"kernel": "matmul", "n": 8, "config": {}}]}`,
+		"no entries":    `{"schema": 1, "env": {}, "entries": []}`,
+		"no kernel":     `{"schema": 1, "env": {}, "entries": [{"kernel": "", "n": 8, "config": {}}]}`,
+		"bad config":    `{"schema": 1, "env": {}, "entries": [{"kernel": "matmul", "n": 8, "config": {"policy": "magic"}}]}`,
+		"not json":      `]`,
+	}
+	i := 0
+	for name, body := range cases {
+		i++
+		if _, err := Load(write(strings.ReplaceAll(name, " ", "-")+".json", body)); err == nil {
+			t.Errorf("%s: Load accepted a cache it must reject", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Errorf("missing file: err = %v, want IsNotExist", err)
+	}
+}
+
+// TestLoadAndActivateEnvInvalidation: a cache fingerprinted on a
+// different machine must be refused with ErrEnvMismatch and must leave
+// the runtime table untouched — tuned configs are machine facts.
+func TestLoadAndActivateEnvInvalidation(t *testing.T) {
+	Activate(nil)
+	t.Cleanup(func() { Activate(nil) })
+
+	c := sampleCache()
+	c.Env = benchgate.Environment{GOOS: "plan9", GOARCH: "mips", NumCPU: 1024, Procs: 1024}
+	path := filepath.Join(t.TempDir(), "TUNED.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadAndActivate(path)
+	if !errors.Is(err, ErrEnvMismatch) {
+		t.Fatalf("foreign env: err = %v, want ErrEnvMismatch", err)
+	}
+	if got == nil {
+		t.Fatal("LoadAndActivate should still return the parsed cache for reporting")
+	}
+	if Active() {
+		t.Fatal("foreign cache was activated")
+	}
+
+	// The same cache stamped with this host's fingerprint activates.
+	c.Env = HostEnvironment()
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAndActivate(path); err != nil {
+		t.Fatalf("matching env: %v", err)
+	}
+	if !Active() {
+		t.Fatal("matching cache did not activate")
+	}
+	if cfg, ok := Lookup(KernelMatMul, 256); !ok || cfg.Tile != 64 {
+		t.Fatalf("Lookup after activation = %+v, %v", cfg, ok)
+	}
+}
+
+func TestConfigValidateAndString(t *testing.T) {
+	if err := (Config{Policy: "warp"}).Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := (Config{Grain: -1}).Validate(); err == nil {
+		t.Error("negative grain accepted")
+	}
+	if got := (Config{}).String(); got != "defaults" {
+		t.Errorf("zero config renders %q", got)
+	}
+	if got := (Config{Policy: "guided", Grain: 8, Tile: 32}).String(); got != "guided/g=8/t=32" {
+		t.Errorf("config renders %q", got)
+	}
+	if got := (Config{Workers: 4}).String(); got != "stealing/w=4" {
+		t.Errorf("worker-pinned config renders %q", got)
+	}
+}

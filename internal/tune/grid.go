@@ -1,0 +1,161 @@
+// Candidate generation: the cartesian grid successive halving starts
+// from, and the neighborhood function hill climbing refines with. The
+// grid is deliberately coarse — halving is cheap per candidate but the
+// budget is reps × candidates, so the grid covers regimes (policies,
+// order-of-magnitude grains, power-of-two tiles) and the hill climb
+// fills in between the survivors.
+package tune
+
+import "runtime"
+
+// GridSpec enumerates the axes of a kernel's tuning space. Empty axes
+// contribute the default (zero) value only, so a kernel without tiles
+// simply leaves Tiles nil.
+type GridSpec struct {
+	// Policies are sched policy names ("" = kernel default).
+	Policies []string
+	// Grains are minimum scheduled range sizes (0 = automatic).
+	Grains []int
+	// Workers are pinned static chunk counts (0 = whole pool). A
+	// candidate never sets both Workers and Grain.
+	Workers []int
+	// Tiles are tile edges for tiled kernels (0 = kernel default).
+	Tiles []int
+}
+
+// Build expands the spec into the candidate list: the cross product of
+// (policy × grain × tile) plus (policy-independent) pinned-worker
+// splits, deduplicated, zero config excluded (the default is the
+// incumbent, not a candidate).
+func (g GridSpec) Build() []Config {
+	pols := g.Policies
+	if len(pols) == 0 {
+		pols = []string{""}
+	}
+	grains := g.Grains
+	if len(grains) == 0 {
+		grains = []int{0}
+	}
+	tiles := g.Tiles
+	if len(tiles) == 0 {
+		tiles = []int{0}
+	}
+	seen := map[Config]bool{{}: true}
+	var out []Config
+	add := func(c Config) {
+		if !seen[c] && c.Validate() == nil {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for _, p := range pols {
+		for _, gr := range grains {
+			for _, t := range tiles {
+				add(Config{Policy: p, Grain: gr, Tile: t})
+			}
+		}
+	}
+	for _, w := range g.Workers {
+		if w <= 0 {
+			continue
+		}
+		for _, t := range tiles {
+			add(Config{Workers: w, Tile: t})
+		}
+	}
+	return out
+}
+
+// DefaultGrains proposes order-of-magnitude grain sizes for an
+// n-element iteration space: n/64 … n/2 clamped to >= 1, deduplicated.
+func DefaultGrains(n int) []int {
+	out := make([]int, 0, 4)
+	last := -1
+	for _, div := range []int{64, 16, 4, 2} {
+		g := n / div
+		if g < 1 {
+			g = 1
+		}
+		if g != last {
+			out = append(out, g)
+			last = g
+		}
+	}
+	return out
+}
+
+// DefaultWorkers proposes pinned chunk counts around the host's
+// parallelism: 1, P/2, P, 2P (deduplicated, P = GOMAXPROCS).
+func DefaultWorkers() []int {
+	p := runtime.GOMAXPROCS(0)
+	cands := []int{1, p / 2, p, 2 * p}
+	seen := map[int]bool{}
+	out := make([]int, 0, len(cands))
+	for _, w := range cands {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// DefaultNeighbors is the hill-climbing move set: halve/double the
+// grain (or step to a small grain if unset), halve/double the tile
+// within [8, 512], step the worker pin up and down, and try the other
+// scheduling policies at the current shape. Every move changes one
+// knob, which keeps the neighborhood small and the climb attributable.
+func DefaultNeighbors(c Config) []Config {
+	var out []Config
+	add := func(nc Config) {
+		if nc != c && nc.Validate() == nil {
+			out = append(out, nc)
+		}
+	}
+	if c.Workers > 0 {
+		nc := c
+		nc.Workers = c.Workers * 2
+		add(nc)
+		nc = c
+		nc.Workers = c.Workers / 2
+		add(nc) // Workers 1 → 0 falls back to pool scheduling
+	} else {
+		switch {
+		case c.Grain > 1:
+			nc := c
+			nc.Grain = c.Grain / 2
+			add(nc)
+			nc = c
+			nc.Grain = c.Grain * 2
+			add(nc)
+		case c.Grain == 0:
+			for _, g := range []int{16, 64} {
+				nc := c
+				nc.Grain = g
+				add(nc)
+			}
+		default: // Grain == 1
+			nc := c
+			nc.Grain = 2
+			add(nc)
+		}
+		for _, p := range []string{"", "static", "guided", "stealing"} {
+			nc := c
+			nc.Policy = p
+			add(nc)
+		}
+	}
+	if c.Tile > 0 {
+		if c.Tile > 8 {
+			nc := c
+			nc.Tile = c.Tile / 2
+			add(nc)
+		}
+		if c.Tile < 512 {
+			nc := c
+			nc.Tile = c.Tile * 2
+			add(nc)
+		}
+	}
+	return out
+}

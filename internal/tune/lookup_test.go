@@ -1,0 +1,123 @@
+package tune
+
+import (
+	"testing"
+
+	"perfeng/internal/telemetry"
+)
+
+func TestLookupNearestShapeAndSpread(t *testing.T) {
+	Activate(nil)
+	t.Cleanup(func() { Activate(nil) })
+
+	if _, ok := Lookup(KernelMatMul, 256); ok {
+		t.Fatal("lookup hit with no table active")
+	}
+
+	n := Activate(&Cache{Entries: []Entry{
+		{Kernel: KernelMatMul, N: 100, Config: Config{Tile: 16}},
+		{Kernel: KernelMatMul, N: 1000, Config: Config{Tile: 128}},
+		{Kernel: KernelHistogram, N: 1 << 20, Config: Config{Policy: "static"}},
+	}})
+	if n != 3 {
+		t.Fatalf("Activate installed %d entries, want 3", n)
+	}
+
+	cases := []struct {
+		kernel   string
+		n        int
+		wantTile int
+		wantHit  bool
+	}{
+		{KernelMatMul, 100, 16, true},   // exact
+		{KernelMatMul, 150, 16, true},   // nearer 100 (1.5x) than 1000 (6.7x)
+		{KernelMatMul, 390, 128, true},  // within spread of both; 1000 (2.6x) is nearer than 100 (3.9x)
+		{KernelMatMul, 1000, 128, true}, // exact at the larger shape
+		{KernelMatMul, 4100, 0, false},  // > 4x beyond the largest entry
+		{KernelMatMul, 20, 0, false},    // > 4x below the smallest entry
+		{KernelStencil, 100, 0, false},  // kernel never tuned
+		{KernelHistogram, 1 << 21, 0, true},
+	}
+	for _, c := range cases {
+		cfg, ok := Lookup(c.kernel, c.n)
+		if ok != c.wantHit {
+			t.Errorf("Lookup(%s, %d) hit=%v, want %v", c.kernel, c.n, ok, c.wantHit)
+			continue
+		}
+		if ok && c.kernel == KernelMatMul && cfg.Tile != c.wantTile {
+			t.Errorf("Lookup(%s, %d) tile=%d, want %d", c.kernel, c.n, cfg.Tile, c.wantTile)
+		}
+	}
+
+	// 390 is within spread of both entries: nearest (1000, ratio 2.56)
+	// must beat farther (100, ratio 3.9).
+	if cfg, ok := Lookup(KernelMatMul, 390); !ok || cfg.Tile != 128 {
+		t.Errorf("Lookup(matmul, 390) = %+v, %v; want the nearer 1000-shape entry", cfg, ok)
+	}
+}
+
+// TestActivateSkipsDoctoredEntries: invalid configs and shapes in a
+// cache degrade to defaults entry-by-entry instead of installing a
+// broken dispatch.
+func TestActivateSkipsDoctoredEntries(t *testing.T) {
+	Activate(nil)
+	t.Cleanup(func() { Activate(nil) })
+
+	n := Activate(&Cache{Entries: []Entry{
+		{Kernel: KernelMatMul, N: 100, Config: Config{Policy: "voodoo"}}, // invalid policy
+		{Kernel: KernelMatMul, N: -5, Config: Config{Tile: 32}},          // invalid shape
+		{Kernel: "", N: 100, Config: Config{Tile: 32}},                   // no kernel
+		{Kernel: KernelStencil, N: 128, Config: Config{Grain: 16}},       // valid
+	}})
+	if n != 1 {
+		t.Fatalf("Activate installed %d entries, want only the valid one", n)
+	}
+	if _, ok := Lookup(KernelMatMul, 100); ok {
+		t.Error("doctored matmul entry was installed")
+	}
+	if cfg, ok := Lookup(KernelStencil, 128); !ok || cfg.Grain != 16 {
+		t.Errorf("valid entry lost alongside doctored ones: %+v, %v", cfg, ok)
+	}
+
+	if n := Activate(&Cache{Entries: []Entry{{Kernel: KernelMatMul, N: 0}}}); n != 0 {
+		t.Fatalf("all-invalid cache installed %d entries", n)
+	}
+	if Active() {
+		t.Error("all-invalid cache left a table active")
+	}
+}
+
+// TestLookupZeroAlloc gates the hot-path contract directly (the gated
+// BenchmarkSmoke entry enforces it against the baseline as well), with
+// telemetry enabled — the counters must be allocation-free too.
+func TestLookupZeroAlloc(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	EnableTelemetry(reg)
+	t.Cleanup(func() { EnableTelemetry(nil) })
+	ActivateOne(KernelMatMul, 144, Config{Policy: "guided", Tile: 32})
+	t.Cleanup(func() { Activate(nil) })
+
+	var cfg Config
+	var ok bool
+	if allocs := testing.AllocsPerRun(200, func() {
+		cfg, ok = Lookup(KernelMatMul, 144) // hit
+		_, _ = Lookup(KernelMatMul, 1<<20)  // in-table miss
+	}); allocs != 0 {
+		t.Errorf("Lookup allocates %.1f per run, want 0", allocs)
+	}
+	if !ok || cfg.Tile != 32 {
+		t.Fatalf("Lookup = %+v, %v", cfg, ok)
+	}
+	if v := reg.Counter("perfeng_tune_lookups", "").Value(); v == 0 {
+		t.Error("telemetry saw no lookups")
+	}
+}
+
+func TestEffectiveGrainAndPolicy(t *testing.T) {
+	if g := (Config{Workers: 4}).EffectiveGrain(103); g != 26 {
+		t.Errorf("Workers=4 over 103 → grain %d, want 26", g)
+	}
+	if g := (Config{Grain: 7}).EffectiveGrain(103); g != 7 {
+		t.Errorf("Grain=7 → %d", g)
+	}
+}

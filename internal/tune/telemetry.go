@@ -1,0 +1,116 @@
+// Live-telemetry hooks for the tuner, following the repo-wide
+// EnableTelemetry(reg) pattern: one atomic pointer load on the lookup
+// hot path when disabled, nil-safe handles (which no-op) when a field
+// is absent, so neither Lookup nor the search engine ever branches on
+// "is telemetry on" beyond the single load.
+package tune
+
+import (
+	"sync/atomic"
+
+	"perfeng/internal/telemetry"
+)
+
+type telHandles struct {
+	lookupsC    *telemetry.Counter
+	hitsC       *telemetry.Counter
+	missesC     *telemetry.Counter
+	trialsC     *telemetry.Counter
+	prunesC     *telemetry.Counter
+	promotionsC *telemetry.Counter
+	bestNsG     *telemetry.GaugeFamily
+	trialSecsH  *telemetry.Histogram
+}
+
+var tel atomic.Pointer[telHandles]
+
+// The accessors tolerate a nil receiver so call sites read the handle
+// set once (tel.Load()) and use it unconditionally — a nil handle
+// returns a nil metric, whose methods no-op by telemetry's contract.
+
+func (t *telHandles) lookups() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.lookupsC
+}
+
+func (t *telHandles) hits() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.hitsC
+}
+
+func (t *telHandles) misses() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.missesC
+}
+
+func (t *telHandles) trials() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.trialsC
+}
+
+func (t *telHandles) prunes() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.prunesC
+}
+
+func (t *telHandles) promotions() *telemetry.Counter {
+	if t == nil {
+		return nil
+	}
+	return t.promotionsC
+}
+
+func (t *telHandles) bestNs(kernel string) *telemetry.Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.bestNsG.With(kernel)
+}
+
+func (t *telHandles) trialSeconds() *telemetry.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.trialSecsH
+}
+
+// EnableTelemetry publishes tuner activity to reg: cache lookups with
+// hit/miss split (the runtime side), and trials, prunes, promotions,
+// best-so-far ns/op per kernel and trial wall time (the search side),
+// so a tuning run shows up in perfeng serve and the flight recorder
+// like any other workload. Passing nil stops publication.
+func EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		tel.Store(nil)
+		return
+	}
+	tel.Store(&telHandles{
+		lookupsC: reg.Counter("perfeng_tune_lookups",
+			"Tuning-cache lookups from kernel dispatch paths."),
+		hitsC: reg.Counter("perfeng_tune_lookup_hits",
+			"Lookups that found an applicable tuned config."),
+		missesC: reg.Counter("perfeng_tune_lookup_misses",
+			"Lookups with an active table but no shape in range."),
+		trialsC: reg.Counter("perfeng_tune_trials",
+			"Candidate configurations measured by the search."),
+		prunesC: reg.Counter("perfeng_tune_prunes",
+			"Candidates dropped by a successive-halving round."),
+		promotionsC: reg.Counter("perfeng_tune_promotions",
+			"Champion replacements that passed the Welch-t comparator."),
+		bestNsG: reg.GaugeFamily("perfeng_tune_best_ns",
+			"Best-so-far mean ns/op of the incumbent champion.", "kernel"),
+		// 2^-10 s ≈ 1 ms up to 2^6 = 64 s per trial.
+		trialSecsH: reg.Histogram("perfeng_tune_trial_seconds",
+			"Wall-clock duration of one candidate trial.", -10, 6),
+	})
+}

@@ -1,0 +1,183 @@
+// Package tunables binds the search engine to the kernels: which knobs
+// exist per kernel, what its candidate grid looks like, and how to run
+// one trial. It lives below internal/tune so the kernels themselves can
+// import tune for Lookup without a cycle (tunables imports kernels;
+// tune does not).
+//
+// Measurement discipline: a trial installs the candidate via
+// tune.ActivateOne and then calls the kernel's ordinary public entry
+// point with the knobs left at "decide for me" (workers=0, tile=0), so
+// every sample is taken on the exact dispatch path production uses —
+// including the cache lookup itself. The default config is measured the
+// same way with the table deactivated, which is bit-for-bit the cache
+// miss path.
+package tunables
+
+import (
+	"time"
+
+	"perfeng/internal/kernels"
+	"perfeng/internal/metrics"
+	"perfeng/internal/tune"
+)
+
+// Tunable is one kernel×shape search problem.
+type Tunable struct {
+	// Name is the cache key (one of the tune.Kernel* constants).
+	Name string
+	// N is the full search shape; SmokeN the reduced shape -smoke uses.
+	N, SmokeN int
+	// Grid generates the candidate list for a shape.
+	Grid func(n int) []tune.Config
+	// NewMeasurer builds the trial runner for a shape. quick trades
+	// sample time for speed (used by -smoke).
+	NewMeasurer func(n int, quick bool) tune.Measurer
+}
+
+// Shape returns the shape to search at.
+func (t Tunable) Shape(smoke bool) int {
+	if smoke {
+		return t.SmokeN
+	}
+	return t.N
+}
+
+// runner builds the measurement protocol for one trial: exactly reps
+// recorded samples (the search owns repetition policy, so adaptive
+// stopping is disabled), batched to a minimum sample time so ns/op for
+// fast kernels is not timer noise, IQR outlier rejection on.
+func runner(reps int, quick bool) *metrics.Runner {
+	minSample := 2 * time.Millisecond
+	if quick {
+		minSample = 500 * time.Microsecond
+	}
+	return metrics.NewRunner(metrics.RunnerConfig{
+		Warmup:         1,
+		MinRuns:        reps,
+		MaxRuns:        reps,
+		MinSampleTime:  minSample,
+		RejectOutliers: true,
+	})
+}
+
+// measure wraps a kernel closure into a tune.Measurer: activate the
+// candidate, run the protocol through the public entry point, restore
+// the inactive table, return ns/op samples.
+func measure(name string, n int, quick bool, f func()) tune.Measurer {
+	return func(cfg tune.Config, reps int) ([]float64, error) {
+		if cfg.IsDefault() {
+			tune.Activate(nil)
+		} else {
+			tune.ActivateOne(name, n, cfg)
+		}
+		defer tune.Activate(nil)
+		m := runner(reps, quick).Measure(name, 0, 0, f)
+		out := make([]float64, len(m.Seconds))
+		for i, s := range m.Seconds {
+			out[i] = s * 1e9
+		}
+		return out, nil
+	}
+}
+
+// All returns the built-in tunables: the four kernels the tuning cache
+// is wired into.
+func All() []Tunable {
+	return []Tunable{
+		{
+			Name: tune.KernelMatMul, N: 256, SmokeN: 96,
+			Grid: func(n int) []tune.Config {
+				return tune.GridSpec{
+					Policies: []string{"", "static", "guided"},
+					Grains:   tune.DefaultGrains(n),
+					Workers:  tune.DefaultWorkers(),
+					Tiles:    []int{16, 32, 64, 128},
+				}.Build()
+			},
+			NewMeasurer: func(n int, quick bool) tune.Measurer {
+				a := kernels.RandomDense(n, 1)
+				b := kernels.RandomDense(n, 2)
+				c := kernels.NewDense(n)
+				return measure(tune.KernelMatMul, n, quick, func() {
+					kernels.MatMulParallelTiled(a, b, c, 0, 0)
+				})
+			},
+		},
+		{
+			Name: tune.KernelStencil, N: 512, SmokeN: 192,
+			Grid: func(n int) []tune.Config {
+				return tune.GridSpec{
+					Policies: []string{"", "static", "guided"},
+					Grains:   tune.DefaultGrains(n),
+					Workers:  tune.DefaultWorkers(),
+				}.Build()
+			},
+			NewMeasurer: func(n int, quick bool) tune.Measurer {
+				src := kernels.HotBoundaryGrid(n)
+				dst := kernels.NewGrid2D(n)
+				return measure(tune.KernelStencil, n, quick, func() {
+					kernels.StencilSweepParallel(src, dst, 0)
+				})
+			},
+		},
+		{
+			Name: tune.KernelSpMVCSR, N: 20000, SmokeN: 4000,
+			Grid: func(n int) []tune.Config {
+				return tune.GridSpec{
+					Policies: []string{"", "static", "guided"},
+					Grains:   tune.DefaultGrains(n),
+					Workers:  tune.DefaultWorkers(),
+				}.Build()
+			},
+			NewMeasurer: func(n int, quick bool) tune.Measurer {
+				a := kernels.PowerLawSparse(n, 16, 1.1, 3).ToCSR()
+				x := kernels.UniformSamples(n, 4)
+				y := make([]float64, n)
+				return measure(tune.KernelSpMVCSR, n, quick, func() {
+					kernels.SpMVCSRParallel(a, x, y, 0)
+				})
+			},
+		},
+		{
+			Name: tune.KernelHistogram, N: 1 << 20, SmokeN: 1 << 17,
+			Grid: func(n int) []tune.Config {
+				return tune.GridSpec{
+					Policies: []string{"", "static", "guided"},
+					Grains:   tune.DefaultGrains(n),
+					Workers:  tune.DefaultWorkers(),
+				}.Build()
+			},
+			NewMeasurer: func(n int, quick bool) tune.Measurer {
+				samples := kernels.UniformSamples(n, 5)
+				counts := make([]int64, 256)
+				return measure(tune.KernelHistogram, n, quick, func() {
+					for i := range counts {
+						counts[i] = 0
+					}
+					kernels.HistogramPrivate(samples, counts, 0)
+				})
+			},
+		},
+	}
+}
+
+// ByName filters All() to the named kernels; empty names returns all.
+// Unknown names are ignored (the CLI reports them from the returned
+// set).
+func ByName(names []string) []Tunable {
+	all := All()
+	if len(names) == 0 {
+		return all
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := make([]Tunable, 0, len(all))
+	for _, t := range all {
+		if want[t.Name] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

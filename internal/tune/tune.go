@@ -1,0 +1,147 @@
+// Package tune closes the measure→model→optimize loop of the course's
+// seven-stage process: instead of a human turning the scheduler and
+// tiling knobs, a search engine measures candidate configurations per
+// kernel×shape, accepts a candidate only when Welch's t-test says it is
+// significantly faster than the incumbent past a practical-effect floor
+// (the same statistical bar the benchmark-regression gate applies), and
+// persists winners to a versioned on-disk cache (TUNED.json) that the
+// kernels consult at runtime.
+//
+// The package splits into three layers:
+//
+//   - the runtime lookup (lookup.go): an atomic table the parallel
+//     kernels query on every dispatch. The hot path is one atomic load,
+//     one map access and a short scan — 0 allocs, gated by the
+//     tune-lookup entry of BenchmarkSmoke. No active cache (or no
+//     matching entry) falls back to the kernels' built-in defaults, so
+//     a missing, stale or wrong-machine TUNED.json can never change
+//     results or make anything slower than the untuned build.
+//   - the cache codec (cache.go): schema-versioned JSON carrying each
+//     winner's config, the measured speedup and p-value that justified
+//     it, and the environment fingerprint it was measured on. A cache
+//     recorded on a different machine is invalid — tuned configs are
+//     machine facts, not code facts.
+//   - the search engine (search.go): successive halving over a
+//     generated candidate grid, refined by hill climbing on the
+//     survivors. Ranking inside a halving round uses means (pruning is
+//     cheap and reversible across rounds); *promotion* — replacing the
+//     incumbent champion — always goes through the Welch-t comparator,
+//     so the search can never install a config the statistics rejected.
+//
+// Kernel bindings (which knobs exist per kernel and how to run one
+// trial) live in the tunables subpackage, so this package stays
+// import-light and the kernels themselves can depend on it for Lookup.
+package tune
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+
+	"perfeng/internal/benchgate"
+	"perfeng/internal/sched"
+)
+
+// Kernel names the built-in wiring uses when consulting the cache. The
+// kernels package passes these to Lookup; the tunables subpackage
+// records entries under the same names.
+const (
+	KernelMatMul    = "matmul"
+	KernelStencil   = "stencil"
+	KernelSpMVCSR   = "spmv-csr"
+	KernelHistogram = "histogram"
+)
+
+// Config is one point in the tuning space. The zero value means "the
+// kernel's built-in defaults" on every axis, so a Config can always be
+// applied partially: a kernel without a tile ignores Tile, a sequential
+// kernel ignores all of it.
+type Config struct {
+	// Policy is the sched decomposition policy: "stealing", "static",
+	// "guided", or "" for the kernel's default (stealing).
+	Policy string `json:"policy,omitempty"`
+	// Grain is the smallest index range worth scheduling (0 = the
+	// pool's automatic grain). Ignored when Workers > 0.
+	Grain int `json:"grain,omitempty"`
+	// Workers > 0 pins the decomposition to that many contiguous
+	// chunks (grain = ceil(n/Workers)), the classic static split; 0
+	// uses the whole pool under Policy/Grain.
+	Workers int `json:"workers,omitempty"`
+	// Tile is the tile edge for tiled kernels (0 = kernel default).
+	Tile int `json:"tile,omitempty"`
+}
+
+// SchedPolicy maps the policy name onto the scheduler's enum, falling
+// back to the given default for "" or an unknown name.
+func (c Config) SchedPolicy(def sched.Policy) sched.Policy {
+	switch c.Policy {
+	case "static":
+		return sched.PolicyStatic
+	case "guided":
+		return sched.PolicyGuided
+	case "stealing":
+		return sched.PolicyStealing
+	}
+	return def
+}
+
+// EffectiveGrain resolves the grain the scheduler should use for a
+// dispatch over n indices: a pinned worker count wins over Grain.
+func (c Config) EffectiveGrain(n int) int {
+	if c.Workers > 0 {
+		return (n + c.Workers - 1) / c.Workers
+	}
+	return c.Grain
+}
+
+// IsDefault reports whether the config leaves every knob at the
+// kernel's built-in default.
+func (c Config) IsDefault() bool { return c == Config{} }
+
+// String renders the config compactly ("defaults" for the zero value).
+func (c Config) String() string {
+	if c.IsDefault() {
+		return "defaults"
+	}
+	s := c.Policy
+	if s == "" {
+		s = "stealing"
+	}
+	if c.Workers > 0 {
+		s += "/w=" + strconv.Itoa(c.Workers)
+	} else if c.Grain > 0 {
+		s += "/g=" + strconv.Itoa(c.Grain)
+	}
+	if c.Tile > 0 {
+		s += "/t=" + strconv.Itoa(c.Tile)
+	}
+	return s
+}
+
+// Validate rejects configs the dispatch layer cannot honor.
+func (c Config) Validate() error {
+	switch c.Policy {
+	case "", "stealing", "static", "guided":
+	default:
+		return fmt.Errorf("tune: unknown policy %q", c.Policy)
+	}
+	if c.Grain < 0 || c.Workers < 0 || c.Tile < 0 {
+		return fmt.Errorf("tune: negative knob in %+v", c)
+	}
+	return nil
+}
+
+// HostEnvironment fingerprints the running process the way benchgate
+// fingerprints a benchmark run: OS, architecture, CPU count and
+// GOMAXPROCS. The CPU model is left empty — it is only known from `go
+// test` output headers, and Matches treats empty-vs-empty as equal, so
+// in-process recordings compare consistently with each other.
+func HostEnvironment() benchgate.Environment {
+	return benchgate.Environment{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Procs:     runtime.GOMAXPROCS(0),
+	}
+}
