@@ -157,6 +157,7 @@ func searchTune(ts []tunables.Tunable, smoke bool, alpha, minEffect float64,
 	for _, t := range ts {
 		n := t.Shape(smoke)
 		fmt.Printf("perfeng tune: %s n=%d searching...\n", t.Name, n)
+		//perfvet:ignore:allocattr the candidate list is the search's deliverable, built once per tunable; measurement dominates
 		res, err := tune.Search(t.Name, n, tune.Config{}, t.Grid(n), t.NewMeasurer(n, smoke), opts)
 		if err != nil {
 			fatal(err)

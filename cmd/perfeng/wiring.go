@@ -89,8 +89,12 @@ func runWorkload(ws *wiredSession, app *perfeng.Application, ranks, n int) error
 	prof.Enter(app.Name)
 
 	// Phase 1: the optimization ladder, every variant one region.
-	variants := append([]perfeng.Variant{app.Baseline}, app.Candidates...)
-	for _, v := range variants {
+	// Baseline first, then candidates, without materializing a combined
+	// slice — runWorkload runs per serve iteration.
+	if err := prof.Do("variant/"+app.Baseline.Name, app.Baseline.Run); err != nil {
+		return err
+	}
+	for _, v := range app.Candidates {
 		if err := prof.Do("variant/"+v.Name, v.Run); err != nil {
 			return err
 		}

@@ -40,11 +40,13 @@ func main() {
 		}},
 	}
 	for _, k := range kernelsToDiagnose {
+		//perfvet:ignore:allocattr each kernel diagnosis needs its own freshly built cache hierarchy; state cannot carry over
 		f, matches, err := patterns.Diagnose(cpu, k.trace)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n--- %s ---\n", k.name)
+		//perfvet:ignore:fmttransitive the report is the example's output, printed once per kernel
 		fmt.Print(patterns.Report(f, matches))
 	}
 

@@ -232,6 +232,7 @@ func (v *Validation) String() string {
 func Compare(models []Model, points []CalibrationPoint) ([]*Validation, error) {
 	out := make([]*Validation, 0, len(models))
 	for _, m := range models {
+		//perfvet:ignore:allocattr per-model scratch inside the port-model critical-path solver; the shoot-out runs once per model
 		v, err := Validate(m, points)
 		if err != nil {
 			return nil, fmt.Errorf("analytic: validating %s: %w", m.Name(), err)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -35,32 +36,40 @@ func (r *Report) Markdown() string {
 	return sb.String()
 }
 
+// The cell helpers run once per comparison per render; they build
+// their strings with strconv so the row loop stays allocation-light.
+
 func nsCell(mean, cv float64, n int) string {
 	if n == 0 {
 		return "—"
 	}
-	return fmt.Sprintf("%.0f ±%.1f%%", mean, 100*cv)
+	return strconv.FormatFloat(mean, 'f', 0, 64) +
+		" ±" + strconv.FormatFloat(100*cv, 'f', 1, 64) + "%"
 }
 
 func deltaCell(c BenchComparison) string {
 	if c.Verdict == Missing || c.Verdict == New {
 		return "—"
 	}
-	return fmt.Sprintf("%+.1f%%", 100*c.Delta)
+	s := strconv.FormatFloat(100*c.Delta, 'f', 1, 64)
+	if c.Delta >= 0 {
+		s = "+" + s
+	}
+	return s + "%"
 }
 
 func thresholdCell(c BenchComparison) string {
 	if c.Threshold == 0 {
 		return "—"
 	}
-	return fmt.Sprintf("%.0f%%", 100*c.Threshold)
+	return strconv.FormatFloat(100*c.Threshold, 'f', 0, 64) + "%"
 }
 
 func pCell(c BenchComparison) string {
 	if c.BaseN == 0 || c.CandN == 0 || c.Verdict == Indeterminate {
 		return "—"
 	}
-	return fmt.Sprintf("%.4f", c.P)
+	return strconv.FormatFloat(c.P, 'f', 4, 64)
 }
 
 func verdictCell(c BenchComparison) string {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"time"
 
 	"perfeng/internal/stats"
@@ -46,7 +47,7 @@ func RunGoBench(dir string, proto Protocol) ([]byte, error) {
 	}
 	args := []string{"test", "-run", "^$",
 		"-bench", proto.Pattern,
-		"-count", fmt.Sprint(proto.Count),
+		"-count", strconv.Itoa(proto.Count),
 		"-benchtime", proto.Benchtime,
 		"-benchmem", pkg}
 	cmd := exec.Command("go", args...)
@@ -92,10 +93,12 @@ func collectRuns(dir string, proto Protocol) ([]*ResultSet, error) {
 	}
 	sets := make([]*ResultSet, 0, runs)
 	for i := 0; i < runs; i++ {
+		//perfvet:ignore:allocattr each run forks go test; the subprocess dwarfs the argv slice
 		out, err := RunGoBench(dir, proto)
 		if err != nil {
 			return nil, err
 		}
+		//perfvet:ignore:allocattr one read buffer per benchmark run; parsing subprocess output is not the hot path
 		rs, err := ParseGoBench(bytes.NewReader(out))
 		if err != nil {
 			return nil, err

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 
@@ -63,16 +64,18 @@ type SimBackend struct {
 	H *simulator.Hierarchy
 }
 
+// simLevelEvents pairs the access/miss events of cache levels 1-3.
+var simLevelEvents = [...][2]Event{{L1DCA, L1DCM}, {L2DCA, L2DCM}, {L3DCA, L3DCM}}
+
 // Supported implements Backend.
 func (b *SimBackend) Supported() []Event {
 	evs := []Event{MemRd, MemWr, PrfIs, PrfHt, L1WBK}
 	if b.H.TLB() != nil {
 		evs = append(evs, TLBA, TLBM)
 	}
-	names := [][2]Event{{L1DCA, L1DCM}, {L2DCA, L2DCM}, {L3DCA, L3DCM}}
 	for i := range b.H.Levels {
-		if i < len(names) {
-			evs = append(evs, names[i][0], names[i][1])
+		if i < len(simLevelEvents) {
+			evs = append(evs, simLevelEvents[i][0], simLevelEvents[i][1])
 		}
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
@@ -187,12 +190,12 @@ func (s *EventSet) Add(evs ...Event) error {
 	if s.running {
 		return errors.New("counters: cannot add to a running set")
 	}
-	supported := make(map[Event]bool)
-	for _, e := range s.backend.Supported() {
-		supported[e] = true
-	}
+	// Linear scan rather than a set: backends expose a handful of
+	// events, and Add runs during session wiring where a scratch map
+	// per call is pure overhead.
+	supported := s.backend.Supported()
 	for _, e := range evs {
-		if !supported[e] {
+		if !slices.Contains(supported, e) {
 			return fmt.Errorf("counters: event %s not supported", e)
 		}
 		s.events = append(s.events, e)

@@ -51,7 +51,7 @@ func AssignmentsGrade(points [4]float64, teamSize int) (float64, error) {
 // 0.3*Gtalks, with Gtalks the average of the midterm and final
 // presentations.
 func ProjectGrade(project, reportGrade, midtermTalk, finalTalk float64) (float64, error) {
-	for _, g := range []float64{project, reportGrade, midtermTalk, finalTalk} {
+	for _, g := range [...]float64{project, reportGrade, midtermTalk, finalTalk} {
 		if g < 1 || g > 10 {
 			return 0, errors.New("course: component grades must be in [1, 10]")
 		}

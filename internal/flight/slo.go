@@ -150,7 +150,11 @@ type Engine struct {
 	objectives  []Objective
 	onViolation func(Violation)
 	violations  *telemetry.CounterFamily
-	evals       *telemetry.Counter
+	// violCounters are the per-objective violation counters, resolved
+	// once here so the watcher-tick Check path never does a label-map
+	// lookup.
+	violCounters []*telemetry.Counter
+	evals        *telemetry.Counter
 
 	mu       sync.Mutex
 	lastFire map[string]time.Time
@@ -164,7 +168,7 @@ type Engine struct {
 // onViolation may be nil. Violations are counted in the
 // perfeng_slo_violations family, labeled by objective.
 func NewEngine(reg *telemetry.Registry, rec *Recorder, objectives []Objective, onViolation func(Violation)) *Engine {
-	return &Engine{
+	e := &Engine{
 		reg: reg, rec: rec,
 		Cooldown:    30 * time.Second,
 		objectives:  objectives,
@@ -175,6 +179,12 @@ func NewEngine(reg *telemetry.Registry, rec *Recorder, objectives []Objective, o
 			"SLO evaluation passes completed."),
 		lastFire: make(map[string]time.Time),
 	}
+	e.violCounters = make([]*telemetry.Counter, len(objectives))
+	for i, o := range objectives {
+		//perfvet:ignore:allocattr label resolution runs once at engine construction, not per watcher tick
+		e.violCounters[i] = e.violations.With(o.Raw)
+	}
+	return e
 }
 
 // Objectives returns the engine's objective list.
@@ -188,13 +198,13 @@ func (e *Engine) Check() []Violation {
 	//perfvet:ignore:preallochint the healthy steady state is zero violations; preallocating len(objectives) would allocate on every watcher tick to serve the rare unhappy path
 	var out []Violation
 	now := time.Now()
-	for _, o := range e.objectives {
+	for i, o := range e.objectives {
 		v, ok := e.evaluate(o)
 		if !ok {
 			continue
 		}
 		out = append(out, v)
-		e.violations.With(o.Raw).Inc()
+		e.violCounters[i].Inc()
 		if e.onViolation == nil {
 			continue
 		}

@@ -32,20 +32,29 @@ func ComputeOccupancy(g machine.GPU, blockThreads, regsPerThread, sharedPerBlock
 		return Occupancy{}, fmt.Errorf("gpu: block of %d exceeds %d threads/SM",
 			blockThreads, g.MaxThreadsPerSM)
 	}
-	limits := map[string]int{
-		"threads": g.MaxThreadsPerSM / blockThreads,
-		"blocks":  g.MaxBlocksPerSM,
+	// A fixed array instead of a map: ComputeOccupancy runs inside the
+	// offload model's sweep loops, and four entries don't need hashing.
+	type limit struct {
+		name string
+		v    int
 	}
+	limits := [4]limit{
+		{"threads", g.MaxThreadsPerSM / blockThreads},
+		{"blocks", g.MaxBlocksPerSM},
+	}
+	n := 2
 	if sharedPerBlockBytes > 0 {
-		limits["shared-memory"] = g.SharedMemPerSMBytes / sharedPerBlockBytes
+		limits[n] = limit{"shared-memory", g.SharedMemPerSMBytes / sharedPerBlockBytes}
+		n++
 	}
 	if regsPerThread > 0 {
-		limits["registers"] = g.RegistersPerSM / (regsPerThread * blockThreads)
+		limits[n] = limit{"registers", g.RegistersPerSM / (regsPerThread * blockThreads)}
+		n++
 	}
 	best, by := math.MaxInt, "threads"
-	for name, v := range limits {
-		if v < best || (v == best && name < by) {
-			best, by = v, name
+	for _, l := range limits[:n] {
+		if l.v < best || (l.v == best && l.name < by) {
+			best, by = l.v, l.name
 		}
 	}
 	if best < 1 {

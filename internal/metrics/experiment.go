@@ -97,6 +97,7 @@ func (d Design) Sweep(run func(Point) *Measurement) (map[string]*Measurement, []
 	results := make(map[string]*Measurement, len(pts))
 	order := make([]string, 0, len(pts))
 	for _, p := range pts {
+		//perfvet:ignore:allocattr Key sorts a fresh label slice per point; a sweep's cost is its run() calls
 		k := p.Key()
 		results[k] = run(p)
 		order = append(order, k)

@@ -68,6 +68,7 @@ func BandwidthProfile(sizes []int, bytesPerPoint int) []BandwidthResult {
 			s = 8 * 1024
 		}
 		passes := bytesPerPoint / s
+		//perfvet:ignore:allocattr allocating the working-set buffer at each size IS the experiment
 		out = append(out, MeasureReadBandwidth(s, passes))
 	}
 	return out

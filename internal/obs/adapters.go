@@ -59,10 +59,13 @@ func AddClusterTrace(s *Session, tr *cluster.Tracer) {
 // so the series start at zero at the session origin instead of at
 // whatever the process accumulated before tracing began.
 type CounterSampler struct {
-	s      *Session
-	prefix string
-	set    *counters.EventSet
-	base   map[counters.Event]uint64
+	s    *Session
+	set  *counters.EventSet
+	base map[counters.Event]uint64
+	// events and names are resolved once at construction so the
+	// per-span-boundary record loop builds no series-name strings.
+	events []counters.Event
+	names  []string
 }
 
 // NewCounterSampler creates a sampler over the set and records the
@@ -73,7 +76,11 @@ func NewCounterSampler(s *Session, prefix string, set *counters.EventSet) (*Coun
 	if err != nil {
 		return nil, err
 	}
-	cs := &CounterSampler{s: s, prefix: prefix, set: set, base: base}
+	cs := &CounterSampler{s: s, set: set, base: base, events: set.Events()}
+	cs.names = make([]string, len(cs.events))
+	for i, e := range cs.events {
+		cs.names[i] = prefix + string(e)
+	}
 	cs.record(s.Now(), base)
 	return cs, nil
 }
@@ -91,11 +98,11 @@ func (cs *CounterSampler) Sample() error {
 }
 
 func (cs *CounterSampler) record(at time.Duration, vals map[counters.Event]uint64) {
-	for _, e := range cs.set.Events() {
+	for i, e := range cs.events {
 		// Signed delta: gauges like GO_GOROUTINES can dip below the
 		// baseline, which must not wrap around in uint64 space.
 		delta := float64(vals[e]) - float64(cs.base[e])
-		cs.s.CounterSampleAt(cs.prefix+string(e), at, delta)
+		cs.s.CounterSampleAt(cs.names[i], at, delta)
 	}
 }
 

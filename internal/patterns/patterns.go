@@ -191,14 +191,18 @@ func FeaturesFromSet(s *counters.EventSet, lineSize int) (Features, error) {
 	return f, nil
 }
 
+// fullBaseEvents is the unconditional core of FullEventSet, hoisted so
+// per-window Diagnose loops do not rebuild the list on every call.
+var fullBaseEvents = [...]counters.Event{
+	counters.L1DCA, counters.L1DCM, counters.MemRd, counters.MemWr,
+	counters.PrfIs, counters.PrfHt, counters.L1WBK,
+}
+
 // FullEventSet builds an event set with everything the detector needs over
 // a simulator hierarchy.
 func FullEventSet(h *simulator.Hierarchy) (*counters.EventSet, error) {
 	s := counters.NewEventSet(&counters.SimBackend{H: h})
-	evs := []counters.Event{
-		counters.L1DCA, counters.L1DCM, counters.MemRd, counters.MemWr,
-		counters.PrfIs, counters.PrfHt, counters.L1WBK,
-	}
+	evs := append([]counters.Event(nil), fullBaseEvents[:]...)
 	if h.TLB() != nil {
 		evs = append(evs, counters.TLBA, counters.TLBM)
 	}

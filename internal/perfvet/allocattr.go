@@ -1,0 +1,59 @@
+package perfvet
+
+import (
+	"go/ast"
+
+	"perfeng/internal/perfvet/facts"
+)
+
+// AllocAttr flags loop calls to module-internal helpers that allocate
+// unconditionally — the antipattern hotloopalloc cannot see, because
+// the allocation hides behind a call. The fact graph attributes the
+// cost through the call chain (helper → deeper helper → allocation
+// site), so the finding names the line to fix even when the make() is
+// three packages away.
+//
+// Only unconditional scratch allocations in the callee count: a helper
+// that allocates when it grows, or only on an error branch, is not
+// flagged; neither is a constructor, whose returned allocation is what
+// the caller asked for (see facts.FuncFact.AllocDesc for both
+// exemptions). Calls to functions that never return (fatal helpers
+// wrapping os.Exit or panic) are exit paths, not per-iteration costs.
+var AllocAttr = &Analyzer{
+	Name: "allocattr",
+	Doc:  "loop calls a helper that unconditionally allocates (attributed through the call chain)",
+	Run:  runAllocAttr,
+}
+
+func runAllocAttr(pass *Pass) error {
+	visit := func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		loop := enclosingLoop(stack)
+		if loop == nil || loopExitPath(pass.TypesInfo, stack, loop) {
+			return true
+		}
+		fn := callee(pass.TypesInfo, call)
+		if fn == nil || facts.IsStringerLike(fn) {
+			return true // calling a Stringer is explicit formatting, not hidden cost
+		}
+		id := facts.FuncID(fn)
+		if f := pass.Graph.Fact(id); f != nil && f.NoReturn {
+			return true
+		}
+		chain := pass.Graph.AllocPath(id)
+		if chain == nil {
+			return true
+		}
+		pass.ReportChain(call.Pos(), chain,
+			"call to %s allocates on every loop iteration; hoist the allocation out of the loop or pass a reused buffer",
+			facts.FuncShort(fn))
+		return true
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, visit)
+	}
+	return nil
+}

@@ -36,12 +36,15 @@ func RunFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
 	}
 	matched := make([]bool, len(wants))
 	for _, f := range report.Findings {
+		// Patterns match the rendered message including the call-chain
+		// suffix, so interprocedural fixtures can pin their attribution.
+		rendered := f.Message + chainSuffix(f.Chain)
 		ok := false
 		for i, w := range wants {
 			if matched[i] || w.file != f.File || w.line != f.Line {
 				continue
 			}
-			if w.re.MatchString(f.Message) {
+			if w.re.MatchString(rendered) {
 				matched[i] = true
 				ok = true
 				break
@@ -78,7 +81,12 @@ func fixtureReport(t *testing.T, dir string, analyzers ...*Analyzer) *Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := Run([]*Package{pkg}, analyzers)
+	// The fact graph spans everything the fixture pulled in — its own
+	// helpers, sibling fixture packages it imports, real module
+	// packages like internal/sched — so cross-package chains resolve
+	// exactly as they do in a full Vet run.
+	graph := BuildGraph(loader.LoadedPackages())
+	report, err := Run([]*Package{pkg}, analyzers, graph)
 	if err != nil {
 		t.Fatal(err)
 	}

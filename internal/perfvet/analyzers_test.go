@@ -26,6 +26,18 @@ func TestPreallocHintFixture(t *testing.T) {
 	RunFixture(t, "testdata/src/preallochint", PreallocHint)
 }
 
+func TestAllocAttrFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/allocattr", AllocAttr)
+}
+
+func TestFmtTransitiveFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/fmttransitive", FmtTransitive)
+}
+
+func TestSchedEscapeFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/schedescape", SchedEscape)
+}
+
 func TestSelect(t *testing.T) {
 	all, err := Select("")
 	if err != nil || len(all) != len(All()) {

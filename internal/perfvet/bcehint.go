@@ -34,6 +34,7 @@ var BCEHint = &Analyzer{
 func runBCEHint(pass *Pass) error {
 	for _, f := range pass.Files {
 		checkCountedLoops(pass, f)
+		//perfvet:ignore:allocattr per-file dedup scratch; the analyzer visits each file once
 		checkFieldSliceIndex(pass, f)
 	}
 	return nil

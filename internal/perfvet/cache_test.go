@@ -1,0 +1,251 @@
+package perfvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// cacheTestModule is a five-package diamond plus one independent
+// package, with findings in b (interprocedural: loop calls a helper
+// that allocates) and e (direct: fmt in a loop), so replay has real
+// content to get wrong.
+//
+//	a ← b ← d       e (imports only fmt)
+//	a ← c ← d
+var cacheTestModule = map[string]string{
+	"go.mod": "module example.com/m\n\ngo 1.22\n",
+	"a/a.go": `package a
+
+func Dedup(xs []int) int {
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+`,
+	"b/b.go": `package b
+
+import "example.com/m/a"
+
+func Hot(xs []int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += a.Dedup(xs)
+	}
+	return total
+}
+`,
+	"c/c.go": `package c
+
+import "example.com/m/a"
+
+func Use(xs []int) int { return a.Dedup(xs) }
+`,
+	"d/d.go": `package d
+
+import (
+	"example.com/m/b"
+	"example.com/m/c"
+)
+
+func Run(xs []int, n int) int { return b.Hot(xs, n) + c.Use(xs) }
+`,
+	"e/e.go": `package e
+
+import "fmt"
+
+func Labels(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("x%d", i))
+	}
+	return out
+}
+`,
+}
+
+func writeCacheTestModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range cacheTestModule {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func vetModule(t *testing.T, dir, cacheDir, version string) (*Report, *CacheStats) {
+	t.Helper()
+	rep, stats, err := Vet(VetOptions{
+		Dir: dir, Analyzers: All(), CacheDir: cacheDir, SuiteVersion: version,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, stats
+}
+
+func renderJSON(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCacheWarmReplayIsByteIdentical(t *testing.T) {
+	mod := writeCacheTestModule(t)
+	cache := t.TempDir()
+
+	cold, coldStats := vetModule(t, mod, cache, "")
+	if coldStats.Hits != 0 || coldStats.Misses != 5 {
+		t.Fatalf("cold stats = %+v, want 0 hits / 5 misses", coldStats)
+	}
+	if len(cold.Findings) == 0 {
+		t.Fatal("test module produced no findings; replay would be vacuous")
+	}
+
+	warm, warmStats := vetModule(t, mod, cache, "")
+	if warmStats.Hits != 5 || warmStats.Misses != 0 || warmStats.Corrupt != 0 {
+		t.Fatalf("warm stats = %+v, want 5 hits / 0 misses", warmStats)
+	}
+	coldJSON, warmJSON := renderJSON(t, cold), renderJSON(t, warm)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("replayed report differs from cold run:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+}
+
+func TestCacheInvalidatesPackageAndReverseDeps(t *testing.T) {
+	mod := writeCacheTestModule(t)
+	cache := t.TempDir()
+	cold, _ := vetModule(t, mod, cache, "")
+
+	// Touching c must re-analyze exactly c and its reverse dependency d;
+	// a, b, e replay. A comment keeps the findings identical.
+	cpath := filepath.Join(mod, "c", "c.go")
+	src, err := os.ReadFile(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cpath, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, stats := vetModule(t, mod, cache, "")
+	wantAnalyzed := []string{"example.com/m/c", "example.com/m/d"}
+	wantReplayed := []string{"example.com/m/a", "example.com/m/b", "example.com/m/e"}
+	if !reflect.DeepEqual(stats.Analyzed, wantAnalyzed) {
+		t.Errorf("Analyzed = %v, want %v", stats.Analyzed, wantAnalyzed)
+	}
+	if !reflect.DeepEqual(stats.Replayed, wantReplayed) {
+		t.Errorf("Replayed = %v, want %v", stats.Replayed, wantReplayed)
+	}
+	if !bytes.Equal(renderJSON(t, cold), renderJSON(t, warm)) {
+		t.Error("comment-only edit changed the report")
+	}
+}
+
+func TestCacheSuiteVersionBumpInvalidatesEverything(t *testing.T) {
+	mod := writeCacheTestModule(t)
+	cache := t.TempDir()
+	vetModule(t, mod, cache, "")
+
+	_, stats := vetModule(t, mod, cache, "perfvet-suite/999-test")
+	if stats.Hits != 0 || stats.Misses != 5 {
+		t.Fatalf("bumped-suite stats = %+v, want a fully cold run", stats)
+	}
+	// And the bumped entries are themselves cached.
+	_, stats = vetModule(t, mod, cache, "perfvet-suite/999-test")
+	if stats.Hits != 5 || stats.Misses != 0 {
+		t.Fatalf("second bumped-suite stats = %+v, want a fully warm run", stats)
+	}
+}
+
+func TestCacheCorruptEntryIsDiscarded(t *testing.T) {
+	mod := writeCacheTestModule(t)
+	cache := t.TempDir()
+	cold, _ := vetModule(t, mod, cache, "")
+
+	// Truncate the entry for package b, leaving its key intact.
+	var bEntry string
+	err := filepath.WalkDir(cache, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var e cacheEntry
+		if json.Unmarshal(data, &e) == nil && e.Path == "example.com/m/b" {
+			bEntry = path
+		}
+		return nil
+	})
+	if err != nil || bEntry == "" {
+		t.Fatalf("no cache entry found for example.com/m/b (err %v)", err)
+	}
+	if err := os.WriteFile(bEntry, []byte(`{"suite":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, stats := vetModule(t, mod, cache, "")
+	if stats.Corrupt != 1 || !reflect.DeepEqual(stats.Analyzed, []string{"example.com/m/b"}) {
+		t.Fatalf("stats after corruption = %+v, want 1 corrupt entry and b re-analyzed", stats)
+	}
+	if !bytes.Equal(renderJSON(t, cold), renderJSON(t, warm)) {
+		t.Error("corrupted entry changed the report instead of costing a re-analysis")
+	}
+
+	// The re-analysis must have repaired the entry.
+	_, stats = vetModule(t, mod, cache, "")
+	if stats.Hits != 5 || stats.Corrupt != 0 {
+		t.Fatalf("stats after repair = %+v, want a fully warm run", stats)
+	}
+}
+
+func TestCacheWarmRunNeverTouchesGOROOT(t *testing.T) {
+	mod := writeCacheTestModule(t)
+	cache := t.TempDir()
+
+	before := StdImports()
+	vetModule(t, mod, cache, "") // cold: package e forces a fmt import
+	if StdImports() == before {
+		t.Fatal("cold run resolved no stdlib imports; the warm assertion below would be vacuous")
+	}
+
+	before = StdImports()
+	_, stats := vetModule(t, mod, cache, "")
+	if stats.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want a fully warm run", stats)
+	}
+	if got := StdImports(); got != before {
+		t.Errorf("warm run resolved %d stdlib imports, want 0", got-before)
+	}
+}
+
+func TestCacheDisabledStillWorks(t *testing.T) {
+	mod := writeCacheTestModule(t)
+	cache := t.TempDir()
+	cached, _ := vetModule(t, mod, cache, "")
+
+	uncached, stats := vetModule(t, mod, "", "")
+	if stats.Hits != 0 || stats.Misses != 5 {
+		t.Fatalf("uncached stats = %+v, want every package analyzed", stats)
+	}
+	if !bytes.Equal(renderJSON(t, cached), renderJSON(t, uncached)) {
+		t.Error("cached and uncached reports differ")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Main implements the shared perfvet command line used by both
@@ -20,11 +21,13 @@ func Main(prog string, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dir       = fs.String("dir", ".", "module root (where go.mod lives)")
-		analyzers = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		jsonOut   = fs.String("json", "", "write the machine-readable findings report to this file")
-		github    = fs.Bool("github", false, "emit GitHub Actions ::error annotations per finding")
-		list      = fs.Bool("list", false, "list the analyzers and their antipatterns, then exit")
+		dir        = fs.String("dir", ".", "module root (where go.mod lives)")
+		analyzers  = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		jsonOut    = fs.String("json", "", "write the machine-readable findings report to this file")
+		github     = fs.Bool("github", false, "emit GitHub Actions ::error annotations per finding")
+		list       = fs.Bool("list", false, "list the analyzers and their antipatterns, then exit")
+		cacheFlag  = fs.String("cache", "auto", "fact cache directory; \"auto\" = the user cache dir, \"off\" = no cache")
+		cacheStats = fs.Bool("cachestats", false, "print replayed/analyzed package counts to stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: %s [flags] [packages]
@@ -34,6 +37,12 @@ course teaches (stage 1: inspect before you measure). Packages default
 to ./... relative to -dir. Suppress a finding with a documented
 //perfvet:ignore[:analyzer] directive; undocumented or stale
 directives are findings themselves.
+
+Runs are incremental: per-package findings and call-graph facts are
+cached on disk (-cache), keyed by the package's sources, its
+dependencies' keys, and the analyzer suite, so unchanged packages
+replay instead of being re-type-checked. Editing a file re-analyzes
+only its package and the packages that import it.
 
 Exit code: 0 clean, 1 findings, 2 error.
 
@@ -55,28 +64,37 @@ flags:
 		}
 		return 0
 	}
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	cacheDir := *cacheFlag
+	switch cacheDir {
+	case "off":
+		cacheDir = ""
+	case "auto":
+		if cacheDir, err = DefaultCacheDir(); err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return 2
+		}
 	}
-	loader, err := NewLoader(*dir)
+	report, stats, err := Vet(VetOptions{
+		Dir:       *dir,
+		Patterns:  fs.Args(),
+		Analyzers: selected,
+		CacheDir:  cacheDir,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
 		return 2
 	}
-	pkgs, err := loader.Load(patterns...)
+	if *cacheStats {
+		fmt.Fprintln(stderr, stats)
+	}
+	moduleDir, err := filepath.Abs(*dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
 		return 2
 	}
-	report, err := Run(pkgs, selected)
-	if err != nil {
-		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
-		return 2
-	}
-	report.Text(stdout, loader.ModuleDir)
+	report.Text(stdout, moduleDir)
 	if *github {
-		report.GitHubAnnotations(stdout, loader.ModuleDir)
+		report.GitHubAnnotations(stdout, moduleDir)
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)

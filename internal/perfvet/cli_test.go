@@ -26,7 +26,7 @@ func TestCLIFindingsExitOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	fixture := filepath.Join(root, "internal", "perfvet", "testdata", "src", "deferinloop")
-	code, out, _ := runCLI(t, "-dir", root, fixture)
+	code, out, _ := runCLI(t, "-dir", root, "-cache", "off", fixture)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 (findings); output:\n%s", code, out)
 	}
@@ -38,7 +38,7 @@ func TestCLIFindingsExitOne(t *testing.T) {
 func TestCLICleanExitZero(t *testing.T) {
 	dir := t.TempDir()
 	writeCleanModule(t, dir)
-	code, out, errOut := runCLI(t, "-dir", dir, "./...")
+	code, out, errOut := runCLI(t, "-dir", dir, "-cache", "off", "./...")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out, errOut)
 	}
@@ -51,8 +51,63 @@ func TestCLIErrorsExitTwo(t *testing.T) {
 	if code, _, _ := runCLI(t, "-analyzers", "nope", "."); code != 2 {
 		t.Errorf("unknown analyzer: exit %d, want 2", code)
 	}
-	if code, _, _ := runCLI(t, "-dir", t.TempDir(), "./..."); code != 2 {
+	if code, _, _ := runCLI(t, "-dir", t.TempDir(), "-cache", "off", "./..."); code != 2 {
 		t.Errorf("no module: exit %d, want 2", code)
+	}
+}
+
+func TestCLILoadErrorExitTwo(t *testing.T) {
+	dir := t.TempDir()
+	writeCleanModule(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package clean\n\nfunc Broken() { return undefinedName }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "-dir", dir, "-cache", "off", "./...")
+	if code != 2 {
+		t.Fatalf("type error in target: exit %d, want 2; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "undefinedName") {
+		t.Errorf("load error not surfaced on stderr:\n%s", errOut)
+	}
+}
+
+func TestCLICacheFlag(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join(root, "internal", "perfvet", "testdata", "src", "deferinloop")
+	cache := t.TempDir()
+
+	code, cold, coldErr := runCLI(t, "-dir", root, "-cache", cache, "-cachestats", fixture)
+	if code != 1 {
+		t.Fatalf("cold exit = %d, want 1; stderr:\n%s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "0 replayed") {
+		t.Errorf("cold -cachestats should report 0 replayed:\n%s", coldErr)
+	}
+
+	code, warm, warmErr := runCLI(t, "-dir", root, "-cache", cache, "-cachestats", fixture)
+	if code != 1 {
+		t.Fatalf("warm exit = %d, want 1 (replayed findings must still gate)", code)
+	}
+	if !strings.Contains(warmErr, "0 analyzed") {
+		t.Errorf("warm -cachestats should report 0 analyzed:\n%s", warmErr)
+	}
+	if cold != warm {
+		t.Errorf("warm output differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}
+
+func TestCLIUsageDocumentsCache(t *testing.T) {
+	code, _, errOut := runCLI(t, "-h")
+	if code != 2 {
+		t.Fatalf("-h exit = %d, want 2 (help is not a vet result)", code)
+	}
+	for _, want := range []string{"-cache", "incremental", "Exit code: 0 clean, 1 findings, 2 error"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("usage text missing %q:\n%s", want, errOut)
+		}
 	}
 }
 
@@ -63,7 +118,7 @@ func TestCLIJSONAndAnnotations(t *testing.T) {
 	}
 	fixture := filepath.Join(root, "internal", "perfvet", "testdata", "src", "preallochint")
 	jsonPath := filepath.Join(t.TempDir(), "findings.json")
-	code, out, _ := runCLI(t, "-dir", root, "-github", "-json", jsonPath, fixture)
+	code, out, _ := runCLI(t, "-dir", root, "-cache", "off", "-github", "-json", jsonPath, fixture)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}

@@ -1,0 +1,144 @@
+// Package facts computes serializable per-function performance
+// summaries and links them into a module-wide static call graph, so
+// perfvet's interprocedural analyzers can attribute a cost (an
+// allocation, a fmt/reflect round trip) through any depth of
+// module-internal helper calls to the hot call site that pays it.
+//
+// A FuncFact records what one function does unconditionally on its
+// hot path — the straight-line part of its body that runs on every
+// call (loop bodies count: they amplify; if/switch/select arms, defer
+// and go statements, and panic arguments do not). Facts are plain
+// data: they marshal to JSON, so the perfvet cache can persist them
+// per package and rebuild the call graph without re-type-checking
+// unchanged packages.
+//
+// Interface calls are linked CHA-lite: a call through an interface
+// method records the method's name+signature key, and the graph
+// resolves it to every known concrete method with that key. That
+// over-approximates the callees (class-hierarchy analysis without the
+// hierarchy), which is the right direction for a linter: a chain is
+// reported only if some resolvable callee actually reaches a cost.
+package facts
+
+import (
+	"go/types"
+	"sort"
+)
+
+// A FuncFact is the summary of one function or method.
+type FuncFact struct {
+	// ID is the canonical graph key: "pkgpath.Func" or
+	// "pkgpath.(Recv).Method".
+	ID string `json:"id"`
+	// Short is the display name used in call chains: "pkg.Func".
+	Short string `json:"short"`
+	// Pos is the declaration site, module-relative ("dir/file.go:12").
+	Pos string `json:"pos"`
+	// AllocDesc describes the first unconditional scratch allocation in
+	// the body ("make([]float64, n) at dir/file.go:34"), or "" if the
+	// hot path does not allocate. Two deliberate exemptions keep the
+	// fact actionable: append is not counted (amortized growth is
+	// preallochint's domain, and helpers that append into
+	// caller-provided buffers are the fix, not the bug), and neither is
+	// an allocation the function returns — a constructor's allocation
+	// is its contract with the caller, not hidden cost. The first
+	// repo-wide dogfood run of allocattr proved the constructor
+	// exemption necessary: over half of its findings were `x :=
+	// pkg.New(...)` in driver loops, where "hoist the allocation" is
+	// not advice, it is the callee's purpose.
+	AllocDesc string `json:"alloc,omitempty"`
+	// FmtCall names the first unconditional direct call into fmt or
+	// reflect ("fmt.Sprintf"), or "".
+	FmtCall string `json:"fmt,omitempty"`
+	// FmtPos is the site of that call, module-relative.
+	FmtPos string `json:"fmtpos,omitempty"`
+	// Calls lists the IDs of statically-resolved callees on the hot
+	// path, sorted and deduplicated. Edges to functions the graph has
+	// no facts for (stdlib, unanalyzed packages) are simply dead ends.
+	Calls []string `json:"calls,omitempty"`
+	// IfaceCalls lists CHA-lite method keys ("Name|signature") of
+	// interface method calls on the hot path.
+	IfaceCalls []string `json:"iface,omitempty"`
+	// MethodKey is this function's own CHA-lite key when it is a
+	// method (a potential target of an interface call), else "".
+	MethodKey string `json:"method,omitempty"`
+	// NoReturn marks a function whose hot path unconditionally
+	// terminates the goroutine or process (panic, os.Exit,
+	// runtime.Goexit, log.Fatal*/Panic*). Calling it is an exit path:
+	// whatever it allocates or formats on the way out happens at most
+	// once, so the interprocedural analyzers skip calls to it.
+	NoReturn bool `json:"noreturn,omitempty"`
+}
+
+// PackageFacts is every function summary of one package.
+type PackageFacts struct {
+	// Path is the package's import path.
+	Path string `json:"path"`
+	// Funcs is sorted by ID.
+	Funcs []*FuncFact `json:"funcs"`
+}
+
+// FuncID returns the canonical graph key for fn, or "" when fn has no
+// package (universe functions like error.Error). Generic functions are
+// keyed by their origin, so instantiations share one fact.
+func FuncID(fn *types.Func) string {
+	fn = fn.Origin()
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if recv := recvName(fn); recv != "" {
+		return fn.Pkg().Path() + ".(" + recv + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// FuncShort returns the display name used in chains: "pkg.Func" or
+// "pkg.(Recv).Method".
+func FuncShort(fn *types.Func) string {
+	fn = fn.Origin()
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := recvName(fn); recv != "" {
+		return fn.Pkg().Name() + ".(" + recv + ")." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// recvName returns the bare receiver type name ("T", "*T" stripped to
+// "T"), or "" for package-level functions.
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+// methodKey builds the CHA-lite key for a method: name plus the
+// receiver-less signature with full package paths, so the same
+// interface method and its implementations agree across packages.
+func methodKey(name string, sig *types.Signature) string {
+	noRecv := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return name + "|" + types.TypeString(noRecv, func(p *types.Package) string { return p.Path() })
+}
+
+// sortedKeys flattens a string set deterministically.
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

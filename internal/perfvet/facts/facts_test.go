@@ -1,0 +1,332 @@
+package facts
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// summarizeSrc type-checks one source file (stdlib imports allowed) and
+// summarizes it under the import path example.com/p.
+func summarizeSrc(t *testing.T, src string) *PackageFacts {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("example.com/p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return Summarize(Source{
+		Path:  "example.com/p",
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Info:  info,
+		Rel:   func(s string) string { return s },
+	})
+}
+
+func factMap(pf *PackageFacts) map[string]*FuncFact {
+	m := make(map[string]*FuncFact, len(pf.Funcs))
+	for _, f := range pf.Funcs {
+		m[f.ID] = f
+	}
+	return m
+}
+
+func TestSummarize(t *testing.T) {
+	pf := summarizeSrc(t, `package p
+
+import "sync/atomic"
+
+type T struct{ n int }
+
+func (t *T) M() int {
+	seen := make(map[int]bool)
+	seen[t.n] = true
+	return len(seen)
+}
+
+type I interface{ M() int }
+
+func F() int {
+	buf := make([]int, 8)
+	return len(buf)
+}
+
+func Cond(b bool) []int {
+	if b {
+		return make([]int, 2)
+	}
+	return nil
+}
+
+func CallsF() int { return F() }
+
+func CondCall(b bool) int {
+	if b {
+		return F()
+	}
+	return 0
+}
+
+func Iface(i I) int { return i.M() }
+
+func Grow(dst []int) []int { return append(dst, 1) }
+
+func New() []int { return make([]int, 8) }
+
+func NewT() *T {
+	t := &T{}
+	return t
+}
+
+func NewNamed() (out []int) {
+	out = make([]int, 4)
+	return
+}
+
+func NewCopied() (out []int) {
+	raw := make([]int, 4)
+	raw[0] = 1
+	out = raw
+	return
+}
+
+type Tee struct{ m map[int]bool }
+
+func NewTee() *Tee {
+	m := make(map[int]bool)
+	m[1] = true
+	return &Tee{m: m}
+}
+
+type Bag struct{ items []int }
+
+func (b *Bag) Put(x int) {
+	row := make([]int, 1)
+	row[0] = x
+	b.items = append(b.items, row...)
+}
+
+func Fill(m map[string][]int, k string) {
+	m[k] = make([]int, 3)
+}
+
+type Interner struct{ tab map[string]string }
+
+func NewInterner(names []string) *Interner {
+	tab := make(map[string]string)
+	for _, n := range names {
+		tab[n] = "k:" + n
+	}
+	return &Interner{tab: tab}
+}
+
+func Scratch(names []string) int {
+	seen := make(map[string]bool)
+	for _, n := range names {
+		seen["k:"+n] = true
+	}
+	return len(seen)
+}
+
+type Box struct{ v int }
+
+var cell atomic.Pointer[Box]
+
+func Publish(v int) {
+	cell.Store(&Box{v: v})
+}
+
+func Die(code int) {
+	panic(code)
+}
+
+func MaybeDie(b bool) {
+	if b {
+		panic("boom")
+	}
+}
+`)
+	if pf.Path != "example.com/p" {
+		t.Fatalf("Path = %q", pf.Path)
+	}
+	m := factMap(pf)
+
+	f := m["example.com/p.F"]
+	if f == nil || !strings.HasPrefix(f.AllocDesc, "make([]int, 8) at p.go:") {
+		t.Errorf("F alloc fact = %+v, want make([]int, 8) at p.go:...", f)
+	}
+	if f != nil && f.Short != "p.F" {
+		t.Errorf("F.Short = %q, want p.F", f.Short)
+	}
+
+	// Constructors hand their allocation to the caller: no alloc fact,
+	// whether returned directly, through a variable, through a chain of
+	// ident copies into a named result, or stored into state the caller
+	// owns (a receiver field, a caller-provided map).
+	for _, ctor := range []string{
+		"example.com/p.New", "example.com/p.NewT", "example.com/p.NewNamed",
+		"example.com/p.NewCopied", "example.com/p.NewTee",
+		"example.com/p.(Bag).Put", "example.com/p.Fill",
+		"example.com/p.NewInterner", "example.com/p.Publish",
+	} {
+		if c := m[ctor]; c == nil || c.AllocDesc != "" {
+			t.Errorf("%s = %+v, want no alloc fact (escaping allocation)", ctor, c)
+		}
+	}
+
+	// Scratch fills the same map shape but never hands it out: the store
+	// into a non-escaping local container must NOT exempt the concat.
+	if sc := m["example.com/p.Scratch"]; sc == nil || sc.AllocDesc == "" {
+		t.Errorf("Scratch = %+v, want an alloc fact (local container never escapes)", sc)
+	}
+
+	if d := m["example.com/p.Die"]; d == nil || !d.NoReturn {
+		t.Errorf("Die = %+v, want NoReturn (unconditional panic)", d)
+	}
+	if md := m["example.com/p.MaybeDie"]; md == nil || md.NoReturn {
+		t.Errorf("MaybeDie = %+v, want NoReturn false (panic is on a branch)", md)
+	}
+
+	meth := m["example.com/p.(T).M"]
+	if meth == nil {
+		t.Fatalf("no fact keyed example.com/p.(T).M; have %v", keysOf(m))
+	}
+	if meth.AllocDesc == "" || meth.MethodKey == "" {
+		t.Errorf("(T).M = %+v, want alloc fact and a method key", meth)
+	}
+
+	if c := m["example.com/p.Cond"]; c == nil || c.AllocDesc != "" {
+		t.Errorf("Cond = %+v, want no alloc fact (branch-only allocation)", c)
+	}
+	if g := m["example.com/p.Grow"]; g == nil || g.AllocDesc != "" {
+		t.Errorf("Grow = %+v, want no alloc fact (append is exempt)", g)
+	}
+
+	if cf := m["example.com/p.CallsF"]; cf == nil ||
+		len(cf.Calls) != 1 || cf.Calls[0] != "example.com/p.F" {
+		t.Errorf("CallsF = %+v, want one hot edge to example.com/p.F", cf)
+	}
+	if cc := m["example.com/p.CondCall"]; cc == nil || len(cc.Calls) != 0 {
+		t.Errorf("CondCall = %+v, want no hot edges (call is on a branch)", cc)
+	}
+
+	iface := m["example.com/p.Iface"]
+	if iface == nil || len(iface.IfaceCalls) != 1 {
+		t.Fatalf("Iface = %+v, want one interface call key", iface)
+	}
+	if iface.IfaceCalls[0] != meth.MethodKey {
+		t.Errorf("interface key %q != concrete method key %q — CHA linking broken",
+			iface.IfaceCalls[0], meth.MethodKey)
+	}
+}
+
+func keysOf(m map[string]*FuncFact) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fact(id, short string, mut func(*FuncFact)) *FuncFact {
+	f := &FuncFact{ID: id, Short: short}
+	if mut != nil {
+		mut(f)
+	}
+	return f
+}
+
+func TestGraphShortestChains(t *testing.T) {
+	g := NewGraph()
+	g.Add(&PackageFacts{Path: "m/x", Funcs: []*FuncFact{
+		fact("m/x.A", "x.A", func(f *FuncFact) { f.Calls = []string{"m/x.B", "m/x.C"} }),
+		fact("m/x.B", "x.B", func(f *FuncFact) { f.Calls = []string{"m/x.C"} }),
+		fact("m/x.C", "x.C", func(f *FuncFact) { f.AllocDesc = "make([]int, 8) at x.go:9" }),
+		fact("m/x.Fmt", "x.Fmt", func(f *FuncFact) { f.FmtCall = "fmt.Sprintf"; f.FmtPos = "x.go:12" }),
+	}})
+
+	// A has both A→C and A→B→C; BFS must pick the direct hop.
+	got := g.AllocPath("m/x.A")
+	want := []string{"x.A", "x.C", "make([]int, 8) at x.go:9"}
+	if !equalStrings(got, want) {
+		t.Errorf("AllocPath(A) = %v, want %v", got, want)
+	}
+	if got := g.AllocPath("m/x.B"); !equalStrings(got, []string{"x.B", "x.C", "make([]int, 8) at x.go:9"}) {
+		t.Errorf("AllocPath(B) = %v", got)
+	}
+	if got := g.FmtPath("m/x.Fmt"); !equalStrings(got, []string{"x.Fmt", "fmt.Sprintf at x.go:12"}) {
+		t.Errorf("FmtPath(Fmt) = %v", got)
+	}
+	if g.AllocPath("m/x.Fmt") != nil || g.FmtPath("m/x.A") != nil {
+		t.Error("cost axes leaked: fmt-only function has an alloc chain or vice versa")
+	}
+	if g.AllocPath("m/x.Nope") != nil {
+		t.Error("unknown id produced a chain")
+	}
+}
+
+func TestGraphInterfaceResolution(t *testing.T) {
+	const key = "M|func() []int"
+	g := NewGraph()
+	g.Add(&PackageFacts{Path: "m/x", Funcs: []*FuncFact{
+		fact("m/x.Caller", "x.Caller", func(f *FuncFact) { f.IfaceCalls = []string{key} }),
+	}})
+	// The concrete implementation arrives from a different package,
+	// after the caller: CHA linking must still resolve it.
+	g.Add(&PackageFacts{Path: "m/y", Funcs: []*FuncFact{
+		fact("m/y.(Impl).M", "y.(Impl).M", func(f *FuncFact) {
+			f.MethodKey = key
+			f.AllocDesc = "make([]int, n) at y.go:4"
+		}),
+	}})
+	got := g.AllocPath("m/x.Caller")
+	want := []string{"x.Caller", "y.(Impl).M", "make([]int, n) at y.go:4"}
+	if !equalStrings(got, want) {
+		t.Errorf("AllocPath through interface = %v, want %v", got, want)
+	}
+}
+
+func TestGraphFirstAddWins(t *testing.T) {
+	g := NewGraph()
+	g.Add(&PackageFacts{Path: "m/x", Funcs: []*FuncFact{
+		fact("m/x.F", "x.F", func(f *FuncFact) { f.AllocDesc = "first" }),
+	}})
+	g.Add(&PackageFacts{Path: "m/x", Funcs: []*FuncFact{
+		fact("m/x.F", "x.F", func(f *FuncFact) { f.AllocDesc = "second" }),
+	}})
+	if f := g.Fact("m/x.F"); f == nil || f.AllocDesc != "first" {
+		t.Errorf("Fact after duplicate Add = %+v, want the first registration", f)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package facts
+
+import "sort"
+
+// A Graph is the module-wide static call graph assembled from package
+// fact files. Queries answer "does this function reach a cost?" and
+// return the shortest attributing chain, so analyzer findings can say
+// not just that a helper allocates but through which calls.
+type Graph struct {
+	funcs   map[string]*FuncFact
+	methods map[string][]string // CHA-lite: method key -> concrete IDs
+
+	allocMemo map[string][]string
+	fmtMemo   map[string][]string
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		funcs:     make(map[string]*FuncFact),
+		methods:   make(map[string][]string),
+		allocMemo: make(map[string][]string),
+		fmtMemo:   make(map[string][]string),
+	}
+}
+
+// Add registers one package's facts. Packages must be added before
+// queries that should see them; re-adding a path replaces nothing
+// (facts are content-derived, identical for identical source).
+func (g *Graph) Add(pf *PackageFacts) {
+	if pf == nil {
+		return
+	}
+	for _, f := range pf.Funcs {
+		if _, ok := g.funcs[f.ID]; ok {
+			continue
+		}
+		g.funcs[f.ID] = f
+		if f.MethodKey != "" {
+			g.methods[f.MethodKey] = insertSorted(g.methods[f.MethodKey], f.ID)
+		}
+	}
+}
+
+// Fact returns the summary for id, or nil if unknown.
+func (g *Graph) Fact(id string) *FuncFact { return g.funcs[id] }
+
+// Len reports how many functions the graph knows.
+func (g *Graph) Len() int { return len(g.funcs) }
+
+// AllocPath reports whether the function reaches an unconditional
+// allocation through module-internal calls, returning the attributing
+// chain — the function's display name, any intermediate callees, and
+// the allocation description — or nil. The chain is the shortest one
+// (BFS) and deterministic (edges are sorted).
+func (g *Graph) AllocPath(id string) []string {
+	return g.path(id, g.allocMemo, func(f *FuncFact) string { return f.AllocDesc })
+}
+
+// FmtPath reports whether the function reaches fmt or reflect through
+// module-internal calls, returning the chain ending in the sink call
+// name ("fmt.Sprintf"), or nil.
+func (g *Graph) FmtPath(id string) []string {
+	return g.path(id, g.fmtMemo, func(f *FuncFact) string {
+		if f.FmtCall == "" {
+			return ""
+		}
+		return f.FmtCall + " at " + f.FmtPos
+	})
+}
+
+// path runs a BFS from id to the nearest fact where sink is non-empty.
+// Chains read root → … → sink description.
+func (g *Graph) path(id string, memo map[string][]string, sink func(*FuncFact) string) []string {
+	if chain, ok := memo[id]; ok {
+		return chain
+	}
+	start := g.funcs[id]
+	if start == nil {
+		memo[id] = nil
+		return nil
+	}
+	type node struct {
+		fact *FuncFact
+		prev *node
+	}
+	visited := map[string]bool{id: true}
+	queue := []*node{{fact: start}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if desc := sink(n.fact); desc != "" {
+			// Reconstruct root → … → n, then append the sink.
+			var rev []string
+			for m := n; m != nil; m = m.prev {
+				rev = append(rev, m.fact.Short)
+			}
+			chain := make([]string, 0, len(rev)+1)
+			for i := len(rev) - 1; i >= 0; i-- {
+				chain = append(chain, rev[i])
+			}
+			chain = append(chain, desc)
+			memo[id] = chain
+			return chain
+		}
+		for _, succ := range g.successors(n.fact) {
+			if visited[succ] {
+				continue
+			}
+			visited[succ] = true
+			if f := g.funcs[succ]; f != nil {
+				queue = append(queue, &node{fact: f, prev: n})
+			}
+		}
+	}
+	memo[id] = nil
+	return nil
+}
+
+// successors yields the IDs one hop away: static callees plus every
+// CHA-lite resolution of interface calls. Order is deterministic.
+func (g *Graph) successors(f *FuncFact) []string {
+	if len(f.IfaceCalls) == 0 {
+		return f.Calls
+	}
+	out := append([]string(nil), f.Calls...)
+	for _, key := range f.IfaceCalls {
+		out = append(out, g.methods[key]...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func insertSorted(list []string, s string) []string {
+	i := sort.SearchStrings(list, s)
+	if i < len(list) && list[i] == s {
+		return list
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = s
+	return list
+}

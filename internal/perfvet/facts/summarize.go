@@ -1,0 +1,710 @@
+package facts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Source is the slice of a type-checked package that summarization
+// needs. perfvet's Package satisfies it structurally via Summarize's
+// parameters, keeping this package free of perfvet imports (perfvet
+// imports facts, not the reverse).
+type Source struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	// Rel maps an absolute filename to the module-relative form used
+	// in fact positions; nil means identity.
+	Rel func(string) string
+}
+
+// Summarize computes the facts of every function declared in src.
+// Function declarations without bodies and init functions are skipped
+// (nothing calls init through the graph, and bodyless declarations
+// have no hot path to summarize).
+func Summarize(src Source) *PackageFacts {
+	pf := &PackageFacts{Path: src.Path}
+	for _, f := range src.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "init" {
+				continue
+			}
+			fn, ok := src.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			//perfvet:ignore:allocattr escape-set scratch per function summarized; each declaration is visited once
+			fact := summarizeFunc(src, fd, fn)
+			pf.Funcs = append(pf.Funcs, fact)
+		}
+	}
+	sort.Slice(pf.Funcs, func(i, j int) bool { return pf.Funcs[i].ID < pf.Funcs[j].ID })
+	return pf
+}
+
+func summarizeFunc(src Source, fd *ast.FuncDecl, fn *types.Func) *FuncFact {
+	fact := &FuncFact{
+		ID:    FuncID(fn),
+		Short: FuncShort(fn),
+		Pos:   relPos(src, fd.Name.Pos()),
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		fact.MethodKey = methodKey(fn.Name(), sig)
+	}
+	var results []*types.Var
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if v, ok := src.Info.Defs[name].(*types.Var); ok {
+					results = append(results, v)
+				}
+			}
+		}
+	}
+	s := &summarizer{src: src, fact: fact, calls: map[string]bool{}, iface: map[string]bool{}}
+	s.esc = collectEscapes(src.Info, fd.Body, results)
+	s.block(fd.Body, true)
+	fact.Calls = sortedKeys(s.calls)
+	fact.IfaceCalls = sortedKeys(s.iface)
+	return fact
+}
+
+// SummarizeBody summarizes an arbitrary body (perfvet uses it for the
+// closures handed to sched parallel regions): the returned fact has no
+// identity, only the hot-path contents.
+func SummarizeBody(src Source, body *ast.BlockStmt) *FuncFact {
+	fact := &FuncFact{}
+	s := &summarizer{src: src, fact: fact, calls: map[string]bool{}, iface: map[string]bool{}}
+	s.esc = collectEscapes(src.Info, body, nil)
+	s.block(body, true)
+	fact.Calls = sortedKeys(s.calls)
+	fact.IfaceCalls = sortedKeys(s.iface)
+	return fact
+}
+
+// summarizer walks one function body tracking whether the current node
+// is on the hot path: reached unconditionally on every call. Loop
+// bodies stay hot (a cost there is amplified, not avoided); branch
+// arms, select cases, defer/go statements and panic arguments go
+// cold. Cold calls do not become graph edges either — a callee behind
+// `if debug` must not smuggle its costs into this function's summary,
+// or every guarded log line would taint its whole call chain.
+type summarizer struct {
+	src  Source
+	fact *FuncFact
+	esc  []ast.Node // allocation-bearing expressions handed to the caller
+
+	calls map[string]bool
+	iface map[string]bool
+}
+
+// collectEscapes finds the expressions whose value this body hands to
+// something that outlives the call: direct return results, one
+// assignment hop into a variable some return statement mentions
+// (d := &T{...}; return d) or into a named result, and stores into
+// state rooted outside the body (a receiver field, a caller-owned map,
+// a package variable). An allocation inside such an expression is the
+// function's contract — a constructor, or a cache/collection being
+// filled — not scratch the caller could provide, so it must not become
+// an alloc fact. Nested function literals are skipped throughout:
+// their returns are their own.
+func collectEscapes(info *types.Info, body *ast.BlockStmt, results []*types.Var) []ast.Node {
+	escVars := make(map[*types.Var]bool, len(results))
+	for _, v := range results {
+		escVars[v] = true
+	}
+	var esc []ast.Node
+	// Stores into a container rooted at a LOCAL variable (m[k] = v where
+	// m is declared in this body) escape only if the container itself
+	// does; they are deferred to the fixpoint below.
+	type localStore struct {
+		root *types.Var
+		rhs  ast.Expr
+	}
+	var localStores []localStore
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				r = ast.Unparen(r)
+				if id, ok := r.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						escVars[v] = true
+					}
+					continue
+				}
+				esc = append(esc, r)
+				markCompositeElems(info, escVars, r)
+			}
+		case *ast.CallExpr:
+			// sync/atomic's Store/Swap/CompareAndSwap retain their
+			// arguments by definition (p.obs.Store(&box{o}) publishes
+			// the box) — the one call family treated as escaping its
+			// arguments. Every other call reads them.
+			if atomicRetains(info, n) {
+				for _, a := range n.Args {
+					a = ast.Unparen(a)
+					esc = append(esc, a)
+					markVarsEscaping(info, escVars, a)
+				}
+			}
+		case *ast.AssignStmt:
+			// t.Rows = append(t.Rows, row) / l.pkgs[k] = entry: the
+			// stored value outlives the call when the store's root is
+			// declared outside this body. The RHS escapes, and so do
+			// the locals it mentions (row, entry). Stores through a
+			// local root are recorded and escape transitively iff the
+			// root does (tracks[e] = s; return &T{tracks: tracks}).
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				root, isStore := storeTarget(info, lhs)
+				if !isStore {
+					continue
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				if root != nil && root.Pos() >= body.Pos() && root.Pos() < body.End() {
+					localStores = append(localStores, localStore{root, rhs})
+					continue
+				}
+				esc = append(esc, rhs)
+				markVarsEscaping(info, escVars, rhs)
+			}
+		}
+		return true
+	})
+	// Gather every single-assignment pair in the body, then close
+	// escVars over ident-to-ident copies (raw := make(...); out = raw;
+	// return out needs two hops regardless of textual order) before
+	// mapping allocation-bearing right-hand sides.
+	type binding struct {
+		v   *types.Var // nil when the LHS is not a resolvable ident
+		rhs ast.Expr
+	}
+	var bindings []binding
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = info.Uses[id].(*types.Var)
+		}
+		if ok {
+			bindings = append(bindings, binding{v, ast.Unparen(rhs)})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				bind(lhs, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, id := range n.Names {
+				bind(id, n.Values[i])
+			}
+		}
+		return true
+	})
+	storeDone := make([]bool, len(localStores))
+	for {
+		before := len(escVars)
+		for _, b := range bindings {
+			if !escVars[b.v] {
+				continue
+			}
+			if src, ok := b.rhs.(*ast.Ident); ok {
+				if v, ok := info.Uses[src].(*types.Var); ok {
+					escVars[v] = true
+				}
+				continue
+			}
+			markCompositeElems(info, escVars, b.rhs)
+		}
+		// A store into an escaping local container escapes too, and
+		// spreads the property to the locals its RHS mentions.
+		for i, ls := range localStores {
+			if storeDone[i] || !escVars[ls.root] {
+				continue
+			}
+			storeDone[i] = true
+			esc = append(esc, ls.rhs)
+			markVarsEscaping(info, escVars, ls.rhs)
+		}
+		if len(escVars) == before {
+			break
+		}
+	}
+	for _, b := range bindings {
+		if escVars[b.v] {
+			esc = append(esc, b.rhs)
+		}
+	}
+	return esc
+}
+
+// atomicRetains reports whether call is a sync/atomic Store, Swap or
+// CompareAndSwap — the methods that publish their argument to other
+// goroutines, making it outlive the calling body.
+func atomicRetains(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch fn.Name() {
+	case "Store", "Swap", "CompareAndSwap":
+		return true
+	}
+	return false
+}
+
+// markCompositeElems marks local variables stored as composite-literal
+// element values inside an escaping expression: return &T{m: tracks}
+// hands tracks to the caller just as surely as return tracks does.
+// Only element (value) positions count — a variable used as a call
+// argument or index inside the expression is read, not retained.
+func markCompositeElems(info *types.Info, escVars map[*types.Var]bool, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if id, ok := ast.Unparen(v).(*ast.Ident); ok {
+				if vv, ok := info.Uses[id].(*types.Var); ok {
+					escVars[vv] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markVarsEscaping adds every local variable mentioned in e to the
+// escaping set.
+func markVarsEscaping(info *types.Info, escVars map[*types.Var]bool, e ast.Expr) {
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				escVars[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// storeTarget resolves the root of a store through lhs: a receiver
+// field (t.Rows), a container element (l.pkgs[k]), a pointer
+// dereference (*p). isStore is false for a plain identifier —
+// rebinding a local (even a parameter) keeps the value inside the
+// call; the binding pass handles the ones that matter. root is the
+// variable the store chain bottoms out at, or nil when it is
+// unresolvable (f().m[k] = v) — callers must treat nil as escaping:
+// when ownership is unclear, losing a fact beats a false finding.
+func storeTarget(info *types.Info, lhs ast.Expr) (root *types.Var, isStore bool) {
+	e := ast.Unparen(lhs)
+	dereferenced := false
+	for {
+		switch r := e.(type) {
+		case *ast.SelectorExpr:
+			e, dereferenced = ast.Unparen(r.X), true
+		case *ast.IndexExpr:
+			e, dereferenced = ast.Unparen(r.X), true
+		case *ast.StarExpr:
+			e, dereferenced = ast.Unparen(r.X), true
+		case *ast.Ident:
+			if !dereferenced {
+				return nil, false
+			}
+			v, _ := info.Uses[r].(*types.Var)
+			return v, true
+		default:
+			return nil, dereferenced
+		}
+	}
+}
+
+// escaped reports whether n sits inside an expression handed to the
+// caller. The containment check covers interior allocations too:
+// &T{buf: make(...)} returned as a whole exempts the make as well.
+func (s *summarizer) escaped(n ast.Node) bool {
+	for _, e := range s.esc {
+		if n.Pos() >= e.Pos() && n.End() <= e.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *summarizer) block(b *ast.BlockStmt, hot bool) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.List {
+		s.stmt(st, hot)
+	}
+}
+
+func (s *summarizer) stmt(st ast.Stmt, hot bool) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.block(st, hot)
+	case *ast.IfStmt:
+		s.stmt(st.Init, hot)
+		s.expr(st.Cond, hot)
+		s.block(st.Body, false)
+		s.stmt(st.Else, false)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init, hot)
+		s.expr(st.Tag, hot)
+		s.block(st.Body, false)
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init, hot)
+		s.stmt(st.Assign, hot)
+		s.block(st.Body, false)
+	case *ast.SelectStmt:
+		s.block(st.Body, false)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(e, hot)
+		}
+		for _, b := range st.Body {
+			s.stmt(b, hot)
+		}
+	case *ast.CommClause:
+		s.stmt(st.Comm, hot)
+		for _, b := range st.Body {
+			s.stmt(b, hot)
+		}
+	case *ast.ForStmt:
+		s.stmt(st.Init, hot)
+		s.expr(st.Cond, hot)
+		s.stmt(st.Post, hot)
+		s.block(st.Body, hot) // loop bodies amplify costs; they stay hot
+	case *ast.RangeStmt:
+		s.expr(st.X, hot)
+		s.block(st.Body, hot)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Deliberate idioms: the spawn/late call dominates, and
+		// hotloopalloc already exempts them. Nothing here is a hot
+		// per-call cost of this function.
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, hot)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, hot)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, hot)
+		}
+	case *ast.ExprStmt:
+		s.expr(st.X, hot)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, hot)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, hot)
+	case *ast.IncDecStmt:
+		s.expr(st.X, hot)
+	case *ast.SendStmt:
+		s.expr(st.Chan, hot)
+		s.expr(st.Value, hot)
+	default:
+		// Branch/empty/bad statements: nothing to summarize.
+	}
+}
+
+func (s *summarizer) expr(e ast.Expr, hot bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		s.call(e, hot)
+	case *ast.FuncLit:
+		// A capturing closure does allocate, but flagging it made every
+		// ast.Inspect / sort.Slice / walker-callback idiom an alloc fact
+		// and tainted whole call chains (dogfooding found ~20 such
+		// findings, none actionable). The closure's body runs on some
+		// later schedule, not on this function's hot path, so neither
+		// the allocation nor the body's contents become facts here.
+		// schedescape still flags closures built per parallel task,
+		// where the amplification is real.
+	case *ast.CompositeLit:
+		s.compositeLit(e, hot, false)
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			s.compositeLit(cl, hot, true)
+			return
+		}
+		s.expr(e.X, hot)
+	case *ast.BinaryExpr:
+		if hot && e.Op == token.ADD && s.isNonConstString(e) && !s.escaped(e) {
+			s.alloc(e.Pos(), "string concatenation")
+		}
+		s.expr(e.X, hot)
+		s.expr(e.Y, hot)
+	case *ast.ParenExpr:
+		s.expr(e.X, hot)
+	case *ast.SelectorExpr:
+		s.expr(e.X, hot)
+	case *ast.IndexExpr:
+		s.expr(e.X, hot)
+		s.expr(e.Index, hot)
+	case *ast.IndexListExpr:
+		s.expr(e.X, hot)
+	case *ast.SliceExpr:
+		s.expr(e.X, hot)
+		s.expr(e.Low, hot)
+		s.expr(e.High, hot)
+		s.expr(e.Max, hot)
+	case *ast.StarExpr:
+		s.expr(e.X, hot)
+	case *ast.TypeAssertExpr:
+		s.expr(e.X, hot)
+	case *ast.KeyValueExpr:
+		s.expr(e.Key, hot)
+		s.expr(e.Value, hot)
+	default:
+		// Identifiers, literals, type expressions: no cost.
+	}
+}
+
+// call classifies one call: builtin allocator, fmt/reflect sink,
+// conversion, static module edge, or CHA-lite interface edge.
+func (s *summarizer) call(call *ast.CallExpr, hot bool) {
+	info := s.src.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				if hot && !s.escaped(call) {
+					s.alloc(call.Pos(), exprDesc(call))
+				}
+			case "panic":
+				if hot {
+					s.fact.NoReturn = true // unconditional panic: an exit, not a cost
+				}
+				hot = false // panic arguments are a cold exit path
+			}
+			for _, a := range call.Args {
+				s.expr(a, hot)
+			}
+			return
+		}
+	}
+
+	// Conversions T(x): string<->[]byte/[]rune copies and interface
+	// boxing are allocation sites.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if hot && !s.escaped(call) {
+			dst := tv.Type
+			src := info.Types[call.Args[0]].Type
+			switch {
+			case isStringByteConv(dst, src):
+				s.alloc(call.Pos(), exprDesc(call)+" conversion")
+			case src != nil && types.IsInterface(dst) && !types.IsInterface(src) &&
+				src != types.Typ[types.UntypedNil]:
+				s.alloc(call.Pos(), exprDesc(call)+" interface boxing")
+			}
+		}
+		s.expr(call.Args[0], hot)
+		return
+	}
+
+	// Resolved functions and methods.
+	var fn *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[f.Sel].(*types.Func)
+		// Interface method call → CHA-lite edge.
+		if fn != nil {
+			if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+				if types.IsInterface(sel.Recv().Underlying()) {
+					if hot && !IsStringerLike(fn) {
+						if sig, ok := fn.Type().(*types.Signature); ok {
+							s.iface[methodKey(fn.Name(), sig)] = true
+						}
+					}
+					fn = nil // not a static edge
+				}
+			}
+		}
+	}
+	if fn != nil && hot {
+		switch pkgPath(fn) {
+		case "fmt", "reflect":
+			if s.fact.FmtCall == "" {
+				s.fact.FmtCall = pkgPath(fn) + "." + fn.Name()
+				s.fact.FmtPos = relPos(s.src, call.Pos())
+			}
+		case "os":
+			if fn.Name() == "Exit" {
+				s.fact.NoReturn = true
+			}
+		case "runtime":
+			if fn.Name() == "Goexit" {
+				s.fact.NoReturn = true
+			}
+		case "log":
+			if strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic") {
+				s.fact.NoReturn = true
+			}
+		default:
+			if id := FuncID(fn); id != "" && !IsStringerLike(fn) {
+				s.calls[id] = true
+			}
+		}
+	}
+	s.expr(call.Fun, hot)
+	for _, a := range call.Args {
+		s.expr(a, hot)
+	}
+}
+
+// compositeLit records slice/map literals (backing store) and
+// &T{...} (escaping composite) as allocation sites.
+func (s *summarizer) compositeLit(cl *ast.CompositeLit, hot, addressed bool) {
+	if hot && s.fact.AllocDesc == "" && !s.escaped(cl) {
+		tv := s.src.Info.Types[cl]
+		if tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				s.alloc(cl.Pos(), exprDesc(cl)+" literal")
+			default:
+				if addressed {
+					s.alloc(cl.Pos(), "&"+exprDesc(cl))
+				}
+			}
+		}
+	}
+	for _, el := range cl.Elts {
+		s.expr(el, hot)
+	}
+}
+
+func (s *summarizer) alloc(pos token.Pos, desc string) {
+	if s.fact.AllocDesc != "" {
+		return
+	}
+	s.fact.AllocDesc = desc + " at " + relPos(s.src, pos)
+}
+
+func (s *summarizer) isNonConstString(e *ast.BinaryExpr) bool {
+	tv, ok := s.src.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false // not typed, or constant-folded at compile time
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// IsStringerLike reports a method with the fmt.Stringer or error
+// shape: String() string or Error() string. Calling one is explicit
+// formatting at the call site — the reader can see the string being
+// built — so neither its formatting nor its allocation counts as a
+// hidden transitive cost. Such calls never become graph edges, and the
+// interprocedural analyzers skip them as direct callees too.
+func IsStringerLike(fn *types.Func) bool {
+	if fn.Name() != "String" && fn.Name() != "Error" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isStringType(sig.Results().At(0).Type())
+}
+
+// isStringByteConv reports a string <-> []byte/[]rune conversion,
+// which copies its operand.
+func isStringByteConv(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func pkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+func relPos(src Source, pos token.Pos) string {
+	p := src.Fset.Position(pos)
+	file := p.Filename
+	if src.Rel != nil {
+		file = src.Rel(file)
+	}
+	return file + ":" + strconv.Itoa(p.Line)
+}
+
+// exprDesc renders an expression compactly for alloc descriptions,
+// capped so generated chains stay one-line readable.
+func exprDesc(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}

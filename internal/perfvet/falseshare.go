@@ -120,6 +120,7 @@ func checkStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType, atomicFields 
 				if cur.idx < len(fieldPos) && fieldPos[cur.idx].IsValid() {
 					pos = fieldPos[cur.idx]
 				}
+				//perfvet:ignore:fmttransitive findings format once per diagnostic, not per analyzed node
 				pass.Reportf(pos,
 					"fields %s (%s) and %s (%s) are independently-updated synchronization points only %d bytes apart — they share a %d-byte cache line, so updates ping-pong the line between cores; insert [%d]byte padding or split the struct",
 					fields[prev.idx].Name(), prev.kind, fields[cur.idx].Name(), cur.kind,

@@ -1,0 +1,131 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"perfeng/internal/perfvet/facts"
+)
+
+// FmtTransitive flags hot code that reaches fmt or reflect through any
+// depth of module-internal calls. hotloopalloc catches a literal
+// fmt.Sprintf in the loop; this analyzer catches the one hiding behind
+// a helper — formatting and reflection cost allocations plus dynamic
+// dispatch on every iteration, which the caller cannot see at the call
+// site. "Hot" means inside a loop or inside a closure handed to a
+// sched parallel region (those bodies run once per task).
+//
+// Only unconditional fmt/reflect use in the callee chain counts:
+// fmt.Errorf on an error branch does not taint its function.
+var FmtTransitive = &Analyzer{
+	Name: "fmttransitive",
+	Doc:  "hot code reaches fmt/reflect through module-internal calls (attributed through the call chain)",
+	Run:  runFmtTransitive,
+}
+
+func runFmtTransitive(pass *Pass) error {
+	visit := func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		loop := enclosingLoop(stack)
+		switch {
+		case loop != nil:
+			if loopExitPath(pass.TypesInfo, stack, loop) {
+				return true
+			}
+		case schedClosure(pass.TypesInfo, stack) == nil:
+			return true // neither in a loop nor in a parallel-region closure
+		}
+		fn := callee(pass.TypesInfo, call)
+		if fn == nil || facts.IsStringerLike(fn) {
+			return true // calling a Stringer is explicit formatting, not hidden cost
+		}
+		id := facts.FuncID(fn)
+		if f := pass.Graph.Fact(id); f != nil && f.NoReturn {
+			return true // fatal helpers format once, on the way out
+		}
+		chain := pass.Graph.FmtPath(id)
+		if chain == nil {
+			return true
+		}
+		where := "loop iteration"
+		if loop == nil {
+			where = "parallel task"
+		}
+		pass.ReportChain(call.Pos(), chain,
+			"call to %s reaches %s on every %s; format once outside the hot path or use strconv into a reused buffer",
+			facts.FuncShort(fn), chainSink(chain), where)
+		return true
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, visit)
+	}
+	return nil
+}
+
+// chainSink names the cost at the end of a fact-graph chain, without
+// its position suffix ("fmt.Sprintf at x.go:3" → "fmt.Sprintf").
+func chainSink(chain []string) string {
+	sink := chain[len(chain)-1]
+	if i := strings.Index(sink, " at "); i >= 0 {
+		sink = sink[:i]
+	}
+	return sink
+}
+
+// schedClosure returns the innermost function literal in stack that is
+// passed directly to a sched parallel entry point (ParallelFor,
+// Pool.For, Reduce, and their policy/worker variants), or nil. Code in
+// such a closure runs once per task — hot by construction even without
+// a syntactic loop around it.
+func schedClosure(info *types.Info, stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			return nil
+		case *ast.FuncLit:
+			if i == 0 {
+				return nil
+			}
+			call, ok := stack[i-1].(*ast.CallExpr)
+			if !ok {
+				return nil // a closure, but not a call argument
+			}
+			if _, ok := schedEntry(info, call); !ok {
+				return nil
+			}
+			lit := ast.Expr(n)
+			for _, a := range call.Args {
+				if ast.Unparen(a) == lit {
+					return n
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// schedEntry reports whether call invokes one of the sched package's
+// parallel region entry points, returning the entry's name. The
+// package is matched by import-path suffix so the analyzers work for
+// any module layout that follows the internal/sched convention.
+func schedEntry(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path != "internal/sched" && !strings.HasSuffix(path, "/internal/sched") {
+		return "", false
+	}
+	switch fn.Name() {
+	case "ParallelFor", "ParallelForPolicy", "ParallelForWorker", "ParallelForWorkerPolicy",
+		"Reduce", "For", "ForPolicy", "ForWorker", "ForWorkerPolicy":
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -3,7 +3,6 @@ package perfvet
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -35,16 +34,15 @@ type Package struct {
 // A Loader parses and type-checks packages of a single module using
 // only the standard library: imports within the module resolve
 // recursively through the loader itself, and standard-library imports
-// resolve through go/importer's source importer (which type-checks
-// GOROOT sources, needing no pre-built export data and no network).
-// Third-party imports are unsupported — the module is dependency-free
-// by design.
+// resolve through the process-global memoized source importer (see
+// stdimporter.go), which type-checks GOROOT sources at most once per
+// process. Third-party imports are unsupported — the module is
+// dependency-free by design.
 type Loader struct {
 	ModuleDir  string
 	ModulePath string
 	Fset       *token.FileSet
 
-	std   types.ImporterFrom
 	sizes types.Sizes
 	pkgs  map[string]*loadEntry
 }
@@ -66,11 +64,6 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
-	if !ok {
-		return nil, fmt.Errorf("perfvet: source importer does not implement ImporterFrom")
-	}
 	sizes := types.SizesFor("gc", runtime.GOARCH)
 	if sizes == nil {
 		sizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
@@ -78,11 +71,36 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	return &Loader{
 		ModuleDir:  abs,
 		ModulePath: modPath,
-		Fset:       fset,
-		std:        std,
+		Fset:       token.NewFileSet(),
 		sizes:      sizes,
 		pkgs:       make(map[string]*loadEntry),
 	}, nil
+}
+
+// Rel maps an absolute filename under the module to its
+// module-relative form, leaving other paths untouched. Fact positions
+// and cached findings use this form so cache entries survive a module
+// checkout moving.
+func (l *Loader) Rel(file string) string {
+	if rel, err := filepath.Rel(l.ModuleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// LoadedPackages returns every module package this loader has loaded —
+// targets and transitively-imported dependencies — sorted by import
+// path. The fixture runner builds its fact graph over this set so
+// cross-package chains resolve.
+func (l *Loader) LoadedPackages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, e := range l.pkgs {
+		if e.pkg != nil {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // modulePath extracts the module path from dir/go.mod.
@@ -121,6 +139,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if rel != "." {
 			importPath = path.Join(l.ModulePath, filepath.ToSlash(rel))
 		}
+		//perfvet:ignore:allocattr each matched package is parsed and type-checked exactly once
 		pkg, err := l.LoadDir(dir, importPath)
 		if err != nil {
 			return nil, err
@@ -149,6 +168,7 @@ func (l *Loader) expand(patterns []string) ([]string, error) {
 		} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
 			p, recursive = rest, true
 		}
+		//perfvet:ignore:allocattr one path join per command-line pattern
 		dir, err := l.patternDir(p)
 		if err != nil {
 			return nil, err
@@ -316,5 +336,5 @@ func (l *Loader) Import(importPath string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	return l.std.ImportFrom(importPath, l.ModuleDir, 0)
+	return stdImport(importPath, l.ModuleDir)
 }

@@ -14,6 +14,20 @@
 //     fields that likely share a cache line
 //   - preallochint: slices grown by append in a loop whose capacity is
 //     computable before the loop
+//   - allocattr: a loop calls a module-internal helper that
+//     unconditionally allocates, attributed through the call chain
+//   - fmttransitive: hot code reaches fmt/reflect through any depth of
+//     module-internal calls
+//   - schedescape: a closure passed to a sched parallel region writes
+//     captured state shared across workers, false-shares per-worker
+//     slots, or allocates per task
+//
+// The last three are interprocedural: they query a module-wide call
+// graph assembled from per-function facts (internal/perfvet/facts).
+// Facts and findings are cached on disk per package, content-addressed
+// over the package's sources, its dependencies' cache keys, and the
+// analyzer-suite version, so an unchanged package replays instead of
+// being re-parsed, re-type-checked and re-analyzed (see Vet).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, analysistest-style fixtures) but is built on the standard
@@ -39,6 +53,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"perfeng/internal/perfvet/facts"
 )
 
 // An Analyzer describes one antipattern detector and how to run it.
@@ -62,6 +78,12 @@ type Pass struct {
 	TypesInfo *types.Info
 	Sizes     types.Sizes
 
+	// Graph is the module-wide call-graph fact store. Interprocedural
+	// analyzers query it to attribute costs through helper calls; it
+	// always contains at least this package and its transitive
+	// module-internal dependencies.
+	Graph *facts.Graph
+
 	report func(Diagnostic)
 }
 
@@ -70,12 +92,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportChain records a finding at pos carrying the call chain that
+// attributes the cost (caller → … → sink), as produced by the fact
+// graph's path queries.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name, Pos: pos,
+		Message: fmt.Sprintf(format, args...), Chain: chain,
+	})
+}
+
 // A Diagnostic is a raw finding before ignore filtering and position
 // resolution.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
 	Message  string
+	Chain    []string
 }
 
 // A Finding is a position-resolved diagnostic that survived ignore
@@ -86,56 +119,109 @@ type Finding struct {
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	// Chain attributes an interprocedural cost through the call graph:
+	// callee, intermediate calls, and the sink (an allocation site or
+	// fmt/reflect call). Empty for single-function findings.
+	Chain []string `json:"chain,omitempty"`
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	return fmt.Sprintf("%s:%d:%d: %s%s [%s]", f.File, f.Line, f.Col, f.Message, chainSuffix(f.Chain), f.Analyzer)
 }
 
 // Run applies the analyzers to every package, filters findings through
 // //perfvet:ignore directives, and reports stale or malformed
-// directives as findings of their own.
-func Run(pkgs []*Package, analyzers []*Analyzer) (*Report, error) {
-	ran := make(map[string]bool, len(analyzers))
+// directives as findings of their own. graph supplies interprocedural
+// facts; pass nil to build one from pkgs alone (callers that loaded
+// dependencies should build the graph over the full closure instead —
+// see BuildGraph and Loader.LoadedPackages).
+func Run(pkgs []*Package, analyzers []*Analyzer, graph *facts.Graph) (*Report, error) {
+	if graph == nil {
+		graph = BuildGraph(pkgs)
+	}
 	names := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
-		ran[a.Name] = true
 		names = append(names, a.Name)
 	}
 	report := &Report{Analyzers: names, Packages: len(pkgs)}
 	for _, pkg := range pkgs {
-		var diags []Diagnostic
-		record := func(d Diagnostic) { diags = append(diags, d) }
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Sizes:     pkg.Sizes,
-				report:    record,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("perfvet: %s on %s: %w", a.Name, pkg.Path, err)
-			}
+		//perfvet:ignore:allocattr per-package suppression scratch; each package is analyzed once per run
+		findings, err := analyzePackage(pkg, analyzers, graph)
+		if err != nil {
+			return nil, err
 		}
-		ignores, malformed := collectIgnores(pkg)
-		report.Findings = append(report.Findings, malformed...)
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			if ignores.suppress(d.Analyzer, pos) {
-				continue
-			}
-			report.Findings = append(report.Findings, Finding{
-				Analyzer: d.Analyzer, File: pos.Filename, Line: pos.Line, Col: pos.Column,
-				Message: d.Message,
-			})
-		}
-		report.Findings = append(report.Findings, ignores.unused(ran)...)
+		report.Findings = append(report.Findings, findings...)
 	}
-	sort.Slice(report.Findings, func(i, j int) bool {
-		a, b := report.Findings[i], report.Findings[j]
+	sortFindings(report.Findings)
+	return report, nil
+}
+
+// analyzePackage runs every analyzer over one package and returns its
+// ignore-filtered, position-resolved findings (including malformed and
+// stale //perfvet:ignore directives). This is the unit of work the
+// fact cache replays: same source + same dependency facts ⇒ same
+// findings.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, graph *facts.Graph) ([]Finding, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	record := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Sizes:     pkg.Sizes,
+			Graph:     graph,
+			report:    record,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("perfvet: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	var findings []Finding
+	ignores, malformed := collectIgnores(pkg)
+	findings = append(findings, malformed...)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if ignores.suppress(d.Analyzer, pos) {
+			continue
+		}
+		findings = append(findings, Finding{
+			Analyzer: d.Analyzer, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: d.Message, Chain: d.Chain,
+		})
+	}
+	findings = append(findings, ignores.unused(ran)...)
+	return findings, nil
+}
+
+// Facts summarizes one loaded package for the call graph.
+func (pkg *Package) Facts(rel func(string) string) *facts.PackageFacts {
+	return facts.Summarize(facts.Source{
+		Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Info: pkg.Info, Rel: rel,
+	})
+}
+
+// BuildGraph assembles a call graph from the given packages' sources.
+func BuildGraph(pkgs []*Package) *facts.Graph {
+	g := facts.NewGraph()
+	for _, pkg := range pkgs {
+		//perfvet:ignore:allocattr fact summarization allocates per function summarized; graph assembly runs once
+		g.Add(pkg.Facts(nil))
+	}
+	return g
+}
+
+// sortFindings orders findings the way every renderer expects:
+// file, line, column, analyzer.
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -147,7 +233,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*Report, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return report, nil
 }
 
 // inspectStack walks root in preorder, calling fn with each node and

@@ -90,8 +90,10 @@ func checkBlock(pass *Pass, block *ast.BlockStmt) {
 				}
 			}
 		case *ast.ForStmt:
+			//perfvet:ignore:allocattr per-loop append-tracking scratch; each loop statement is matched once
 			matchLoop(pass, candidates, s, s.Body, forTripCount(info, s))
 		case *ast.RangeStmt:
+			//perfvet:ignore:allocattr per-loop append-tracking scratch; each loop statement is matched once
 			matchLoop(pass, candidates, s, s.Body, rangeTripCount(info, s))
 		default:
 			// A declared slice used by any other statement shape (passed
@@ -138,6 +140,7 @@ func matchLoop(pass *Pass, candidates map[types.Object]*candidate, loop ast.Stmt
 		}
 		if tripCount != "" {
 			elemType := types.TypeString(obj.Type(), types.RelativeTo(pass.Pkg))
+			//perfvet:ignore:fmttransitive findings format once per diagnostic, not per analyzed node
 			pass.Reportf(c.pos,
 				"%s is grown by append in the loop at line %d whose trip count is known up front; preallocate with make(%s, 0, %s) to avoid repeated growth copies",
 				c.name, loopLine, elemType, tripCount)

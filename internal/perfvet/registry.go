@@ -8,11 +8,14 @@ import (
 
 // registry lists every analyzer in the suite, in reporting order.
 var registry = []*Analyzer{
+	AllocAttr,
 	BCEHint,
 	DeferInLoop,
 	FalseShare,
+	FmtTransitive,
 	HotLoopAlloc,
 	PreallocHint,
+	SchedEscape,
 }
 
 // All returns the full analyzer suite.

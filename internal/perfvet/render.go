@@ -54,10 +54,11 @@ func (r *Report) Summary() string {
 
 // Text writes findings one per line, relative to dir when possible, in
 // the file:line:col: message [analyzer] shape Go tooling uses.
+// Interprocedural findings append their attributing call chain.
 func (r *Report) Text(w io.Writer, dir string) {
 	for _, f := range r.Findings {
 		file := relPath(dir, f.File)
-		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", file, f.Line, f.Col, f.Message, f.Analyzer)
+		fmt.Fprintf(w, "%s:%d:%d: %s%s [%s]\n", file, f.Line, f.Col, f.Message, chainSuffix(f.Chain), f.Analyzer)
 	}
 	fmt.Fprintln(w, r.Summary())
 }
@@ -67,9 +68,18 @@ func (r *Report) Text(w io.Writer, dir string) {
 // GitHub requires for placement.
 func (r *Report) GitHubAnnotations(w io.Writer, dir string) {
 	for _, f := range r.Findings {
-		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=perfvet/%s::%s\n",
-			relPath(dir, f.File), f.Line, f.Col, f.Analyzer, f.Message)
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=perfvet/%s::%s%s\n",
+			relPath(dir, f.File), f.Line, f.Col, f.Analyzer, f.Message, chainSuffix(f.Chain))
 	}
+}
+
+// chainSuffix renders a finding's call chain for the line-oriented
+// formats: " (via a → b → sink)". JSON keeps the structured slice.
+func chainSuffix(chain []string) string {
+	if len(chain) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(chain, " → ") + ")"
 }
 
 // WriteJSON writes the machine-readable summary: the report plus the

@@ -1,0 +1,276 @@
+package perfvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"perfeng/internal/perfvet/facts"
+	"perfeng/internal/simulator"
+)
+
+// SchedEscape inspects the closures handed to sched parallel regions
+// (ParallelFor, Pool.For, Reduce, and their policy/worker variants) —
+// the bodies that run once per task on every worker — for three
+// escapes the scheduler cannot absorb:
+//
+//   - a write to a captured variable: every task hits the same memory,
+//     which is a data race if unsynchronized and a contended cache
+//     line if locked; accumulate per-range and merge, or use Reduce
+//   - per-worker results indexed as acc[worker] into elements smaller
+//     than a cache line: adjacent workers invalidate each other's line
+//     on every write (false sharing); pad the element or accumulate
+//     into a local and store once
+//   - per-task allocation on the closure's straight-line path —
+//     directly (make, new, escaping composite literals, capturing
+//     closures) or through a module-internal helper, attributed via
+//     the fact graph's call chain; allocations inside the closure's
+//     own loops are hotloopalloc/allocattr territory and not repeated
+//     here
+var SchedEscape = &Analyzer{
+	Name: "schedescape",
+	Doc:  "closure passed to a sched parallel region shares written state across workers or allocates per task",
+	Run:  runSchedEscape,
+}
+
+func runSchedEscape(pass *Pass) error {
+	visit := func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		entry, ok := schedEntry(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		for _, a := range call.Args {
+			lit, ok := ast.Unparen(a).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			//perfvet:ignore:allocattr captured-write scratch per submitted closure; each call site is checked once
+			checkCapturedWrites(pass, entry, lit)
+			if strings.Contains(entry, "ForWorker") {
+				checkWorkerIndexing(pass, lit)
+			}
+			checkPerTaskAllocs(pass, entry, lit)
+		}
+		return true
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, visit)
+	}
+	return nil
+}
+
+// checkCapturedWrites flags assignments and ++/-- whose target is a
+// variable declared outside the closure. One finding per variable: the
+// first write names the problem, the rest are the same fix.
+func checkCapturedWrites(pass *Pass, entry string, lit *ast.FuncLit) {
+	reported := make(map[*types.Var]bool)
+	flag := func(target ast.Expr) {
+		id, ok := ast.Unparen(target).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || reported[v] {
+			return
+		}
+		if nodeContains(lit, v.Pos()) {
+			return // declared inside the closure: task-local
+		}
+		reported[v] = true
+		pass.Reportf(id.Pos(),
+			"closure passed to sched.%s writes captured variable %q from every task — a data race if unsynchronized, a contended cache line if locked; accumulate per range and merge, or use sched.Reduce",
+			entry, id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// checkWorkerIndexing flags acc[worker] write targets where the
+// element is smaller than a cache line: per-worker slots that share
+// lines turn the "private accumulator" pattern into false sharing.
+// Only the exact worker-parameter index is flagged — a strided or
+// offset index is either already padded or making a different point.
+func checkWorkerIndexing(pass *Pass, lit *ast.FuncLit) {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return
+	}
+	worker, ok := pass.TypesInfo.Defs[params.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return
+	}
+	flag := func(target ast.Expr) {
+		ix, ok := ast.Unparen(target).(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != types.Object(worker) {
+			return
+		}
+		base := pass.TypesInfo.Types[ix.X].Type
+		if base == nil {
+			return
+		}
+		var elem types.Type
+		switch t := base.Underlying().(type) {
+		case *types.Slice:
+			elem = t.Elem()
+		case *types.Array:
+			elem = t.Elem()
+		default:
+			return
+		}
+		size := pass.Sizes.Sizeof(elem)
+		if size >= int64(simulator.DefaultLineSize) {
+			return
+		}
+		pass.Reportf(ix.Pos(),
+			"per-worker writes to %s[%s] land %d bytes apart — adjacent workers share a %d-byte cache line (false sharing); pad the element to the line size or accumulate into a local and store once",
+			types.ExprString(ix.X), id.Name, size, simulator.DefaultLineSize)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// checkPerTaskAllocs walks the closure's straight-line path (loop
+// bodies excluded — in-loop allocation is hotloopalloc/allocattr
+// territory; branch arms excluded — conditional cost is not a per-task
+// cost) and flags direct allocation sites plus calls to helpers the
+// fact graph proves allocate.
+func checkPerTaskAllocs(pass *Pass, entry string, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	visit := func(n ast.Node, stack []ast.Node) bool {
+		if coldInClosure(stack) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != lit && capturesFrom(info, n) {
+				pass.Reportf(n.Pos(),
+					"closure passed to sched.%s builds a capturing closure on every task; hoist it out of the parallel region", entry)
+			}
+			return false // nested literal bodies run on their own schedule
+		case *ast.CallExpr:
+			if enclosingLoop(stack) != nil {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "make" || b.Name() == "new" {
+						pass.Reportf(n.Pos(),
+							"closure passed to sched.%s allocates per task (%s); hoist the buffer out of the region or use per-worker scratch",
+							entry, types.ExprString(n))
+					}
+					return true
+				}
+			}
+			fn := callee(info, n)
+			if fn == nil || facts.IsStringerLike(fn) {
+				return true
+			}
+			id := facts.FuncID(fn)
+			if f := pass.Graph.Fact(id); f != nil && f.NoReturn {
+				return true
+			}
+			if chain := pass.Graph.AllocPath(id); chain != nil {
+				pass.ReportChain(n.Pos(), chain,
+					"closure passed to sched.%s calls %s, which allocates per task; hoist the allocation out of the region",
+					entry, facts.FuncShort(fn))
+			}
+		case *ast.CompositeLit:
+			if enclosingLoop(stack) != nil {
+				return true
+			}
+			if escapingComposite(info, n, stack) {
+				pass.Reportf(n.Pos(),
+					"closure passed to sched.%s allocates per task (%s literal); hoist it out of the region or use per-worker scratch",
+					entry, types.ExprString(n.Type))
+			}
+		}
+		return true
+	}
+	inspectStack(lit.Body, visit)
+}
+
+// coldInClosure reports whether the current node sits under a branch,
+// select, go/defer, or panic path inside the closure — code that does
+// not run on every task.
+func coldInClosure(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.GoStmt, *ast.DeferStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// escapingComposite reports whether the composite literal allocates:
+// slice and map literals always do (backing store), struct literals
+// only when their address is taken.
+func escapingComposite(info *types.Info, cl *ast.CompositeLit, stack []ast.Node) bool {
+	tv := info.Types[cl]
+	if tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return true
+		}
+	}
+	return false
+}
+
+// capturesFrom reports whether lit references a variable declared
+// outside itself.
+func capturesFrom(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level: accessed, not captured
+		}
+		if !nodeContains(lit, v.Pos()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,59 @@
+package perfvet
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sync"
+	"sync/atomic"
+)
+
+// The standard library importer is process-global: go/importer's
+// "source" mode type-checks GOROOT sources from scratch per importer
+// instance, which made every Loader — and the fixture runner creates
+// one per fixture — re-pay the full cost of checking fmt, sync,
+// strings and all their dependencies. One shared instance checks each
+// stdlib package at most once per process, whatever creates loaders.
+//
+// The importer keeps its own FileSet: stdlib positions never escape
+// into findings (analyzers only resolve positions of module ASTs), so
+// mixing filesets is safe, and sharing it across loaders is the point.
+//
+// Across processes, stdlib cost disappears on the warm path instead:
+// a fully-cached Vet run replays findings and facts without
+// type-checking anything, so GOROOT is never read at all (the cache
+// key includes the Go version, so a toolchain upgrade invalidates it).
+// Persisting checked stdlib types themselves is off the table while
+// perfvet stays stdlib-only — the standard library exposes no export
+// data writer.
+var (
+	stdMu   sync.Mutex
+	stdImp  types.ImporterFrom
+	stdFset = token.NewFileSet()
+
+	// stdImportCount counts ImportFrom calls, so tests can assert the
+	// warm path never touches GOROOT.
+	stdImportCount atomic.Int64
+)
+
+// stdImport resolves a standard-library import path, memoized for the
+// life of the process.
+func stdImport(path, dir string) (*types.Package, error) {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if stdImp == nil {
+		imp, ok := importer.ForCompiler(stdFset, "source", nil).(types.ImporterFrom)
+		if !ok {
+			return nil, fmt.Errorf("perfvet: source importer does not implement ImporterFrom")
+		}
+		stdImp = imp
+	}
+	stdImportCount.Add(1)
+	return stdImp.ImportFrom(path, dir, 0)
+}
+
+// StdImports reports how many stdlib import resolutions have run in
+// this process. The cache tests use the delta to prove a warm run
+// never type-checks GOROOT.
+func StdImports() int64 { return stdImportCount.Load() }

@@ -1,0 +1,65 @@
+// Fixture for allocattr: loops calling helpers that allocate scratch,
+// in the same package and across a package boundary (allocattrdep).
+package allocattr
+
+import dep "perfeng/internal/perfvet/testdata/src/allocattrdep"
+
+// distinct allocates a scratch map on every call, in this package.
+func distinct(xs []int) int {
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+// distinctCond allocates only under a branch.
+func distinctCond(xs []int) int {
+	if len(xs) > 2 {
+		seen := make(map[int]bool)
+		for _, x := range xs {
+			seen[x] = true
+		}
+		return len(seen)
+	}
+	return len(xs)
+}
+
+func inLoop(xs []int, ys []float64, n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += float64(distinct(xs)) // want `call to allocattr\.distinct allocates on every loop iteration.*via allocattr\.distinct → make\(map\[int\]bool\)`
+
+		total += dep.SumSq(ys) // want `call to allocattrdep\.SumSq allocates on every loop iteration.*via allocattrdep\.SumSq → make\(\[\]float64, len\(xs\)\)`
+
+		total += dep.Wrapped(ys) // want `call to allocattrdep\.Wrapped allocates.*via allocattrdep\.Wrapped → allocattrdep\.SumSq → make\(\[\]float64, len\(xs\)\)`
+
+		total += float64(distinctCond(xs)) // conditional allocation: no finding
+		total += dep.Sum(ys)               // pure helper: no finding
+
+		s := dep.NewScratch() // constructor: the fresh buffer is what the caller asked for — no finding
+		total += s[0]
+	}
+	return total
+}
+
+func growOnly(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = dep.Grow(out, float64(i)) // append-only helper: no finding
+	}
+	return out
+}
+
+func outsideLoop(ys []float64) float64 {
+	return dep.SumSq(ys) // not in a loop: no finding
+}
+
+func exitPath(ys []float64, n int) (float64, error) {
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			return dep.SumSq(ys), nil // loop-exit path: runs once per entry
+		}
+	}
+	return 0, nil
+}

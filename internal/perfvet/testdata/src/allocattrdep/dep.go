@@ -1,0 +1,56 @@
+// Package allocattrdep is the cross-package half of the allocattr
+// fixture: helpers whose allocation behavior the analyzer must see
+// through the fact graph, not the AST it is walking.
+package allocattrdep
+
+// SumSq allocates scratch internally and returns a scalar: the
+// allocation is invisible at the call site and reusable across calls —
+// an alloc fact.
+func SumSq(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	for i, x := range xs {
+		tmp[i] = x * x
+	}
+	total := 0.0
+	for _, t := range tmp {
+		total += t
+	}
+	return total
+}
+
+// Wrapped hides the scratch one call deeper; chains attribute it.
+func Wrapped(xs []float64) float64 {
+	return SumSq(xs)
+}
+
+// NewScratch is a constructor: its allocation is returned to the
+// caller, so it is the contract, not scratch — no alloc fact.
+func NewScratch() []float64 {
+	return make([]float64, 32)
+}
+
+// Cond allocates scratch only on a branch: not an unconditional fact,
+// so calls to it are never flagged.
+func Cond(xs []float64, n int) float64 {
+	if n > 4 {
+		tmp := make([]float64, n)
+		copy(tmp, xs)
+		return tmp[0]
+	}
+	return 0
+}
+
+// Grow only appends — amortized growth is preallochint's domain, not
+// an unconditional allocation.
+func Grow(dst []float64, x float64) []float64 {
+	return append(dst, x)
+}
+
+// Sum is pure: no allocation anywhere.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

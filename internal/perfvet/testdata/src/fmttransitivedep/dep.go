@@ -1,0 +1,42 @@
+// Package fmttransitivedep is the cross-package half of the
+// fmttransitive fixture.
+package fmttransitivedep
+
+import "fmt"
+
+// Describe formats unconditionally: a fmt fact.
+func Describe(x int) string {
+	return fmt.Sprintf("x=%d", x)
+}
+
+// DescribeDeep reaches fmt two module-internal hops down.
+func DescribeDeep(x int) string {
+	return Describe(x + 1)
+}
+
+// CondDescribe formats only on a branch — not a hot-path fmt use.
+func CondDescribe(x int) string {
+	if x > 0 {
+		return fmt.Sprintf("x=%d", x)
+	}
+	return ""
+}
+
+// Plain never formats.
+func Plain(x int) int {
+	return x * 2
+}
+
+// Label has the fmt.Stringer shape: calling String() is explicit
+// formatting at the call site, never a hidden transitive cost.
+type Label struct{ N int }
+
+func (l Label) String() string {
+	return fmt.Sprintf("label-%d", l.N)
+}
+
+// Named reaches fmt only through a Stringer call; the edge is cut, so
+// Named has no fmt fact either.
+func Named(x int) string {
+	return Label{N: x}.String()
+}

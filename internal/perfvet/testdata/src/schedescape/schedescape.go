@@ -1,0 +1,97 @@
+// Fixture for schedescape: closures handed to sched parallel regions
+// that share written state across workers or allocate per task. The
+// cross-package allocation case goes through allocattrdep.
+package schedescape
+
+import (
+	dep "perfeng/internal/perfvet/testdata/src/allocattrdep"
+	"perfeng/internal/sched"
+)
+
+func capturedWrite(xs []float64) float64 {
+	total := 0.0
+	sched.ParallelFor(len(xs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want `closure passed to sched\.ParallelFor writes captured variable "total" from every task`
+		}
+	})
+	return total
+}
+
+func localAccumulator(xs []float64) []float64 {
+	partial := make([]float64, len(xs)/64+1)
+	sched.ParallelFor(len(xs), 64, func(lo, hi int) {
+		sum := 0.0 // task-local: no finding
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+		partial[lo/64] = sum // indexed store, disjoint per range: no finding
+	})
+	return partial
+}
+
+func falseSharing(xs []float64) float64 {
+	acc := make([]float64, 8)
+	sched.ParallelForWorker(len(xs), 64, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc[worker] += xs[i] // want `per-worker writes to acc\[worker\] land 8 bytes apart — adjacent workers share a 64-byte cache line \(false sharing\)`
+		}
+	})
+	return acc[0]
+}
+
+type paddedSlot struct {
+	v float64
+	_ [56]byte
+}
+
+func paddedWorkers(xs []float64) float64 {
+	acc := make([]paddedSlot, 8)
+	sched.ParallelForWorker(len(xs), 64, func(worker, lo, hi int) {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+		acc[worker] = paddedSlot{v: sum} // element padded to a full line: no finding
+	})
+	return acc[0].v
+}
+
+func perTaskAllocs(xs []float64) {
+	sched.ParallelFor(len(xs), 64, func(lo, hi int) {
+		buf := make([]float64, 16) // want `closure passed to sched\.ParallelFor allocates per task \(make\(\[\]float64, 16\)\)`
+		s := dep.SumSq(xs[lo:hi])  // want `closure passed to sched\.ParallelFor calls allocattrdep\.SumSq, which allocates per task.*via allocattrdep\.SumSq → make\(\[\]float64, len\(xs\)\)`
+		w := []float64{1, 2, 4}    // want `closure passed to sched\.ParallelFor allocates per task \(\[\]float64 literal\)`
+		for i := lo; i < hi; i++ {
+			xs[i] = buf[i%16] + s + w[i%3]
+		}
+	})
+}
+
+func nestedClosure(xs []float64) {
+	sched.ParallelFor(len(xs), 64, func(lo, hi int) {
+		f := func(i int) float64 { return xs[i] * 2 } // want `closure passed to sched\.ParallelFor builds a capturing closure on every task`
+		for i := lo; i < hi; i++ {
+			xs[i] = f(i)
+		}
+	})
+}
+
+func coldAndLoopAllocs(xs []float64, verbose bool) {
+	sched.ParallelFor(len(xs), 64, func(lo, hi int) {
+		if verbose {
+			_ = dep.SumSq(xs) // branch arm, not a per-task cost: no finding here
+		}
+		for i := lo; i < hi; i++ {
+			tmp := make([]float64, 1) // in-loop allocation is hotloopalloc/allocattr territory: no schedescape finding
+			xs[i] = tmp[0]
+		}
+	})
+}
+
+func sequentialHelper(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+	_ = dep.SumSq(xs) // no parallel region in sight: no finding
+}

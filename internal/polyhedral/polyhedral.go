@@ -167,8 +167,13 @@ func Dependences(n *Nest) ([]Dependence, error) {
 // iteration T) and solves for d = T - S per dimension. Returns ok=false
 // when the subscripts are incompatible (no dependence).
 func distance(depth int, src, dst Access) ([]Entry, bool) {
+	// Entries start Free and flip to exact when a subscript constrains
+	// them; Free doubles as the "not yet constrained" marker so no
+	// side table is needed (distance runs per access pair).
 	dist := make([]Entry, depth)
-	constrained := make([]bool, depth)
+	for k := range dist {
+		dist[k].Free = true
+	}
 	// Subscript k: S[src.Iter]+src.Const == T[dst.Iter]+dst.Const.
 	if len(src.Index) != len(dst.Index) {
 		return nil, false
@@ -191,21 +196,15 @@ func distance(depth int, src, dst Access) ([]Entry, bool) {
 			// t - s = cS - cT.
 			d := si.Const - di.Const
 			it := si.Iter
-			if constrained[it] && dist[it].Val != d {
+			if !dist[it].Free && dist[it].Val != d {
 				return nil, false
 			}
 			dist[it] = Entry{Val: d}
-			constrained[it] = true
 		default:
 			// Different iterators in the same subscript (e.g. A[i] vs
 			// A[j]): couples two dimensions; conservatively mark both
 			// free.
 			continue
-		}
-	}
-	for k := range dist {
-		if !constrained[k] {
-			dist[k] = Entry{Free: true}
 		}
 	}
 	return dist, true

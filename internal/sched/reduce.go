@@ -23,6 +23,7 @@ func Reduce[T any](p *Pool, pol Policy, n, grain int, identity T, mapRange func(
 	p.ForPolicy(pol, n, grain, func(lo, hi int) {
 		part := mapRange(lo, hi)
 		mu.Lock()
+		//perfvet:ignore:schedescape the mutex-guarded merge is Reduce's documented contract: one short lock per range, partials accumulate in mapRange
 		acc = combine(acc, part)
 		mu.Unlock()
 	})

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 
@@ -83,21 +84,23 @@ func Analyze(k *isa.Kernel, tbl *isa.Table, simIters int) (*Result, error) {
 		PortPressure: make([]float64, tbl.NumPorts)}
 	pressure := res.PortPressure
 
-	missing := map[string]bool{}
 	// Analytic port pressure: distribute each instruction's reciprocal
 	// throughput evenly over its eligible ports (the OSACA heuristic).
+	// Missing ops are deduplicated with a linear scan instead of a set:
+	// Analyze runs per case inside validation sweeps, and the common
+	// clean path should not allocate a map to record nothing.
 	for _, in := range k.Body {
 		tm, ok := tbl.Lookup(in.Op)
 		if !ok {
-			missing[in.Op.String()] = true
+			op := in.Op.String()
+			if !slices.Contains(res.MissingOps, op) {
+				res.MissingOps = append(res.MissingOps, op)
+			}
 		}
 		share := tm.RecipThroughput / float64(len(tm.Ports))
 		for _, p := range tm.Ports {
 			pressure[p] += share
 		}
-	}
-	for op := range missing {
-		res.MissingOps = append(res.MissingOps, op)
 	}
 	sort.Strings(res.MissingOps)
 

@@ -61,11 +61,24 @@ func (h *Hierarchy) PublishTelemetry() {
 	if len(h.telLast) != len(h.Levels) {
 		h.telLast = make([]Stats, len(h.Levels))
 	}
+	if th != h.telWired || len(h.telHits) != len(h.Levels) {
+		// Resolve the per-level counters once per registry swap; the
+		// steady-state publish path below then touches no label maps.
+		h.telHits = make([]*telemetry.Counter, len(h.Levels))
+		h.telMisses = make([]*telemetry.Counter, len(h.Levels))
+		for i, c := range h.Levels {
+			//perfvet:ignore:allocattr wiring runs once per registry swap, not per publication
+			h.telHits[i] = th.hits.With(c.Name)
+			//perfvet:ignore:allocattr wiring runs once per registry swap, not per publication
+			h.telMisses[i] = th.misses.With(c.Name)
+		}
+		h.telWired = th
+	}
 	for i, c := range h.Levels {
 		s := c.Stats()
 		last := &h.telLast[i]
-		th.hits.With(c.Name).Add(statDelta(s.Hits, last.Hits))
-		th.misses.With(c.Name).Add(statDelta(s.Misses, last.Misses))
+		h.telHits[i].Add(statDelta(s.Hits, last.Hits))
+		h.telMisses[i].Add(statDelta(s.Misses, last.Misses))
 		*last = s
 	}
 	th.accesses.Add(statDelta(h.Accesses, h.telLastAccesses))

@@ -144,6 +144,7 @@ func KFoldCV(factory func() Regressor, x [][]float64, y []float64, k int, seed i
 		}
 		m := factory()
 		name = m.Name()
+		//perfvet:ignore:allocattr each fold predicts into its own buffer; training dominates the fold loop
 		met, err := FitEvaluate(m, xTr, yTr, xTe, yTe)
 		if err != nil {
 			return nil, Metrics{}, err
@@ -165,6 +166,7 @@ func KFoldCV(factory func() Regressor, x [][]float64, y []float64, k int, seed i
 func ShootOut(models []Regressor, xTr [][]float64, yTr []float64, xTe [][]float64, yTe []float64) ([]Metrics, string, error) {
 	out := make([]Metrics, 0, len(models))
 	for _, m := range models {
+		//perfvet:ignore:allocattr each contender predicts into its own buffer; training dominates the shoot-out
 		met, err := FitEvaluate(m, xTr, yTr, xTe, yTe)
 		if err != nil {
 			return nil, "", fmt.Errorf("statmodel: %s: %w", m.Name(), err)

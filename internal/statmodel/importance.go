@@ -37,7 +37,8 @@ func PermutationImportance(m Regressor, x [][]float64, y []float64, names []stri
 	if rounds < 1 {
 		rounds = 3
 	}
-	baseline, err := rmseOf(m, x, y)
+	pred := make([]float64, n) // prediction scratch shared by every round
+	baseline, err := rmseOf(m, x, y, pred)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +59,7 @@ func PermutationImportance(m Regressor, x [][]float64, y []float64, names []stri
 				row[j] = col[i]
 				shuffled[i] = row
 			}
-			e, err := rmseOf(m, shuffled, y)
+			e, err := rmseOf(m, shuffled, y, pred)
 			if err != nil {
 				return nil, err
 			}
@@ -74,8 +75,9 @@ func PermutationImportance(m Regressor, x [][]float64, y []float64, names []stri
 	return out, nil
 }
 
-func rmseOf(m Regressor, x [][]float64, y []float64) (float64, error) {
-	pred := make([]float64, len(x))
+// rmseOf predicts every row of x into pred (len(x) scratch the caller
+// owns, so permutation rounds reuse one buffer) and returns the RMSE.
+func rmseOf(m Regressor, x [][]float64, y []float64, pred []float64) (float64, error) {
 	for i, row := range x {
 		v, err := m.Predict(row)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 )
 
 // KNN is a k-nearest-neighbours regressor with optional inverse-distance
@@ -19,12 +20,13 @@ type KNN struct {
 	y []float64
 }
 
-// Name implements Regressor.
+// Name implements Regressor. It is called per evaluation in the CV
+// loops, so it uses strconv rather than fmt.
 func (m *KNN) Name() string {
 	if m.Weighted {
-		return fmt.Sprintf("knn%d-weighted", m.K)
+		return "knn" + strconv.Itoa(m.K) + "-weighted"
 	}
-	return fmt.Sprintf("knn%d", m.K)
+	return "knn" + strconv.Itoa(m.K)
 }
 
 // Fit implements Regressor (lazy learner: it just stores the data).

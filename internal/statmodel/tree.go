@@ -225,6 +225,7 @@ func (m *RandomForest) Fit(x [][]float64, y []float64) error {
 			FeatureSubset: sub,
 			Seed:          rng.Int63(),
 		}
+		//perfvet:ignore:allocattr each forest member fits its own bootstrap; per-tree scratch is the fit
 		if err := tree.Fit(bx, by); err != nil {
 			return err
 		}

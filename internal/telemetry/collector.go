@@ -104,6 +104,7 @@ func NewCollector(reg *Registry, interval time.Duration) *Collector {
 	}
 	c := &Collector{reg: reg, interval: interval}
 	for _, m := range runtimeMetrics {
+		//perfvet:ignore:allocattr gauge resolution runs once at collector construction, not per sample tick
 		c.gauges = append(c.gauges, reg.Gauge(m.name, m.help))
 		c.names = append(c.names, m.name)
 		c.samples = append(c.samples, rtmetrics.Sample{Name: m.source})

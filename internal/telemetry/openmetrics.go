@@ -255,11 +255,15 @@ func ParseOpenMetrics(r io.Reader) ([]FamilySnapshot, error) {
 	return out, nil
 }
 
+// sampleSuffixes are the OpenMetrics sample-name suffixes, hoisted so
+// splitSuffix (called per sample line) does not rebuild the table.
+var sampleSuffixes = [...]string{"_bucket", "_sum", "_count", "_total"}
+
 // splitSuffix maps a sample name back to its family: histogram series
 // sample names carry _bucket/_sum/_count, counters _total. The family
 // is whichever declared (TYPE'd) name the sample name extends.
 func splitSuffix(name string, byName map[string]*FamilySnapshot) (base, suffix string) {
-	for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+	for _, suf := range sampleSuffixes {
 		if b, ok := strings.CutSuffix(name, suf); ok {
 			if _, declared := byName[b]; declared {
 				return b, suf
