@@ -15,6 +15,7 @@ package perfeng
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -22,11 +23,13 @@ import (
 	"perfeng/internal/analytic"
 	"perfeng/internal/cluster"
 	"perfeng/internal/course"
+	"perfeng/internal/critpath"
 	"perfeng/internal/flight"
 	"perfeng/internal/gpu"
 	"perfeng/internal/isa"
 	"perfeng/internal/kernels"
 	"perfeng/internal/machine"
+	"perfeng/internal/obs"
 	"perfeng/internal/patterns"
 	"perfeng/internal/polyhedral"
 	"perfeng/internal/queuing"
@@ -260,6 +263,48 @@ func BenchmarkSmoke(b *testing.B) {
 	b.Run("sched-skewed-steal/n=256", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sched.ParallelForPolicy(sched.PolicyStealing, len(skewOut), 8, skewBody)
+		}
+	})
+	// Critical-path engine: a fixed synthetic scale-out timeline (4 ranks,
+	// 6 skewed compute+barrier rounds) through the full causal analysis —
+	// graph build, path walk, wait attribution, what-if replay — the cost
+	// of diagnosing one trace. Deterministic and single-goroutine, so it
+	// gates cleanly.
+	cps := obs.NewSession("bench-critpath")
+	for r := 0; r < 4; r++ {
+		tr := cps.Track("rank " + strconv.Itoa(r))
+		roundStart := time.Duration(0)
+		for round := 0; round < 6; round++ {
+			work := time.Duration(1+(r+round)%4) * time.Millisecond
+			tr.AddSpanOffsets("compute", nil, roundStart, roundStart+work, nil)
+			barrierEnd := roundStart + 4*time.Millisecond + 100*time.Microsecond
+			tr.AddSpanOffsets("barrier", nil, roundStart+work, barrierEnd, nil)
+			roundStart = barrierEnd
+		}
+	}
+	b.Run("critpath-analyze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := critpath.Analyze(cps, critpath.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = rep
+		}
+	})
+	// Edge-interner hit path: dedup runs once per materialized edge, so
+	// it scales with graph size and must stay a single map probe. Gated
+	// at exactly zero allocations on the hit path.
+	b.Run("critpath-edge-intern", func(b *testing.B) {
+		es := critpath.NewEdgeSet(16)
+		hit := critpath.Edge{From: 1, To: 2, Kind: critpath.EdgeSeq}
+		es.Add(hit)
+		probe := func() { es.Add(hit) }
+		if a := testing.AllocsPerRun(1000, probe); a != 0 {
+			b.Fatalf("edge-intern hit path allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probe()
 		}
 	})
 	// Tuning-cache hot path: the consultation every tuned kernel entry

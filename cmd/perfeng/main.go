@@ -16,6 +16,7 @@
 //	perfeng scaling -github
 //	perfeng flight -kernel matmul -slo 'perfeng_flight_iteration_seconds.p99<2s'
 //	perfeng tune -smoke -github
+//	perfeng critpath -input trace.json -hints hints.json
 package main
 
 import (
@@ -57,6 +58,10 @@ func main() {
 		runTune(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "critpath" {
+		runCritpath(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -85,6 +90,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "                                 drain the black box (perfeng flight -help)")
 		fmt.Fprintln(os.Stderr, "       perfeng tune [flags]      search kernel configs, persist winners to TUNED.json")
 		fmt.Fprintln(os.Stderr, "                                 (Welch-t gated; perfeng tune -help)")
+		fmt.Fprintln(os.Stderr, "       perfeng critpath [flags]  causal critical-path analysis of a trace: wait-state")
+		fmt.Fprintln(os.Stderr, "                                 attribution + what-if speedups (perfeng critpath -help)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

@@ -114,6 +114,9 @@ func dumpScalingFlight(rec *flight.Recorder, dir string) {
 			fmt.Fprintf(os.Stderr, "perfeng scaling: wrote %s\n", out.path)
 		}
 	}
+	// The causal diagnosis rides along: which category of wait ate the
+	// speedup, straight from the same black box.
+	writeCritpathReport(s, filepath.Join(dir, "flight.critpath.md"))
 }
 
 // scalingCase pairs a sequential kernel with its scheduler-parallel

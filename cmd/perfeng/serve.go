@@ -170,6 +170,9 @@ func (st *serveStack) dumpFlight(v *flight.Violation) {
 	} else {
 		fmt.Fprintf(os.Stderr, "perfeng serve: wrote %s\n", foldedPath)
 	}
+	// A violation dump ships its own diagnosis: the critical path of the
+	// captured window, with wait-state attribution.
+	writeCritpathReport(s, filepath.Join(st.dumpDir, "flight.critpath.md"))
 }
 
 // close stops the SLO watcher, collector and server and detaches every

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"perfeng/internal/benchgate"
+	"perfeng/internal/critpath"
 	"perfeng/internal/sched"
 	"perfeng/internal/stats"
 	"perfeng/internal/telemetry"
@@ -47,6 +48,7 @@ func runTune(args []string) {
 		alpha       = fs.Float64("alpha", 0.05, "significance level for the Welch-t promotion comparator")
 		minEffect   = fs.Float64("min-effect", 0.05, "practical-effect floor: minimum relative win to promote")
 		addr        = fs.String("addr", "", "serve live telemetry (/metrics) on this address during the search")
+		hintsPath   = fs.String("hints", "", "order the search by critpath hints from this file (perfeng critpath -hints)")
 	)
 	thresholds := registerThresholdFlags(fs, 1.0, 0.95)
 	fs.Usage = func() {
@@ -90,6 +92,9 @@ func runTune(args []string) {
 	if len(ts) == 0 {
 		fatal(fmt.Errorf("tune: no tunables match -kernels=%q", *kernelsFlag))
 	}
+	if *hintsPath != "" {
+		ts = orderByHints(ts, *hintsPath)
+	}
 
 	// A valid same-environment cache switches to verify mode: prove the
 	// persisted configs still hold instead of re-searching.
@@ -101,6 +106,43 @@ func runTune(args []string) {
 	}
 
 	searchTune(ts, *smoke, *alpha, *minEffect, *cachePath, *mdPath, *github, host, thresholds)
+}
+
+// orderByHints reorders the tunables by a critpath hint file: kernels
+// the causal analysis predicts would move end-to-end time the most are
+// searched first, so a budget-limited (or interrupted) run spends its
+// measurements where the DAG says they pay off. A hint matches a
+// tunable when either name contains the other (hint targets are span
+// names like "matmul/parallel"); unmatched tunables keep their original
+// order after the matched ones.
+func orderByHints(ts []tunables.Tunable, path string) []tunables.Tunable {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	hints, err := critpath.ReadHints(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	rank := func(name string) int {
+		ln := strings.ToLower(name)
+		for i, h := range hints {
+			lt := strings.ToLower(h.Target)
+			if strings.Contains(lt, ln) || strings.Contains(ln, lt) {
+				return i
+			}
+		}
+		return len(hints)
+	}
+	sort.SliceStable(ts, func(i, j int) bool { return rank(ts[i].Name) < rank(ts[j].Name) })
+	for _, t := range ts {
+		if r := rank(t.Name); r < len(hints) {
+			fmt.Printf("perfeng tune: hint #%d %s → searching %s early (predicted gain %.1f%%)\n",
+				r+1, hints[r].Target, t.Name, hints[r].Gain)
+		}
+	}
+	return ts
 }
 
 func splitKernels(s string) []string {

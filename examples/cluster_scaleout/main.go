@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"perfeng/internal/cluster"
+	"perfeng/internal/critpath"
 	"perfeng/internal/kernels"
 	"perfeng/internal/obs"
 )
@@ -183,4 +184,18 @@ func main() {
 	}
 	fmt.Println("wrote bfs_trace.json — open at https://ui.perfetto.dev to see the",
 		"per-rank send/recv/compute timeline behind the numbers above.")
+
+	// The causal view of the same trace: reconstruct the dependency DAG
+	// (send→recv and collective edges across the rank tracks), walk the
+	// critical path, and attribute wall time to compute vs wait states.
+	// Where the wait-state analysis above says *how much* time ranks
+	// spent blocked, the critical path says *which* of it actually
+	// delayed the run — and the what-if table predicts the end-to-end
+	// payoff of shrinking each span before anyone rewrites code.
+	fmt.Println("\n== critical path of the BFS trace ==")
+	rep, err := critpath.Analyze(session, critpath.Options{TopSpans: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Text())
 }

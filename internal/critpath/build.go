@@ -1,0 +1,655 @@
+package critpath
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"perfeng/internal/obs"
+)
+
+// Graph construction: decompose each track into segments at every span
+// boundary plus every causal cut point (fork instants, matched-send
+// completions, collective last-arrivals), assign each segment to its
+// innermost span, then connect segments with sequence edges along each
+// track and causal edges across tracks. Cutting before connecting is
+// what makes the later arithmetic exact: a wait and the work it delayed
+// never share a segment, so the critical-path walk tiles the timeline
+// without ever splitting a node on the fly.
+
+type builder struct {
+	spans      []obs.Span
+	trackNames []string
+	byTrack    [][]int // span indices per track, start-sorted
+	cuts       []map[time.Duration]struct{}
+	marks      [][]mark
+	pending    []pendingEdge
+}
+
+// mark flags [lo,hi) on one track as elastic wait time.
+type mark struct {
+	lo, hi time.Duration
+	cat    Category
+}
+
+// pendingEdge is an edge recorded against timeline positions before the
+// nodes exist. From resolves to the last node on fromTrack ending at or
+// before fromTime; To resolves to the first node on toTrack starting at
+// or after toTime.
+type pendingEdge struct {
+	fromTrack int
+	fromTime  time.Duration
+	toTrack   int
+	toTime    time.Duration
+	kind      EdgeKind
+	stolen    bool
+}
+
+// BuildGraph rebuilds the dependency DAG from a session snapshot. It is
+// safe to call while producers are still appending to s.
+func BuildGraph(s *obs.Session) (*Graph, error) {
+	b := &builder{spans: s.Spans(), trackNames: s.TrackNames()}
+	nTracks := len(b.trackNames)
+	b.byTrack = make([][]int, nTracks)
+	b.cuts = make([]map[time.Duration]struct{}, nTracks)
+	b.marks = make([][]mark, nTracks)
+	for t := 0; t < nTracks; t++ {
+		b.cuts[t] = make(map[time.Duration]struct{})
+	}
+	for i, sp := range b.spans {
+		if sp.TrackID < 0 || sp.TrackID >= nTracks || b.skipTrack(sp.TrackID) {
+			continue
+		}
+		b.byTrack[sp.TrackID] = append(b.byTrack[sp.TrackID], i)
+		b.cuts[sp.TrackID][sp.Start] = struct{}{}
+		b.cuts[sp.TrackID][sp.End()] = struct{}{}
+	}
+	for t := range b.byTrack {
+		idx := b.byTrack[t]
+		sort.SliceStable(idx, func(a, c int) bool {
+			sa, sc := b.spans[idx[a]], b.spans[idx[c]]
+			if sa.Start != sc.Start {
+				return sa.Start < sc.Start
+			}
+			return sa.Dur > sc.Dur
+		})
+	}
+
+	b.schedEdges()
+	b.gpuEdges()
+	b.commEdges()
+	b.collectiveEdges()
+
+	return b.assemble()
+}
+
+// skipTrack excludes meta tracks that do not model a serial resource:
+// the SLO engine's violation markers annotate the timeline, they are
+// not activity.
+func (b *builder) skipTrack(t int) bool { return b.trackNames[t] == "slo" }
+
+func (b *builder) cut(track int, at time.Duration) { b.cuts[track][at] = struct{}{} }
+
+func (b *builder) mark(track int, lo, hi time.Duration, cat Category) {
+	if hi <= lo {
+		return
+	}
+	b.cut(track, lo)
+	b.cut(track, hi)
+	b.marks[track] = append(b.marks[track], mark{lo: lo, hi: hi, cat: cat})
+}
+
+// containingHostSpan finds the innermost span covering time at on a
+// host-class track — the submitter of a fork or launch. Returns the
+// track and whether one was found.
+func (b *builder) containingHostSpan(at time.Duration) (int, bool) {
+	bestTrack, found := -1, false
+	var bestStart, bestEnd time.Duration
+	spans := b.spans
+	for t, idx := range b.byTrack {
+		if subsystem(b.trackNames[t]) != "host" {
+			continue
+		}
+		for _, si := range idx {
+			sp := spans[si]
+			if sp.Start > at {
+				break
+			}
+			if sp.End() < at {
+				continue
+			}
+			if !found || sp.Start > bestStart || (sp.Start == bestStart && sp.End() < bestEnd) {
+				bestTrack, bestStart, bestEnd, found = t, sp.Start, sp.End(), true
+			}
+		}
+	}
+	return bestTrack, found
+}
+
+// schedEdges rebuilds fork/join structure from the scheduler's task
+// spans. Provenance-rich traces carry the region id and fork instant in
+// span args; flight dumps carry only the region id (as "value"); bare
+// traces carry neither, and regions are then recovered by clustering
+// overlapping task spans — coarser, but the join structure survives.
+func (b *builder) schedEdges() {
+	type taskRef struct {
+		span   int
+		region int64
+		stolen bool
+	}
+	tasks := make([]taskRef, 0, len(b.spans))
+	spans := b.spans
+	for t, idx := range b.byTrack {
+		if !strings.HasPrefix(b.trackNames[t], "sched ") {
+			continue
+		}
+		for _, si := range idx {
+			sp := spans[si]
+			if !strings.HasPrefix(sp.Name, "parfor") {
+				continue
+			}
+			region, ok := argInt(sp.Args, "region")
+			if !ok {
+				region, ok = argInt(sp.Args, "value")
+			}
+			if !ok {
+				region = 0
+			}
+			stolen, _ := argBool(sp.Args, "stolen")
+			tasks = append(tasks, taskRef{span: si, region: region, stolen: stolen})
+		}
+	}
+	if len(tasks) == 0 {
+		return
+	}
+
+	// Group into regions: by recorded id when present, by overlap
+	// clustering for the id-less remainder (tasks of one region overlap
+	// or abut; separate regions of one submitter are disjoint in time).
+	groups := map[int64][]taskRef{}
+	bare := make([]taskRef, 0, len(tasks))
+	for _, tr := range tasks {
+		if tr.region != 0 {
+			groups[tr.region] = append(groups[tr.region], tr)
+		} else {
+			bare = append(bare, tr)
+		}
+	}
+	if len(bare) > 0 {
+		sort.Slice(bare, func(i, j int) bool { return b.spans[bare[i].span].Start < b.spans[bare[j].span].Start })
+		synth := int64(-1)
+		var maxEnd time.Duration
+		for i, tr := range bare {
+			if i > 0 && b.spans[tr.span].Start >= maxEnd {
+				synth--
+				maxEnd = 0
+			}
+			groups[synth] = append(groups[synth], tr)
+			if e := b.spans[tr.span].End(); e > maxEnd {
+				maxEnd = e
+			}
+		}
+	}
+
+	regionIDs := make([]int64, 0, len(groups))
+	for id := range groups {
+		regionIDs = append(regionIDs, id)
+	}
+	sort.Slice(regionIDs, func(i, j int) bool { return regionIDs[i] < regionIDs[j] })
+	for _, id := range regionIDs {
+		members := groups[id]
+		fork := time.Duration(-1)
+		var hullEnd time.Duration
+		minStart := spans[members[0].span].Start
+		for _, tr := range members {
+			sp := spans[tr.span]
+			if sp.Start < minStart {
+				minStart = sp.Start
+			}
+			if sp.End() > hullEnd {
+				hullEnd = sp.End()
+			}
+			if f, ok := argInt(sp.Args, "fork_ns"); ok {
+				if d := time.Duration(f); fork < 0 || d < fork {
+					fork = d
+				}
+			}
+		}
+		if fork < 0 || fork > minStart {
+			fork = minStart
+		}
+		submit, ok := b.containingHostSpan(fork)
+		if !ok {
+			continue // fork site untracked: tasks stay anchored at their recorded starts
+		}
+		b.mark(submit, fork, hullEnd, CatJoinWait)
+		for _, tr := range members {
+			sp := spans[tr.span]
+			b.pending = append(b.pending,
+				pendingEdge{fromTrack: submit, fromTime: fork, toTrack: sp.TrackID, toTime: sp.Start, kind: EdgeFork, stolen: tr.stolen},
+				pendingEdge{fromTrack: sp.TrackID, fromTime: sp.End(), toTrack: submit, toTime: hullEnd, kind: EdgeJoin})
+		}
+	}
+}
+
+// gpuEdges connects kernel launches to their blocks: the device span is
+// the submitter's wait (elastic), the blocks are the work, and the host
+// resumes when the last block lands.
+func (b *builder) gpuEdges() {
+	type launch struct {
+		track int
+		span  int
+	}
+	launches := make([]launch, 0, len(b.byTrack))
+	for t, idx := range b.byTrack {
+		if b.trackNames[t] != "gpu device" {
+			continue
+		}
+		for _, si := range idx {
+			launches = append(launches, launch{track: t, span: si})
+		}
+	}
+	if len(launches) == 0 {
+		return
+	}
+	// containing launch per block: the latest-starting launch interval
+	// that covers the block.
+	find := func(blk obs.Span) (launch, bool) {
+		best, found := launch{}, false
+		var bestStart time.Duration
+		for _, l := range launches {
+			sp := b.spans[l.span]
+			if sp.Start <= blk.Start && blk.End() <= sp.End() {
+				if !found || sp.Start > bestStart {
+					best, bestStart, found = l, sp.Start, true
+				}
+			}
+		}
+		return best, found
+	}
+	type blocks struct {
+		spanIdx []int
+	}
+	perLaunch := map[int]*blocks{}
+	spans := b.spans
+	for t, idx := range b.byTrack {
+		if !strings.HasPrefix(b.trackNames[t], "gpu sm") {
+			continue
+		}
+		for _, si := range idx {
+			sp := spans[si]
+			if sp.Name != "block" && !strings.HasPrefix(sp.Name, "block/") {
+				continue
+			}
+			if l, ok := find(sp); ok {
+				pb := perLaunch[l.span]
+				if pb == nil {
+					pb = &blocks{}
+					perLaunch[l.span] = pb
+				}
+				pb.spanIdx = append(pb.spanIdx, si)
+			}
+		}
+	}
+	for _, l := range launches {
+		lsp := b.spans[l.span]
+		b.mark(l.track, lsp.Start, lsp.End(), CatJoinWait)
+		submit, ok := b.containingHostSpan(lsp.Start)
+		if ok {
+			b.mark(submit, lsp.Start, lsp.End(), CatJoinWait)
+			b.pending = append(b.pending, pendingEdge{
+				fromTrack: submit, fromTime: lsp.Start, toTrack: l.track, toTime: lsp.Start, kind: EdgeFork})
+		}
+		pb := perLaunch[l.span]
+		if pb == nil {
+			continue
+		}
+		for _, si := range pb.spanIdx {
+			blk := spans[si]
+			if ok {
+				b.pending = append(b.pending,
+					pendingEdge{fromTrack: submit, fromTime: lsp.Start, toTrack: blk.TrackID, toTime: blk.Start, kind: EdgeFork},
+					pendingEdge{fromTrack: blk.TrackID, fromTime: blk.End(), toTrack: submit, toTime: lsp.End(), kind: EdgeJoin})
+			}
+		}
+	}
+}
+
+// commEdges matches sends to receives per ordered rank pair in
+// chronological order — the same discipline as the cluster runtime's
+// wait-state analysis — and splits each receive at the matched send's
+// completion: before it the receiver was blocked (late sender), after
+// it the transfer was real work. Traces without peer metadata (flight
+// dumps) skip this pass.
+func (b *builder) commEdges() {
+	rankTrack := map[int]int{} // rank number -> track id
+	for t, name := range b.trackNames {
+		if r, ok := parseRank(name); ok {
+			rankTrack[r] = t
+		}
+	}
+	if len(rankTrack) == 0 {
+		return
+	}
+	type msg struct{ span int }
+	sends := map[[2]int][]msg{} // (src, dst) -> chronological sends
+	spans := b.spans
+	for r, t := range rankTrack {
+		for _, si := range b.byTrack[t] {
+			sp := spans[si]
+			if sp.Name != "send" {
+				continue
+			}
+			peer, ok := argInt(sp.Args, "peer")
+			if !ok {
+				continue
+			}
+			sends[[2]int{r, int(peer)}] = append(sends[[2]int{r, int(peer)}], msg{span: si})
+		}
+	}
+	used := map[[2]int]int{}
+	ranks := make([]int, 0, len(rankTrack))
+	for r := range rankTrack {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, dst := range ranks {
+		t := rankTrack[dst]
+		for _, si := range b.byTrack[t] {
+			rp := spans[si]
+			if rp.Name != "recv" {
+				continue
+			}
+			peer, ok := argInt(rp.Args, "peer")
+			if !ok {
+				continue
+			}
+			key := [2]int{int(peer), dst}
+			idx := used[key]
+			if idx >= len(sends[key]) {
+				continue
+			}
+			sp := spans[sends[key][idx].span]
+			used[key] = idx + 1
+			se := sp.End()
+			cutAt := se
+			if cutAt < rp.Start {
+				cutAt = rp.Start
+			}
+			if e := rp.End(); cutAt > e {
+				cutAt = e
+			}
+			b.mark(t, rp.Start, cutAt, CatCommWait)
+			b.pending = append(b.pending, pendingEdge{
+				fromTrack: sp.TrackID, fromTime: se, toTrack: t, toTime: cutAt, kind: EdgeComm})
+		}
+	}
+}
+
+// collectiveEdges groups the k-th barrier/bcast/reduce span of each
+// rank into one episode: every member waits for the last arrival, so
+// each member's pre-arrival slice is elastic and the post-arrival slice
+// depends on every member's entry.
+func (b *builder) collectiveEdges() {
+	rankTracks := make([]int, 0, len(b.trackNames))
+	for t, name := range b.trackNames {
+		if _, ok := parseRank(name); ok {
+			rankTracks = append(rankTracks, t)
+		}
+	}
+	if len(rankTracks) < 2 {
+		return
+	}
+	sort.Slice(rankTracks, func(i, j int) bool { return b.trackNames[rankTracks[i]] < b.trackNames[rankTracks[j]] })
+	byTrack, spans := b.byTrack, b.spans
+	for _, kind := range []string{"barrier", "bcast", "reduce"} {
+		perTrack := make([][]int, len(rankTracks))
+		max := 0
+		for i, t := range rankTracks {
+			for _, si := range byTrack[t] {
+				if spans[si].Name == kind {
+					perTrack[i] = append(perTrack[i], si)
+				}
+			}
+			if len(perTrack[i]) > max {
+				max = len(perTrack[i])
+			}
+		}
+		for k := 0; k < max; k++ {
+			members := make([]int, 0, len(rankTracks)) // span indices
+			for i := range rankTracks {
+				if k < len(perTrack[i]) {
+					members = append(members, perTrack[i][k])
+				}
+			}
+			if len(members) < 2 {
+				continue
+			}
+			var last time.Duration
+			for _, si := range members {
+				if s := spans[si].Start; s > last {
+					last = s
+				}
+			}
+			for _, si := range members {
+				m := spans[si]
+				cutAt := last
+				if cutAt < m.Start {
+					cutAt = m.Start
+				}
+				if e := m.End(); cutAt > e {
+					cutAt = e
+				}
+				b.mark(m.TrackID, m.Start, cutAt, CatCollWait)
+				for _, sj := range members {
+					if si == sj {
+						continue
+					}
+					n := spans[sj]
+					b.pending = append(b.pending, pendingEdge{
+						fromTrack: n.TrackID, fromTime: n.Start, toTrack: m.TrackID, toTime: cutAt, kind: EdgeColl})
+				}
+			}
+		}
+	}
+}
+
+// assemble segments every track at its cut points, owns each segment to
+// its innermost span, then materializes sequence and pending edges.
+func (b *builder) assemble() (*Graph, error) {
+	g := &Graph{TrackNames: b.trackNames}
+	g.byTrack = make([][]int, len(b.trackNames))
+	spans, segs := b.spans, g.byTrack
+	for t, idx := range b.byTrack {
+		if len(idx) == 0 {
+			continue
+		}
+		cuts := make([]time.Duration, 0, len(b.cuts[t]))
+		for c := range b.cuts[t] {
+			cuts = append(cuts, c)
+		}
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+		marks := b.marks[t]
+
+		active := make([]int, 0, 8)
+		next := 0 // next span (in start order) not yet activated
+		for ci := 0; ci+1 < len(cuts); ci++ {
+			a, c := cuts[ci], cuts[ci+1]
+			for next < len(idx) && spans[idx[next]].Start <= a {
+				active = append(active, idx[next])
+				next++
+			}
+			keep := active[:0]
+			for _, si := range active {
+				if spans[si].End() > a {
+					keep = append(keep, si)
+				}
+			}
+			active = keep
+			if len(active) == 0 {
+				continue
+			}
+			// Every remaining span covers [a,c): starts are cuts ≤ a and
+			// ends are cuts > a, hence ≥ c. Owner = innermost.
+			owner := active[0]
+			for _, si := range active[1:] {
+				sp, best := spans[si], spans[owner]
+				if sp.Start > best.Start || (sp.Start == best.Start && sp.Dur < best.Dur) {
+					owner = si
+				}
+			}
+			n := Node{
+				ID: len(g.Nodes), Track: t, Name: spans[owner].Name,
+				Start: a, End: c, Cat: CatCompute,
+			}
+			for _, m := range marks {
+				if m.lo <= a && c <= m.hi {
+					n.Elastic, n.Cat = true, m.cat
+					break
+				}
+			}
+			segs[t] = append(segs[t], n.ID)
+			g.Nodes = append(g.Nodes, n)
+		}
+	}
+	if len(g.Nodes) == 0 {
+		return g, nil
+	}
+
+	g.MinStart, g.Makespan = g.Nodes[0].Start, 0
+	for _, n := range g.Nodes {
+		if n.Start < g.MinStart {
+			g.MinStart = n.Start
+		}
+		if n.End > g.Makespan {
+			g.Makespan = n.End
+		}
+	}
+
+	es := NewEdgeSet(len(g.Nodes) + len(b.pending))
+	for _, ids := range g.byTrack {
+		for i := 1; i < len(ids); i++ {
+			if _, fresh := es.Add(Edge{From: ids[i-1], To: ids[i], Kind: EdgeSeq}); fresh {
+				g.Edges = append(g.Edges, Edge{From: ids[i-1], To: ids[i], Kind: EdgeSeq})
+			}
+		}
+	}
+	for _, pe := range b.pending {
+		from, okF := g.lastEndingBy(pe.fromTrack, pe.fromTime)
+		to, okT := g.firstStartingAt(pe.toTrack, pe.toTime)
+		if !okF || !okT || from == to {
+			continue
+		}
+		if g.Nodes[from].End > g.Nodes[to].Start {
+			continue // inconsistent timestamps: drop rather than risk a cycle
+		}
+		e := Edge{From: from, To: to, Kind: pe.kind, Stolen: pe.stolen}
+		if _, fresh := es.Add(e); fresh {
+			g.Edges = append(g.Edges, e)
+		}
+	}
+
+	g.preds = make([][]int, len(g.Nodes))
+	g.succs = make([][]int, len(g.Nodes))
+	for ei, e := range g.Edges {
+		g.preds[e.To] = append(g.preds[e.To], ei)
+		g.succs[e.From] = append(g.succs[e.From], ei)
+	}
+	return g, nil
+}
+
+// EdgeSet interns materialized edges. Collective episodes and
+// overlap-clustered sched regions can resolve many pending edges to the
+// same (from, to, kind) triple; duplicates would double-count
+// predecessors in every later pass, so each triple is kept once. Edge
+// is a comparable value, so the hit path is a single map probe and
+// allocation-free (gated in BenchmarkSmoke).
+type EdgeSet struct {
+	ids map[Edge]int
+}
+
+func NewEdgeSet(capacity int) *EdgeSet {
+	return &EdgeSet{ids: make(map[Edge]int, capacity)}
+}
+
+// Add interns e, returning its index and whether it was newly added.
+func (s *EdgeSet) Add(e Edge) (int, bool) {
+	if id, ok := s.ids[e]; ok {
+		return id, false
+	}
+	id := len(s.ids)
+	s.ids[e] = id
+	return id, true
+}
+
+// lastEndingBy returns the last node on the track with End ≤ at.
+func (g *Graph) lastEndingBy(track int, at time.Duration) (int, bool) {
+	ids := g.byTrack[track]
+	i := sort.Search(len(ids), func(i int) bool { return g.Nodes[ids[i]].End > at })
+	if i == 0 {
+		return 0, false
+	}
+	return ids[i-1], true
+}
+
+// firstStartingAt returns the first node on the track with Start ≥ at.
+func (g *Graph) firstStartingAt(track int, at time.Duration) (int, bool) {
+	ids := g.byTrack[track]
+	i := sort.Search(len(ids), func(i int) bool { return g.Nodes[ids[i]].Start >= at })
+	if i == len(ids) {
+		return 0, false
+	}
+	return ids[i], true
+}
+
+// parseRank extracts N from "rank N".
+func parseRank(trackName string) (int, bool) {
+	rest, ok := strings.CutPrefix(trackName, "rank ")
+	if !ok || len(rest) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, true
+}
+
+// argInt reads an integer-valued arg, tolerating the int/int64/uint64
+// a live session stores and the float64 a JSON import produces.
+func argInt(args map[string]any, key string) (int64, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int64:
+		return x, true
+	case uint64:
+		return int64(x), true
+	case float64:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// argBool reads a boolean arg, tolerating JSON's bool and the string a
+// generic exporter might have produced.
+func argBool(args map[string]any, key string) (bool, bool) {
+	v, ok := args[key]
+	if !ok {
+		return false, false
+	}
+	switch x := v.(type) {
+	case bool:
+		return x, true
+	case string:
+		return x == "true", true
+	}
+	return false, false
+}

@@ -1,0 +1,454 @@
+// Package critpath is the toolbox's causal trace analyzer: it rebuilds
+// a dependency DAG from an obs.Session — span nesting within tracks
+// plus the cross-track causal edges the producers record (scheduler
+// fork/join and steal provenance, cluster send→recv matches and
+// collective episodes, GPU launch→block fan-out) — and answers the
+// questions a timeline view cannot: which chain of work actually bound
+// the end-to-end time (the critical path), where the non-critical time
+// went (slack), which wait states inflated the path (late senders,
+// steals, queueing, join imbalance), and what the run would plausibly
+// have cost had one span been faster (COZ-style what-if virtual
+// speedups, estimated by replaying the DAG with scaled durations).
+//
+// The analysis is offline and read-only: it snapshots the session via
+// the copying accessors, so it is safe to run against a live session
+// while producers are still appending, against a flight-recorder dump,
+// or against a re-imported Chrome trace (obs.ReadChromeTrace). Flight
+// dumps carry less provenance (no per-span args beyond the region id),
+// so some edge classes degrade gracefully — the path is still exact,
+// the attribution just coarser.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"perfeng/internal/obs"
+)
+
+// Category classifies where critical-path time went.
+type Category int
+
+// Categories, ordered roughly from "doing work" to "doing nothing".
+const (
+	// CatCompute is productive work: the span was executing.
+	CatCompute Category = iota
+	// CatCommWait is time a receive blocked before the matching send
+	// completed — the late-sender wait state.
+	CatCommWait
+	// CatCollWait is time inside a collective before the last member
+	// arrived — synchronization imbalance.
+	CatCollWait
+	// CatStealWait is the fork→start latency of a range the executing
+	// worker had to steal from another deque.
+	CatStealWait
+	// CatQueueWait is the fork→start latency of a range executed from
+	// the deque it was seeded on (or a GPU block waiting for an SM).
+	CatQueueWait
+	// CatJoinWait is a submitter blocked in a fork/join region or a
+	// kernel launch while its children finish.
+	CatJoinWait
+	// CatIdle is a gap on the path with no recorded cause.
+	CatIdle
+	numCategories
+)
+
+var categoryNames = [...]string{
+	"compute", "comm-wait", "collective-wait", "steal-wait",
+	"queue-wait", "join-wait", "idle",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return "unknown"
+	}
+	return categoryNames[c]
+}
+
+// IsWait reports whether the category is a wait state (anything that
+// is not productive work).
+func (c Category) IsWait() bool { return c != CatCompute }
+
+// EdgeKind labels a dependency edge.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// EdgeSeq orders consecutive segments on one track (a track is a
+	// serial resource: a worker, a rank, an SM).
+	EdgeSeq EdgeKind = iota
+	// EdgeFork runs from a submitter's segment to a child it spawned
+	// (scheduler range, GPU launch, GPU block).
+	EdgeFork
+	// EdgeJoin runs from a child back to the submitter's resume point.
+	EdgeJoin
+	// EdgeComm runs from a matched send to the receive it released.
+	EdgeComm
+	// EdgeColl runs between members of one collective episode.
+	EdgeColl
+)
+
+var edgeKindNames = [...]string{"seq", "fork", "join", "comm", "coll"}
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	if k < 0 || int(k) >= len(edgeKindNames) {
+		return "unknown"
+	}
+	return edgeKindNames[k]
+}
+
+// Node is one segment of one track: a maximal interval during which the
+// same innermost span was active and no causal boundary (fork point,
+// matched-send completion, collective last-arrival) cuts through.
+type Node struct {
+	ID    int
+	Track int    // session track id
+	Name  string // innermost owning span's leaf name
+	Start time.Duration
+	End   time.Duration
+	// Elastic marks segments whose duration is derived, not intrinsic:
+	// a submitter blocked on a join, a receive blocked on a send, a
+	// collective member waiting for the stragglers. Replay gives them
+	// zero duration — their finish is whatever their dependencies make
+	// it.
+	Elastic bool
+	// Cat is the category charged when this node's own interval lands
+	// on the critical path: CatCompute for work, the wait categories
+	// for elastic segments.
+	Cat Category
+}
+
+// Dur returns the segment length.
+func (n Node) Dur() time.Duration { return n.End - n.Start }
+
+// Edge is one dependency: To cannot start before From has finished.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	// Stolen marks fork edges of ranges the executor stole; the
+	// fork→start gap is then steal latency rather than queueing.
+	Stolen bool
+}
+
+// Graph is the rebuilt dependency DAG.
+type Graph struct {
+	Nodes      []Node
+	Edges      []Edge
+	TrackNames []string
+	// MinStart and Makespan bound the recorded activity; the critical
+	// path tiles [PathStart, Makespan] exactly.
+	MinStart time.Duration
+	Makespan time.Duration
+
+	preds [][]int // edge indices per node
+	succs [][]int
+	// byTrack[t] lists node ids on track t in start order.
+	byTrack [][]int
+}
+
+// Step is one tile of the critical path: either a node's interval or a
+// gap bound by the edge that released the successor.
+type Step struct {
+	// NodeID is the node whose interval this step covers, or -1 for a
+	// gap between nodes.
+	NodeID int
+	Track  int
+	Name   string // node name, or the binding edge kind for gaps
+	From   time.Duration
+	To     time.Duration
+	Cat    Category
+}
+
+// Dur returns the step length.
+func (s Step) Dur() time.Duration { return s.To - s.From }
+
+// Report is the full analysis result.
+type Report struct {
+	Session    string
+	TrackNames []string
+	Graph      *Graph
+
+	// PathStart..Makespan is the window the critical path tiles; the
+	// step durations sum to Wall exactly.
+	PathStart time.Duration
+	Makespan  time.Duration
+	Wall      time.Duration
+	Steps     []Step
+
+	// ByCategory is the wall time attributed to each category.
+	ByCategory [numCategories]time.Duration
+	// WaitTotals aggregates wait states across the whole graph, on and
+	// off the critical path: elastic segment durations by category,
+	// plus fork→start gaps charged to steal/queue latency. The
+	// critical path shows the chain that bound the run; these totals
+	// show the inflation everywhere (a late sender shadowed by the
+	// sender's own compute still shows up here).
+	WaitTotals [numCategories]time.Duration
+	// BySpan aggregates the path's work steps per span name.
+	BySpan []SpanShare
+	// GCPause estimates how much of the path's compute time was GC
+	// stop-the-world pause, interpolated from the cumulative pause
+	// counter series when one was sampled (zero otherwise).
+	GCPause time.Duration
+
+	// WhatIf holds virtual-speedup predictions for the top path
+	// contributors.
+	WhatIf []WhatIf
+	// ReplayWall is the baseline replay makespan the what-if estimates
+	// are measured against (the DAG with unscaled durations; gaps the
+	// model does not explain collapse, so it is ≤ Wall).
+	ReplayWall time.Duration
+}
+
+// SpanShare is one span name's contribution to the critical path.
+type SpanShare struct {
+	Name      string
+	Subsystem string // host, sched, cluster, gpu
+	// PathTime is this name's work time on the critical path; Share is
+	// its fraction of Wall.
+	PathTime time.Duration
+	Share    float64
+	// TotalTime sums the name's work across the whole graph (on and
+	// off the path) — the denominator optimizers care about.
+	TotalTime time.Duration
+	// MinSlack is the smallest slack of any node with this name: zero
+	// means at least one instance is on a critical chain.
+	MinSlack time.Duration
+}
+
+// WhatIf is the predicted whole-run effect of speeding up one span name.
+type WhatIf struct {
+	Name      string
+	Subsystem string
+	Share     float64 // critical-path share of the target
+	// Factors and Speedups pair up: scaling every Name node's duration
+	// by Factors[i] predicts an end-to-end speedup of Speedups[i]
+	// percent (relative to the baseline replay).
+	Factors  []float64
+	Speedups []float64
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// TopSpans bounds the BySpan table and the what-if target list
+	// (default 8).
+	TopSpans int
+	// WhatIfFactors are the duration scales to simulate
+	// (default 0.95, 0.75, 0.50).
+	WhatIfFactors []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopSpans <= 0 {
+		o.TopSpans = 8
+	}
+	if len(o.WhatIfFactors) == 0 {
+		o.WhatIfFactors = []float64{0.95, 0.75, 0.50}
+	}
+	return o
+}
+
+// Analyze snapshots the session, rebuilds the dependency DAG, walks the
+// critical path and computes the attribution and what-if tables. It
+// returns an error for malformed inputs: a cyclic graph (possible only
+// for imported traces with inconsistent timestamps) or a walk that
+// fails to tile the analysis window — both mean the trace, not the
+// caller, is broken.
+func Analyze(s *obs.Session, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	g, err := BuildGraph(s)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Session:    s.Name(),
+		TrackNames: g.TrackNames,
+		Graph:      g,
+		Makespan:   g.Makespan,
+	}
+	if len(g.Nodes) == 0 {
+		return rep, nil
+	}
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.walk(rep); err != nil {
+		return nil, err
+	}
+	attribute(rep, g, opts)
+	estimateGC(rep, s)
+	whatIf(rep, g, order, opts)
+	return rep, nil
+}
+
+// subsystem classifies a track by its naming convention.
+func subsystem(trackName string) string {
+	switch {
+	case strings.HasPrefix(trackName, "rank "):
+		return "cluster"
+	case strings.HasPrefix(trackName, "sched "):
+		return "sched"
+	case strings.HasPrefix(trackName, "gpu"):
+		return "gpu"
+	default:
+		return "host"
+	}
+}
+
+// topoOrder Kahn-sorts the nodes, rejecting cycles. Construction only
+// emits time-forward edges, so a cycle means the input trace was
+// inconsistent enough that no analysis of it should be trusted.
+func (g *Graph) topoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(g.Nodes))
+	edges := g.Edges
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ei := range g.succs[id] {
+			to := edges[ei].To
+			if indeg[to]--; indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("critpath: dependency graph has a cycle (%d of %d nodes unsortable) — inconsistent trace timestamps",
+			len(g.Nodes)-len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// attribute fills the per-category and per-span tables from the steps.
+func attribute(rep *Report, g *Graph, opts Options) {
+	for _, st := range rep.Steps {
+		rep.ByCategory[st.Cat] += st.Dur()
+	}
+	for _, n := range g.Nodes {
+		if n.Elastic {
+			rep.WaitTotals[n.Cat] += n.Dur()
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Kind != EdgeFork {
+			continue
+		}
+		if gap := g.Nodes[e.To].Start - g.Nodes[e.From].End; gap > 0 {
+			rep.WaitTotals[gapCategory(e)] += gap
+		}
+	}
+
+	type agg struct {
+		path, total time.Duration
+		minSlack    time.Duration
+		track       int
+	}
+	perName := map[string]*agg{}
+	for _, st := range rep.Steps {
+		if st.NodeID < 0 || st.Cat != CatCompute {
+			continue
+		}
+		a := perName[st.Name]
+		if a == nil {
+			a = &agg{minSlack: -1, track: st.Track}
+			perName[st.Name] = a
+		}
+		a.path += st.Dur()
+	}
+	slack := g.slack()
+	for id, n := range g.Nodes {
+		if n.Elastic {
+			continue
+		}
+		a := perName[n.Name]
+		if a == nil {
+			continue // off-path names are not reported
+		}
+		a.total += n.Dur()
+		if a.minSlack < 0 || slack[id] < a.minSlack {
+			a.minSlack = slack[id]
+		}
+	}
+	for name, a := range perName {
+		share := 0.0
+		if rep.Wall > 0 {
+			share = float64(a.path) / float64(rep.Wall)
+		}
+		if a.minSlack < 0 {
+			a.minSlack = 0
+		}
+		rep.BySpan = append(rep.BySpan, SpanShare{
+			Name:      name,
+			Subsystem: subsystem(g.TrackNames[a.track]),
+			PathTime:  a.path,
+			Share:     share,
+			TotalTime: a.total,
+			MinSlack:  a.minSlack,
+		})
+	}
+	sort.Slice(rep.BySpan, func(i, j int) bool {
+		if rep.BySpan[i].PathTime != rep.BySpan[j].PathTime {
+			return rep.BySpan[i].PathTime > rep.BySpan[j].PathTime
+		}
+		return rep.BySpan[i].Name < rep.BySpan[j].Name
+	})
+	if len(rep.BySpan) > opts.TopSpans {
+		rep.BySpan = rep.BySpan[:opts.TopSpans]
+	}
+}
+
+// estimateGC interpolates the cumulative GC pause series over the
+// path's compute steps. The series is cumulative seconds, so the pause
+// charged to a window [a,b] is C(b)-C(a) under linear interpolation
+// between samples — an estimate, but one that correctly refuses to
+// charge GC to windows where the counter did not move.
+func estimateGC(rep *Report, s *obs.Session) {
+	var series []obs.Sample
+	for name, smp := range s.Counters() {
+		if strings.HasSuffix(name, "go_gc_pause_total_seconds") && len(smp) >= 2 {
+			series = smp
+			break
+		}
+	}
+	if series == nil {
+		return
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].At < series[j].At })
+	at := func(t time.Duration) float64 {
+		if t <= series[0].At {
+			return series[0].Value
+		}
+		last := series[len(series)-1]
+		if t >= last.At {
+			return last.Value
+		}
+		i := sort.Search(len(series), func(i int) bool { return series[i].At >= t })
+		lo, hi := series[i-1], series[i]
+		frac := float64(t-lo.At) / float64(hi.At-lo.At)
+		return lo.Value + frac*(hi.Value-lo.Value)
+	}
+	var secs float64
+	for _, st := range rep.Steps {
+		if st.Cat == CatCompute {
+			secs += at(st.To) - at(st.From)
+		}
+	}
+	if secs > 0 {
+		rep.GCPause = time.Duration(secs * float64(time.Second))
+	}
+}

@@ -1,0 +1,318 @@
+package critpath
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"perfeng/internal/obs"
+)
+
+const ms = time.Millisecond
+
+// requireTiling asserts the walk's core invariant: steps are adjacent
+// and their durations sum to Wall exactly (integer nanoseconds, no
+// rounding).
+func requireTiling(t *testing.T, rep *Report) {
+	t.Helper()
+	var sum time.Duration
+	prev := rep.PathStart
+	for _, st := range rep.Steps {
+		if st.From != prev {
+			t.Fatalf("step gap: step starts at %v, previous ended at %v", st.From, prev)
+		}
+		if st.To < st.From {
+			t.Fatalf("negative step [%v, %v]", st.From, st.To)
+		}
+		sum += st.Dur()
+		prev = st.To
+	}
+	if prev != rep.Makespan {
+		t.Fatalf("path ends at %v, makespan %v", prev, rep.Makespan)
+	}
+	if sum != rep.Wall {
+		t.Fatalf("steps sum to %v, wall is %v", sum, rep.Wall)
+	}
+}
+
+func TestAnalyzeEmptySession(t *testing.T) {
+	rep, err := Analyze(obs.NewSession("empty"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wall != 0 || len(rep.Steps) != 0 {
+		t.Fatalf("empty session: wall=%v steps=%d", rep.Wall, len(rep.Steps))
+	}
+}
+
+// TestLateSenderPath: the canonical Scalasca scenario. Rank 1 posts a
+// receive early and blocks; rank 0 computes, then sends. The critical
+// path must run through the SENDER's compute (the cause), not through
+// the receiver's blocked time (the symptom) — and the blocked time must
+// still show up in the whole-trace wait totals.
+func TestLateSenderPath(t *testing.T) {
+	s := obs.NewSession("late-sender")
+	r0 := s.Track("rank 0")
+	r1 := s.Track("rank 1")
+	r0.AddSpanOffsets("compute", nil, 0, 5*ms, nil)
+	r0.AddSpanOffsets("send", nil, 5*ms, 6*ms, map[string]any{"peer": 1, "bytes": 8})
+	r1.AddSpanOffsets("recv", nil, 1*ms, 6*ms, map[string]any{"peer": 0, "bytes": 8})
+	r1.AddSpanOffsets("compute", nil, 6*ms, 10*ms, nil)
+
+	rep, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTiling(t, rep)
+	if rep.Wall != 10*ms {
+		t.Fatalf("wall = %v, want 10ms", rep.Wall)
+	}
+	// Path: rank0 compute [0,5], rank0 send [5,6], rank1 compute [6,10].
+	if rep.ByCategory[CatCompute] != 10*ms {
+		t.Fatalf("compute on path = %v, want 10ms (path should follow the sender)", rep.ByCategory[CatCompute])
+	}
+	onR0 := false
+	for _, st := range rep.Steps {
+		if rep.TrackNames[st.Track] == "rank 0" && st.Name == "send" {
+			onR0 = true
+		}
+	}
+	if !onR0 {
+		t.Fatalf("critical path missed the sender: %+v", rep.Steps)
+	}
+	// The receiver sat blocked [1ms, 6ms) — whole-trace comm wait.
+	if rep.WaitTotals[CatCommWait] != 5*ms {
+		t.Fatalf("comm-wait total = %v, want 5ms", rep.WaitTotals[CatCommWait])
+	}
+}
+
+// TestBarrierImbalance: three ranks hit a barrier; the straggler
+// defines the exit. The path runs through the straggler's compute, and
+// the early arrivals' blocked time lands in collective-wait.
+func TestBarrierImbalance(t *testing.T) {
+	s := obs.NewSession("barrier")
+	computes := []time.Duration{2 * ms, 7 * ms, 4 * ms}
+	const sync = ms / 2
+	last := 7 * ms
+	for r, c := range computes {
+		tr := s.Track("rank " + strconv.Itoa(r))
+		tr.AddSpanOffsets("compute", nil, 0, c, nil)
+		tr.AddSpanOffsets("barrier", nil, c, last+sync, nil)
+	}
+	rep, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTiling(t, rep)
+	if rep.Wall != last+sync {
+		t.Fatalf("wall = %v, want %v", rep.Wall, last+sync)
+	}
+	// Early ranks 0 and 2 waited (7-2) + (7-4) = 8ms in the barrier.
+	if rep.WaitTotals[CatCollWait] != 8*ms {
+		t.Fatalf("collective-wait total = %v, want 8ms", rep.WaitTotals[CatCollWait])
+	}
+	// The path's compute must be the straggler's 7ms plus the sync tail.
+	if rep.ByCategory[CatCompute] != last+sync {
+		t.Fatalf("compute on path = %v, want %v", rep.ByCategory[CatCompute], last+sync)
+	}
+}
+
+// TestSyntheticRoundsLongestPath is the exact-arithmetic property test:
+// K rounds of random per-rank compute separated by barriers. The
+// analytical longest path — sum over rounds of the slowest rank's
+// compute plus the sync cost — must equal the reported wall and the
+// replay baseline to the nanosecond.
+func TestSyntheticRoundsLongestPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		ranks := 2 + rng.Intn(5)
+		rounds := 1 + rng.Intn(6)
+		const sync = 100 * time.Microsecond
+
+		s := obs.NewSession("rounds")
+		tracks := make([]*obs.Track, ranks)
+		for r := range tracks {
+			tracks[r] = s.Track("rank " + strconv.Itoa(r))
+		}
+		now := make([]time.Duration, ranks)
+		var expected time.Duration
+		for k := 0; k < rounds; k++ {
+			var arrive time.Duration
+			durs := make([]time.Duration, ranks)
+			for r := range durs {
+				durs[r] = time.Duration(1+rng.Intn(5000)) * time.Microsecond
+				if a := now[r] + durs[r]; a > arrive {
+					arrive = a
+				}
+			}
+			var slowest time.Duration
+			for r := range durs {
+				tracks[r].AddSpanOffsets("compute", nil, now[r], now[r]+durs[r], nil)
+				tracks[r].AddSpanOffsets("barrier", nil, now[r]+durs[r], arrive+sync, nil)
+				now[r] = arrive + sync
+				if durs[r] > slowest {
+					slowest = durs[r]
+				}
+			}
+			expected += slowest + sync
+		}
+
+		rep, err := Analyze(s, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		requireTiling(t, rep)
+		if rep.Wall != expected {
+			t.Fatalf("trial %d (ranks=%d rounds=%d): wall = %v, analytical longest path = %v",
+				trial, ranks, rounds, rep.Wall, expected)
+		}
+		if rep.ReplayWall != expected {
+			t.Fatalf("trial %d: replay baseline = %v, want %v", trial, rep.ReplayWall, expected)
+		}
+	}
+}
+
+// TestWhatIfMonotone: scaling down the dominant span must predict a
+// positive speedup, and a harder scaling must predict at least as much.
+func TestWhatIfMonotone(t *testing.T) {
+	s := obs.NewSession("whatif")
+	h := s.Track("host")
+	h.AddSpanOffsets("hot", nil, 0, 8*ms, nil)
+	h.AddSpanOffsets("cold", nil, 8*ms, 9*ms, nil)
+	rep, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot *WhatIf
+	for i := range rep.WhatIf {
+		if rep.WhatIf[i].Name == "hot" {
+			hot = &rep.WhatIf[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("what-if table misses the dominant span: %+v", rep.WhatIf)
+	}
+	prev := 0.0
+	for i, sp := range hot.Speedups {
+		if sp <= 0 {
+			t.Fatalf("factor %.2f predicts %.2f%% speedup, want > 0", hot.Factors[i], sp)
+		}
+		if sp < prev {
+			t.Fatalf("speedups not monotone: %v", hot.Speedups)
+		}
+		prev = sp
+	}
+	// Exact check: hot is 8/9 of the run; halving it gives 9/5.
+	half := hot.Speedups[len(hot.Speedups)-1]
+	want := (9.0/5.0 - 1) * 100
+	if diff := half - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("×0.50 speedup = %v%%, want %v%%", half, want)
+	}
+}
+
+// TestHintsRanked: hints order by predicted gain, dominant span first.
+func TestHintsRanked(t *testing.T) {
+	s := obs.NewSession("hints")
+	h := s.Track("host")
+	h.AddSpanOffsets("big", nil, 0, 6*ms, nil)
+	h.AddSpanOffsets("small", nil, 6*ms, 7*ms, nil)
+	rep, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hints := rep.Hints()
+	if len(hints) == 0 || hints[0].Target != "big" {
+		t.Fatalf("hints = %+v, want big first", hints)
+	}
+	if hints[0].Gain <= 0 {
+		t.Fatalf("dominant hint predicts no gain: %+v", hints[0])
+	}
+}
+
+// TestRenderers: the three formats stay well-formed and carry the
+// headline number.
+func TestRenderers(t *testing.T) {
+	s := obs.NewSession("render")
+	s.Track("host").AddSpanOffsets("work", nil, 0, 2*ms, nil)
+	rep, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "critical path: render") || !strings.Contains(txt, "work") {
+		t.Fatalf("text render:\n%s", txt)
+	}
+	if md := rep.Markdown(); !strings.Contains(md, "## Critical path") {
+		t.Fatalf("markdown render:\n%s", md)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("json render invalid: %v", err)
+	}
+	if decoded["wall_ns"].(float64) != float64(2*ms) {
+		t.Fatalf("wall_ns = %v", decoded["wall_ns"])
+	}
+}
+
+// TestImportedTraceMatchesLive: exporting a session to Chrome trace
+// JSON, importing it back and re-analyzing must reproduce the wall time
+// and category split exactly — the CLI's -input path depends on it.
+func TestImportedTraceMatchesLive(t *testing.T) {
+	s := obs.NewSession("roundtrip")
+	r0 := s.Track("rank 0")
+	r1 := s.Track("rank 1")
+	r0.AddSpanOffsets("compute", nil, 0, 3*ms, nil)
+	r0.AddSpanOffsets("send", nil, 3*ms, 4*ms, map[string]any{"peer": 1, "bytes": 64})
+	r1.AddSpanOffsets("recv", nil, 1*ms, 4*ms, map[string]any{"peer": 0, "bytes": 64})
+	r1.AddSpanOffsets("compute", nil, 4*ms, 6*ms, nil)
+
+	live, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := obs.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(imported, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTiling(t, rep)
+	if rep.Wall != live.Wall {
+		t.Fatalf("imported wall = %v, live wall = %v", rep.Wall, live.Wall)
+	}
+	if rep.ByCategory != live.ByCategory {
+		t.Fatalf("imported categories %v, live %v", rep.ByCategory, live.ByCategory)
+	}
+	if rep.WaitTotals != live.WaitTotals {
+		t.Fatalf("imported wait totals %v, live %v", rep.WaitTotals, live.WaitTotals)
+	}
+}
+
+// TestGCEstimate: a cumulative pause series overlapping the path's
+// compute window is charged to GCPause by interpolation.
+func TestGCEstimate(t *testing.T) {
+	s := obs.NewSession("gc")
+	s.Track("host").AddSpanOffsets("work", nil, 0, 10*ms, nil)
+	s.CounterSampleAt("runtime/go_gc_pause_total_seconds", 0, 0)
+	s.CounterSampleAt("runtime/go_gc_pause_total_seconds", 10*ms, 0.001) // 1ms of pause
+	rep, err := Analyze(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GCPause != ms {
+		t.Fatalf("gc pause estimate = %v, want 1ms", rep.GCPause)
+	}
+}

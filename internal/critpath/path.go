@@ -1,0 +1,219 @@
+package critpath
+
+import (
+	"fmt"
+	"time"
+)
+
+// The critical path is recovered backward from the latest-ending node:
+// each iteration covers the current node's interval, then hands off to
+// the binding predecessor — the dependency that finished last, i.e. the
+// one that actually released this node. A gap between the binding
+// predecessor's finish and the current node's start is charged to the
+// edge that bridged it (a stolen fork's gap is steal latency, a comm
+// edge's gap is network wait, a sequence edge's gap is plain idleness).
+// The walk maintains one invariant the rest of the report leans on: the
+// emitted steps tile [PathStart, Makespan] exactly, so the step
+// durations sum to the reported wall time to the nanosecond.
+
+// gapCategory classifies the gap bridged by an edge.
+func gapCategory(e Edge) Category {
+	switch e.Kind {
+	case EdgeFork:
+		if e.Stolen {
+			return CatStealWait
+		}
+		return CatQueueWait
+	case EdgeJoin:
+		return CatJoinWait
+	case EdgeComm:
+		return CatCommWait
+	case EdgeColl:
+		return CatCollWait
+	default:
+		return CatIdle
+	}
+}
+
+// edgePriority breaks binding-predecessor ties: a causal edge explains
+// a handoff better than same-track sequencing, and a join beats the
+// fork that merely scheduled the region.
+func edgePriority(k EdgeKind) int {
+	switch k {
+	case EdgeJoin:
+		return 4
+	case EdgeComm:
+		return 3
+	case EdgeColl:
+		return 2
+	case EdgeFork:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// walk fills rep.Steps, rep.PathStart and rep.Wall.
+func (g *Graph) walk(rep *Report) error {
+	cur := 0
+	for id, n := range g.Nodes {
+		c := g.Nodes[cur]
+		if n.End > c.End ||
+			(n.End == c.End && (n.Track < c.Track || (n.Track == c.Track && n.Start < c.Start))) {
+			cur = id
+		}
+	}
+	t := g.Nodes[cur].End
+	visited := make(map[int]bool, 64)
+	var rsteps []Step // reverse order
+	limit := 4*len(g.Nodes) + 16
+	nodes, edges := g.Nodes, g.Edges
+
+	for {
+		if len(rsteps) > limit {
+			return fmt.Errorf("critpath: walk exceeded %d steps without converging — malformed graph", limit)
+		}
+		if visited[cur] {
+			return fmt.Errorf("critpath: walk revisited node %d — malformed graph", cur)
+		}
+		visited[cur] = true
+		n := g.Nodes[cur]
+		lo := n.Start
+		if lo > t {
+			lo = t
+		}
+		if t > lo {
+			rsteps = append(rsteps, Step{NodeID: cur, Track: n.Track, Name: n.Name, From: lo, To: t, Cat: n.Cat})
+		}
+		t = lo
+		if t <= g.MinStart {
+			break
+		}
+
+		best, bestEdge := -1, -1
+		for _, ei := range g.preds[cur] {
+			e := edges[ei]
+			if best < 0 {
+				best, bestEdge = e.From, ei
+				continue
+			}
+			p, bp := nodes[e.From], nodes[best]
+			pe, bpe := p.End, bp.End
+			if pe > t {
+				pe = t
+			}
+			if bpe > t {
+				bpe = t
+			}
+			switch {
+			case pe > bpe:
+				best, bestEdge = e.From, ei
+			case pe == bpe:
+				if pr, bpr := edgePriority(e.Kind), edgePriority(edges[bestEdge].Kind); pr > bpr ||
+					(pr == bpr && !p.Elastic && bp.Elastic) {
+					best, bestEdge = e.From, ei
+				}
+			}
+		}
+		if best < 0 {
+			// No recorded dependency: bridge to the globally latest
+			// activity that had finished by t. This keeps the tiling
+			// exact even across unmodeled handoffs.
+			q := -1
+			for id := range nodes {
+				n2 := nodes[id]
+				if id == cur || visited[id] || n2.End > t {
+					continue
+				}
+				if q < 0 || n2.End > nodes[q].End {
+					q = id
+				}
+			}
+			if q < 0 {
+				break
+			}
+			if nodes[q].End < t {
+				rsteps = append(rsteps, Step{
+					NodeID: -1, Track: nodes[q].Track, Name: "idle",
+					From: nodes[q].End, To: t, Cat: CatIdle,
+				})
+				t = nodes[q].End
+			}
+			cur = q
+			continue
+		}
+		p := g.Nodes[best]
+		pe := p.End
+		if pe > t {
+			pe = t
+		}
+		if pe < t {
+			e := g.Edges[bestEdge]
+			rsteps = append(rsteps, Step{
+				NodeID: -1, Track: n.Track, Name: e.Kind.String(),
+				From: pe, To: t, Cat: gapCategory(e),
+			})
+			t = pe
+		}
+		cur = best
+	}
+
+	rep.PathStart = t
+	rep.Wall = g.Makespan - t
+	rep.Steps = make([]Step, 0, len(rsteps))
+	for i := len(rsteps) - 1; i >= 0; i-- {
+		rep.Steps = append(rep.Steps, rsteps[i])
+	}
+	var sum time.Duration
+	prev := rep.PathStart
+	for _, st := range rep.Steps {
+		if st.From != prev || st.To < st.From {
+			return fmt.Errorf("critpath: path does not tile at %v (step [%v,%v]) — malformed graph", prev, st.From, st.To)
+		}
+		sum += st.Dur()
+		prev = st.To
+	}
+	if prev != g.Makespan || sum != rep.Wall {
+		return fmt.Errorf("critpath: path sums to %v over a %v window — malformed graph", sum, rep.Wall)
+	}
+	return nil
+}
+
+// slack returns, per node, how much the node could slip without moving
+// the replayed makespan: latest finish (backward pass) minus earliest
+// finish (forward pass). Zero-slack nodes sit on a critical chain.
+func (g *Graph) slack() []time.Duration {
+	order, err := g.topoOrder()
+	if err != nil {
+		return make([]time.Duration, len(g.Nodes))
+	}
+	est := g.earliestFinish(order, nil, 0)
+	var makespan time.Duration
+	for _, f := range est {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	lft := make([]time.Duration, len(g.Nodes))
+	for i := range lft {
+		lft[i] = makespan
+	}
+	nodes, edges := g.Nodes, g.Edges
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		for _, ei := range g.succs[id] {
+			e := edges[ei]
+			succStart := lft[e.To] - nodes[e.To].replayDur(nil, 0)
+			if succStart < lft[id] {
+				lft[id] = succStart
+			}
+		}
+	}
+	out := make([]time.Duration, len(g.Nodes))
+	for id := range g.Nodes {
+		if s := lft[id] - est[id]; s > 0 {
+			out[id] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"perfeng/internal/report"
+)
+
+// Rendering in the toolbox's three house formats: aligned text for the
+// terminal, markdown for CI step summaries, JSON for machines. All
+// three are deterministic for a given report.
+
+const maxRenderedSteps = 40
+
+func pct(num, den time.Duration) string {
+	if den <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+func rd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// Text renders the terminal report.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: %s\n", r.Session)
+	fmt.Fprintf(&sb, "window [%v, %v]  wall %v  steps %d  (graph: %d nodes, %d edges)\n\n",
+		rd(r.PathStart), rd(r.Makespan), rd(r.Wall), len(r.Steps), len(r.Graph.Nodes), len(r.Graph.Edges))
+
+	cat := &report.Table{Title: "where the time went", Headers: []string{"category", "time", "share"}}
+	for c := Category(0); c < numCategories; c++ {
+		if d := r.ByCategory[c]; d > 0 {
+			//perfvet:ignore:fmttransitive a report renders once; the table has at most one row per category
+			cat.AddRow(c.String(), rd(d).String(), pct(d, r.Wall))
+		}
+	}
+	sb.WriteString(cat.String())
+	wt := &report.Table{Title: "wait states (whole trace, on + off path)", Headers: []string{"category", "time"}}
+	for c := Category(0); c < numCategories; c++ {
+		if d := r.WaitTotals[c]; d > 0 {
+			wt.AddRow(c.String(), rd(d).String())
+		}
+	}
+	if len(wt.Rows) > 0 {
+		sb.WriteString("\n")
+		sb.WriteString(wt.String())
+	}
+	if r.GCPause > 0 {
+		fmt.Fprintf(&sb, "gc pause inside path compute (est.): %v (%s)\n", rd(r.GCPause), pct(r.GCPause, r.Wall))
+	}
+	sb.WriteString("\n")
+
+	spans := &report.Table{Title: "top critical spans",
+		Headers: []string{"span", "subsystem", "on-path", "share", "total", "min-slack"}}
+	for _, ss := range r.BySpan {
+		spans.AddRow(ss.Name, ss.Subsystem, rd(ss.PathTime).String(),
+			//perfvet:ignore:hotloopalloc formatting the rows is this renderer's purpose; BySpan is capped at Options.TopSpans
+			fmt.Sprintf("%.1f%%", 100*ss.Share), rd(ss.TotalTime).String(), rd(ss.MinSlack).String())
+	}
+	sb.WriteString(spans.String())
+	sb.WriteString("\n")
+
+	if len(r.WhatIf) > 0 {
+		headers := []string{"span", "share"}
+		for _, f := range r.WhatIf[0].Factors {
+			//perfvet:ignore:hotloopalloc one header per what-if factor (three by default), once per report
+			headers = append(headers, fmt.Sprintf("×%.2f", f))
+		}
+		wi := &report.Table{
+			Title:   fmt.Sprintf("what-if virtual speedups (vs %v replay baseline)", rd(r.ReplayWall)),
+			Headers: headers,
+		}
+		for _, w := range r.WhatIf {
+			//perfvet:ignore:hotloopalloc one row per top span, once per report
+			row := []string{w.Name, fmt.Sprintf("%.1f%%", 100*w.Share)}
+			for _, s := range w.Speedups {
+				//perfvet:ignore:hotloopalloc one cell per what-if factor, once per report
+				row = append(row, fmt.Sprintf("%+.1f%%", s))
+			}
+			wi.AddRow(row...)
+		}
+		sb.WriteString(wi.String())
+		sb.WriteString("\n")
+	}
+
+	sb.WriteString("path steps (oldest first):\n")
+	for i, st := range r.Steps {
+		if i == maxRenderedSteps {
+			fmt.Fprintf(&sb, "  … %d more steps\n", len(r.Steps)-maxRenderedSteps)
+			break
+		}
+		fmt.Fprintf(&sb, "  %-12v %-10v %-16s %-15s %s\n",
+			//perfvet:ignore:fmttransitive the step listing is the report's output, capped at maxRenderedSteps lines
+			rd(st.From), rd(st.Dur()), st.Cat, trackLabel(r.TrackNames, st.Track), st.Name)
+	}
+	return sb.String()
+}
+
+// Markdown renders the CI step-summary report.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("## Critical path\n\n")
+	fmt.Fprintf(&sb, "`%s`: wall **%v** over [%v, %v], %d steps (graph: %d nodes, %d edges)\n\n",
+		r.Session, rd(r.Wall), rd(r.PathStart), rd(r.Makespan), len(r.Steps), len(r.Graph.Nodes), len(r.Graph.Edges))
+
+	sb.WriteString("| category | time | share |\n|---|---:|---:|\n")
+	for c := Category(0); c < numCategories; c++ {
+		if d := r.ByCategory[c]; d > 0 {
+			//perfvet:ignore:fmttransitive a report renders once; the table has at most one row per category
+			fmt.Fprintf(&sb, "| %s | %v | %s |\n", c, rd(d), pct(d, r.Wall))
+		}
+	}
+	if r.GCPause > 0 {
+		fmt.Fprintf(&sb, "\nEstimated GC pause inside path compute: %v (%s)\n", rd(r.GCPause), pct(r.GCPause, r.Wall))
+	}
+
+	var anyWait bool
+	for c := Category(0); c < numCategories; c++ {
+		anyWait = anyWait || r.WaitTotals[c] > 0
+	}
+	if anyWait {
+		sb.WriteString("\n| wait state (whole trace) | time |\n|---|---:|\n")
+		for c := Category(0); c < numCategories; c++ {
+			if d := r.WaitTotals[c]; d > 0 {
+				fmt.Fprintf(&sb, "| %s | %v |\n", c, rd(d))
+			}
+		}
+	}
+
+	sb.WriteString("\n| span | subsystem | on-path | share | total | min-slack |\n|---|---|---:|---:|---:|---:|\n")
+	for _, ss := range r.BySpan {
+		fmt.Fprintf(&sb, "| %s | %s | %v | %.1f%% | %v | %v |\n",
+			ss.Name, ss.Subsystem, rd(ss.PathTime), 100*ss.Share, rd(ss.TotalTime), rd(ss.MinSlack))
+	}
+
+	if len(r.WhatIf) > 0 {
+		sb.WriteString("\n| what-if span | share |")
+		for _, f := range r.WhatIf[0].Factors {
+			fmt.Fprintf(&sb, " ×%.2f |", f)
+		}
+		sb.WriteString("\n|---|---:|")
+		for range r.WhatIf[0].Factors {
+			sb.WriteString("---:|")
+		}
+		sb.WriteString("\n")
+		for _, w := range r.WhatIf {
+			fmt.Fprintf(&sb, "| %s | %.1f%% |", w.Name, 100*w.Share)
+			for _, s := range w.Speedups {
+				fmt.Fprintf(&sb, " %+.1f%% |", s)
+			}
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "\nReplay baseline: %v\n", rd(r.ReplayWall))
+	}
+	return sb.String()
+}
+
+func trackLabel(names []string, id int) string {
+	if id >= 0 && id < len(names) {
+		return names[id]
+	}
+	return fmt.Sprintf("track %d", id)
+}
+
+// JSON shadow types: durations in integer nanoseconds, categories as
+// strings, field order fixed by the structs.
+
+type jsonCategory struct {
+	Category string  `json:"category"`
+	Ns       int64   `json:"ns"`
+	Share    float64 `json:"share"`
+}
+
+type jsonSpan struct {
+	Name      string  `json:"name"`
+	Subsystem string  `json:"subsystem"`
+	PathNs    int64   `json:"path_ns"`
+	Share     float64 `json:"share"`
+	TotalNs   int64   `json:"total_ns"`
+	SlackNs   int64   `json:"min_slack_ns"`
+}
+
+type jsonWhatIf struct {
+	Name      string    `json:"name"`
+	Subsystem string    `json:"subsystem"`
+	Share     float64   `json:"share"`
+	Factors   []float64 `json:"factors"`
+	Speedups  []float64 `json:"speedups_pct"`
+}
+
+type jsonStep struct {
+	Track    string `json:"track"`
+	Name     string `json:"name"`
+	FromNs   int64  `json:"from_ns"`
+	ToNs     int64  `json:"to_ns"`
+	Category string `json:"category"`
+}
+
+type jsonReport struct {
+	Session      string         `json:"session"`
+	WallNs       int64          `json:"wall_ns"`
+	PathStartNs  int64          `json:"path_start_ns"`
+	MakespanNs   int64          `json:"makespan_ns"`
+	Nodes        int            `json:"nodes"`
+	Edges        int            `json:"edges"`
+	Categories   []jsonCategory `json:"categories"`
+	WaitTotals   []jsonCategory `json:"wait_totals"`
+	GCPauseNs    int64          `json:"gc_pause_ns,omitempty"`
+	Spans        []jsonSpan     `json:"spans"`
+	ReplayWallNs int64          `json:"replay_wall_ns"`
+	WhatIf       []jsonWhatIf   `json:"what_if"`
+	Steps        []jsonStep     `json:"steps"`
+}
+
+// WriteJSON writes the machine-readable report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	jr := jsonReport{
+		Session:      r.Session,
+		WallNs:       r.Wall.Nanoseconds(),
+		PathStartNs:  r.PathStart.Nanoseconds(),
+		MakespanNs:   r.Makespan.Nanoseconds(),
+		Nodes:        len(r.Graph.Nodes),
+		Edges:        len(r.Graph.Edges),
+		GCPauseNs:    r.GCPause.Nanoseconds(),
+		ReplayWallNs: r.ReplayWall.Nanoseconds(),
+	}
+	for c := Category(0); c < numCategories; c++ {
+		if d := r.ByCategory[c]; d > 0 {
+			share := 0.0
+			if r.Wall > 0 {
+				share = float64(d) / float64(r.Wall)
+			}
+			jr.Categories = append(jr.Categories, jsonCategory{Category: c.String(), Ns: d.Nanoseconds(), Share: share})
+		}
+	}
+	for c := Category(0); c < numCategories; c++ {
+		if d := r.WaitTotals[c]; d > 0 {
+			jr.WaitTotals = append(jr.WaitTotals, jsonCategory{Category: c.String(), Ns: d.Nanoseconds()})
+		}
+	}
+	for _, ss := range r.BySpan {
+		jr.Spans = append(jr.Spans, jsonSpan{
+			Name: ss.Name, Subsystem: ss.Subsystem, PathNs: ss.PathTime.Nanoseconds(),
+			Share: ss.Share, TotalNs: ss.TotalTime.Nanoseconds(), SlackNs: ss.MinSlack.Nanoseconds(),
+		})
+	}
+	for _, wi := range r.WhatIf {
+		jr.WhatIf = append(jr.WhatIf, jsonWhatIf{
+			Name: wi.Name, Subsystem: wi.Subsystem, Share: wi.Share,
+			Factors: wi.Factors, Speedups: wi.Speedups,
+		})
+	}
+	for _, st := range r.Steps {
+		jr.Steps = append(jr.Steps, jsonStep{
+			//perfvet:ignore:fmttransitive labeling each step is the JSON export's purpose, once per report
+			Track: trackLabel(r.TrackNames, st.Track), Name: st.Name,
+			FromNs: st.From.Nanoseconds(), ToNs: st.To.Nanoseconds(), Category: st.Cat.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jr)
+}

@@ -1,0 +1,163 @@
+package critpath
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// What-if virtual speedups, in the spirit of causal profiling (COZ):
+// instead of guessing from flat profiles, replay the dependency DAG
+// with one span name's durations scaled down and read off the new
+// makespan. The replay keeps the recorded schedule's structure — every
+// edge still holds, nodes without recorded dependencies stay anchored
+// at their recorded starts — so the prediction is conservative: it
+// shows what the same execution would have cost, not what a rescheduled
+// one might.
+
+// replayDur is a node's duration under a what-if scale: elastic
+// segments are derived (zero — their finish is whatever dependencies
+// dictate), work segments scale when their name is targeted.
+func (n Node) replayDur(target map[string]bool, factor float64) time.Duration {
+	if n.Elastic {
+		return 0
+	}
+	if target != nil && target[n.Name] {
+		return time.Duration(float64(n.Dur()) * factor)
+	}
+	return n.Dur()
+}
+
+// earliestFinish runs the forward pass: finish(n) = max(anchor,
+// max over preds finish(pred)) + dur(n). Nodes with no predecessors
+// anchor at their recorded start — they model externally triggered
+// work the DAG cannot move.
+func (g *Graph) earliestFinish(order []int, target map[string]bool, factor float64) []time.Duration {
+	finish := make([]time.Duration, len(g.Nodes))
+	edges := g.Edges
+	for _, id := range order {
+		n := g.Nodes[id]
+		start := time.Duration(0)
+		if len(g.preds[id]) == 0 {
+			start = n.Start - g.MinStart
+		}
+		for _, ei := range g.preds[id] {
+			if f := finish[edges[ei].From]; f > start {
+				start = f
+			}
+		}
+		finish[id] = start + n.replayDur(target, factor)
+	}
+	return finish
+}
+
+// replayMakespan returns the replayed end-to-end time.
+func (g *Graph) replayMakespan(order []int, target map[string]bool, factor float64) time.Duration {
+	var m time.Duration
+	for _, f := range g.earliestFinish(order, target, factor) {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// whatIf fills rep.ReplayWall and rep.WhatIf for the top path
+// contributors.
+func whatIf(rep *Report, g *Graph, order []int, opts Options) {
+	rep.ReplayWall = g.replayMakespan(order, nil, 0)
+	if rep.ReplayWall <= 0 {
+		return
+	}
+	for _, ss := range rep.BySpan {
+		if ss.PathTime <= 0 {
+			continue
+		}
+		w := WhatIf{
+			Name:      ss.Name,
+			Subsystem: ss.Subsystem,
+			Share:     ss.Share,
+			Factors:   append([]float64(nil), opts.WhatIfFactors...),
+		}
+		target := map[string]bool{ss.Name: true}
+		for _, f := range w.Factors {
+			scaled := g.replayMakespan(order, target, f)
+			speedup := 0.0
+			if scaled > 0 {
+				speedup = (float64(rep.ReplayWall)/float64(scaled) - 1) * 100
+			}
+			w.Speedups = append(w.Speedups, speedup)
+		}
+		rep.WhatIf = append(rep.WhatIf, w)
+	}
+}
+
+// Hint is one entry of the ranked optimization-target list: the spans
+// whose acceleration the DAG predicts would move end-to-end time the
+// most. perfeng tune consumes these to order its search.
+type Hint struct {
+	// Target is the span name (a kernel name, a parallel-region
+	// policy, a region label).
+	Target    string
+	Subsystem string
+	// Share is the target's critical-path share; Gain is the predicted
+	// end-to-end speedup (percent) at the most aggressive simulated
+	// factor.
+	Share float64
+	Gain  float64
+}
+
+// Hints ranks the what-if targets by predicted gain.
+func (r *Report) Hints() []Hint {
+	out := make([]Hint, 0, len(r.WhatIf))
+	for _, w := range r.WhatIf {
+		h := Hint{Target: w.Name, Subsystem: w.Subsystem, Share: w.Share}
+		for _, s := range w.Speedups {
+			if s > h.Gain {
+				h.Gain = s
+			}
+		}
+		out = append(out, h)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Gain != out[j].Gain {
+			return out[i].Gain > out[j].Gain
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// jsonHint is the on-disk hint schema — the contract between
+// `perfeng critpath -hints` and `perfeng tune -hints`.
+type jsonHint struct {
+	Target    string  `json:"target"`
+	Subsystem string  `json:"subsystem"`
+	Share     float64 `json:"share"`
+	GainPct   float64 `json:"gain_pct"`
+}
+
+// WriteHints serializes a ranked hint list as JSON.
+func WriteHints(w io.Writer, hints []Hint) error {
+	js := make([]jsonHint, 0, len(hints))
+	for _, h := range hints {
+		js = append(js, jsonHint{Target: h.Target, Subsystem: h.Subsystem, Share: h.Share, GainPct: h.Gain})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(js)
+}
+
+// ReadHints parses a hint list written by WriteHints.
+func ReadHints(r io.Reader) ([]Hint, error) {
+	var js []jsonHint
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, err
+	}
+	out := make([]Hint, 0, len(js))
+	for _, h := range js {
+		out = append(out, Hint{Target: h.Target, Subsystem: h.Subsystem, Share: h.Share, Gain: h.GainPct})
+	}
+	return out, nil
+}

@@ -22,9 +22,10 @@ import (
 // lanes) and forward to inner, if any. Attach with
 // sched.Observe(flight.NewSchedTee(rec, innerObserver)).
 type SchedTee struct {
-	rec    *Recorder
-	inner  sched.Observer
-	tracks map[string]string // executor -> "sched <executor>", read-only
+	rec       *Recorder
+	inner     sched.Observer
+	innerProv sched.ProvenanceObserver // non-nil when inner wants provenance
+	tracks    map[string]string        // executor -> "sched <executor>", read-only
 }
 
 // NewSchedTee builds a tee over rec forwarding to inner (nil for none).
@@ -37,7 +38,9 @@ func NewSchedTee(rec *Recorder, inner sched.Observer) *SchedTee {
 		e := "worker " + strconv.Itoa(i)
 		tracks[e] = "sched " + e
 	}
-	return &SchedTee{rec: rec, inner: inner, tracks: tracks}
+	t := &SchedTee{rec: rec, inner: inner, tracks: tracks}
+	t.innerProv, _ = inner.(sched.ProvenanceObserver)
+	return t
 }
 
 // TaskRan implements sched.Observer.
@@ -49,6 +52,27 @@ func (t *SchedTee) TaskRan(executor string, pol sched.Policy, start time.Time, d
 	t.rec.RecordSpan(track, "parfor", pol.String(), t.rec.At(start), dur)
 	if t.inner != nil {
 		t.inner.TaskRan(executor, pol, start, dur)
+	}
+}
+
+// TaskRanInfo implements sched.ProvenanceObserver: the flat ring record
+// keeps the submitting region's id in Value (the one spare numeric
+// slot), so sched spans in a drained black box still group by region;
+// full steal provenance travels through inner when it asks for it.
+func (t *SchedTee) TaskRanInfo(info sched.TaskInfo) {
+	track, ok := t.tracks[info.Executor]
+	if !ok {
+		track = "sched " + info.Executor
+	}
+	t.rec.Record(Record{
+		Kind: KindSpan, Track: track, Name: "parfor", Detail: info.Policy.String(),
+		Start: t.rec.At(info.Start), Dur: info.Dur, Value: float64(info.Region),
+	})
+	switch {
+	case t.innerProv != nil:
+		t.innerProv.TaskRanInfo(info)
+	case t.inner != nil:
+		t.inner.TaskRan(info.Executor, info.Policy, info.Start, info.Dur)
 	}
 }
 

@@ -170,6 +170,23 @@ func (o *SchedObserver) TaskRan(executor string, pol sched.Policy, start time.Ti
 	o.s.Track("sched "+executor).AddSpanOffsets("parfor/"+pol.String(), nil, off, off+dur, nil)
 }
 
+// TaskRanInfo implements sched.ProvenanceObserver: the span carries the
+// submitting region's id and fork offset plus steal provenance, so an
+// offline analyzer (internal/critpath) can rebuild fork/join and steal
+// edges from the exported trace alone.
+func (o *SchedObserver) TaskRanInfo(info sched.TaskInfo) {
+	off := o.s.At(info.Start)
+	args := map[string]any{
+		"region":  info.Region,
+		"worker":  info.Worker,
+		"origin":  info.Origin,
+		"stolen":  info.Stolen,
+		"fork_ns": int64(o.s.At(info.Forked)),
+	}
+	o.s.Track("sched "+info.Executor).AddSpanOffsets(
+		"parfor/"+info.Policy.String(), nil, off, off+info.Dur, args)
+}
+
 // SessionSink is a swappable indirection in front of the current
 // session: long-lived consumers (the telemetry collector's sample
 // bridge, the monitoring server's trace endpoints) hold one stable sink

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"encoding/json"
+)
+
+// Chrome Trace Event Format import: the inverse of ChromeTrace, good
+// enough to feed an exported trace back into the offline analyzers
+// (internal/critpath) without keeping the live Session around. Only the
+// shapes our exporter emits are rebuilt — complete events, instants,
+// counter samples, thread_name metadata; anything else (async events,
+// flow arrows from other tools) is skipped rather than rejected, so
+// traces that passed through Perfetto still load.
+//
+// What does not survive the round trip: span stacks (the format encodes
+// nesting positionally, not structurally — consumers that care, like
+// critpath, recover containment geometrically) and the session epoch
+// (offsets are preserved exactly, the wall-clock anchor is gone).
+
+// ReadChromeTrace decodes a Chrome Trace Event Format JSON object (the
+// traceEvents-in-an-object form our exporter writes) and rebuilds a
+// Session from it.
+func ReadChromeTrace(r io.Reader) (*Session, error) {
+	var tr ChromeTrace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obs: decode chrome trace: %w", err)
+	}
+	return SessionFromChromeTrace(tr)
+}
+
+// SessionFromChromeTrace rebuilds a Session from a decoded trace.
+func SessionFromChromeTrace(tr ChromeTrace) (*Session, error) {
+	name := tr.OtherData["session"]
+	trackName := map[int]string{}
+	tids := make([]int, 0, len(tr.TraceEvents))
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Phase == "M" && e.Name == "process_name":
+			if n, ok := e.Args["name"].(string); ok && name == "" {
+				name = n
+			}
+		case e.Phase == "M" && e.Name == "thread_name":
+			if n, ok := e.Args["name"].(string); ok {
+				if _, seen := trackName[e.TID]; !seen {
+					tids = append(tids, e.TID)
+				}
+				trackName[e.TID] = n
+			}
+		case e.Phase == "X" || e.Phase == "i":
+			if _, seen := trackName[e.TID]; !seen {
+				trackName[e.TID] = "track " + strconv.Itoa(e.TID)
+				tids = append(tids, e.TID)
+			}
+		}
+	}
+	if name == "" {
+		name = "imported"
+	}
+	s := NewSession(name)
+	// Materialize tracks in ascending tid order so a session that came
+	// from our own exporter keeps its track ids verbatim.
+	sort.Ints(tids)
+	tracks := make(map[int]*Track, len(tids))
+	for _, id := range tids {
+		tracks[id] = s.Track(trackName[id])
+	}
+	for _, e := range tr.TraceEvents {
+		switch e.Phase {
+		case "X":
+			t := tracks[e.TID]
+			start := usecToDur(e.TS)
+			t.AddSpanOffsets(e.Name, nil, start, start+usecToDur(e.Dur), e.Args)
+		case "i":
+			tracks[e.TID].InstantAt(e.Name, usecToDur(e.TS), e.Args)
+		case "C":
+			v, ok := e.Args["value"].(float64)
+			if !ok {
+				continue
+			}
+			s.CounterSampleAt(e.Name, usecToDur(e.TS), v)
+		}
+	}
+	return s, nil
+}
+
+// usecToDur inverts usec. Exporter timestamps are exact thirds of a
+// nanosecond at worst within float64 range, so round-half-away restores
+// the original integer nanoseconds for everything we wrote ourselves.
+func usecToDur(us float64) time.Duration {
+	return time.Duration(math.Round(us * 1e3))
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// goldenSession builds a fully deterministic session: every offset is
+// explicit, and the creation/recording orders are deliberately scrambled
+// relative to time and name order so the test proves the exporter sorts
+// them back out.
+func goldenSession() *Session {
+	s := NewSession("golden")
+	r := s.Track("rank 1") // created before "host": exercises the tid remap
+	h := s.Track("host")
+	h.AddSpanOffsets("main", nil, 0, 8*time.Millisecond, nil)
+	r.AddSpanOffsets("compute", nil, 2*time.Millisecond, 7*time.Millisecond,
+		map[string]any{"bytes": 64, "peer": 0})
+	h.AddSpanOffsets("phase", []string{"main"}, 0, 3*time.Millisecond, nil)
+	r.InstantAt("late-sender", 5*time.Millisecond, map[string]any{"wait": "1ms"})
+	s.CounterSampleAt("b/ops", time.Millisecond, 2)
+	s.CounterSampleAt("a/bytes", 0, 1)
+	s.CounterSampleAt("b/ops", 2*time.Millisecond, 3)
+	return s
+}
+
+// scrambledSession records the same material as goldenSession in a
+// different order: tracks created the other way round, spans and samples
+// appended in a different sequence.
+func scrambledSession() *Session {
+	s := NewSession("golden")
+	h := s.Track("host")
+	r := s.Track("rank 1")
+	s.CounterSampleAt("a/bytes", 0, 1)
+	h.AddSpanOffsets("phase", []string{"main"}, 0, 3*time.Millisecond, nil)
+	r.InstantAt("late-sender", 5*time.Millisecond, map[string]any{"wait": "1ms"})
+	r.AddSpanOffsets("compute", nil, 2*time.Millisecond, 7*time.Millisecond,
+		map[string]any{"bytes": 64, "peer": 0})
+	h.AddSpanOffsets("main", nil, 0, 8*time.Millisecond, nil)
+	s.CounterSampleAt("b/ops", time.Millisecond, 2)
+	s.CounterSampleAt("b/ops", 2*time.Millisecond, 3)
+	return s
+}
+
+// TestChromeTraceGolden pins the export byte for byte. If this fails
+// because the format deliberately changed, regenerate the constant —
+// but remember every stored trace in CI artifacts is in the old shape.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenSession().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenChromeTrace {
+		t.Fatalf("export drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, goldenChromeTrace)
+	}
+}
+
+// TestChromeTraceDeterministic asserts recording order cannot leak into
+// the bytes: two sessions holding the same material in different
+// insertion orders export identically.
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenSession().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := scrambledSession().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("insertion order leaked into the export:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestReadChromeTrace round-trips export → import → export and checks
+// both the rebuilt session and that a second export reproduces the
+// first byte for byte (import is lossless for everything critpath
+// consumes: offsets, durations, args, track names, counters).
+func TestReadChromeTrace(t *testing.T) {
+	var first bytes.Buffer
+	if err := goldenSession().WriteChromeTrace(&first); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadChromeTrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s.Name() != "golden" {
+		t.Fatalf("session name = %q", s.Name())
+	}
+	names := s.TrackNames()
+	if len(names) != 2 || names[0] != "host" || names[1] != "rank 1" {
+		t.Fatalf("track names = %v", names)
+	}
+	spans := s.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	var compute *Span
+	for i := range spans {
+		if spans[i].Name == "compute" {
+			compute = &spans[i]
+		}
+	}
+	if compute == nil {
+		t.Fatal("compute span missing after import")
+	}
+	if compute.Start != 2*time.Millisecond || compute.Dur != 5*time.Millisecond {
+		t.Fatalf("compute offsets: start=%v dur=%v", compute.Start, compute.Dur)
+	}
+	if compute.Args["bytes"].(float64) != 64 {
+		t.Fatalf("span args lost: %v", compute.Args)
+	}
+	if got := s.Counters()["b/ops"]; len(got) != 2 || got[1].Value != 3 || got[1].At != 2*time.Millisecond {
+		t.Fatalf("counter series b/ops = %v", got)
+	}
+	if ins := s.Instants(); len(ins) != 1 || ins[0].Name != "late-sender" || ins[0].At != 5*time.Millisecond {
+		t.Fatalf("instants = %v", s.Instants())
+	}
+
+	var second bytes.Buffer
+	if err := s.WriteChromeTrace(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-export after import drifted:\n--- first ---\n%s\n--- second ---\n%s", first.String(), second.String())
+	}
+}
+
+// goldenChromeTrace is the pinned export of goldenSession.
+const goldenChromeTrace = `{
+ "traceEvents": [
+  {
+   "name": "process_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "golden"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "host"
+   }
+  },
+  {
+   "name": "thread_sort_index",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "sort_index": 0
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "name": "rank 1"
+   }
+  },
+  {
+   "name": "thread_sort_index",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "sort_index": 1
+   }
+  },
+  {
+   "name": "main",
+   "ph": "X",
+   "ts": 0,
+   "dur": 8000,
+   "pid": 1,
+   "tid": 0
+  },
+  {
+   "name": "phase",
+   "ph": "X",
+   "ts": 0,
+   "dur": 3000,
+   "pid": 1,
+   "tid": 0
+  },
+  {
+   "name": "compute",
+   "ph": "X",
+   "ts": 2000,
+   "dur": 5000,
+   "pid": 1,
+   "tid": 1,
+   "args": {
+    "bytes": 64,
+    "peer": 0
+   }
+  },
+  {
+   "name": "late-sender",
+   "ph": "i",
+   "ts": 5000,
+   "pid": 1,
+   "tid": 1,
+   "s": "t",
+   "args": {
+    "wait": "1ms"
+   }
+  },
+  {
+   "name": "a/bytes",
+   "ph": "C",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "value": 1
+   }
+  },
+  {
+   "name": "b/ops",
+   "ph": "C",
+   "ts": 1000,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "value": 2
+   }
+  },
+  {
+   "name": "b/ops",
+   "ph": "C",
+   "ts": 2000,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "value": 3
+   }
+  }
+ ],
+ "displayTimeUnit": "ms",
+ "otherData": {
+  "exporter": "perfeng/internal/obs",
+  "session": "golden"
+ }
+}
+`

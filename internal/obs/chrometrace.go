@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -16,6 +17,13 @@ import (
 // metadata record, spans are complete events (ph "X"), instants are ph
 // "i", counter series are ph "C". Timestamps are microseconds from the
 // session epoch, as the format requires.
+//
+// The export is deterministic: the same recorded material marshals to
+// the same bytes no matter which interleaving produced it. Track ids
+// are creation-ordered and workers append spans concurrently, so the
+// raw session order varies run to run; here tids are reassigned by
+// sorted track name and events are sorted by time. That makes golden
+// tests byte-exact and diffs between two exports meaningful.
 
 // ChromeEvent is one entry of the traceEvents array. Exported so the
 // round-trip test (and any downstream tool) can decode what we emit.
@@ -47,35 +55,76 @@ func (s *Session) ChromeTrace() ChromeTrace {
 	instants := s.Instants()
 	counters := s.Counters()
 	trackNames := s.TrackNames()
-	s.mu.Lock()
-	counterOrder := append([]string(nil), s.names...)
-	s.mu.Unlock()
+
+	// tid = rank of the track name in sorted order, independent of
+	// which track happened to be created first.
+	order := make([]int, len(trackNames))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return trackNames[order[a]] < trackNames[order[b]] })
+	tid := make([]int, len(trackNames))
+	for newID, oldID := range order {
+		tid[oldID] = newID
+	}
+
+	// Spans sort by start, then tid, then duration descending (an
+	// enclosing span precedes the nested span it shares a start with —
+	// viewers infer nesting from emission order on ties), then name.
+	sort.SliceStable(spans, func(a, b int) bool {
+		sa, sb := spans[a], spans[b]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		if ta, tb := tid[sa.TrackID], tid[sb.TrackID]; ta != tb {
+			return ta < tb
+		}
+		if sa.Dur != sb.Dur {
+			return sa.Dur > sb.Dur
+		}
+		return sa.Name < sb.Name
+	})
+	sort.SliceStable(instants, func(a, b int) bool {
+		ia, ib := instants[a], instants[b]
+		if ia.At != ib.At {
+			return ia.At < ib.At
+		}
+		if ta, tb := tid[ia.TrackID], tid[ib.TrackID]; ta != tb {
+			return ta < tb
+		}
+		return ia.Name < ib.Name
+	})
+	counterOrder := make([]string, 0, len(counters))
+	for name := range counters {
+		counterOrder = append(counterOrder, name)
+	}
+	sort.Strings(counterOrder)
 
 	events := make([]ChromeEvent, 0, len(spans)+len(instants)+2*len(trackNames)+8)
 	events = append(events, ChromeEvent{
 		Name: "process_name", Phase: "M", PID: tracePID,
 		Args: map[string]any{"name": s.Name()},
 	})
-	for id, name := range trackNames {
+	for newID, oldID := range order {
 		events = append(events, ChromeEvent{
-			Name: "thread_name", Phase: "M", PID: tracePID, TID: id,
-			Args: map[string]any{"name": name},
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: newID,
+			Args: map[string]any{"name": trackNames[oldID]},
 		})
 		events = append(events, ChromeEvent{
-			Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: id,
-			Args: map[string]any{"sort_index": id},
+			Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: newID,
+			Args: map[string]any{"sort_index": newID},
 		})
 	}
 	for _, sp := range spans {
 		events = append(events, ChromeEvent{
 			Name: sp.Name, Phase: "X", TS: usec(sp.Start), Dur: usec(sp.Dur),
-			PID: tracePID, TID: sp.TrackID, Args: sp.Args,
+			PID: tracePID, TID: tid[sp.TrackID], Args: sp.Args,
 		})
 	}
 	for _, in := range instants {
 		events = append(events, ChromeEvent{
 			Name: in.Name, Phase: "i", TS: usec(in.At),
-			PID: tracePID, TID: in.TrackID, Scope: "t", Args: in.Args,
+			PID: tracePID, TID: tid[in.TrackID], Scope: "t", Args: in.Args,
 		})
 	}
 	for _, name := range counterOrder {

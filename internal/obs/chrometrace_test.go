@@ -42,14 +42,18 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 	}
 
 	// Track metadata: a thread_name record per track, names preserved.
-	names := make(map[int]string)
+	// Exported tids are assigned by sorted track name, not creation
+	// order, so the test resolves them from the metadata.
+	tids := make(map[string]int)
 	for _, e := range byPhase["M"] {
 		if e.Name == "thread_name" {
-			names[e.TID] = e.Args["name"].(string)
+			tids[e.Args["name"].(string)] = e.TID
 		}
 	}
-	if names[host.ID()] != "host" || names[rank.ID()] != "rank 0" {
-		t.Fatalf("thread names = %v", names)
+	hostTID, hostOK := tids["host"]
+	rankTID, rankOK := tids["rank 0"]
+	if !hostOK || !rankOK {
+		t.Fatalf("thread names = %v", tids)
 	}
 
 	// Spans: three complete events; inner nested inside outer on the same
@@ -68,7 +72,7 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 		return ChromeEvent{}
 	}
 	outer, inner, send := find("outer"), find("inner"), find("send")
-	if outer.TID != host.ID() || inner.TID != host.ID() || send.TID != rank.ID() {
+	if outer.TID != hostTID || inner.TID != hostTID || send.TID != rankTID {
 		t.Fatalf("track ids: outer=%d inner=%d send=%d", outer.TID, inner.TID, send.TID)
 	}
 	if inner.TS < outer.TS || inner.TS+inner.Dur > outer.TS+outer.Dur {

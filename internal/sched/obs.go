@@ -22,8 +22,53 @@ type Observer interface {
 	TaskRan(executor string, pol Policy, start time.Time, dur time.Duration)
 }
 
-// observerBox lets an interface value live in an atomic.Pointer.
-type observerBox struct{ o Observer }
+// TaskInfo is the provenance-carrying form of a TaskRan event: enough
+// to reconstruct fork/join and steal edges from a trace. Every range
+// belongs to exactly one parallel region (one ParallelFor/Reduce call),
+// identified process-wide by Region; Forked is the instant the
+// submitter seeded that region, so Start-Forked bounds the range's
+// queue/steal latency.
+type TaskInfo struct {
+	// Executor is the TaskRan label: "worker N" or "caller".
+	Executor string
+	// Worker is the executing worker id, or -1 for the submitter's
+	// help loop.
+	Worker int
+	// Origin is the deque the range was last pushed onto — its seed
+	// placement, or the splitting worker under lazy splitting.
+	Origin int
+	// Stolen reports that the executing worker took the range from
+	// another worker's deque (always false for the help loop: a
+	// submitter draining its own job is a join, not a steal).
+	Stolen bool
+	// Region is the process-wide id of the submitting parallel region.
+	Region uint64
+	// Forked is when the submitter seeded the region.
+	Forked time.Time
+	Policy Policy
+	Start  time.Time
+	Dur    time.Duration
+	Lo, Hi int
+}
+
+// ProvenanceObserver is the extension interface an Observer may
+// additionally implement to receive full fork/join provenance. Plain
+// Observer implementations keep working unchanged: the pool type-checks
+// once at Observe time and falls back to TaskRan.
+type ProvenanceObserver interface {
+	Observer
+	// TaskRanInfo replaces TaskRan (only one of the two is called per
+	// range) with the provenance-carrying event.
+	TaskRanInfo(info TaskInfo)
+}
+
+// observerBox lets an interface value live in an atomic.Pointer. The
+// provenance capability is resolved here, once, so the per-task path
+// pays no type assertion.
+type observerBox struct {
+	o  Observer
+	po ProvenanceObserver // nil when o is a plain Observer
+}
 
 type obsCell = atomic.Pointer[observerBox]
 
@@ -34,7 +79,9 @@ func (p *Pool) Observe(o Observer) {
 		p.obs.Store(nil)
 		return
 	}
-	p.obs.Store(&observerBox{o: o})
+	box := &observerBox{o: o}
+	box.po, _ = o.(ProvenanceObserver)
+	p.obs.Store(box)
 }
 
 // Observe attaches o to the default pool (see Pool.Observe).
@@ -43,11 +90,29 @@ func Observe(o Observer) { Default().Observe(o) }
 // callerExecutor labels ranges run by the submitting goroutine.
 const callerExecutor = "caller"
 
-// observeTask reports one executed range to the attached observer.
-func observeTask(o Observer, w *worker, pol Policy, start time.Time, dur time.Duration) {
-	exec := callerExecutor
+// observeTask reports one executed range to the attached observer,
+// with full provenance when the observer asked for it.
+func observeTask(box *observerBox, w *worker, t task, start time.Time, dur time.Duration) {
+	j := t.j
+	exec, wid := callerExecutor, -1
 	if w != nil {
-		exec = w.obsName
+		exec, wid = w.obsName, w.id
 	}
-	o.TaskRan(exec, pol, start, dur)
+	if box.po == nil {
+		box.o.TaskRan(exec, j.pol, start, dur)
+		return
+	}
+	box.po.TaskRanInfo(TaskInfo{
+		Executor: exec,
+		Worker:   wid,
+		Origin:   t.origin,
+		Stolen:   w != nil && t.origin != w.id,
+		Region:   j.region,
+		Forked:   j.forked,
+		Policy:   j.pol,
+		Start:    start,
+		Dur:      dur,
+		Lo:       t.lo,
+		Hi:       t.hi,
+	})
 }

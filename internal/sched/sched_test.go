@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -421,6 +422,99 @@ func TestObserve(t *testing.T) {
 	for exec := range rec.execs {
 		if exec != "caller" && !strings.HasPrefix(exec, "worker ") {
 			t.Errorf("unexpected executor label %q", exec)
+		}
+	}
+}
+
+// provenanceObserver records full TaskInfo events; TaskRan must never
+// fire on it (the pool resolves the capability once at Observe time).
+type provenanceObserver struct {
+	mu       sync.Mutex
+	infos    []TaskInfo
+	taskRans int
+}
+
+func (o *provenanceObserver) TaskRan(string, Policy, time.Time, time.Duration) {
+	o.mu.Lock()
+	o.taskRans++
+	o.mu.Unlock()
+}
+
+func (o *provenanceObserver) TaskRanInfo(info TaskInfo) {
+	o.mu.Lock()
+	o.infos = append(o.infos, info)
+	o.mu.Unlock()
+}
+
+// TestObserveProvenance checks the fork/join provenance contract: every
+// range carries the submitting region's id and fork time, distinct
+// regions get distinct ids, the executed ranges of one region tile
+// [0, n) exactly, and Stolen is consistent with Origin vs Worker.
+// recordingObserver (plain Observer, above) keeps compiling and running
+// unchanged, which is the source-compatibility half of the contract.
+func TestObserveProvenance(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	rec := &provenanceObserver{}
+	p.Observe(rec)
+	defer p.Observe(nil)
+
+	const n = 4096
+	p.ForPolicy(PolicyStealing, n, 16, func(lo, hi int) {})
+	p.ForPolicy(PolicyStatic, n, 64, func(lo, hi int) {})
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.taskRans != 0 {
+		t.Fatalf("TaskRan fired %d times on a ProvenanceObserver", rec.taskRans)
+	}
+	if len(rec.infos) == 0 {
+		t.Fatal("no TaskRanInfo callbacks recorded")
+	}
+	regions := make(map[uint64][]TaskInfo)
+	for _, info := range rec.infos {
+		if info.Region == 0 {
+			t.Fatalf("zero region id: %+v", info)
+		}
+		if info.Forked.IsZero() || info.Start.Before(info.Forked) {
+			t.Errorf("task start %v precedes region fork %v", info.Start, info.Forked)
+		}
+		if info.Worker >= 0 && info.Executor != "worker "+strconv.Itoa(info.Worker) {
+			t.Errorf("executor %q does not match worker %d", info.Executor, info.Worker)
+		}
+		if info.Worker < 0 && info.Executor != "caller" {
+			t.Errorf("executor %q for help-loop range", info.Executor)
+		}
+		if info.Stolen && (info.Worker < 0 || info.Origin == info.Worker) {
+			t.Errorf("stolen range with origin %d on worker %d", info.Origin, info.Worker)
+		}
+		if !info.Stolen && info.Worker >= 0 && info.Origin != info.Worker {
+			t.Errorf("unstolen range with origin %d on worker %d", info.Origin, info.Worker)
+		}
+		regions[info.Region] = append(regions[info.Region], info)
+	}
+	if len(regions) != 2 {
+		t.Fatalf("got %d distinct regions, want 2", len(regions))
+	}
+	for id, infos := range regions {
+		covered := make([]bool, n)
+		for _, info := range infos {
+			for i := info.Lo; i < info.Hi; i++ {
+				if covered[i] {
+					t.Fatalf("region %d: index %d executed twice", id, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("region %d: index %d never executed", id, i)
+			}
+		}
+		for _, info := range infos[1:] {
+			if info.Forked != infos[0].Forked {
+				t.Errorf("region %d: fork times differ within one region", id)
+			}
 		}
 	}
 }

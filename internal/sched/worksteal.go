@@ -17,6 +17,11 @@ import (
 type task struct {
 	j      *job
 	lo, hi int
+	// origin is the deque index the task was last pushed onto — seed
+	// placement or the splitting worker. An executor with a different
+	// id got the task by stealing; observers use that to reconstruct
+	// steal edges from traces.
+	origin int
 }
 
 // ring is one generation of workers and deques. SetWorkers swaps in a
@@ -146,6 +151,13 @@ type job struct {
 	ring  *ring
 	lane  int // executor id the submitter uses in its help loop
 
+	// region and forked identify the submitting parallel region for
+	// observers (fork/join provenance); both stay zero when no
+	// observer is attached, so the common path pays neither the
+	// counter bump nor the clock read.
+	region uint64
+	forked time.Time
+
 	pending atomic.Int64
 	_       [56]byte // every task completion hits pending; keep it off the cold panic fields' cache line
 
@@ -158,6 +170,10 @@ type job struct {
 }
 
 var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// regionIDs hands out process-wide parallel-region ids for provenance.
+// Never zero: zero means "no observer was attached at submit time".
+var regionIDs atomic.Uint64
 
 // setPanic records the first panic of the job and cancels the rest of
 // it; later panics (possible when ranges run concurrently) are
@@ -204,6 +220,11 @@ func (p *Pool) dispatch(pol Policy, n, grain int, fn func(int, int), wfn func(in
 	j.pol = pol
 	j.ring = r
 	j.lane = nw
+	j.region, j.forked = 0, time.Time{}
+	if p.obs.Load() != nil {
+		j.region = regionIDs.Add(1)
+		j.forked = time.Now()
+	}
 	j.wg.Add(1)
 
 	p.seed(r, j, pol, n, grain, nw)
@@ -252,7 +273,8 @@ func (p *Pool) seed(r *ring, j *job, pol Policy, n, grain, nw int) {
 
 	off := int(r.rr.Add(1))
 	push := func(i, lo, hi int) {
-		r.deques[(off+i)%nw].push(task{j: j, lo: lo, hi: hi})
+		d := (off + i) % nw
+		r.deques[d].push(task{j: j, lo: lo, hi: hi, origin: d})
 	}
 	switch pol {
 	case PolicyStatic:
@@ -312,10 +334,13 @@ func (p *Pool) runTask(w *worker, t task) {
 			j.pending.Add(1)
 			nt := task{j: j, lo: mid, hi: t.hi}
 			if w != nil {
+				nt.origin = w.id
 				w.dq.push(nt)
 				w.stats.splits.Add(1)
 			} else {
-				r.deques[int(r.rr.Add(1))%len(r.deques)].push(nt)
+				d := int(r.rr.Add(1)) % len(r.deques)
+				nt.origin = d
+				r.deques[d].push(nt)
 			}
 			if r.idle.Load() > 0 {
 				r.signal(1)
@@ -334,7 +359,7 @@ func (p *Pool) runTask(w *worker, t task) {
 		publishTask(th, w, dur)
 	}
 	if ob := p.obs.Load(); ob != nil {
-		observeTask(ob.o, w, j.pol, start, dur)
+		observeTask(ob, w, t, start, dur)
 	}
 	if j.pending.Add(-1) == 0 {
 		j.wg.Done() // j may be reused immediately; touch nothing after
