@@ -35,6 +35,7 @@ import (
 	"perfeng/internal/queuing"
 	"perfeng/internal/roofline"
 	"perfeng/internal/sched"
+	"perfeng/internal/serviced"
 	"perfeng/internal/simulator"
 	"perfeng/internal/simulator/ports"
 	"perfeng/internal/statmodel"
@@ -323,6 +324,69 @@ func BenchmarkSmoke(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			tunedCfgSink, _ = tune.Lookup(tune.KernelMatMul, 144)
 		}
+	})
+	// Job-service admission hot path: the Admit+Done pair every request
+	// pays before a kernel runs. ResizeEvery -1 freezes the sizing (live
+	// re-size allocates a Sizing snapshot, which is fine at its 1/256
+	// cadence but would poison a 0-alloc guard), and the clock advances
+	// one millisecond per probe — with the whole rate budget on one
+	// tenant (FairShare 1), the bucket refills ~2 tokens per probe, so
+	// the drain never outruns it at any b.N.
+	b.Run("serviced-admit", func(b *testing.B) {
+		adm, err := serviced.NewAdmission(serviced.AdmissionConfig{
+			Servers:            2,
+			TargetP99:          10 * time.Second,
+			InitialMeanService: time.Millisecond,
+			FairShare:          1,
+			ResizeEvery:        -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := time.Unix(0, 0)
+		probe := func() {
+			now = now.Add(time.Millisecond)
+			d := adm.Admit("bench", now)
+			if !d.OK {
+				b.Fatalf("admission rejected the bench probe: %s", d.Reason)
+			}
+			adm.Done(time.Millisecond)
+		}
+		probe() // warm the tenant bucket before the alloc guard
+		if a := testing.AllocsPerRun(1000, probe); a != 0 {
+			b.Fatalf("admit/done allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			probe()
+		}
+	})
+	// SSE event encoder: the per-event cost of streaming results to a
+	// client. The append encoder reuses the caller's buffer, so the
+	// steady state must not allocate — the widest event kind (result)
+	// keeps the guard honest.
+	b.Run("serviced-event-encode", func(b *testing.B) {
+		ev := serviced.Event{
+			V: serviced.SchemaVersion, Kind: serviced.KindResult,
+			Job: "j-42", Tenant: "bench", Seq: 6,
+			Result: &serviced.ResultInfo{
+				Kernel: "histogram", Reps: 3, WaitNS: 120_000,
+				MeanNS: 410_000, P50NS: 400_000, P95NS: 450_000,
+				P99NS: 460_000, TotalNS: 1_230_000,
+			},
+		}
+		buf := make([]byte, 0, 512)
+		if a := testing.AllocsPerRun(1000, func() {
+			buf = serviced.AppendSSE(buf[:0], &ev)
+		}); a != 0 {
+			b.Fatalf("event encode allocates: %v allocs/op", a)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = serviced.AppendSSE(buf[:0], &ev)
+		}
+		sink = buf
 	})
 }
 

@@ -17,6 +17,8 @@
 //	perfeng flight -kernel matmul -slo 'perfeng_flight_iteration_seconds.p99<2s'
 //	perfeng tune -smoke -github
 //	perfeng critpath -input trace.json -hints hints.json
+//	perfeng serve -addr 127.0.0.1:8091 -loop=false       # perfengd: job daemon
+//	perfeng loadtest -clients 500 -duration 10s -fail-p99 2s
 package main
 
 import (
@@ -62,6 +64,10 @@ func main() {
 		runCritpath(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
+		runLoadtest(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "matmul", "application kernel (see -list)")
 		n        = flag.Int("n", 256, "problem size")
@@ -92,6 +98,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "                                 (Welch-t gated; perfeng tune -help)")
 		fmt.Fprintln(os.Stderr, "       perfeng critpath [flags]  causal critical-path analysis of a trace: wait-state")
 		fmt.Fprintln(os.Stderr, "                                 attribution + what-if speedups (perfeng critpath -help)")
+		fmt.Fprintln(os.Stderr, "       perfeng loadtest [flags]  hammer the job service with closed-loop clients and")
+		fmt.Fprintln(os.Stderr, "                                 gate on p99 + protocol (perfeng loadtest -help)")
 		fmt.Fprintln(os.Stderr, "flags:")
 		flag.PrintDefaults()
 	}

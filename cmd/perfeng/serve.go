@@ -30,6 +30,7 @@ import (
 	"perfeng/internal/obs"
 	"perfeng/internal/queuing"
 	"perfeng/internal/sched"
+	"perfeng/internal/serviced"
 	"perfeng/internal/simulator"
 	"perfeng/internal/telemetry"
 	"perfeng/internal/tune"
@@ -198,6 +199,10 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:8080", "listen address for the monitoring endpoint")
+		loop       = fs.Bool("loop", true, "loop the -kernel workload; -loop=false serves jobs only (perfengd mode)")
+		jobs       = fs.Bool("jobs", true, "mount the multi-tenant job API at /v1/jobs and /v1/stats")
+		jobsExecs  = fs.Int("jobs-executors", 2, "executor goroutines for the job service (the c of its M/M/c sizing)")
+		jobsTarget = fs.Duration("jobs-target-p99", 2*time.Second, "p99 sojourn objective the job admission control is sized for")
 		appName    = fs.String("kernel", "matmul", "application kernel to loop (see perfeng -list)")
 		n          = fs.Int("n", 256, "problem size")
 		workers    = fs.Int("workers", 4, "parallel workers for the parallel variants")
@@ -216,7 +221,11 @@ func runServe(args []string) {
 		fmt.Fprintln(os.Stderr, "endpoint: /metrics (OpenMetrics), /healthz, /debug/pprof/, the current")
 		fmt.Fprintln(os.Stderr, "session as /trace.json + /profile.folded, and the flight recorder's")
 		fmt.Fprintln(os.Stderr, "black box as /debug/flight (+ .folded). -slo objectives are watched in")
-		fmt.Fprintln(os.Stderr, "the background; violations dump the black box. Ctrl-C stops cleanly.")
+		fmt.Fprintln(os.Stderr, "the background; violations dump the black box. With -jobs (default) the")
+		fmt.Fprintln(os.Stderr, "multi-tenant job API is mounted at /v1/jobs: POST a spec, stream SSE")
+		fmt.Fprintln(os.Stderr, "progress; admission control is sized from the M/M/c model against")
+		fmt.Fprintln(os.Stderr, "-jobs-target-p99. -loop=false runs as a pure job daemon (perfengd).")
+		fmt.Fprintln(os.Stderr, "Ctrl-C stops cleanly.")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -232,6 +241,17 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	// The job service registers its routes before Start, like the
+	// /debug/flight handlers; closing it (below) drains the executors
+	// before the telemetry producers detach.
+	var svc *serviced.Service
+	if *jobs {
+		svc, err = newJobService(st.reg, *jobsExecs, *jobsTarget)
+		if err != nil {
+			fatal(err)
+		}
+		svc.Attach(st.server)
+	}
 	st.collector.Start()
 	st.engine.Start(*interval)
 	bound, err := st.server.Start()
@@ -239,7 +259,16 @@ func runServe(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("perfeng serve: monitoring on http://%s/ (metrics, healthz, trace.json, profile.folded, debug/pprof, debug/flight)\n", bound)
-	fmt.Printf("perfeng serve: looping kernel %q n=%d ranks=%d; Ctrl-C to stop\n", app.Name, *n, *ranks)
+	if svc != nil {
+		s := svc.Admission().Sizing()
+		fmt.Printf("perfeng serve: job API on http://%s/v1/jobs — %d executors, admission sized for p99<%v (lambda=%.1f/s, queue<=%d)\n",
+			bound, *jobsExecs, *jobsTarget, s.Lambda, s.QueueDepth)
+	}
+	if *loop {
+		fmt.Printf("perfeng serve: looping kernel %q n=%d ranks=%d; Ctrl-C to stop\n", app.Name, *n, *ranks)
+	} else {
+		fmt.Println("perfeng serve: workload loop disabled (-loop=false); serving jobs only")
+	}
 	for _, o := range st.engine.Objectives() {
 		fmt.Printf("perfeng serve: watching SLO %s\n", o.Raw)
 	}
@@ -249,7 +278,7 @@ func runServe(args []string) {
 
 	loopDone := make(chan error, 1)
 	namePrefix := "perfeng serve " + app.Name + " #"
-	go func() {
+	runLoop := func() {
 		for i := 1; *iterations == 0 || i <= *iterations; i++ {
 			if ctx.Err() != nil {
 				break
@@ -279,7 +308,10 @@ func runServe(args []string) {
 			}
 		}
 		loopDone <- nil
-	}()
+	}
+	if *loop {
+		go runLoop()
+	}
 
 	select {
 	case <-ctx.Done():
@@ -290,6 +322,9 @@ func runServe(args []string) {
 		}
 	}
 	stop()
+	if svc != nil {
+		svc.Close()
+	}
 
 	// Flush the current session before the stack goes away; exports take
 	// the session lock, so a workload iteration still finishing is fine.

@@ -35,6 +35,11 @@ type SimResult struct {
 	MeanWq    float64 // mean waiting time
 	MeanL     float64 // time-average number in system
 	Util      float64 // time-average busy servers / servers
+	// Sojourns holds each post-warm-up customer's time in system, in
+	// arrival order — the empirical distribution behind MeanW, kept so
+	// tail quantiles (the p99 the admission controller sizes for) can be
+	// validated against the analytical SojournTail, not just the mean.
+	Sojourns []float64
 }
 
 type event struct {
@@ -133,9 +138,12 @@ func Simulate(interarrival, service Sampler, servers, customers, warmup int, see
 	}
 
 	var sumW, sumWq float64
+	sojourns := make([]float64, 0, customers)
 	for i := warmup; i < total; i++ {
-		sumW += departure[i] - arrivals[i]
+		w := departure[i] - arrivals[i]
+		sumW += w
 		sumWq += startService[i] - arrivals[i]
+		sojourns = append(sojourns, w)
 	}
 	n := float64(customers)
 	horizon := lastT - statsStart
@@ -143,6 +151,7 @@ func Simulate(interarrival, service Sampler, servers, customers, warmup int, see
 		Customers: customers,
 		MeanW:     sumW / n,
 		MeanWq:    sumWq / n,
+		Sojourns:  sojourns,
 	}
 	if horizon > 0 {
 		res.MeanL = areaL / horizon

@@ -89,6 +89,78 @@ func AnalyzeMMC(lambda, mu float64, servers int) (MMC, error) {
 	}, nil
 }
 
+// WaitTail returns P(Wq > t), the probability an arrival waits longer
+// than t before service starts. For M/M/c FCFS the waiting time is 0
+// with probability 1-ErlangC and exponential with rate c*mu-lambda
+// otherwise, so the tail is ErlangC * exp(-(c*mu-lambda)*t).
+func (m MMC) WaitTail(t float64) float64 {
+	if t <= 0 {
+		return m.ErlangC
+	}
+	theta := float64(m.Servers)*m.Mu - m.Lambda
+	return m.ErlangC * math.Exp(-theta*t)
+}
+
+// SojournTail returns P(W > t), the probability a customer's total time
+// in system (wait + service) exceeds t. The sojourn is the independent
+// sum of an exponential service S ~ Exp(mu) and the FCFS waiting time
+// Wq (an atom at 0 with mass 1-ErlangC, exponential with rate
+// theta = c*mu-lambda otherwise), so the tail is the exact convolution
+//
+//	P(W>t) = (1-C) e^{-mu t} + C (mu e^{-theta t} - theta e^{-mu t})/(mu-theta)
+//
+// with the usual (1+mu t) e^{-mu t} limit when theta == mu. This is the
+// distribution admission control sizes against: exact under the M/M/c
+// assumptions, an approximation (documented as such) for the measured
+// service processes it is fed.
+func (m MMC) SojournTail(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	c := m.ErlangC
+	mu := m.Mu
+	theta := float64(m.Servers)*mu - m.Lambda
+	if math.Abs(mu-theta) < 1e-12*mu {
+		return (1-c)*math.Exp(-mu*t) + c*(1+mu*t)*math.Exp(-mu*t)
+	}
+	conv := (mu*math.Exp(-theta*t) - theta*math.Exp(-mu*t)) / (mu - theta)
+	return (1-c)*math.Exp(-mu*t) + c*conv
+}
+
+// SojournQuantile returns the p-th quantile (0 < p < 1) of the sojourn
+// time, the t with P(W <= t) = p, by bisection on SojournTail. This is
+// what "modeled p99 latency" means throughout internal/serviced: the
+// admission controller picks the largest arrival rate whose modeled
+// SojournQuantile(0.99) still sits under the latency objective.
+func (m MMC) SojournQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("queuing: quantile must be in (0, 1)")
+	}
+	tail := 1 - p
+	// Grow an upper bracket first; the tail decays exponentially, so a
+	// few doublings beyond the mean always cross it.
+	hi := m.W
+	if hi <= 0 {
+		hi = 1 / m.Mu
+	}
+	for i := 0; m.SojournTail(hi) > tail; i++ {
+		hi *= 2
+		if i > 200 {
+			return 0, errors.New("queuing: sojourn quantile bracket diverged")
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if m.SojournTail(mid) > tail {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
 // MG1 summarizes an M/G/1 queue via the Pollaczek-Khinchine formula.
 type MG1 struct {
 	Lambda      float64

@@ -2,6 +2,7 @@ package queuing
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -310,5 +311,99 @@ func TestMVAErrors(t *testing.T) {
 	}
 	if MVABottleneck([]MVAStation{{Demand: 1, Delay: true}}) != -1 {
 		t.Fatal("all-delay network has no bottleneck")
+	}
+}
+
+func TestSojournTailBasics(t *testing.T) {
+	m, err := AnalyzeMMC(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail is a proper survival function: 1 at 0, decreasing, -> 0.
+	if got := m.SojournTail(0); got != 1 {
+		t.Fatalf("SojournTail(0) = %v, want 1", got)
+	}
+	prev := 1.0
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		cur := m.SojournTail(x)
+		if cur > prev+1e-12 {
+			t.Fatalf("tail increased at t=%v: %v > %v", x, cur, prev)
+		}
+		prev = cur
+	}
+	if m.SojournTail(50) > 1e-9 {
+		t.Fatalf("tail does not vanish: %v", m.SojournTail(50))
+	}
+	// Wait tail at 0 is the Erlang-C waiting probability.
+	approx(t, m.WaitTail(0), m.ErlangC, 1e-12, "WaitTail(0)")
+}
+
+func TestSojournTailMeanConsistent(t *testing.T) {
+	// Integrating the survival function recovers the mean sojourn W.
+	for _, tc := range []struct {
+		lambda, mu float64
+		c          int
+	}{
+		{0.8, 1, 1}, {3, 2, 2}, {7, 1, 10},
+	} {
+		m, err := AnalyzeMMC(tc.lambda, tc.mu, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var integ float64
+		dt := m.W / 4000
+		for x := dt / 2; x < 60*m.W; x += dt {
+			integ += m.SojournTail(x) * dt
+		}
+		approx(t, integ, m.W, 1e-2, "integral of tail vs W")
+	}
+}
+
+func TestSojournQuantileInvertsTail(t *testing.T) {
+	m, err := AnalyzeMMC(3.6, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q, err := m.SojournQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, m.SojournTail(q), 1-p, 1e-6, "tail at quantile")
+	}
+	if _, err := m.SojournQuantile(0); err == nil {
+		t.Fatal("p=0 must fail")
+	}
+	if _, err := m.SojournQuantile(1); err == nil {
+		t.Fatal("p=1 must fail")
+	}
+}
+
+func TestSojournQuantileMatchesSimulation(t *testing.T) {
+	// The analytical p90/p99 must agree with the discrete-event
+	// simulator's empirical quantiles — the same cross-check the course
+	// runs for the means, extended to the tail the admission controller
+	// actually sizes for.
+	const lambda, mu, servers = 3.0, 1.0, 4
+	m, err := AnalyzeMMC(lambda, mu, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(Exponential(lambda), Exponential(mu), servers, 60000, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sojourns) != res.Customers {
+		t.Fatalf("got %d sojourn samples, want %d", len(res.Sojourns), res.Customers)
+	}
+	sorted := append([]float64(nil), res.Sojourns...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0.9, 0.99} {
+		want, err := m.SojournQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sorted[int(p*float64(len(sorted)-1))]
+		approx(t, got, want, 0.12, "simulated quantile")
 	}
 }

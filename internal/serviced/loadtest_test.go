@@ -1,0 +1,140 @@
+package serviced
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRunLoadAgainstService drives the closed-loop harness against an
+// in-process service: jobs complete, the protocol validates clean, and
+// the report carries both measured quantiles and the model prediction.
+func TestRunLoadAgainstService(t *testing.T) {
+	cfg := Config{
+		Resolve: func(spec JobSpec) (Runner, error) {
+			if spec.Kernel != "smoke" {
+				return nil, errors.New("unknown kernel")
+			}
+			return func(rep int) error {
+				time.Sleep(300 * time.Microsecond)
+				return nil
+			}, nil
+		},
+		Admission: AdmissionConfig{
+			Servers:            2,
+			TargetP99:          time.Second,
+			InitialMeanService: time.Millisecond,
+			FairShare:          4,
+		},
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:      srv.URL,
+		Clients:  8,
+		Tenants:  4,
+		Duration: 600 * time.Millisecond,
+		Spec:     JobSpec{Kernel: "smoke", Reps: 2},
+		Client:   srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("no jobs completed: %+v", rep)
+	}
+	if rep.ProtocolViolations != 0 {
+		t.Fatalf("%d protocol violations against a conforming server", rep.ProtocolViolations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors: %+v", rep.Errors, rep)
+	}
+	if rep.P99Sojourn <= 0 || rep.P50Sojourn > rep.P99Sojourn {
+		t.Fatalf("sojourn quantiles inconsistent: %+v", rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.ServerStats == nil {
+		t.Fatal("report is missing the server stats snapshot")
+	}
+	if rep.ModeledP99 <= 0 {
+		t.Fatalf("report is missing the model prediction: %+v", rep)
+	}
+	// The ledger reconciles: the server admitted exactly what some
+	// client saw complete plus whatever was in flight at cutoff.
+	if rep.ServerStats.Admitted < uint64(rep.Completed) {
+		t.Fatalf("server admitted %d < client completed %d",
+			rep.ServerStats.Admitted, rep.Completed)
+	}
+}
+
+// TestRunLoadHonorsBackpressure points the harness at a service sized
+// so small that rejections are guaranteed, and checks clients classify
+// them instead of erroring out.
+func TestRunLoadHonorsBackpressure(t *testing.T) {
+	cfg := Config{
+		Resolve: func(spec JobSpec) (Runner, error) {
+			return func(rep int) error {
+				time.Sleep(2 * time.Millisecond)
+				return nil
+			}, nil
+		},
+		Admission: AdmissionConfig{
+			Servers: 1,
+			// Target barely above the 2ms service tail (ln 100 · 2ms ≈
+			// 9.2ms): the model sizes a one-slot queue and a thin rate, so
+			// 12 concurrent clients are guaranteed to trip rejections.
+			TargetP99:          10 * time.Millisecond,
+			InitialMeanService: 2 * time.Millisecond,
+			FairShare:          8,
+		},
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		URL:          srv.URL,
+		Clients:      12,
+		Tenants:      12,
+		Duration:     500 * time.Millisecond,
+		Spec:         JobSpec{Kernel: "x", Reps: 1},
+		MaxRetryWait: 20 * time.Millisecond,
+		Client:       srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("starved sizing never rejected; test is vacuous: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("rejections must not count as errors: %+v", rep)
+	}
+	if rep.RejectedRate+rep.RejectedQueue != rep.Rejected {
+		t.Fatalf("rejections unclassified: %d total, %d rate + %d queue",
+			rep.Rejected, rep.RejectedRate, rep.RejectedQueue)
+	}
+}
+
+func TestRunLoadValidatesConfig(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	if _, err := RunLoad(context.Background(), LoadConfig{URL: "http://x", Clients: 1}); err == nil {
+		t.Fatal("zero duration must error")
+	}
+}
